@@ -1,0 +1,82 @@
+// Figure 6: (a) error of MOSH vs MSH restricted to the queries the two
+// algorithms decompose differently; (b) scale-up — error of all
+// algorithms as the amount of data extracted from the same source
+// grows, at a fixed 2% summary space.
+//
+// Expected shapes: (a) MSH beats MOSH on the differently-parsed
+// queries (balancing deep and bushy twiglets wins); (b) MOSH and MSH
+// *improve* with data size (the unpruned summary grows sublinearly, so
+// a fixed space percentage covers more of it), while the baselines
+// show no clear trend.
+
+#include <cstdio>
+#include <vector>
+
+#include "exp/harness.h"
+
+int main() {
+  using namespace twig;
+
+  std::printf("== Figure 6(a): MOSH vs MSH on differently-parsed queries, "
+              "DBLP ==\n");
+  exp::Dataset ds = exp::MakeDataset(exp::DatasetKind::kDblp,
+                                     exp::kDefaultDblpBytes, 20010402);
+  workload::WorkloadOptions wopt;
+  wopt.num_queries = 1000;
+  wopt.seed = 1789;
+  workload::Workload wl = workload::GeneratePositive(ds.tree, wopt);
+
+  exp::PrintSeriesHeader("space", {"#diff", "MOSH", "MSH"});
+  for (double fraction : {0.004, 0.006, 0.008}) {
+    cst::Cst c = exp::BuildCstAtFraction(ds, fraction);
+    core::TwigEstimator estimator(&c);
+    stats::ErrorAccumulator mosh_err;
+    stats::ErrorAccumulator msh_err;
+    size_t different = 0;
+    for (const auto& wq : wl) {
+      if (estimator.DecompositionFingerprint(wq.twig, core::Algorithm::kMosh) ==
+          estimator.DecompositionFingerprint(wq.twig, core::Algorithm::kMsh)) {
+        continue;
+      }
+      ++different;
+      mosh_err.Add(wq.truth.occurrence,
+                   estimator.Estimate(wq.twig, core::Algorithm::kMosh));
+      msh_err.Add(wq.truth.occurrence,
+                  estimator.Estimate(wq.twig, core::Algorithm::kMsh));
+    }
+    char label[32];
+    std::snprintf(label, sizeof(label), "%.2f%%", fraction * 100);
+    exp::PrintSeriesRow(
+        label,
+        {static_cast<double>(different),
+         stats::ErrorAccumulator::Log10(mosh_err.AvgRelativeSquaredError()),
+         stats::ErrorAccumulator::Log10(msh_err.AvgRelativeSquaredError())});
+  }
+
+  std::printf("\n== Figure 6(b): scale-up — log10(avg rel. sq. error) vs "
+              "data size at 2%% space ==\n");
+  std::vector<std::string> names;
+  for (core::Algorithm a : core::kAllAlgorithms) {
+    names.push_back(core::AlgorithmName(a));
+  }
+  exp::PrintSeriesHeader("size", names);
+  for (size_t mb : {1, 2, 4, 6, 8}) {
+    exp::Dataset sized =
+        exp::MakeDataset(exp::DatasetKind::kDblp, mb * 1024 * 1024, 20010402);
+    workload::WorkloadOptions sized_wopt;
+    sized_wopt.num_queries = 500;
+    sized_wopt.seed = 1789;
+    workload::Workload sized_wl =
+        workload::GeneratePositive(sized.tree, sized_wopt);
+    cst::Cst c = exp::BuildCstAtFraction(sized, 0.02);
+    std::vector<double> row;
+    for (const auto& eval : exp::EvaluateAll(c, sized_wl)) {
+      row.push_back(stats::ErrorAccumulator::Log10(
+          eval.errors.AvgRelativeSquaredError()));
+    }
+    char label[32];
+    std::snprintf(label, sizeof(label), "%zu MB", mb);
+    exp::PrintSeriesRow(label, row);
+  }
+  return 0;
+}

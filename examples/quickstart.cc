@@ -1,0 +1,91 @@
+// Quickstart: build a CST summary over an XML document and estimate
+// twig-match counts, comparing against exact ground truth.
+//
+//   ./quickstart                 # uses a built-in DBLP-like sample
+//   ./quickstart file.xml        # summarizes your own XML document
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/estimator.h"
+#include "cst/cst.h"
+#include "data/generators.h"
+#include "match/matcher.h"
+#include "query/twig.h"
+#include "suffix/path_suffix_tree.h"
+#include "util/strings.h"
+#include "xml/xml.h"
+
+namespace {
+
+twig::tree::Tree LoadOrGenerate(int argc, char** argv) {
+  if (argc > 1) {
+    std::ifstream in(argv[1]);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s; using generated data\n", argv[1]);
+    } else {
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      auto parsed = twig::xml::ParseXml(buf.str());
+      if (parsed.ok()) return std::move(parsed).value();
+      std::fprintf(stderr, "parse error: %s; using generated data\n",
+                   parsed.status().ToString().c_str());
+    }
+  }
+  twig::data::DblpOptions options;
+  options.target_bytes = 512 * 1024;
+  return twig::data::GenerateDblp(options);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace twig;
+
+  // 1. A node-labeled data tree (from XML or the built-in generator).
+  tree::Tree data = LoadOrGenerate(argc, argv);
+  const size_t xml_bytes = xml::XmlByteSize(data);
+  std::printf("data tree: %zu nodes, %s serialized\n", data.size(),
+              HumanBytes(xml_bytes).c_str());
+
+  // 2. Build the summary: path suffix tree, then a CST sized to 1% of
+  //    the data.
+  auto pst = suffix::PathSuffixTree::Build(data);
+  cst::CstOptions copt;
+  copt.space_budget_bytes = xml_bytes / 100;
+  cst::Cst summary = cst::Cst::Build(data, pst, copt);
+  std::printf("CST: %zu subpaths, %s (%.2f%% of data), prune threshold %u\n",
+              summary.node_count(), HumanBytes(summary.size_bytes()).c_str(),
+              100.0 * summary.size_bytes() / xml_bytes,
+              summary.prune_threshold());
+
+  // 3. Estimate some twig queries and compare with exact counts.
+  core::TwigEstimator estimator(&summary);
+  const char* kQueries[] = {
+      "article(author, year)",
+      "article(author, title)",
+      "book.publisher",
+      "inproceedings(author, pages)",
+  };
+  std::printf("\n%-36s %12s %12s %12s %12s\n", "query", "true", "MSH", "MO",
+              "Greedy");
+  for (const char* text : kQueries) {
+    auto twig_query = query::ParseTwig(text);
+    if (!twig_query.ok()) {
+      std::fprintf(stderr, "bad query %s: %s\n", text,
+                   twig_query.status().ToString().c_str());
+      continue;
+    }
+    const match::TwigCounts truth = match::CountTwigMatches(data, *twig_query);
+    const double msh =
+        estimator.Estimate(*twig_query, core::Algorithm::kMsh);
+    const double mo = estimator.Estimate(*twig_query, core::Algorithm::kMo);
+    const double greedy =
+        estimator.Estimate(*twig_query, core::Algorithm::kGreedy);
+    std::printf("%-36s %12.0f %12.1f %12.1f %12.1f\n", text, truth.occurrence,
+                msh, mo, greedy);
+  }
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Selectivity explorer: the "query feedback" use case from the paper's
+// introduction. Builds CST summaries at several space budgets over a
+// bibliography and shows, for each query you ask, what every
+// estimation algorithm would report — next to the exact answer.
+//
+//   ./selectivity_explorer                         # built-in demo queries
+//   ./selectivity_explorer 'book(author="Su")'     # your own twigs
+//   ./selectivity_explorer file.xml 'a.b(c="x")'   # over your own XML
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/estimator.h"
+#include "cst/cst.h"
+#include "data/generators.h"
+#include "match/matcher.h"
+#include "query/twig.h"
+#include "suffix/path_suffix_tree.h"
+#include "util/strings.h"
+#include "xml/xml.h"
+
+namespace {
+
+using namespace twig;
+
+tree::Tree LoadTree(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  auto parsed = xml::ParseXml(buf.str());
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "failed to parse %s: %s\n", path.c_str(),
+                 parsed.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(parsed).value();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> query_texts;
+  tree::Tree data;
+  bool generated = true;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.size() > 4 && arg.substr(arg.size() - 4) == ".xml") {
+      data = LoadTree(arg);
+      generated = false;
+    } else {
+      query_texts.push_back(arg);
+    }
+  }
+  if (generated) {
+    data::DblpOptions options;
+    options.target_bytes = 2 * 1024 * 1024;
+    data = data::GenerateDblp(options);
+  }
+  if (query_texts.empty()) {
+    query_texts = {
+        "article(author=\"S\", year=\"19\")",
+        "article(journal=\"Journal\", author=\"B\")",
+        "inproceedings(booktitle=\"Proc\", pages=\"1\")",
+        "book(publisher=\"P\", year=\"198\")",
+        "dblp.article.author=\"Ch\"",
+    };
+  }
+
+  const size_t xml_bytes = xml::XmlByteSize(data);
+  std::printf("data: %zu nodes, %s\n", data.size(),
+              HumanBytes(xml_bytes).c_str());
+  auto pst = suffix::PathSuffixTree::Build(data);
+
+  for (double fraction : {0.01, 0.05}) {
+    cst::CstOptions copt;
+    copt.space_budget_bytes =
+        static_cast<size_t>(fraction * static_cast<double>(xml_bytes));
+    cst::Cst summary = cst::Cst::Build(data, pst, copt);
+    core::TwigEstimator estimator(&summary);
+    std::printf("\n-- CST at %.1f%% space: %zu subpaths, %s, threshold %u --\n",
+                100 * fraction, summary.node_count(),
+                HumanBytes(summary.size_bytes()).c_str(),
+                summary.prune_threshold());
+    std::printf("%-44s %10s", "query", "true");
+    for (core::Algorithm a : core::kAllAlgorithms) {
+      std::printf(" %9s", core::AlgorithmName(a));
+    }
+    std::printf("\n");
+    for (const auto& text : query_texts) {
+      auto twig = query::ParseTwig(text);
+      if (!twig.ok()) {
+        std::fprintf(stderr, "bad query '%s': %s\n", text.c_str(),
+                     twig.status().ToString().c_str());
+        continue;
+      }
+      const match::TwigCounts truth = match::CountTwigMatches(data, *twig);
+      std::printf("%-44s %10.0f", text.c_str(), truth.occurrence);
+      for (core::Algorithm a : core::kAllAlgorithms) {
+        std::printf(" %9.1f", estimator.Estimate(*twig, a));
+      }
+      std::printf("\n");
+    }
+  }
+  return 0;
+}

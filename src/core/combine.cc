@@ -1,0 +1,328 @@
+#include "core/combine.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace twig::core {
+
+Combiner::Combiner(const ExpandedQuery& eq, const cst::Cst& cst,
+                   const CombineOptions& options)
+    : eq_(eq), cst_(cst), options_(options) {
+  n_ = std::max<double>(1.0, static_cast<double>(cst.data_node_count()));
+  if (options_.missing_count <= 0) {
+    options_.missing_count =
+        std::max(0.5, 0.5 * static_cast<double>(cst.prune_threshold()));
+  }
+}
+
+cst::CstNodeId Combiner::LookupAtoms(const std::vector<AtomId>& seq) const {
+  cst::CstNodeId node = cst_.root();
+  for (AtomId a : seq) {
+    const suffix::Symbol symbol = eq_.atoms[a].symbol;
+    if (symbol == cst::Cst::kUnknownSymbol) return cst::kNoCstNode;
+    node = cst_.Step(node, symbol);
+    if (node == cst::kNoCstNode) return cst::kNoCstNode;
+  }
+  return node;
+}
+
+double Combiner::SubpathsCount(
+    const std::vector<std::vector<AtomId>>& subpaths) const {
+  assert(!subpaths.empty());
+  if (subpaths.size() == 1) {
+    const cst::CstNodeId node = LookupAtoms(subpaths[0]);
+    if (node == cst::kNoCstNode) return options_.missing_count;
+    return CountOf(node);
+  }
+
+  // A twiglet is a *tree* of subpaths from a shared root. Intersecting
+  // the root-level sets alone would lose all interior sharing: with
+  // multiset fan-out (e.g. dblp -> thousands of articles) two branches
+  // that must pass through the *same* article node would be treated as
+  // picking articles independently, overestimating wildly. So:
+  //   1. subpaths sharing their first edge form a *group*; the group's
+  //      joint count is estimated recursively at its deepest shared
+  //      (LCP) node w and extended along the prefix chain:
+  //        count(prefix ∘ branches) =
+  //            count(prefix) * count_w(branches) / count(w);
+  //   2. the groups (now starting on distinct first edges, i.e. truly
+  //      diverging at the root) are intersected via set hashing on
+  //      their LCP-prefix signatures, with the Section 5 occurrence
+  //      scaling per group.
+  struct Group {
+    std::vector<AtomId> prefix;  // root .. LCP node (CST-resolvable)
+    double multiplicity = 1.0;   // expected instances per rooting node
+    double presence_factor = 1.0;  // presence-mode damping (<= 1)
+  };
+  std::vector<Group> groups;
+  {
+    // Partition by first edge, preserving order. Length-1 subpaths
+    // (the bare root) are implied by any other subpath; drop them.
+    std::vector<std::vector<const std::vector<AtomId>*>> parts;
+    std::vector<AtomId> part_keys;
+    for (const auto& sp : subpaths) {
+      if (sp.size() < 2) continue;
+      const AtomId key = sp[1];
+      size_t p = 0;
+      while (p < part_keys.size() && part_keys[p] != key) ++p;
+      if (p == part_keys.size()) {
+        part_keys.push_back(key);
+        parts.emplace_back();
+      }
+      parts[p].push_back(&sp);
+    }
+    if (parts.empty()) return CountOf(LookupAtoms(subpaths[0]));
+
+    for (const auto& part : parts) {
+      Group group;
+      // LCP within the part.
+      size_t lcp = 1;
+      while (true) {
+        bool all_share = true;
+        for (const auto* sp : part) {
+          if (sp->size() <= lcp || (*sp)[lcp] != (*part[0])[lcp]) {
+            all_share = false;
+            break;
+          }
+        }
+        if (!all_share) break;
+        ++lcp;
+      }
+      group.prefix.assign(part[0]->begin(), part[0]->begin() + lcp);
+      const cst::CstNodeId prefix_node = LookupAtoms(group.prefix);
+      if (prefix_node == cst::kNoCstNode) return options_.missing_count;
+      const double prefix_cp = std::max(cst_.PresenceCount(prefix_node), 1.0);
+      const double prefix_co = cst_.OccurrenceCount(prefix_node);
+      group.multiplicity = prefix_co / prefix_cp;
+      if (part.size() >= 2) {
+        // Joint branch structure below the LCP node w.
+        std::vector<std::vector<AtomId>> branches;
+        for (const auto* sp : part) {
+          branches.emplace_back(sp->begin() + (lcp - 1), sp->end());
+        }
+        const double branch_count = SubpathsCount(branches);
+        const cst::CstNodeId w_node = LookupAtoms({(*part[0])[lcp - 1]});
+        const double w_count =
+            w_node == cst::kNoCstNode
+                ? 1.0
+                : std::max(cst_.PresenceCount(w_node), 1.0);
+        group.multiplicity *= branch_count / w_count;
+        group.presence_factor = std::min(1.0, group.multiplicity);
+      }
+      groups.push_back(std::move(group));
+    }
+  }
+
+  if (groups.size() == 1) {
+    // All subpaths share their first edge: pure prefix extension.
+    const Group& g = groups[0];
+    const cst::CstNodeId node = LookupAtoms(g.prefix);
+    const double cp = cst_.PresenceCount(node);
+    if (options_.semantics == CountSemantics::kOccurrence) {
+      return cp * g.multiplicity;
+    }
+    return cp * g.presence_factor;
+  }
+
+  // Intersect the groups' rooting sets via set hashing.
+  std::vector<sethash::SizedSignature> sized;
+  double fallback_min = -1.0;
+  std::vector<std::vector<AtomId>> representatives;
+  std::vector<double> multiplicities;
+  double presence_damp = 1.0;
+  for (const Group& group : groups) {
+    const cst::CstNodeId node = LookupAtoms(group.prefix);
+    const double cp = cst_.PresenceCount(node);
+    if (cp <= 0) return 0.0;
+    const sethash::Signature* sig = cst_.GetSignature(node);
+    if (sig == nullptr) {
+      fallback_min = fallback_min < 0 ? cp : std::min(fallback_min, cp);
+    } else {
+      sized.push_back({sig, cp});
+    }
+    representatives.push_back(group.prefix);
+    multiplicities.push_back(group.multiplicity);
+    presence_damp *= group.presence_factor;
+  }
+  const double occ_scale = OccurrenceScale(representatives, multiplicities);
+  double presence;
+  if (sized.size() >= 2) {
+    const sethash::IntersectionEstimate estimate =
+        sethash::EstimateIntersectionSize(sized);
+    if (estimate.matching_components < kMinSignatureSupport ||
+        estimate.size <= 0) {
+      // The intersection is below the signatures' resolution: the
+      // estimate would be pure quantization noise (or zero). Degrade
+      // to the pure-MO conditioning estimate of the twiglet.
+      return TwigletMoFallback(subpaths);
+    }
+    presence = estimate.size;
+    if (fallback_min >= 0) presence = std::min(presence, fallback_min);
+  } else {
+    // No usable signatures: degrade to pure-MO conditioning.
+    return TwigletMoFallback(subpaths);
+  }
+  if (options_.semantics == CountSemantics::kOccurrence) {
+    // Section 5: occurrences-per-presence uniformity assumption,
+    // applied per group.
+    return presence * occ_scale;
+  }
+  return presence * presence_damp;
+}
+
+double Combiner::OccurrenceScale(
+    const std::vector<std::vector<AtomId>>& subpaths,
+    const std::vector<double>& multiplicities) const {
+  if (!options_.duplicate_aware_occurrence) {
+    double scale = 1.0;
+    for (double m : multiplicities) scale *= m;
+    return scale;
+  }
+  // Section 5's uniformity product, corrected for duplicate and
+  // prefix-nested subpaths: when one subpath's symbol sequence is a
+  // prefix of (or equal to) another's, any child instance satisfying
+  // the more specific branch also satisfies the general one, but the
+  // 1-1 mapping must use *distinct* children — so each more-specific
+  // branch consumes one unit of the general branch's multiplicity
+  // (falling factorial instead of a plain power).
+  const size_t k = subpaths.size();
+  std::vector<size_t> order(k);
+  for (size_t i = 0; i < k; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return subpaths[a].size() > subpaths[b].size();
+  });
+  auto symbols_prefix_of = [&](const std::vector<AtomId>& shorter,
+                               const std::vector<AtomId>& longer) {
+    if (shorter.size() > longer.size()) return false;
+    for (size_t i = 0; i < shorter.size(); ++i) {
+      if (eq_.atoms[shorter[i]].symbol != eq_.atoms[longer[i]].symbol) {
+        return false;
+      }
+    }
+    return true;
+  };
+  double scale = 1.0;
+  for (size_t pos = 0; pos < k; ++pos) {
+    const size_t i = order[pos];
+    size_t consumed = 0;
+    for (size_t prev = 0; prev < pos; ++prev) {
+      const size_t j = order[prev];
+      if (symbols_prefix_of(subpaths[i], subpaths[j])) ++consumed;
+    }
+    scale *= std::max(multiplicities[i] - static_cast<double>(consumed), 0.1);
+  }
+  return scale;
+}
+
+double Combiner::TwigletMoFallback(
+    const std::vector<std::vector<AtomId>>& subpaths) const {
+  std::vector<EstimandPiece> pieces;
+  pieces.reserve(subpaths.size());
+  for (const auto& sp : subpaths) {
+    EstimandPiece piece;
+    piece.root_atom = sp.front();
+    piece.atoms = sp;
+    piece.subpaths.push_back(sp);
+    pieces.push_back(std::move(piece));
+  }
+  return MoCombine(std::move(pieces));
+}
+
+double Combiner::PieceCount(const EstimandPiece& piece) const {
+  if (piece.missing) return options_.missing_count;
+  return SubpathsCount(piece.subpaths);
+}
+
+double Combiner::AtomSetProb(const std::vector<AtomId>& atoms) const {
+  if (atoms.empty()) return 1.0;
+  // Split into connected components (an atom joins its parent's
+  // component when the parent is in the set). `atoms` is sorted, and
+  // parents precede children in atom numbering (preorder), so one pass
+  // suffices.
+  std::vector<int> comp(atoms.size());
+  std::vector<AtomId> roots;
+  for (size_t i = 0; i < atoms.size(); ++i) {
+    const AtomId parent = eq_.atoms[atoms[i]].parent;
+    const auto it =
+        std::lower_bound(atoms.begin(), atoms.begin() + i, parent);
+    if (parent >= 0 && it != atoms.begin() + i && *it == parent) {
+      comp[i] = comp[it - atoms.begin()];
+    } else {
+      comp[i] = static_cast<int>(roots.size());
+      roots.push_back(atoms[i]);
+    }
+  }
+  // Extract each component's root-anchored subpaths: a leaf (atom with
+  // no child in the set) terminates one subpath; walk up to the root.
+  std::vector<bool> has_child_in_set(atoms.size(), false);
+  for (size_t i = 0; i < atoms.size(); ++i) {
+    const AtomId parent = eq_.atoms[atoms[i]].parent;
+    const auto it =
+        std::lower_bound(atoms.begin(), atoms.begin() + i, parent);
+    if (parent >= 0 && it != atoms.begin() + i && *it == parent) {
+      has_child_in_set[it - atoms.begin()] = true;
+    }
+  }
+  std::vector<std::vector<std::vector<AtomId>>> comp_subpaths(roots.size());
+  for (size_t i = 0; i < atoms.size(); ++i) {
+    if (has_child_in_set[i]) continue;
+    // Leaf of the set: collect the chain up to its component root.
+    std::vector<AtomId> chain;
+    AtomId a = atoms[i];
+    while (true) {
+      chain.push_back(a);
+      if (a == roots[comp[i]]) break;
+      a = eq_.atoms[a].parent;
+    }
+    std::reverse(chain.begin(), chain.end());
+    comp_subpaths[comp[i]].push_back(std::move(chain));
+  }
+  double prob = 1.0;
+  for (auto& subpaths : comp_subpaths) {
+    prob *= SubpathsCount(subpaths) / n_;
+  }
+  return prob;
+}
+
+double Combiner::MoCombine(std::vector<EstimandPiece> pieces) const {
+  // Root-shallowest first; among equal roots, larger pieces first so
+  // later ones condition on them.
+  std::sort(pieces.begin(), pieces.end(),
+            [&](const EstimandPiece& a, const EstimandPiece& b) {
+              const uint32_t da = eq_.atoms[a.root_atom].depth;
+              const uint32_t db = eq_.atoms[b.root_atom].depth;
+              if (da != db) return da < db;
+              if (a.root_atom != b.root_atom) return a.root_atom < b.root_atom;
+              return a.atoms.size() > b.atoms.size();
+            });
+
+  std::vector<bool> covered(eq_.atoms.size(), false);
+  double estimate = n_;
+  for (const EstimandPiece& piece : pieces) {
+    std::vector<AtomId> overlap;
+    for (AtomId a : piece.atoms) {
+      if (covered[a]) overlap.push_back(a);
+    }
+    if (overlap.size() == piece.atoms.size()) continue;  // fully covered
+    estimate *= PieceCount(piece) / n_;
+    if (!overlap.empty()) {
+      const double overlap_prob = AtomSetProb(overlap);
+      estimate /= std::max(overlap_prob, 1e-12);
+    }
+    for (AtomId a : piece.atoms) covered[a] = true;
+    if (estimate <= 0) return 0.0;
+  }
+  return estimate;
+}
+
+double Combiner::IndependenceCombine(
+    const std::vector<EstimandPiece>& pieces) const {
+  double estimate = n_;
+  for (const EstimandPiece& piece : pieces) {
+    estimate *= PieceCount(piece) / n_;
+  }
+  return std::max(estimate, 0.0);
+}
+
+}  // namespace twig::core

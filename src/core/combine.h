@@ -1,0 +1,106 @@
+// Count estimation for pieces, and maximal-overlap combination
+// (Sections 3.6, 3.7, 5).
+//
+// PieceCount reads a single subpath's count from the CST, or estimates
+// a twiglet's count by k-way set-hash intersection of its subpaths'
+// signatures; in occurrence semantics the presence estimate is scaled
+// by the per-subpath occurrence/presence ratios (the Section 5
+// uniformity assumption).
+//
+// MoCombine implements MO conditioning: pieces are applied in
+// increasing root-depth order; each multiplies the running estimate by
+// Pr(piece) and divides by Pr(piece ∩ already-covered). Overlaps that
+// are single subpaths are read from the CST (guaranteed present by
+// pruning monotonicity); overlaps that are subtrees are themselves
+// estimated via set hashing.
+
+#ifndef TWIG_CORE_COMBINE_H_
+#define TWIG_CORE_COMBINE_H_
+
+#include <vector>
+
+#include "core/expanded_query.h"
+#include "core/pieces.h"
+#include "cst/cst.h"
+
+namespace twig::core {
+
+/// Which count a query asks for (Section 5): presence counts distinct
+/// rooting nodes; occurrence counts all 1-1 mappings.
+enum class CountSemantics {
+  kPresence,
+  kOccurrence,
+};
+
+/// Options shared by the combination strategies.
+struct CombineOptions {
+  CountSemantics semantics = CountSemantics::kOccurrence;
+  /// Count charged to a single atom with no CST match (below the prune
+  /// threshold, or absent from the data). 0 = auto: half the CST prune
+  /// threshold, at least 0.5.
+  double missing_count = 0;
+  /// Extension beyond the paper: when a twiglet contains duplicate or
+  /// prefix-nested subpaths (e.g. two author="..." branches), its
+  /// occurrence scale uses falling factorials of the per-presence
+  /// multiplicities instead of the plain Section 5 product, accounting
+  /// for the 1-1 mapping's need for *distinct* sibling children.
+  bool duplicate_aware_occurrence = true;
+};
+
+/// Minimum matching signature components for a set-hash twiglet
+/// estimate to be trusted; below this the twiglet degrades to pure-MO
+/// conditioning (the intersection is under the signatures' resolution).
+inline constexpr size_t kMinSignatureSupport = 2;
+
+/// Estimates counts of pieces and combines them into query estimates.
+class Combiner {
+ public:
+  Combiner(const ExpandedQuery& eq, const cst::Cst& cst,
+           const CombineOptions& options);
+
+  /// Count estimate of one piece (under the configured semantics).
+  double PieceCount(const EstimandPiece& piece) const;
+
+  /// MO-conditioned combination: N * prod Pr(piece) / Pr(overlap).
+  double MoCombine(std::vector<EstimandPiece> pieces) const;
+
+  /// Independence combination (the Greedy baseline): N * prod Pr(piece).
+  double IndependenceCombine(const std::vector<EstimandPiece>& pieces) const;
+
+  /// Probability (count / N) of an arbitrary atom set: its connected
+  /// components are estimated independently and multiplied.
+  double AtomSetProb(const std::vector<AtomId>& atoms) const;
+
+ private:
+  /// CST node for an explicit atom sequence, or kNoCstNode.
+  cst::CstNodeId LookupAtoms(const std::vector<AtomId>& seq) const;
+
+  /// Count of a root-anchored group of subpaths (1 => CST read, >= 2 =>
+  /// set-hash twiglet estimate).
+  double SubpathsCount(const std::vector<std::vector<AtomId>>& subpaths) const;
+
+  /// Pure-MO conditioning estimate of a twiglet, used when its
+  /// intersection is below the signatures' resolution.
+  double TwigletMoFallback(
+      const std::vector<std::vector<AtomId>>& subpaths) const;
+
+  /// Occurrences-per-presence scale of a twiglet (Section 5), with the
+  /// optional duplicate-aware falling-factorial correction.
+  double OccurrenceScale(const std::vector<std::vector<AtomId>>& subpaths,
+                         const std::vector<double>& multiplicities) const;
+
+  double CountOf(cst::CstNodeId node) const {
+    return options_.semantics == CountSemantics::kOccurrence
+               ? cst_.OccurrenceCount(node)
+               : cst_.PresenceCount(node);
+  }
+
+  const ExpandedQuery& eq_;
+  const cst::Cst& cst_;
+  CombineOptions options_;
+  double n_;  // data node count (the paper's normalizer)
+};
+
+}  // namespace twig::core
+
+#endif  // TWIG_CORE_COMBINE_H_

@@ -1,0 +1,124 @@
+#include "core/estimator.h"
+
+#include <algorithm>
+
+#include "core/parse.h"
+#include "core/pieces.h"
+
+namespace twig::core {
+
+const char* AlgorithmName(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kLeaf:
+      return "Leaf";
+    case Algorithm::kGreedy:
+      return "Greedy";
+    case Algorithm::kMo:
+      return "MO";
+    case Algorithm::kMosh:
+      return "MOSH";
+    case Algorithm::kPmosh:
+      return "PMOSH";
+    case Algorithm::kMsh:
+      return "MSH";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Builds the decomposition an algorithm feeds to the combiner.
+/// (Not meaningful for Leaf, which has its own per-leaf procedure.)
+std::vector<EstimandPiece> Decompose(const ExpandedQuery& eq,
+                                     const cst::Cst& cst,
+                                     Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kGreedy:
+      return SinglePathPieces(eq,
+                              ParseQuery(eq, cst, ParseStrategy::kGreedy));
+    case Algorithm::kMo:
+      return SinglePathPieces(eq,
+                              ParseQuery(eq, cst, ParseStrategy::kMaximal));
+    case Algorithm::kMosh:
+      return MoshDecompose(eq, ParseQuery(eq, cst, ParseStrategy::kMaximal));
+    case Algorithm::kPmosh:
+      return MoshDecompose(
+          eq, ParseQuery(eq, cst, ParseStrategy::kPiecewiseMaximal));
+    case Algorithm::kMsh:
+      return MshDecompose(eq, ParseQuery(eq, cst, ParseStrategy::kMaximal));
+    case Algorithm::kLeaf:
+      break;
+  }
+  // Leaf: each leaf's maximal parse, kept as single-path pieces (used
+  // only for fingerprinting).
+  std::vector<EstimandPiece> out;
+  for (int pi = 0; pi < static_cast<int>(eq.paths.size()); ++pi) {
+    const auto& path = eq.paths[pi];
+    int leaf_start = static_cast<int>(path.size()) - 1;
+    while (leaf_start > 0 && !eq.atoms[path[leaf_start - 1]].is_tag) {
+      --leaf_start;
+    }
+    for (const ParsedPiece& p : MaximalParseInterval(
+             eq, cst, pi, leaf_start, static_cast<int>(path.size()))) {
+      out.push_back(PieceFromParsed(eq, p));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+double TwigEstimator::EstimateLeaf(const ExpandedQuery& eq,
+                                   const CombineOptions& options) const {
+  // Estimate each leaf string individually with MO parsing and
+  // combination, ignoring all path (tag) context — a single-leaf (path)
+  // query is estimated purely by its leaf string (Section 6: "the
+  // count of the path query book.author.Stonebraker will be estimated
+  // as the MO estimate for Stonebraker") — then combine the per-leaf
+  // estimates under independence. Ignoring structure makes Leaf
+  // underestimate most multi-path queries while occasionally blowing
+  // up on unselective leaf strings — the baseline's characteristic
+  // failure mode.
+  Combiner combiner(eq, *cst_, options);
+  const double n = std::max<double>(1.0, cst_->data_node_count());
+  double estimate = n;
+  for (int pi = 0; pi < static_cast<int>(eq.paths.size()); ++pi) {
+    const auto& path = eq.paths[pi];
+    // The leaf of this path: the trailing run of character atoms, or
+    // the final tag atom for structural leaves.
+    int leaf_start = static_cast<int>(path.size()) - 1;
+    while (leaf_start > 0 && !eq.atoms[path[leaf_start - 1]].is_tag) {
+      --leaf_start;
+    }
+    std::vector<ParsedPiece> parsed = MaximalParseInterval(
+        eq, *cst_, pi, leaf_start, static_cast<int>(path.size()));
+    estimate *= combiner.MoCombine(SinglePathPieces(eq, parsed)) / n;
+  }
+  return std::max(estimate, 0.0);
+}
+
+double TwigEstimator::Estimate(const query::Twig& twig, Algorithm algorithm,
+                               const EstimateOptions& options) const {
+  const ExpandedQuery eq = ExpandQuery(twig, *cst_);
+  if (eq.atoms.empty()) return 0.0;
+  CombineOptions copt;
+  copt.semantics = options.semantics;
+  copt.missing_count = options.missing_count;
+
+  if (algorithm == Algorithm::kLeaf) return EstimateLeaf(eq, copt);
+
+  Combiner combiner(eq, *cst_, copt);
+  std::vector<EstimandPiece> pieces = Decompose(eq, *cst_, algorithm);
+  if (algorithm == Algorithm::kGreedy) {
+    return combiner.IndependenceCombine(pieces);
+  }
+  return combiner.MoCombine(std::move(pieces));
+}
+
+uint64_t TwigEstimator::DecompositionFingerprint(const query::Twig& twig,
+                                                 Algorithm algorithm) const {
+  const ExpandedQuery eq = ExpandQuery(twig, *cst_);
+  return core::DecompositionFingerprint(Decompose(eq, *cst_, algorithm));
+}
+
+}  // namespace twig::core

@@ -1,0 +1,90 @@
+// Public estimation API: the paper's four algorithms (pure MO, MOSH,
+// PMOSH, MSH) and the two naive baselines (Leaf, Greedy) — Table 1.
+//
+//   Algorithm | path info | correlations | twiglets               | combination
+//   ----------+-----------+--------------+------------------------+------------
+//   Leaf      | no        | no           | single leaf strings    | MO
+//   Greedy    | yes       | no           | single path            | greedy
+//   MO        | yes       | no           | single path            | MO
+//   MOSH      | yes       | yes          | deep, often skinny     | MO
+//   PMOSH     | yes       | yes          | bushy, often shallow   | MO
+//   MSH       | yes       | yes          | deep and bushy         | MO
+//
+// Typical use:
+//   auto pst = suffix::PathSuffixTree::Build(data);
+//   cst::CstOptions copt;
+//   copt.space_budget_bytes = data_bytes / 100;  // 1% summary
+//   auto summary = cst::Cst::Build(data, pst, copt);
+//   core::TwigEstimator estimator(&summary);
+//   double est = estimator.Estimate(twig, core::Algorithm::kMsh);
+
+#ifndef TWIG_CORE_ESTIMATOR_H_
+#define TWIG_CORE_ESTIMATOR_H_
+
+#include <array>
+#include <cstdint>
+
+#include "core/combine.h"
+#include "cst/cst.h"
+#include "query/twig.h"
+
+namespace twig::core {
+
+/// The estimation algorithms of Section 4 / Table 1.
+enum class Algorithm {
+  kLeaf,
+  kGreedy,
+  kMo,
+  kMosh,
+  kPmosh,
+  kMsh,
+};
+
+/// All algorithms, in the paper's reporting order.
+inline constexpr std::array<Algorithm, 6> kAllAlgorithms = {
+    Algorithm::kLeaf, Algorithm::kGreedy, Algorithm::kMo,
+    Algorithm::kMosh, Algorithm::kPmosh,  Algorithm::kMsh,
+};
+
+/// Display name ("MOSH", ...).
+const char* AlgorithmName(Algorithm algorithm);
+
+/// Options for one estimation call.
+struct EstimateOptions {
+  /// The experiments in Section 6 run on multiset data and report
+  /// occurrence counts; presence counting is the basic (set) problem.
+  CountSemantics semantics = CountSemantics::kOccurrence;
+  /// Count charged to atoms with no CST match; 0 = auto (half the
+  /// prune threshold).
+  double missing_count = 0;
+};
+
+/// Estimates twig match counts against a CST summary. Stateless apart
+/// from the CST reference; cheap to construct.
+class TwigEstimator {
+ public:
+  /// `summary` must outlive the estimator.
+  explicit TwigEstimator(const cst::Cst* summary) : cst_(summary) {}
+
+  /// Estimated number of matches of `twig` in the summarized data.
+  double Estimate(const query::Twig& twig, Algorithm algorithm,
+                  const EstimateOptions& options = {}) const;
+
+  /// Order-independent fingerprint of the algorithm's decomposition of
+  /// `twig` (pieces + twiglets). Two algorithms "parse a query
+  /// differently" (Figures 5(b), 6(a)) iff fingerprints differ.
+  uint64_t DecompositionFingerprint(const query::Twig& twig,
+                                    Algorithm algorithm) const;
+
+  const cst::Cst& summary() const { return *cst_; }
+
+ private:
+  double EstimateLeaf(const ExpandedQuery& eq,
+                      const CombineOptions& options) const;
+
+  const cst::Cst* cst_;
+};
+
+}  // namespace twig::core
+
+#endif  // TWIG_CORE_ESTIMATOR_H_

@@ -1,0 +1,64 @@
+#include "core/expanded_query.h"
+
+#include <algorithm>
+
+namespace twig::core {
+
+using query::Twig;
+using query::TwigNodeId;
+
+ExpandedQuery ExpandQuery(const Twig& twig, const cst::Cst& cst) {
+  ExpandedQuery eq;
+  if (twig.empty()) return eq;
+
+  // Expand in preorder; record each twig node's atom (for elements) or
+  // last char atom (for values) so children can link to parents.
+  auto add_atom = [&](suffix::Symbol symbol, AtomId parent,
+                      bool is_tag) -> AtomId {
+    ExpandedQuery::Atom atom;
+    atom.symbol = symbol;
+    atom.parent = parent;
+    atom.depth = parent < 0 ? 0 : eq.atoms[parent].depth + 1;
+    atom.is_tag = is_tag;
+    AtomId id = static_cast<AtomId>(eq.atoms.size());
+    eq.atoms.push_back(std::move(atom));
+    if (parent >= 0) eq.atoms[parent].children.push_back(id);
+    return id;
+  };
+
+  auto expand = [&](auto&& self, TwigNodeId n, AtomId parent) -> void {
+    if (twig.IsValue(n)) {
+      const std::string_view value = twig.Value(n);
+      const size_t take = std::min(value.size(), cst.max_value_chars());
+      AtomId prev = parent;
+      for (size_t i = 0; i < take; ++i) {
+        prev = add_atom(suffix::CharSymbol(value[i]), prev, /*is_tag=*/false);
+      }
+      return;
+    }
+    AtomId atom =
+        add_atom(cst.TagSymbolFor(twig.Tag(n)), parent, /*is_tag=*/true);
+    for (TwigNodeId c : twig.Children(n)) self(self, c, atom);
+  };
+  expand(expand, twig.root(), -1);
+
+  // Root-to-leaf atom paths.
+  std::vector<AtomId> current;
+  auto walk = [&](auto&& self, AtomId a) -> void {
+    current.push_back(a);
+    if (eq.atoms[a].children.empty()) {
+      eq.paths.push_back(current);
+    } else {
+      for (AtomId c : eq.atoms[a].children) self(self, c);
+    }
+    current.pop_back();
+  };
+  walk(walk, 0);
+
+  for (AtomId a = 0; a < static_cast<AtomId>(eq.atoms.size()); ++a) {
+    if (eq.IsBranch(a)) eq.branch_atoms.push_back(a);
+  }
+  return eq;
+}
+
+}  // namespace twig::core

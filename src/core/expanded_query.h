@@ -1,0 +1,57 @@
+// Expansion of a twig query into CST atoms.
+//
+// The CST's vocabulary is symbols: atomic tags plus characters of leaf
+// value strings. An ExpandedQuery rewrites a twig in that vocabulary:
+// every element node becomes one *atom*; every value-predicate leaf
+// becomes a chain of character atoms. Root-to-leaf query paths become
+// atom-index sequences, which is what the parsing strategies operate
+// on, and pieces/twiglets/overlaps are all sets of atoms.
+
+#ifndef TWIG_CORE_EXPANDED_QUERY_H_
+#define TWIG_CORE_EXPANDED_QUERY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "cst/cst.h"
+#include "query/twig.h"
+#include "suffix/symbol.h"
+
+namespace twig::core {
+
+/// Index of an atom within an ExpandedQuery.
+using AtomId = int;
+
+/// A twig query in CST-symbol form.
+struct ExpandedQuery {
+  struct Atom {
+    /// CST symbol; Cst::kUnknownSymbol if the tag never occurs in the
+    /// data (no CST node can match).
+    suffix::Symbol symbol = 0;
+    /// Parent atom, -1 for the root atom.
+    AtomId parent = -1;
+    /// Depth in the expanded tree (root atom = 0).
+    uint32_t depth = 0;
+    /// Children in expansion order.
+    std::vector<AtomId> children;
+    /// True for element atoms (tag symbols); branch points can only be
+    /// element atoms.
+    bool is_tag = false;
+  };
+
+  std::vector<Atom> atoms;  // preorder; atoms[0] is the root atom
+  /// Root-to-leaf atom sequences, left-to-right.
+  std::vector<std::vector<AtomId>> paths;
+  /// Atoms with >= 2 children (the twig's branch nodes).
+  std::vector<AtomId> branch_atoms;
+
+  bool IsBranch(AtomId a) const { return atoms[a].children.size() >= 2; }
+};
+
+/// Expands `twig` against `cst` (which supplies the tag-symbol mapping
+/// and the value-character cap).
+ExpandedQuery ExpandQuery(const query::Twig& twig, const cst::Cst& cst);
+
+}  // namespace twig::core
+
+#endif  // TWIG_CORE_EXPANDED_QUERY_H_

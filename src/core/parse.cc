@@ -1,0 +1,146 @@
+#include "core/parse.h"
+
+#include <unordered_set>
+
+namespace twig::core {
+
+namespace {
+
+using cst::Cst;
+
+/// Longest CST match for path atoms [s, hi) of path `path_index`.
+Cst::Match MatchAt(const ExpandedQuery& eq, const Cst& cst, int path_index,
+                   int s, int hi) {
+  const auto& path = eq.paths[path_index];
+  Cst::Match match;
+  cst::CstNodeId node = cst.root();
+  for (int i = s; i < hi; ++i) {
+    const suffix::Symbol symbol = eq.atoms[path[i]].symbol;
+    if (symbol == Cst::kUnknownSymbol) break;
+    cst::CstNodeId next = cst.Step(node, symbol);
+    if (next == cst::kNoCstNode) break;
+    node = next;
+    match.node = node;
+    match.length = static_cast<size_t>(i - s + 1);
+  }
+  return match;
+}
+
+ParsedPiece MakePiece(int path_index, int start, const Cst::Match& match) {
+  ParsedPiece piece;
+  piece.path = path_index;
+  piece.start = start;
+  piece.length = static_cast<int>(match.length);
+  piece.cst_node = match.node;
+  return piece;
+}
+
+ParsedPiece MakeMissingPiece(int path_index, int at) {
+  ParsedPiece piece;
+  piece.path = path_index;
+  piece.start = at;
+  piece.length = 1;
+  piece.missing = true;
+  return piece;
+}
+
+}  // namespace
+
+std::vector<ParsedPiece> MaximalParseInterval(const ExpandedQuery& eq,
+                                              const Cst& cst, int path_index,
+                                              int lo, int hi) {
+  std::vector<ParsedPiece> pieces;
+  int covered = lo;
+  int prev_start = lo - 1;
+  while (covered < hi) {
+    // Earliest start whose maximal match extends past the covered
+    // region — the maximal-overlap choice.
+    int chosen = -1;
+    Cst::Match chosen_match;
+    for (int s = prev_start + 1; s <= covered; ++s) {
+      Cst::Match m = MatchAt(eq, cst, path_index, s, hi);
+      if (s + static_cast<int>(m.length) > covered) {
+        chosen = s;
+        chosen_match = m;
+        break;
+      }
+    }
+    if (chosen < 0) {
+      // Not even the single atom at `covered` matches the CST.
+      pieces.push_back(MakeMissingPiece(path_index, covered));
+      prev_start = covered;
+      ++covered;
+    } else {
+      pieces.push_back(MakePiece(path_index, chosen, chosen_match));
+      prev_start = chosen;
+      covered = chosen + static_cast<int>(chosen_match.length);
+    }
+  }
+  return pieces;
+}
+
+std::vector<ParsedPiece> GreedyParseInterval(const ExpandedQuery& eq,
+                                             const Cst& cst, int path_index,
+                                             int lo, int hi) {
+  std::vector<ParsedPiece> pieces;
+  int pos = lo;
+  while (pos < hi) {
+    Cst::Match m = MatchAt(eq, cst, path_index, pos, hi);
+    if (m.length == 0) {
+      pieces.push_back(MakeMissingPiece(path_index, pos));
+      ++pos;
+    } else {
+      pieces.push_back(MakePiece(path_index, pos, m));
+      pos += static_cast<int>(m.length);
+    }
+  }
+  return pieces;
+}
+
+std::vector<ParsedPiece> ParseQuery(const ExpandedQuery& eq, const Cst& cst,
+                                    ParseStrategy strategy) {
+  std::vector<ParsedPiece> all;
+  std::unordered_set<uint64_t> seen;  // (start atom, end atom) intervals
+
+  auto emit = [&](std::vector<ParsedPiece>&& pieces) {
+    for (ParsedPiece& p : pieces) {
+      const uint64_t key =
+          (static_cast<uint64_t>(p.StartAtom(eq)) << 32) |
+          static_cast<uint32_t>(p.EndAtom(eq));
+      if (seen.insert(key).second) all.push_back(p);
+    }
+  };
+
+  for (int pi = 0; pi < static_cast<int>(eq.paths.size()); ++pi) {
+    const int len = static_cast<int>(eq.paths[pi].size());
+    switch (strategy) {
+      case ParseStrategy::kMaximal:
+        emit(MaximalParseInterval(eq, cst, pi, 0, len));
+        break;
+      case ParseStrategy::kGreedy:
+        emit(GreedyParseInterval(eq, cst, pi, 0, len));
+        break;
+      case ParseStrategy::kPiecewiseMaximal: {
+        // Segment boundaries: root, branch atoms, and the leaf; each
+        // boundary belongs to both adjacent segments.
+        std::vector<int> bounds;
+        bounds.push_back(0);
+        for (int i = 1; i + 1 < len; ++i) {
+          if (eq.IsBranch(eq.paths[pi][i])) bounds.push_back(i);
+        }
+        bounds.push_back(len - 1);
+        if (len == 1) {
+          emit(MaximalParseInterval(eq, cst, pi, 0, 1));
+          break;
+        }
+        for (size_t b = 0; b + 1 < bounds.size(); ++b) {
+          emit(MaximalParseInterval(eq, cst, pi, bounds[b], bounds[b + 1] + 1));
+        }
+        break;
+      }
+    }
+  }
+  return all;
+}
+
+}  // namespace twig::core

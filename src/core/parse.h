@@ -1,0 +1,75 @@
+// Path parsing strategies (Section 3.3).
+//
+// Each root-to-leaf path of the query is parsed into subpaths that have
+// matches in the CST:
+//   * maximal           — overlapping maximal-overlap (MO) parse: the
+//                         first piece is the longest CST match at the
+//                         path start; each next piece is the longest
+//                         match at the *earliest* position extending
+//                         past the covered region (maximizing overlap);
+//   * piecewise-maximal — the path is cut into segments at root /
+//                         branch / leaf nodes (boundaries belong to
+//                         both adjacent segments) and each segment is
+//                         MO-parsed independently (PMOSH);
+//   * greedy            — non-overlapping longest matches, each
+//                         starting where the previous ended ([12]'s
+//                         parse, used by the Greedy baseline).
+//
+// Atoms whose symbol is absent from the CST yield single-atom "missing"
+// pieces; the combiner charges those a below-threshold default count.
+
+#ifndef TWIG_CORE_PARSE_H_
+#define TWIG_CORE_PARSE_H_
+
+#include <vector>
+
+#include "core/expanded_query.h"
+#include "cst/cst.h"
+
+namespace twig::core {
+
+/// A parsed subpath: a contiguous interval of one root-to-leaf path.
+struct ParsedPiece {
+  int path = 0;    // index into ExpandedQuery::paths
+  int start = 0;   // first atom position within the path
+  int length = 0;  // number of atoms
+  bool missing = false;  // single atom with no CST match
+  /// Deepest CST node matching the interval (kNoCstNode if missing).
+  cst::CstNodeId cst_node = cst::kNoCstNode;
+
+  AtomId StartAtom(const ExpandedQuery& eq) const {
+    return eq.paths[path][start];
+  }
+  AtomId EndAtom(const ExpandedQuery& eq) const {
+    return eq.paths[path][start + length - 1];
+  }
+};
+
+enum class ParseStrategy {
+  kMaximal,
+  kPiecewiseMaximal,
+  kGreedy,
+};
+
+/// Parses the interval [lo, hi) of path `path_index` with the MO
+/// (maximal-overlap) strategy.
+std::vector<ParsedPiece> MaximalParseInterval(const ExpandedQuery& eq,
+                                              const cst::Cst& cst,
+                                              int path_index, int lo, int hi);
+
+/// Parses the interval [lo, hi) with the greedy strategy.
+std::vector<ParsedPiece> GreedyParseInterval(const ExpandedQuery& eq,
+                                             const cst::Cst& cst,
+                                             int path_index, int lo, int hi);
+
+/// Parses every root-to-leaf path of the query with `strategy` and
+/// returns the deduplicated set of pieces (paths sharing a prefix
+/// produce identical pieces only once; distinct query regions with
+/// equal symbols remain distinct).
+std::vector<ParsedPiece> ParseQuery(const ExpandedQuery& eq,
+                                    const cst::Cst& cst,
+                                    ParseStrategy strategy);
+
+}  // namespace twig::core
+
+#endif  // TWIG_CORE_PARSE_H_

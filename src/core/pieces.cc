@@ -1,0 +1,180 @@
+#include "core/pieces.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "util/hash.h"
+
+namespace twig::core {
+
+namespace {
+
+/// Atom sequence of a parsed subpath.
+std::vector<AtomId> PieceAtoms(const ExpandedQuery& eq, const ParsedPiece& p) {
+  const auto& path = eq.paths[p.path];
+  return std::vector<AtomId>(path.begin() + p.start,
+                             path.begin() + p.start + p.length);
+}
+
+/// Position of `atom` within `seq`, or -1.
+int FindAtom(const std::vector<AtomId>& seq, AtomId atom) {
+  for (size_t i = 0; i < seq.size(); ++i) {
+    if (seq[i] == atom) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+EstimandPiece MakeTwiglet(AtomId root,
+                          std::vector<std::vector<AtomId>> subpaths) {
+  EstimandPiece piece;
+  piece.root_atom = root;
+  for (const auto& sp : subpaths) {
+    piece.atoms.insert(piece.atoms.end(), sp.begin(), sp.end());
+  }
+  std::sort(piece.atoms.begin(), piece.atoms.end());
+  piece.atoms.erase(std::unique(piece.atoms.begin(), piece.atoms.end()),
+                    piece.atoms.end());
+  piece.subpaths = std::move(subpaths);
+  return piece;
+}
+
+}  // namespace
+
+EstimandPiece PieceFromParsed(const ExpandedQuery& eq, const ParsedPiece& p) {
+  EstimandPiece piece;
+  std::vector<AtomId> atoms = PieceAtoms(eq, p);
+  piece.root_atom = atoms.front();
+  piece.atoms = atoms;  // a path: already sorted in preorder = ascending
+  piece.subpaths.push_back(std::move(atoms));
+  piece.missing = p.missing;
+  return piece;
+}
+
+std::vector<EstimandPiece> SinglePathPieces(
+    const ExpandedQuery& eq, const std::vector<ParsedPiece>& parsed) {
+  std::vector<EstimandPiece> out;
+  out.reserve(parsed.size());
+  for (const ParsedPiece& p : parsed) out.push_back(PieceFromParsed(eq, p));
+  return out;
+}
+
+std::vector<EstimandPiece> MoshDecompose(const ExpandedQuery& eq,
+                                         const std::vector<ParsedPiece>& parsed) {
+  std::vector<std::vector<AtomId>> atom_seqs(parsed.size());
+  for (size_t i = 0; i < parsed.size(); ++i) {
+    atom_seqs[i] = PieceAtoms(eq, parsed[i]);
+  }
+
+  // Group member subpaths by (branch atom, start atom); a subpath
+  // "passes through" the branch if it contains it at a non-final
+  // position (i.e., continues below the branch).
+  std::map<std::pair<AtomId, AtomId>, std::vector<size_t>> groups;
+  for (AtomId beta : eq.branch_atoms) {
+    for (size_t i = 0; i < parsed.size(); ++i) {
+      if (parsed[i].missing) continue;
+      const int pos = FindAtom(atom_seqs[i], beta);
+      if (pos < 0 || pos + 1 >= static_cast<int>(atom_seqs[i].size())) continue;
+      groups[{beta, atom_seqs[i].front()}].push_back(i);
+    }
+  }
+
+  std::vector<EstimandPiece> out;
+  std::vector<bool> absorbed(parsed.size(), false);
+  std::set<std::vector<size_t>> emitted;  // dedupe by member set
+  for (auto& [key, members] : groups) {
+    if (members.size() < 2) continue;
+    std::sort(members.begin(), members.end());
+    members.erase(std::unique(members.begin(), members.end()), members.end());
+    if (members.size() < 2 || !emitted.insert(members).second) continue;
+    std::vector<std::vector<AtomId>> subpaths;
+    for (size_t i : members) {
+      subpaths.push_back(atom_seqs[i]);
+      absorbed[i] = true;
+    }
+    out.push_back(MakeTwiglet(key.second, std::move(subpaths)));
+  }
+  for (size_t i = 0; i < parsed.size(); ++i) {
+    if (!absorbed[i]) out.push_back(PieceFromParsed(eq, parsed[i]));
+  }
+  return out;
+}
+
+std::vector<EstimandPiece> MshDecompose(const ExpandedQuery& eq,
+                                        const std::vector<ParsedPiece>& parsed) {
+  std::vector<std::vector<AtomId>> atom_seqs(parsed.size());
+  for (size_t i = 0; i < parsed.size(); ++i) {
+    atom_seqs[i] = PieceAtoms(eq, parsed[i]);
+  }
+
+  std::vector<EstimandPiece> out;
+  std::vector<bool> absorbed(parsed.size(), false);
+  // Dedupe twiglets by their member (piece, suffix offset) sets.
+  std::set<std::vector<std::pair<size_t, int>>> emitted;
+
+  for (AtomId beta : eq.branch_atoms) {
+    // Subpaths passing through this branch, and their start atoms.
+    std::vector<size_t> through;
+    std::set<AtomId> starts;
+    for (size_t i = 0; i < parsed.size(); ++i) {
+      if (parsed[i].missing) continue;
+      const int pos = FindAtom(atom_seqs[i], beta);
+      if (pos < 0 || pos + 1 >= static_cast<int>(atom_seqs[i].size())) continue;
+      through.push_back(i);
+      starts.insert(atom_seqs[i].front());
+    }
+    // For each starting point, admit the suffix (from that start) of
+    // every subpath through the branch that contains the start on the
+    // root side of the branch.
+    for (AtomId u : starts) {
+      std::vector<std::pair<size_t, int>> members;  // (piece, suffix pos)
+      for (size_t i : through) {
+        const int pos_u = FindAtom(atom_seqs[i], u);
+        const int pos_b = FindAtom(atom_seqs[i], beta);
+        if (pos_u < 0 || pos_u > pos_b) continue;
+        members.emplace_back(i, pos_u);
+      }
+      if (members.size() < 2) continue;
+      std::sort(members.begin(), members.end());
+      if (!emitted.insert(members).second) continue;
+      std::vector<std::vector<AtomId>> subpaths;
+      for (const auto& [i, pos_u] : members) {
+        subpaths.emplace_back(atom_seqs[i].begin() + pos_u,
+                              atom_seqs[i].end());
+        // A subpath participating with its full extent is represented
+        // by the twiglet; shortened (suffix) participants remain as
+        // standalone pieces too.
+        if (pos_u == 0) absorbed[i] = true;
+      }
+      out.push_back(MakeTwiglet(u, std::move(subpaths)));
+    }
+  }
+  for (size_t i = 0; i < parsed.size(); ++i) {
+    if (!absorbed[i]) out.push_back(PieceFromParsed(eq, parsed[i]));
+  }
+  return out;
+}
+
+uint64_t DecompositionFingerprint(const std::vector<EstimandPiece>& pieces) {
+  std::vector<uint64_t> hashes;
+  hashes.reserve(pieces.size());
+  for (const EstimandPiece& piece : pieces) {
+    // Canonicalize: hash each subpath, order-independently combine.
+    std::vector<uint64_t> sp_hashes;
+    for (const auto& sp : piece.subpaths) {
+      uint64_t h = Mix64(0x5b5bULL);
+      for (AtomId a : sp) h = HashCombine(h, static_cast<uint64_t>(a));
+      sp_hashes.push_back(h);
+    }
+    std::sort(sp_hashes.begin(), sp_hashes.end());
+    uint64_t h = Mix64(piece.missing ? 0xdeadULL : 0xbeefULL);
+    for (uint64_t s : sp_hashes) h = HashCombine(h, s);
+    hashes.push_back(h);
+  }
+  std::sort(hashes.begin(), hashes.end());
+  uint64_t out = Mix64(0x7715ULL);
+  for (uint64_t h : hashes) out = HashCombine(out, h);
+  return out;
+}
+
+}  // namespace twig::core

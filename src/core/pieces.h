@@ -1,0 +1,67 @@
+// Twiglet decomposition (Sections 3.2, 4).
+//
+// After path parsing, each algorithm assembles the parsed subpaths into
+// *estimand pieces*: connected query subtrees whose counts can be read
+// (single subpath) or estimated by set hashing (>= 2 subpaths sharing a
+// root). The decompositions:
+//   * single-path   — every parsed subpath is its own piece (pure MO,
+//                     Greedy);
+//   * MOSH          — for each branch atom and each distinct start atom
+//                     of parsed subpaths passing through it, subpaths
+//                     with that start are merged into one set-hash
+//                     twiglet; merged subpaths are dropped as singles;
+//   * MSH           — like MOSH, but each group also admits the
+//                     *suffixes* of maximal subpaths that begin at the
+//                     group's start atom, forming deep-and-bushy
+//                     twiglets without shortening the retained maximal
+//                     pieces.
+// PMOSH = MOSH decomposition applied to the piecewise-maximal parse.
+
+#ifndef TWIG_CORE_PIECES_H_
+#define TWIG_CORE_PIECES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/expanded_query.h"
+#include "core/parse.h"
+
+namespace twig::core {
+
+/// A connected query subtree whose count the combiner will estimate:
+/// one or more subpaths emanating from a common root atom.
+struct EstimandPiece {
+  AtomId root_atom = -1;
+  /// Root-anchored atom sequences (each begins with root_atom). One
+  /// sequence = plain subpath; several = set-hash twiglet.
+  std::vector<std::vector<AtomId>> subpaths;
+  /// Sorted union of all subpath atoms.
+  std::vector<AtomId> atoms;
+  /// True for a single atom with no CST match.
+  bool missing = false;
+};
+
+/// Converts one parsed subpath into a single-subpath piece.
+EstimandPiece PieceFromParsed(const ExpandedQuery& eq, const ParsedPiece& p);
+
+/// Identity decomposition: each parsed subpath is its own piece.
+std::vector<EstimandPiece> SinglePathPieces(const ExpandedQuery& eq,
+                                            const std::vector<ParsedPiece>& parsed);
+
+/// MOSH twiglet decomposition (also used by PMOSH on the
+/// piecewise-maximal parse).
+std::vector<EstimandPiece> MoshDecompose(const ExpandedQuery& eq,
+                                         const std::vector<ParsedPiece>& parsed);
+
+/// MSH twiglet decomposition.
+std::vector<EstimandPiece> MshDecompose(const ExpandedQuery& eq,
+                                        const std::vector<ParsedPiece>& parsed);
+
+/// Order-independent fingerprint of a decomposition; two algorithms
+/// parsed a query "differently" (Figures 5(b), 6(a)) iff their
+/// fingerprints differ.
+uint64_t DecompositionFingerprint(const std::vector<EstimandPiece>& pieces);
+
+}  // namespace twig::core
+
+#endif  // TWIG_CORE_PIECES_H_

@@ -1,0 +1,205 @@
+// The correlated subpath tree (CST) — the paper's summary data
+// structure (Section 3).
+//
+// A CST is a pruned path suffix tree whose every retained subpath
+// carries:
+//   * the presence count  C_p = number of distinct data nodes rooting
+//     the subpath (for character-only subpaths: distinct (value node,
+//     offset) occurrences),
+//   * the occurrence count C_o = number of distinct node-sequence
+//     instances of the subpath (used by the multiset extension,
+//     Section 5),
+//   * for subpaths rooted at a non-leaf label: a set-hash signature of
+//     the set of data-node IDs rooting the subpath (Section 3.4-3.5).
+//
+// Pruning is by path appearance count (pt), which favors subpaths
+// toward the root (paper footnote 5) and is monotone, so the retained
+// set is closed under taking sub-subpaths — the property the
+// maximal-overlap combination step relies on.
+//
+// Construction runs in two stages so that experiment sweeps can share
+// work: PathSuffixTree::Build is done once per data set; Cst::Build
+// (threshold selection + counting + signatures) is done once per space
+// budget.
+
+#ifndef TWIG_CST_CST_H_
+#define TWIG_CST_CST_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sethash/sethash.h"
+#include "suffix/path_suffix_tree.h"
+#include "suffix/symbol.h"
+#include "tree/tree.h"
+#include "util/status.h"
+
+namespace twig::cst {
+
+/// Index of a node in the CST. Node 0 is the root (empty subpath).
+using CstNodeId = uint32_t;
+
+inline constexpr CstNodeId kNoCstNode = 0xffffffffu;
+
+/// Options for CST construction.
+struct CstOptions {
+  /// Number of components in each set-hash signature.
+  size_t signature_length = 64;
+  /// Seed for the signature hash family.
+  uint64_t signature_seed = 0x5e7aa5e7aa5ULL;
+
+  /// Explicit prune threshold: keep subpaths whose path appearance
+  /// count is >= this. Ignored when space_budget_bytes is set.
+  uint32_t prune_threshold = 1;
+
+  /// If nonzero, pick the smallest threshold whose retained size (under
+  /// the cost model below) fits the budget.
+  size_t space_budget_bytes = 0;
+
+  /// Cost model: structural bytes per retained node (symbol, child
+  /// link, C_p, C_o) and bytes per signature component.
+  size_t bytes_per_node = 16;
+  size_t bytes_per_signature_component = 4;
+
+  /// Must match the PathSuffixTree the CST is built from.
+  size_t max_value_chars = 8;
+};
+
+/// The CST summary structure. Self-contained: keeps its own copy of the
+/// label table so estimation never touches the data tree.
+class Cst {
+ public:
+  /// Builds a CST over `data` from its (stage-one) path suffix tree.
+  static Cst Build(const tree::Tree& data, const suffix::PathSuffixTree& pst,
+                   const CstOptions& options = {});
+
+  // -- Navigation --------------------------------------------------------
+
+  CstNodeId root() const { return 0; }
+
+  /// Child of `node` along `symbol`, or kNoCstNode.
+  CstNodeId Step(CstNodeId node, suffix::Symbol symbol) const {
+    auto it = child_map_.find(ChildKey(node, symbol));
+    return it == child_map_.end() ? kNoCstNode : it->second;
+  }
+
+  /// Deepest CST node matching a prefix of symbols[start..), plus the
+  /// number of symbols matched (0 means symbols[start] has no CST node).
+  struct Match {
+    CstNodeId node = kNoCstNode;
+    size_t length = 0;
+  };
+  Match LongestMatch(std::span<const suffix::Symbol> symbols,
+                     size_t start) const;
+
+  // -- Per-node statistics ------------------------------------------------
+
+  /// Presence count C_p of the node's subpath.
+  double PresenceCount(CstNodeId node) const { return nodes_[node].cp; }
+
+  /// Occurrence count C_o of the node's subpath.
+  double OccurrenceCount(CstNodeId node) const { return nodes_[node].co; }
+
+  /// True if the node's subpath begins with a tag (rooted at a non-leaf
+  /// data node); exactly these nodes carry signatures.
+  bool StartsWithTag(CstNodeId node) const {
+    return nodes_[node].starts_with_tag;
+  }
+
+  /// Set-hash signature of the node's rooting set, or nullptr for
+  /// character-only subpaths.
+  const sethash::Signature* GetSignature(CstNodeId node) const {
+    const uint32_t idx = nodes_[node].signature_index;
+    return idx == 0xffffffffu ? nullptr : &signatures_[idx];
+  }
+
+  uint32_t Depth(CstNodeId node) const { return nodes_[node].depth; }
+  suffix::Symbol GetSymbol(CstNodeId node) const { return nodes_[node].symbol; }
+  CstNodeId Parent(CstNodeId node) const { return nodes_[node].parent; }
+
+  // -- Global statistics ---------------------------------------------------
+
+  /// Number of nodes in the data tree (the paper's normalizer for
+  /// Pr(subpath) = C(subpath) / N).
+  uint64_t data_node_count() const { return data_node_count_; }
+
+  /// The prune threshold actually applied (pt >= threshold retained).
+  uint32_t prune_threshold() const { return prune_threshold_; }
+
+  /// Retained size under the options' cost model.
+  size_t size_bytes() const { return size_bytes_; }
+
+  size_t node_count() const { return nodes_.size(); }
+  size_t signature_count() const { return signatures_.size(); }
+  size_t signature_length() const { return signature_length_; }
+  size_t max_value_chars() const { return max_value_chars_; }
+  size_t signature_bytes() const {
+    return signature_count() * signature_length_ * sizeof(uint32_t);
+  }
+
+  // -- Serialization --------------------------------------------------------
+
+  /// Serializes the CST to a compact binary blob (host endianness).
+  /// The blob is self-contained: counts, signatures, and the label
+  /// table are included, so estimation needs no access to the data.
+  std::string Serialize() const;
+
+  /// Reconstructs a CST from Serialize() output. Returns Corruption on
+  /// malformed input.
+  static Result<Cst> Deserialize(std::string_view blob);
+
+  // -- Label mapping --------------------------------------------------------
+
+  /// Symbol for a query tag name, or suffix::kMaxSymbol+1 sentinel if the
+  /// tag never occurs in the data (no CST node can match it).
+  suffix::Symbol TagSymbolFor(std::string_view tag) const {
+    tree::LabelId id = labels_.Find(tag);
+    return id == tree::kInvalidLabel ? kUnknownSymbol : suffix::TagSymbol(id);
+  }
+
+  /// A symbol value that is guaranteed to match no CST child.
+  static constexpr suffix::Symbol kUnknownSymbol = 0xffffffffu;
+
+  const tree::LabelTable& labels() const { return labels_; }
+
+ private:
+  struct Node {
+    suffix::Symbol symbol = 0;
+    CstNodeId parent = kNoCstNode;
+    uint32_t depth = 0;
+    bool starts_with_tag = false;
+    double cp = 0;  // presence count
+    double co = 0;  // occurrence count
+    uint32_t signature_index = 0xffffffffu;
+  };
+
+  static uint64_t ChildKey(CstNodeId node, suffix::Symbol symbol) {
+    return (static_cast<uint64_t>(node) << 22) | symbol;
+  }
+
+  /// Picks the smallest threshold whose retained size fits the budget.
+  static uint32_t ThresholdForBudget(const suffix::PathSuffixTree& pst,
+                                     const CstOptions& options);
+
+  /// Stage two: walk the data tree accumulating C_p / C_o / signatures
+  /// for the retained nodes.
+  void AccumulateCounts(const tree::Tree& data,
+                        const sethash::SetHashFamily& family);
+
+  std::vector<Node> nodes_;
+  std::unordered_map<uint64_t, CstNodeId> child_map_;
+  std::vector<sethash::Signature> signatures_;
+  tree::LabelTable labels_;
+  uint64_t data_node_count_ = 0;
+  uint32_t prune_threshold_ = 1;
+  size_t size_bytes_ = 0;
+  size_t signature_length_ = 0;
+  size_t max_value_chars_ = 16;
+};
+
+}  // namespace twig::cst
+
+#endif  // TWIG_CST_CST_H_

@@ -1,0 +1,177 @@
+// Binary (de)serialization of the CST summary.
+//
+// Layout: magic, global scalars, the label table, the node array, and
+// the signature pool. Everything a deployment needs to answer
+// estimates without the data tree. Host endianness (the summary is a
+// cache artifact, not an interchange format).
+
+#include <cstring>
+#include <type_traits>
+
+#include "cst/cst.h"
+
+namespace twig::cst {
+
+namespace {
+
+constexpr char kMagic[8] = {'T', 'W', 'C', 'S', 'T', '0', '1', '\0'};
+
+/// Append-only raw writer.
+class Writer {
+ public:
+  explicit Writer(std::string* out) : out_(out) {}
+
+  template <typename T>
+  void Pod(const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    out_->append(reinterpret_cast<const char*>(&value), sizeof(T));
+  }
+  void U32(uint32_t v) { Pod(v); }
+  void U64(uint64_t v) { Pod(v); }
+  void F64(double v) { Pod(v); }
+  void String(std::string_view s) {
+    U32(static_cast<uint32_t>(s.size()));
+    out_->append(s);
+  }
+
+ private:
+  std::string* out_;
+};
+
+/// Bounds-checked raw reader.
+class Reader {
+ public:
+  explicit Reader(std::string_view in) : in_(in) {}
+
+  template <typename T>
+  bool Pod(T* value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (in_.size() - pos_ < sizeof(T)) return false;
+    std::memcpy(value, in_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return true;
+  }
+  bool U32(uint32_t* v) { return Pod(v); }
+  bool U64(uint64_t* v) { return Pod(v); }
+  bool F64(double* v) { return Pod(v); }
+  bool String(std::string* s) {
+    uint32_t size = 0;
+    if (!U32(&size) || in_.size() - pos_ < size) return false;
+    s->assign(in_.substr(pos_, size));
+    pos_ += size;
+    return true;
+  }
+  bool AtEnd() const { return pos_ == in_.size(); }
+
+ private:
+  std::string_view in_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string Cst::Serialize() const {
+  std::string out;
+  Writer w(&out);
+  out.append(kMagic, sizeof(kMagic));
+  w.U64(data_node_count_);
+  w.U32(prune_threshold_);
+  w.U64(size_bytes_);
+  w.U64(signature_length_);
+  w.U64(max_value_chars_);
+
+  w.U32(static_cast<uint32_t>(labels_.size()));
+  for (tree::LabelId id = 0; id < labels_.size(); ++id) {
+    w.String(labels_.Name(id));
+  }
+
+  w.U32(static_cast<uint32_t>(nodes_.size()));
+  for (const Node& node : nodes_) {
+    w.U32(node.symbol);
+    w.U32(node.parent);
+    w.U32(node.depth);
+    w.U32(node.starts_with_tag ? 1 : 0);
+    w.F64(node.cp);
+    w.F64(node.co);
+    w.U32(node.signature_index);
+  }
+
+  w.U32(static_cast<uint32_t>(signatures_.size()));
+  for (const sethash::Signature& sig : signatures_) {
+    for (uint32_t component : sig) w.U32(component);
+  }
+  return out;
+}
+
+Result<Cst> Cst::Deserialize(std::string_view blob) {
+  if (blob.size() < sizeof(kMagic) ||
+      std::memcmp(blob.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::Corruption("not a CST blob (bad magic)");
+  }
+  Reader r(blob.substr(sizeof(kMagic)));
+  Cst cst;
+  cst.nodes_.clear();
+  uint64_t signature_length = 0;
+  uint64_t max_value_chars = 0;
+  if (!r.U64(&cst.data_node_count_) || !r.Pod(&cst.prune_threshold_) ||
+      !r.U64(&cst.size_bytes_) || !r.U64(&signature_length) ||
+      !r.U64(&max_value_chars)) {
+    return Status::Corruption("truncated CST header");
+  }
+  cst.signature_length_ = signature_length;
+  cst.max_value_chars_ = max_value_chars;
+
+  uint32_t label_count = 0;
+  if (!r.U32(&label_count)) return Status::Corruption("truncated labels");
+  for (uint32_t i = 0; i < label_count; ++i) {
+    std::string name;
+    if (!r.String(&name)) return Status::Corruption("truncated label");
+    cst.labels_.Intern(name);
+  }
+
+  uint32_t node_count = 0;
+  if (!r.U32(&node_count)) return Status::Corruption("truncated nodes");
+  cst.nodes_.reserve(node_count);
+  for (uint32_t i = 0; i < node_count; ++i) {
+    Node node;
+    uint32_t starts_with_tag = 0;
+    if (!r.U32(&node.symbol) || !r.U32(&node.parent) || !r.U32(&node.depth) ||
+        !r.U32(&starts_with_tag) || !r.F64(&node.cp) || !r.F64(&node.co) ||
+        !r.U32(&node.signature_index)) {
+      return Status::Corruption("truncated node record");
+    }
+    node.starts_with_tag = starts_with_tag != 0;
+    if (i > 0) {
+      if (node.parent >= i) {
+        return Status::Corruption("node parent out of order");
+      }
+      cst.child_map_.emplace(ChildKey(node.parent, node.symbol),
+                             static_cast<CstNodeId>(i));
+    }
+    cst.nodes_.push_back(std::move(node));
+  }
+  if (cst.nodes_.empty()) return Status::Corruption("empty CST");
+
+  uint32_t signature_count = 0;
+  if (!r.U32(&signature_count)) {
+    return Status::Corruption("truncated signatures");
+  }
+  cst.signatures_.reserve(signature_count);
+  for (uint32_t i = 0; i < signature_count; ++i) {
+    sethash::Signature sig(cst.signature_length_);
+    for (size_t c = 0; c < cst.signature_length_; ++c) {
+      if (!r.U32(&sig[c])) return Status::Corruption("truncated signature");
+    }
+    cst.signatures_.push_back(std::move(sig));
+  }
+  for (const Node& node : cst.nodes_) {
+    if (node.signature_index != 0xffffffffu &&
+        node.signature_index >= cst.signatures_.size()) {
+      return Status::Corruption("signature index out of range");
+    }
+  }
+  if (!r.AtEnd()) return Status::Corruption("trailing bytes in CST blob");
+  return cst;
+}
+
+}  // namespace twig::cst

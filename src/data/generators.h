@@ -1,0 +1,57 @@
+// Synthetic XML data sets standing in for the paper's DBLP and
+// SWISS-PROT corpora (see DESIGN.md, "Substitutions").
+//
+// The generators reproduce the statistics the estimators are sensitive
+// to:
+//   * DBLP-like  — a shallow, very wide tree: one <dblp> root with many
+//     bibliographic records whose children (author+, title, year, ...)
+//     are strongly correlated and contain duplicate sibling labels
+//     (the multiset problem). Leaf values come from Zipf-skewed
+//     vocabularies.
+//   * SWISS-PROT-like — a deeper, structurally richer tree (nested
+//     references, features, organism lineages; ~2x the distinct tags
+//     and subpath diversity per MB), the paper's "more complex
+//     structure needs more summary space" contrast.
+//
+// Generation is deterministic in the options' seed; the target size is
+// in serialized-XML bytes (the denominator of the paper's space
+// percentages).
+
+#ifndef TWIG_DATA_GENERATORS_H_
+#define TWIG_DATA_GENERATORS_H_
+
+#include <cstdint>
+
+#include "tree/tree.h"
+
+namespace twig::data {
+
+/// Options for the DBLP-like generator.
+struct DblpOptions {
+  /// Approximate serialized size to generate.
+  size_t target_bytes = 4 * 1024 * 1024;
+  uint64_t seed = 42;
+  /// Zipf exponent for value vocabularies (0 = uniform draws). Real
+  /// name/word frequencies are close to theta = 1.
+  double zipf_theta = 1.0;
+  /// Vocabulary sizes; 0 = scale with target_bytes.
+  size_t author_vocab = 0;
+  size_t title_vocab = 0;
+};
+
+/// Generates a DBLP-like bibliography tree.
+tree::Tree GenerateDblp(const DblpOptions& options = {});
+
+/// Options for the SWISS-PROT-like generator.
+struct SwissProtOptions {
+  size_t target_bytes = 1536 * 1024;
+  uint64_t seed = 1905;
+  double zipf_theta = 1.0;
+};
+
+/// Generates a SWISS-PROT-like protein annotation tree.
+tree::Tree GenerateSwissProt(const SwissProtOptions& options = {});
+
+}  // namespace twig::data
+
+#endif  // TWIG_DATA_GENERATORS_H_

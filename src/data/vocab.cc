@@ -1,0 +1,57 @@
+#include "data/vocab.h"
+
+#include <cctype>
+#include <unordered_set>
+
+namespace twig::data {
+
+namespace {
+
+const char* const kOnsets[] = {"b",  "c",  "d",  "f",  "g",  "h",  "j",
+                               "k",  "l",  "m",  "n",  "p",  "r",  "s",
+                               "t",  "v",  "w",  "z",  "st", "tr", "ch",
+                               "br", "gr", "sh", "kl", "pr"};
+const char* const kVowels[] = {"a",  "e",  "i",  "o",  "u",
+                               "ai", "ou", "ie", "ea", "io"};
+const char* const kCodas[] = {"",  "",  "",  "n", "r", "s",
+                              "t", "l", "m", "k", "nd", "rt"};
+
+template <typename T, size_t N>
+const T& Pick(Rng& rng, const T (&arr)[N]) {
+  return arr[rng.Uniform(N)];
+}
+
+}  // namespace
+
+std::string MakeWord(Rng& rng, int syllables, WordStyle style) {
+  std::string word;
+  for (int s = 0; s < syllables; ++s) {
+    word += Pick(rng, kOnsets);
+    word += Pick(rng, kVowels);
+    if (s + 1 == syllables || rng.Bernoulli(0.4)) word += Pick(rng, kCodas);
+  }
+  if (style == WordStyle::kCapitalized && !word.empty()) {
+    word[0] = static_cast<char>(
+        std::toupper(static_cast<unsigned char>(word[0])));
+  }
+  return word;
+}
+
+Vocabulary::Vocabulary(size_t size, double theta, WordStyle style, Rng& rng)
+    : zipf_(size, theta) {
+  std::unordered_set<std::string> seen;
+  words_.reserve(size);
+  while (words_.size() < size) {
+    const int syllables = 2 + static_cast<int>(rng.Uniform(3));
+    std::string word = MakeWord(rng, syllables, style);
+    if (!seen.insert(word).second) {
+      // Disambiguate collisions instead of rejection-looping forever
+      // on small syllable spaces.
+      word += MakeWord(rng, 1, WordStyle::kLowercase);
+      if (!seen.insert(word).second) continue;
+    }
+    words_.push_back(std::move(word));
+  }
+}
+
+}  // namespace twig::data

@@ -1,0 +1,52 @@
+// Synthetic vocabularies for data generation.
+//
+// The estimators' behaviour depends on leaf-string statistics: skewed
+// frequencies (some authors/words are very common) and a realistic
+// substring structure (short prefixes shared by many words). We
+// generate words syllabically — pronounceable, with heavy prefix
+// sharing — and sample them with a Zipf distribution.
+
+#ifndef TWIG_DATA_VOCAB_H_
+#define TWIG_DATA_VOCAB_H_
+
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace twig::data {
+
+/// Shape of generated words.
+enum class WordStyle {
+  kLowercase,    // title words: "stora", "belin"
+  kCapitalized,  // names: "Mantoro", "Kelsen"
+};
+
+/// A fixed set of generated words sampled under a Zipf distribution.
+class Vocabulary {
+ public:
+  /// Generates `size` distinct words with `style`, Zipf exponent
+  /// `theta` (0 = uniform), seeded deterministically from `rng`.
+  Vocabulary(size_t size, double theta, WordStyle style, Rng& rng);
+
+  /// Draws a word (Zipf-distributed rank).
+  const std::string& Sample(Rng& rng) const {
+    return words_[zipf_.Sample(rng)];
+  }
+
+  /// Word at a given rank (0 = most frequent).
+  const std::string& At(size_t rank) const { return words_[rank]; }
+
+  size_t size() const { return words_.size(); }
+
+ private:
+  std::vector<std::string> words_;
+  ZipfSampler zipf_;
+};
+
+/// One pronounceable word of `syllables` syllables.
+std::string MakeWord(Rng& rng, int syllables, WordStyle style);
+
+}  // namespace twig::data
+
+#endif  // TWIG_DATA_VOCAB_H_

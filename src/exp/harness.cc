@@ -1,0 +1,82 @@
+#include "exp/harness.h"
+
+#include <cstdio>
+
+#include "data/generators.h"
+#include "xml/xml.h"
+
+namespace twig::exp {
+
+Dataset MakeDataset(DatasetKind kind, size_t target_bytes, uint64_t seed) {
+  Dataset ds;
+  if (kind == DatasetKind::kDblp) {
+    data::DblpOptions options;
+    options.target_bytes = target_bytes;
+    options.seed = seed;
+    ds.name = "dblp";
+    ds.tree = data::GenerateDblp(options);
+  } else {
+    data::SwissProtOptions options;
+    options.target_bytes = target_bytes;
+    options.seed = seed;
+    ds.name = "swissprot";
+    ds.tree = data::GenerateSwissProt(options);
+  }
+  ds.xml_bytes = xml::XmlByteSize(ds.tree);
+  ds.pst = suffix::PathSuffixTree::Build(ds.tree);
+  return ds;
+}
+
+cst::Cst BuildCstAtFraction(const Dataset& dataset, double fraction,
+                            size_t signature_length) {
+  cst::CstOptions options;
+  options.signature_length = signature_length;
+  options.space_budget_bytes =
+      static_cast<size_t>(fraction * static_cast<double>(dataset.xml_bytes));
+  return cst::Cst::Build(dataset.tree, dataset.pst, options);
+}
+
+AlgorithmEval EvaluateOne(const cst::Cst& summary,
+                          const workload::Workload& workload,
+                          core::Algorithm algorithm) {
+  core::TwigEstimator estimator(&summary);
+  AlgorithmEval eval;
+  eval.algorithm = algorithm;
+  for (const auto& wq : workload) {
+    const double est = estimator.Estimate(wq.twig, algorithm);
+    eval.errors.Add(wq.truth.occurrence, est);
+    eval.ratios.Add(wq.truth.occurrence, est);
+  }
+  return eval;
+}
+
+std::vector<AlgorithmEval> EvaluateAll(const cst::Cst& summary,
+                                       const workload::Workload& workload) {
+  std::vector<AlgorithmEval> out;
+  for (core::Algorithm algorithm : core::kAllAlgorithms) {
+    out.push_back(EvaluateOne(summary, workload, algorithm));
+  }
+  return out;
+}
+
+void PrintRule(size_t width) {
+  for (size_t i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+void PrintSeriesHeader(const std::string& first_column,
+                       const std::vector<std::string>& series) {
+  std::printf("%-12s", first_column.c_str());
+  for (const auto& s : series) std::printf("%12s", s.c_str());
+  std::printf("\n");
+  PrintRule(12 + 12 * series.size());
+}
+
+void PrintSeriesRow(const std::string& first_column,
+                    const std::vector<double>& values, int digits) {
+  std::printf("%-12s", first_column.c_str());
+  for (double v : values) std::printf("%12.*f", digits, v);
+  std::printf("\n");
+}
+
+}  // namespace twig::exp

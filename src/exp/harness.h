@@ -1,0 +1,75 @@
+// Shared experiment harness for the bench binaries.
+//
+// Each figure/table binary in bench/ composes these pieces: build a
+// data set, build its stage-one path suffix tree once, derive CSTs at
+// several space fractions, run a workload through all estimation
+// algorithms, and print the same rows/series the paper reports.
+
+#ifndef TWIG_EXP_HARNESS_H_
+#define TWIG_EXP_HARNESS_H_
+
+#include <string>
+#include <vector>
+
+#include "core/estimator.h"
+#include "cst/cst.h"
+#include "stats/metrics.h"
+#include "suffix/path_suffix_tree.h"
+#include "tree/tree.h"
+#include "workload/workload.h"
+
+namespace twig::exp {
+
+/// The two corpora of Section 6.1.
+enum class DatasetKind {
+  kDblp,
+  kSwissProt,
+};
+
+/// A data set plus everything reusable across space budgets.
+struct Dataset {
+  std::string name;
+  tree::Tree tree;
+  size_t xml_bytes = 0;  // denominator of "space %"
+  suffix::PathSuffixTree pst;
+};
+
+/// Generates a data set and builds its path suffix tree.
+Dataset MakeDataset(DatasetKind kind, size_t target_bytes, uint64_t seed);
+
+/// Default experiment sizes (scaled-down stand-ins for the paper's
+/// 50 MB DBLP / 5 MB SWISS-PROT; see DESIGN.md).
+inline constexpr size_t kDefaultDblpBytes = 8 * 1024 * 1024;
+inline constexpr size_t kDefaultSwissProtBytes = 2 * 1024 * 1024;
+
+/// Builds a CST whose size is `fraction` of the data set's XML bytes.
+cst::Cst BuildCstAtFraction(const Dataset& dataset, double fraction,
+                            size_t signature_length = 64);
+
+/// Per-algorithm evaluation of one workload against one CST.
+struct AlgorithmEval {
+  core::Algorithm algorithm;
+  stats::ErrorAccumulator errors;
+  stats::RatioHistogram ratios;
+};
+
+/// Runs every algorithm on every query; truth is the workload's
+/// occurrence count (the experiments run on multiset data).
+std::vector<AlgorithmEval> EvaluateAll(const cst::Cst& summary,
+                                       const workload::Workload& workload);
+
+/// Convenience: evaluation for a single algorithm.
+AlgorithmEval EvaluateOne(const cst::Cst& summary,
+                          const workload::Workload& workload,
+                          core::Algorithm algorithm);
+
+/// Printing helpers for aligned report tables.
+void PrintRule(size_t width = 78);
+void PrintSeriesHeader(const std::string& first_column,
+                       const std::vector<std::string>& series);
+void PrintSeriesRow(const std::string& first_column,
+                    const std::vector<double>& values, int digits = 3);
+
+}  // namespace twig::exp
+
+#endif  // TWIG_EXP_HARNESS_H_

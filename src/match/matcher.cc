@@ -1,0 +1,176 @@
+#include "match/matcher.h"
+
+#include <cassert>
+#include <vector>
+
+#include "util/strings.h"
+
+namespace twig::match {
+
+namespace {
+
+using query::Twig;
+using query::TwigNodeId;
+using tree::NodeId;
+using tree::Tree;
+
+/// Per-data-node DP results: (twig node, number of embeddings of that
+/// twig subtree rooted here). Sparse — only nonzero entries are kept.
+using ResultList = std::vector<std::pair<TwigNodeId, double>>;
+
+class Counter {
+ public:
+  Counter(const Tree& data, const Twig& twig, const MatchOptions& options)
+      : data_(data), twig_(twig), options_(options) {
+    // Index element twig nodes by data LabelId; wildcards separately.
+    by_label_.resize(data.labels().size());
+    for (TwigNodeId q = 0; q < twig.size(); ++q) {
+      if (twig.IsValue(q)) continue;
+      if (twig.IsWildcard(q)) {
+        wildcards_.push_back(q);
+        continue;
+      }
+      tree::LabelId id = data.labels().Find(twig.Tag(q));
+      if (id != tree::kInvalidLabel) by_label_[id].push_back(q);
+    }
+  }
+
+  TwigCounts Count() {
+    TwigCounts counts;
+    if (data_.empty() || twig_.empty()) return counts;
+    Walk(data_.root(), &counts);
+    return counts;
+  }
+
+ private:
+  /// Twig element nodes that can label-match data node `d`.
+  void CompatibleTwigNodes(NodeId d, std::vector<TwigNodeId>* out) const {
+    out->clear();
+    const auto& exact = by_label_[data_.Label(d)];
+    out->insert(out->end(), exact.begin(), exact.end());
+    out->insert(out->end(), wildcards_.begin(), wildcards_.end());
+  }
+
+  /// Number of embeddings of twig subtree `q` rooted at data node `d`,
+  /// given the already-computed result lists of d's children.
+  double EmbeddingsAt(TwigNodeId q, NodeId d,
+                      const std::vector<ResultList>& child_results) const {
+    const auto& qchildren = twig_.Children(q);
+    if (qchildren.empty()) return 1.0;
+    const size_t k = qchildren.size();
+    assert(k <= 20 && "twig fan-out exceeds subset-DP width");
+    const auto& dchildren = data_.Children(d);
+    if (dchildren.size() < k) return 0.0;
+
+    // emb[j][i]: embeddings of twig child i at data child j (0 if the
+    // pair is incompatible). Value-predicate twig children are resolved
+    // directly against data value children.
+    // Assembled per data child from its ResultList.
+    std::vector<double> emb(k);
+    if (!options_.ordered) {
+      // Unordered: permanent via subset DP. g[S] = number of injective
+      // mappings of twig-children set S into the data children seen so
+      // far.
+      std::vector<double> g(size_t{1} << k, 0.0);
+      g[0] = 1.0;
+      for (size_t j = 0; j < dchildren.size(); ++j) {
+        if (!ChildEmbeddings(qchildren, dchildren[j], child_results[j], &emb)) {
+          continue;
+        }
+        for (size_t s = (size_t{1} << k) - 1; s + 1 > 0; --s) {
+          if (g[s] == 0.0) continue;
+          for (size_t i = 0; i < k; ++i) {
+            if ((s >> i) & 1) continue;
+            if (emb[i] == 0.0) continue;
+            g[s | (size_t{1} << i)] += g[s] * emb[i];
+          }
+          if (s == 0) break;
+        }
+      }
+      return g[(size_t{1} << k) - 1];
+    }
+    // Ordered: order-preserving injective mappings. f[i] = ways to map
+    // the first i twig children into the data children seen so far.
+    std::vector<double> f(k + 1, 0.0);
+    f[0] = 1.0;
+    for (size_t j = 0; j < dchildren.size(); ++j) {
+      if (!ChildEmbeddings(qchildren, dchildren[j], child_results[j], &emb)) {
+        continue;
+      }
+      for (size_t i = k; i >= 1; --i) {
+        if (emb[i - 1] != 0.0) f[i] += f[i - 1] * emb[i - 1];
+      }
+    }
+    return f[k];
+  }
+
+  /// Fills emb[i] = embeddings of twig child i at this data child.
+  /// Returns false if all zero (child contributes nothing).
+  bool ChildEmbeddings(const std::vector<TwigNodeId>& qchildren, NodeId dchild,
+                       const ResultList& results,
+                       std::vector<double>* emb) const {
+    bool any = false;
+    for (size_t i = 0; i < qchildren.size(); ++i) {
+      const TwigNodeId qc = qchildren[i];
+      double value = 0.0;
+      if (twig_.IsValue(qc)) {
+        if (data_.IsValue(dchild) &&
+            StartsWith(data_.Value(dchild), twig_.Value(qc))) {
+          value = 1.0;
+        }
+      } else if (!data_.IsValue(dchild)) {
+        for (const auto& [q, v] : results) {
+          if (q == qc) {
+            value = v;
+            break;
+          }
+        }
+      }
+      (*emb)[i] = value;
+      any = any || value != 0.0;
+    }
+    return any;
+  }
+
+  /// Post-order walk; returns the result list for `d` and accumulates
+  /// whole-twig counts.
+  ResultList Walk(NodeId d, TwigCounts* counts) {
+    ResultList mine;
+    if (data_.IsValue(d)) return mine;
+
+    const auto& children = data_.Children(d);
+    std::vector<ResultList> child_results(children.size());
+    for (size_t j = 0; j < children.size(); ++j) {
+      child_results[j] = Walk(children[j], counts);
+    }
+
+    std::vector<TwigNodeId> compatible;
+    CompatibleTwigNodes(d, &compatible);
+    for (TwigNodeId q : compatible) {
+      const double occ = EmbeddingsAt(q, d, child_results);
+      if (occ == 0.0) continue;
+      mine.emplace_back(q, occ);
+      if (q == twig_.root()) {
+        counts->presence += 1;
+        counts->occurrence += occ;
+      }
+    }
+    return mine;
+  }
+
+  const Tree& data_;
+  const Twig& twig_;
+  const MatchOptions& options_;
+  std::vector<std::vector<TwigNodeId>> by_label_;
+  std::vector<TwigNodeId> wildcards_;
+};
+
+}  // namespace
+
+TwigCounts CountTwigMatches(const Tree& data, const Twig& twig,
+                            const MatchOptions& options) {
+  Counter counter(data, twig, options);
+  return counter.Count();
+}
+
+}  // namespace twig::match

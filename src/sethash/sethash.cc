@@ -1,0 +1,135 @@
+#include "sethash/sethash.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace twig::sethash {
+
+SetHashFamily::SetHashFamily(size_t length, uint64_t seed) : length_(length) {
+  assert(length > 0);
+  component_seeds_.resize(length);
+  uint64_t x = seed;
+  for (size_t i = 0; i < length; ++i) {
+    x = Mix64(x + 0x9e3779b97f4a7c15ULL);
+    component_seeds_[i] = x;
+  }
+}
+
+std::vector<uint32_t> SetHashFamily::HashAll(uint64_t element) const {
+  std::vector<uint32_t> out(length_);
+  for (size_t i = 0; i < length_; ++i) out[i] = Hash(i, element);
+  return out;
+}
+
+Signature SetHashFamily::SignatureOf(
+    const std::vector<uint64_t>& elements) const {
+  Signature sig = EmptySignature();
+  for (uint64_t e : elements) {
+    for (size_t i = 0; i < length_; ++i) {
+      sig[i] = std::min(sig[i], Hash(i, e));
+    }
+  }
+  return sig;
+}
+
+void MergeElement(Signature& sig, const std::vector<uint32_t>& hashes) {
+  assert(sig.size() == hashes.size());
+  for (size_t i = 0; i < sig.size(); ++i) {
+    sig[i] = std::min(sig[i], hashes[i]);
+  }
+}
+
+Signature UnionSignature(const std::vector<const Signature*>& sigs) {
+  assert(!sigs.empty());
+  Signature out = *sigs[0];
+  for (size_t s = 1; s < sigs.size(); ++s) {
+    assert(sigs[s]->size() == out.size());
+    for (size_t i = 0; i < out.size(); ++i) {
+      out[i] = std::min(out[i], (*sigs[s])[i]);
+    }
+  }
+  return out;
+}
+
+double EstimateResemblance(const std::vector<const Signature*>& sigs) {
+  assert(!sigs.empty());
+  const size_t length = sigs[0]->size();
+  size_t matching = 0;
+  for (size_t i = 0; i < length; ++i) {
+    const uint32_t first = (*sigs[0])[i];
+    if (first == kEmptyComponent) continue;
+    bool all_equal = true;
+    for (size_t s = 1; s < sigs.size(); ++s) {
+      if ((*sigs[s])[i] != first) {
+        all_equal = false;
+        break;
+      }
+    }
+    if (all_equal) ++matching;
+  }
+  return static_cast<double>(matching) / static_cast<double>(length);
+}
+
+IntersectionEstimate EstimateIntersectionSize(
+    const std::vector<SizedSignature>& sets) {
+  assert(!sets.empty());
+  IntersectionEstimate out;
+  if (sets.size() == 1) {
+    out.size = sets[0].size;
+    out.matching_components = sets[0].signature->size();
+    out.resemblance = 1.0;
+    return out;
+  }
+  for (const auto& s : sets) {
+    if (s.size <= 0) return out;
+  }
+
+  std::vector<const Signature*> sigs;
+  sigs.reserve(sets.size());
+  for (const auto& s : sets) sigs.push_back(s.signature);
+
+  // Step 1: resemblance of the k sets.
+  const double rho = EstimateResemblance(sigs);
+  const size_t length = sigs[0]->size();
+  out.matching_components =
+      static_cast<size_t>(rho * static_cast<double>(length) + 0.5);
+  out.resemblance = rho;
+  if (rho <= 0.0) return out;
+
+  // Step 2: signature of the union.
+  const Signature union_sig = UnionSignature(sigs);
+
+  // Step 3: the largest set gives the best accuracy for the union size.
+  size_t largest = 0;
+  for (size_t s = 1; s < sets.size(); ++s) {
+    if (sets[s].size > sets[largest].size) largest = s;
+  }
+  // f estimates |A_largest| / |union| (A_largest is a subset of the
+  // union, so their resemblance is exactly that ratio).
+  const double f =
+      EstimateResemblance({sets[largest].signature, &union_sig});
+
+  // Step 4: |∩| = rho * |union|, with |union| = |A_largest| / f. If f
+  // came out zero (signature noise), fall back to the union upper
+  // bound: sum of the set sizes.
+  double union_size;
+  if (f > 0.0) {
+    union_size = sets[largest].size / f;
+  } else {
+    union_size = 0.0;
+    for (const auto& s : sets) union_size += s.size;
+  }
+  // The union can never be smaller than its largest member nor larger
+  // than the sum of members; clamp away estimator noise.
+  double sum = 0.0;
+  for (const auto& s : sets) sum += s.size;
+  union_size = std::clamp(union_size, sets[largest].size, sum);
+
+  // The intersection can never exceed the smallest member.
+  double smallest = sets[0].size;
+  for (const auto& s : sets) smallest = std::min(smallest, s.size);
+  out.size = std::min(rho * union_size, smallest);
+  return out;
+}
+
+}  // namespace twig::sethash

@@ -1,0 +1,74 @@
+#include "stats/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace twig::stats {
+
+void ErrorAccumulator::Add(double truth, double estimate) {
+  ++count_;
+  const double diff = truth - estimate;
+  sum_sq_ += diff * diff;
+  if (truth > 0) {
+    ++positive_count_;
+    sum_rel_ += std::abs(diff) / truth;
+    sum_rel_sq_ += (diff * diff) / (truth * truth);
+  }
+}
+
+double ErrorAccumulator::AvgRelativeError() const {
+  return positive_count_ == 0 ? 0.0
+                              : sum_rel_ / static_cast<double>(positive_count_);
+}
+
+double ErrorAccumulator::AvgRelativeSquaredError() const {
+  return positive_count_ == 0
+             ? 0.0
+             : sum_rel_sq_ / static_cast<double>(positive_count_);
+}
+
+double ErrorAccumulator::Rmse() const {
+  return count_ == 0 ? 0.0
+                     : std::sqrt(sum_sq_ / static_cast<double>(count_));
+}
+
+double ErrorAccumulator::Log10(double value) {
+  return std::log10(std::max(value, 1e-6));
+}
+
+const std::array<const char*, RatioHistogram::kBuckets>&
+RatioHistogram::Labels() {
+  static const std::array<const char*, kBuckets> kLabels = {
+      "<0.1", "<0.5", "<1", "<1.5", "<10", ">=10"};
+  return kLabels;
+}
+
+void RatioHistogram::Add(double truth, double estimate) {
+  if (truth <= 0) return;  // ratio undefined for negative queries
+  const double ratio = estimate / truth;
+  size_t bucket;
+  if (ratio < 0.1) {
+    bucket = 0;
+  } else if (ratio < 0.5) {
+    bucket = 1;
+  } else if (ratio < 1.0) {
+    bucket = 2;
+  } else if (ratio < 1.5) {
+    bucket = 3;
+  } else if (ratio < 10.0) {
+    bucket = 4;
+  } else {
+    bucket = 5;
+  }
+  ++buckets_[bucket];
+  ++count_;
+}
+
+double RatioHistogram::Percent(size_t i) const {
+  return count_ == 0
+             ? 0.0
+             : 100.0 * static_cast<double>(buckets_[i]) /
+                   static_cast<double>(count_);
+}
+
+}  // namespace twig::stats

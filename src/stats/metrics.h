@@ -1,0 +1,65 @@
+// Error metrics of Section 6.1.
+//
+// For positive queries the paper reports the average relative error and
+// the average relative *squared* error (which penalizes large absolute
+// mistakes on small counts); for negative queries (true count 0) it
+// reports the root mean squared error.
+
+#ifndef TWIG_STATS_METRICS_H_
+#define TWIG_STATS_METRICS_H_
+
+#include <array>
+#include <cstddef>
+#include <string>
+
+namespace twig::stats {
+
+/// Accumulates (truth, estimate) pairs and reports the paper's metrics.
+class ErrorAccumulator {
+ public:
+  void Add(double truth, double estimate);
+
+  size_t count() const { return count_; }
+
+  /// (1/|W|) sum |t - e| / t. Pairs with t == 0 are skipped (use Rmse
+  /// for negative workloads).
+  double AvgRelativeError() const;
+
+  /// (1/|W|) sum (t - e)^2 / t^2. Pairs with t == 0 are skipped.
+  double AvgRelativeSquaredError() const;
+
+  /// sqrt((1/|W|) sum (t - e)^2).
+  double Rmse() const;
+
+  /// log10 of a metric, with a floor so error-free runs plot finitely.
+  static double Log10(double value);
+
+ private:
+  size_t count_ = 0;
+  size_t positive_count_ = 0;
+  double sum_rel_ = 0;
+  double sum_rel_sq_ = 0;
+  double sum_sq_ = 0;
+};
+
+/// Distribution of estimate/truth ratios over the paper's buckets
+/// (<0.1, <0.5, <1, <1.5, <10, >=10) — Figure 5(a).
+class RatioHistogram {
+ public:
+  static constexpr size_t kBuckets = 6;
+  static const std::array<const char*, kBuckets>& Labels();
+
+  void Add(double truth, double estimate);
+
+  size_t count() const { return count_; }
+  /// Percentage of queries in bucket `i`.
+  double Percent(size_t i) const;
+
+ private:
+  std::array<size_t, kBuckets> buckets_ = {};
+  size_t count_ = 0;
+};
+
+}  // namespace twig::stats
+
+#endif  // TWIG_STATS_METRICS_H_

@@ -1,0 +1,83 @@
+#include "suffix/path_suffix_tree.h"
+
+#include <algorithm>
+
+namespace twig::suffix {
+
+std::string SymbolToString(Symbol s, const tree::LabelTable& labels) {
+  if (IsTagSymbol(s)) return std::string(labels.Name(SymbolLabel(s)));
+  return std::string(1, SymbolChar(s));
+}
+
+void PathSuffixTree::InsertPathSuffixes(const std::vector<Symbol>& symbols,
+                                        uint32_t path_id, size_t max_nodes) {
+  for (size_t start = 0; start < symbols.size(); ++start) {
+    PstNodeId node = root();
+    for (size_t i = start; i < symbols.size(); ++i) {
+      const Symbol symbol = symbols[i];
+      const uint64_t key = ChildKey(node, symbol);
+      auto it = child_map_.find(key);
+      PstNodeId child;
+      if (it != child_map_.end()) {
+        child = it->second;
+      } else {
+        if (max_nodes != 0 && nodes_.size() >= max_nodes) {
+          truncated_ = true;
+          break;  // stop extending this suffix
+        }
+        child = static_cast<PstNodeId>(nodes_.size());
+        Node n;
+        n.symbol = symbol;
+        n.parent = node;
+        n.depth = nodes_[node].depth + 1;
+        n.starts_with_tag =
+            (node == root()) ? IsTagSymbol(symbol) : nodes_[node].starts_with_tag;
+        nodes_.push_back(n);
+        child_map_.emplace(key, child);
+      }
+      Node& c = nodes_[child];
+      if (c.last_path != path_id) {
+        c.last_path = path_id;
+        ++c.pt;
+      }
+      node = child;
+    }
+  }
+}
+
+PathSuffixTree PathSuffixTree::Build(const tree::Tree& data,
+                                     const PathSuffixTreeOptions& options) {
+  PathSuffixTree pst;
+  pst.nodes_.push_back(Node{});  // root: the empty subpath
+  if (data.empty()) return pst;
+
+  // DFS over the data tree maintaining the current tag-symbol stack;
+  // each leaf terminates one root-to-leaf path.
+  std::vector<Symbol> symbols;
+  uint32_t path_id = 0;
+  auto dfs = [&](auto&& self, tree::NodeId n) -> void {
+    if (data.IsValue(n)) {
+      const std::string_view value = data.Value(n);
+      const size_t take = std::min(value.size(), options.max_value_chars);
+      for (size_t i = 0; i < take; ++i) {
+        symbols.push_back(CharSymbol(value[i]));
+      }
+      pst.InsertPathSuffixes(symbols, path_id++, options.max_nodes);
+      symbols.resize(symbols.size() - take);
+      return;
+    }
+    symbols.push_back(TagSymbol(data.Label(n)));
+    if (data.Children(n).empty()) {
+      // A childless element is itself a leaf of the data tree.
+      pst.InsertPathSuffixes(symbols, path_id++, options.max_nodes);
+    } else {
+      for (tree::NodeId c : data.Children(n)) self(self, c);
+    }
+    symbols.pop_back();
+  };
+  dfs(dfs, data.root());
+  pst.total_paths_ = path_id;
+  return pst;
+}
+
+}  // namespace twig::suffix

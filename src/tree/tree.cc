@@ -1,0 +1,29 @@
+#include "tree/tree.h"
+
+#include <algorithm>
+
+namespace twig::tree {
+
+TreeStats ComputeStats(const Tree& tree) {
+  TreeStats stats;
+  stats.node_count = tree.size();
+  stats.distinct_labels = tree.labels().size();
+  for (NodeId n = 0; n < tree.size(); ++n) {
+    if (tree.IsValue(n)) {
+      ++stats.value_count;
+      stats.total_value_bytes += tree.Value(n).size();
+      // Serialized as text content.
+      stats.approx_xml_bytes += tree.Value(n).size();
+    } else {
+      ++stats.element_count;
+      const size_t tag = tree.LabelName(n).size();
+      stats.total_label_bytes += tag;
+      // "<tag>" + "</tag>": 2 * tag + 5 bytes of markup.
+      stats.approx_xml_bytes += 2 * tag + 5;
+    }
+    stats.max_depth = std::max(stats.max_depth, tree.Depth(n));
+  }
+  return stats;
+}
+
+}  // namespace twig::tree

@@ -1,0 +1,166 @@
+// The node-labeled data tree (Section 2 of the paper).
+//
+// A Tree is a rooted tree whose non-leaf nodes are labeled with tags
+// from a small alphabet (interned LabelIds) and whose leaf nodes are
+// labeled with arbitrary value strings. An XML document maps onto a
+// Tree with element tags and attribute names as non-leaf labels and
+// text / attribute values as leaf labels.
+
+#ifndef TWIG_TREE_TREE_H_
+#define TWIG_TREE_TREE_H_
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tree/label_table.h"
+
+namespace twig::tree {
+
+/// Index of a node within a Tree. IDs are dense and assigned in
+/// creation order; generators and parsers create nodes in document
+/// (preorder) order.
+using NodeId = uint32_t;
+
+/// Sentinel for "no node" (e.g., parent of the root).
+inline constexpr NodeId kNullNode = 0xffffffffu;
+
+/// A rooted node-labeled tree. Nodes are either *elements* (tag label,
+/// may have children) or *values* (leaf string label, no children).
+class Tree {
+ public:
+  Tree() = default;
+
+  // Movable but not copyable: trees can be large.
+  Tree(const Tree&) = delete;
+  Tree& operator=(const Tree&) = delete;
+  Tree(Tree&&) = default;
+  Tree& operator=(Tree&&) = default;
+
+  /// Creates the root element. Must be the first node added.
+  NodeId AddRoot(std::string_view tag) {
+    assert(nodes_.empty());
+    return AddNode(kNullNode, labels_.Intern(tag), /*is_value=*/false, {});
+  }
+
+  /// Adds an element node under `parent`.
+  NodeId AddElement(NodeId parent, std::string_view tag) {
+    assert(parent != kNullNode);
+    return AddNode(parent, labels_.Intern(tag), /*is_value=*/false, {});
+  }
+
+  /// Adds a leaf value node under `parent`.
+  NodeId AddValue(NodeId parent, std::string_view value) {
+    assert(parent != kNullNode);
+    return AddNode(parent, kInvalidLabel, /*is_value=*/true, value);
+  }
+
+  /// Number of nodes.
+  size_t size() const { return nodes_.size(); }
+  bool empty() const { return nodes_.empty(); }
+
+  /// The root node (node 0). Requires a non-empty tree.
+  NodeId root() const {
+    assert(!empty());
+    return 0;
+  }
+
+  /// True if `n` is a leaf *value* node (string-labeled).
+  bool IsValue(NodeId n) const { return nodes_[n].is_value; }
+
+  /// Tag label of an element node.
+  LabelId Label(NodeId n) const {
+    assert(!IsValue(n));
+    return nodes_[n].label;
+  }
+
+  /// Tag string of an element node.
+  std::string_view LabelName(NodeId n) const {
+    return labels_.Name(Label(n));
+  }
+
+  /// String label of a value node.
+  std::string_view Value(NodeId n) const {
+    assert(IsValue(n));
+    const Node& node = nodes_[n];
+    return std::string_view(values_).substr(node.value_offset,
+                                            node.value_length);
+  }
+
+  NodeId Parent(NodeId n) const { return nodes_[n].parent; }
+
+  const std::vector<NodeId>& Children(NodeId n) const {
+    return nodes_[n].children;
+  }
+
+  /// Depth of `n`; the root has depth 0.
+  size_t Depth(NodeId n) const {
+    size_t d = 0;
+    while (nodes_[n].parent != kNullNode) {
+      n = nodes_[n].parent;
+      ++d;
+    }
+    return d;
+  }
+
+  const LabelTable& labels() const { return labels_; }
+  LabelTable& mutable_labels() { return labels_; }
+
+ private:
+  struct Node {
+    LabelId label = kInvalidLabel;  // tag, for element nodes
+    NodeId parent = kNullNode;
+    uint32_t value_offset = 0;  // into values_, for value nodes
+    uint32_t value_length = 0;
+    bool is_value = false;
+    std::vector<NodeId> children;
+  };
+
+  NodeId AddNode(NodeId parent, LabelId label, bool is_value,
+                 std::string_view value) {
+    NodeId id = static_cast<NodeId>(nodes_.size());
+    Node node;
+    node.label = label;
+    node.parent = parent;
+    node.is_value = is_value;
+    if (is_value) {
+      node.value_offset = static_cast<uint32_t>(values_.size());
+      node.value_length = static_cast<uint32_t>(value.size());
+      values_.append(value);
+    }
+    nodes_.push_back(std::move(node));
+    if (parent != kNullNode) {
+      assert(!nodes_[parent].is_value && "value nodes cannot have children");
+      nodes_[parent].children.push_back(id);
+    }
+    return id;
+  }
+
+  std::vector<Node> nodes_;
+  std::string values_;  // all value strings, concatenated
+  LabelTable labels_;
+};
+
+/// Summary statistics of a tree, used in reports and for sizing the
+/// summary-structure space budget.
+struct TreeStats {
+  size_t node_count = 0;
+  size_t element_count = 0;
+  size_t value_count = 0;
+  size_t distinct_labels = 0;
+  size_t max_depth = 0;
+  size_t total_value_bytes = 0;
+  size_t total_label_bytes = 0;  // sum over element nodes of tag length
+  /// Approximate serialized (XML) size; the denominator for the paper's
+  /// "space as a percentage of the data set size".
+  size_t approx_xml_bytes = 0;
+};
+
+/// Computes TreeStats in one pass.
+TreeStats ComputeStats(const Tree& tree);
+
+}  // namespace twig::tree
+
+#endif  // TWIG_TREE_TREE_H_

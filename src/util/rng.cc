@@ -1,0 +1,26 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace twig {
+
+ZipfSampler::ZipfSampler(size_t n, double theta) {
+  assert(n > 0);
+  cdf_.resize(n);
+  double total = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+    cdf_[i] = total;
+  }
+  for (auto& v : cdf_) v /= total;
+}
+
+size_t ZipfSampler::Sample(Rng& rng) const {
+  const double u = rng.NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return cdf_.size() - 1;
+  return static_cast<size_t>(it - cdf_.begin());
+}
+
+}  // namespace twig

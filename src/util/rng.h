@@ -1,0 +1,94 @@
+// Deterministic pseudo-random number generation.
+//
+// All randomness in the library (dataset generation, workload sampling,
+// signature seeds) flows through explicitly seeded Rng instances so that
+// every experiment is reproducible bit-for-bit.
+
+#ifndef TWIG_UTIL_RNG_H_
+#define TWIG_UTIL_RNG_H_
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "util/hash.h"
+
+namespace twig {
+
+/// xoshiro256** generator seeded via SplitMix64. Not cryptographic.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x7ee1f00dULL) {
+    uint64_t x = seed;
+    for (auto& s : state_) {
+      x = Mix64(x + 0x9e3779b97f4a7c15ULL);
+      s = x;
+    }
+  }
+
+  /// Uniform 64-bit value.
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  uint64_t Uniform(uint64_t n) {
+    assert(n > 0);
+    // Rejection-free modulo is fine here; n is always tiny relative to 2^64.
+    return Next() % n;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    assert(lo <= hi);
+    return lo + static_cast<int64_t>(
+                    Uniform(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// True with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Forks an independent generator; deterministic in (this stream, tag).
+  Rng Fork(uint64_t tag) { return Rng(Mix64(Next() ^ Mix64(tag))); }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+};
+
+/// Samples indices in [0, n) with the Zipf distribution
+/// P(i) proportional to 1 / (i+1)^theta, via precomputed CDF inversion.
+/// Used to give generated leaf vocabularies realistic skew.
+class ZipfSampler {
+ public:
+  /// Builds a sampler over n items with exponent theta (>= 0; 0 = uniform).
+  ZipfSampler(size_t n, double theta);
+
+  /// Draws one index in [0, n).
+  size_t Sample(Rng& rng) const;
+
+  size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace twig
+
+#endif  // TWIG_UTIL_RNG_H_

@@ -1,0 +1,32 @@
+// Small string helpers shared across modules.
+
+#ifndef TWIG_UTIL_STRINGS_H_
+#define TWIG_UTIL_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace twig {
+
+/// Splits `s` on `sep`; empty pieces are kept ("a..b" -> {"a","","b"}).
+std::vector<std::string> StrSplit(std::string_view s, char sep);
+
+/// Joins pieces with `sep`.
+std::string StrJoin(const std::vector<std::string>& pieces,
+                    std::string_view sep);
+
+/// True if `s` starts with `prefix`.
+inline bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+/// Formats a byte count as "12.3 KB" / "4.5 MB" for reports.
+std::string HumanBytes(size_t bytes);
+
+/// Formats a double with `digits` significant fraction digits.
+std::string FormatDouble(double v, int digits = 3);
+
+}  // namespace twig
+
+#endif  // TWIG_UTIL_STRINGS_H_

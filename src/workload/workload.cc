@@ -1,0 +1,289 @@
+#include "workload/workload.h"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace twig::workload {
+
+namespace {
+
+using query::Twig;
+using query::TwigNodeId;
+using tree::NodeId;
+using tree::Tree;
+
+/// One sampled root-to-leaf piece: a chain of data element nodes plus
+/// an optional value predicate taken from an actual leaf.
+struct SampledPath {
+  std::vector<NodeId> elements;  // starts at the query root node
+  NodeId value_node = tree::kNullNode;
+  std::string value_prefix;
+
+  bool operator<(const SampledPath& o) const {
+    if (elements != o.elements) return elements < o.elements;
+    return value_node < o.value_node;
+  }
+  bool operator==(const SampledPath& o) const {
+    return elements == o.elements && value_node == o.value_node;
+  }
+};
+
+/// Shared sampling machinery.
+class Sampler {
+ public:
+  Sampler(const Tree& data, const WorkloadOptions& options)
+      : data_(data), options_(options), rng_(options.seed) {
+    for (NodeId n = 0; n < data.size(); ++n) {
+      if (data.IsValue(n)) continue;
+      bool has_element_child = false;
+      for (NodeId c : data.Children(n)) {
+        if (!data.IsValue(c)) {
+          has_element_child = true;
+          break;
+        }
+      }
+      if (has_element_child) roots_.push_back(n);
+      by_label_[data.Label(n)].push_back(n);
+    }
+  }
+
+  /// Random downward chain continuing `path` (which already holds a
+  /// prefix) until it has `target` internal nodes, ending in a value
+  /// predicate when the final element has value children.
+  void ExtendPath(SampledPath* path, int target) {
+    NodeId cur = path->elements.back();
+    while (static_cast<int>(path->elements.size()) < target) {
+      NodeId next = RandomElementChild(cur);
+      if (next == tree::kNullNode) break;
+      path->elements.push_back(next);
+      cur = next;
+    }
+    // Value predicate: a prefix of a real leaf value under the last
+    // element, when one exists.
+    std::vector<NodeId> values;
+    for (NodeId c : data_.Children(cur)) {
+      if (data_.IsValue(c) && !data_.Value(c).empty()) values.push_back(c);
+    }
+    if (!values.empty()) {
+      path->value_node = values[rng_.Uniform(values.size())];
+      const std::string_view value = data_.Value(path->value_node);
+      const size_t take = std::min<size_t>(
+          value.size(), static_cast<size_t>(rng_.UniformInt(
+                            options_.min_value_chars,
+                            options_.max_value_chars)));
+      path->value_prefix = std::string(value.substr(0, take));
+    }
+  }
+
+  /// Random downward chain from `from` with the configured number of
+  /// internal nodes. Returns nullopt if the chain comes out shorter
+  /// than min_internal (e.g. `from` has no element children).
+  std::optional<SampledPath> SamplePathFrom(NodeId from) {
+    SampledPath path;
+    path.elements.push_back(from);
+    ExtendPath(&path, static_cast<int>(rng_.UniformInt(
+                          options_.min_internal, options_.max_internal)));
+    if (static_cast<int>(path.elements.size()) < options_.min_internal) {
+      return std::nullopt;
+    }
+    return path;
+  }
+
+  /// A path branching off `base` at a random position: it reuses the
+  /// prefix (so the twig gets branch nodes at arbitrary depths, not
+  /// only at its root) and descends freshly from there.
+  std::optional<SampledPath> SampleBranchingPath(const SampledPath& base) {
+    SampledPath path;
+    const size_t pos = rng_.Uniform(base.elements.size());
+    path.elements.assign(base.elements.begin(),
+                         base.elements.begin() + pos + 1);
+    const int lo = std::max(options_.min_internal,
+                            static_cast<int>(path.elements.size()));
+    const int hi = std::max(options_.max_internal, lo);
+    ExtendPath(&path, static_cast<int>(rng_.UniformInt(lo, hi)));
+    if (static_cast<int>(path.elements.size()) < options_.min_internal) {
+      return std::nullopt;
+    }
+    return path;
+  }
+
+  /// Builds a twig from sampled paths sharing their first element
+  /// (paths are merged on common data-node prefixes).
+  Twig BuildTwig(const std::vector<SampledPath>& paths) {
+    Twig twig;
+    std::unordered_map<NodeId, TwigNodeId> node_map;
+    for (const SampledPath& path : paths) {
+      TwigNodeId parent = query::kNullTwigNode;
+      for (NodeId e : path.elements) {
+        auto it = node_map.find(e);
+        if (it != node_map.end()) {
+          parent = it->second;
+          continue;
+        }
+        TwigNodeId t = (parent == query::kNullTwigNode)
+                           ? twig.AddRoot(data_.LabelName(e))
+                           : twig.AddElement(parent, data_.LabelName(e));
+        node_map.emplace(e, t);
+        parent = t;
+      }
+      if (path.value_node != tree::kNullNode && !path.value_prefix.empty()) {
+        twig.AddValue(parent, path.value_prefix);
+      }
+    }
+    return twig;
+  }
+
+  /// One positive query rooted at a random data node.
+  std::optional<Twig> SamplePositive(int min_paths, int max_paths) {
+    if (roots_.empty()) return std::nullopt;
+    const NodeId root = rng_.Bernoulli(options_.root_at_top_probability)
+                            ? data_.root()
+                            : roots_[rng_.Uniform(roots_.size())];
+    const int want =
+        static_cast<int>(rng_.UniformInt(min_paths, max_paths));
+    std::vector<SampledPath> paths;
+    auto first = SamplePathFrom(root);
+    if (!first) return std::nullopt;  // root cannot support any path
+    paths.push_back(std::move(*first));
+    for (int attempt = 0; attempt < want * 4; ++attempt) {
+      if (static_cast<int>(paths.size()) >= want) break;
+      // Later paths branch off an existing one at a random depth, so
+      // twigs get branch nodes below the root too.
+      auto path = SampleBranchingPath(paths[rng_.Uniform(paths.size())]);
+      if (!path) continue;
+      if (std::find(paths.begin(), paths.end(), *path) == paths.end()) {
+        paths.push_back(std::move(*path));
+      }
+    }
+    // A predicate-free path whose element chain is a prefix of another
+    // path contributes no leaf to the twig; drop such paths so the
+    // query really has the requested number of root-to-leaf paths.
+    std::vector<SampledPath> kept;
+    for (const SampledPath& p : paths) {
+      bool redundant = false;
+      if (p.value_node == tree::kNullNode || p.value_prefix.empty()) {
+        for (const SampledPath& q : paths) {
+          if (&p == &q || q.elements.size() <= p.elements.size()) continue;
+          if (std::equal(p.elements.begin(), p.elements.end(),
+                         q.elements.begin())) {
+            redundant = true;
+            break;
+          }
+        }
+      }
+      if (!redundant) kept.push_back(p);
+    }
+    if (static_cast<int>(kept.size()) < min_paths) return std::nullopt;
+    return BuildTwig(kept);
+  }
+
+  /// One negative candidate: paths sampled from *different* data nodes
+  /// that share the query root's label, glued at a common root.
+  std::optional<Twig> SampleNegativeCandidate() {
+    if (roots_.empty()) return std::nullopt;
+    const NodeId seed_root = roots_[rng_.Uniform(roots_.size())];
+    const auto& same_label = by_label_[data_.Label(seed_root)];
+    const int want = static_cast<int>(
+        rng_.UniformInt(options_.min_paths, options_.max_paths));
+    std::vector<SampledPath> paths;
+    for (int attempt = 0; attempt < want * 6; ++attempt) {
+      if (static_cast<int>(paths.size()) >= want) break;
+      const NodeId other = same_label[rng_.Uniform(same_label.size())];
+      auto path = SamplePathFrom(other);
+      if (!path) continue;
+      // Re-root: pretend the path starts at the glue root. Element 0 is
+      // replaced logically by seed_root so BuildTwig merges all paths.
+      path->elements[0] = seed_root;
+      if (std::find(paths.begin(), paths.end(), *path) == paths.end()) {
+        paths.push_back(std::move(*path));
+      }
+    }
+    if (static_cast<int>(paths.size()) < std::max(options_.min_paths, 2)) {
+      return std::nullopt;
+    }
+    return BuildTwig(paths);
+  }
+
+  Rng& rng() { return rng_; }
+
+ private:
+  NodeId RandomElementChild(NodeId n) {
+    std::vector<NodeId> elems;
+    for (NodeId c : data_.Children(n)) {
+      if (!data_.IsValue(c)) elems.push_back(c);
+    }
+    if (elems.empty()) return tree::kNullNode;
+    return elems[rng_.Uniform(elems.size())];
+  }
+
+  const Tree& data_;
+  const WorkloadOptions& options_;
+  Rng rng_;
+  std::vector<NodeId> roots_;
+  std::unordered_map<tree::LabelId, std::vector<NodeId>> by_label_;
+};
+
+Workload GenerateFromSampler(const Tree& data, const WorkloadOptions& options,
+                             int min_paths, int max_paths) {
+  Sampler sampler(data, options);
+  Workload workload;
+  size_t failures = 0;
+  while (workload.size() < options.num_queries &&
+         failures < options.num_queries * 50 + 1000) {
+    auto twig = sampler.SamplePositive(min_paths, max_paths);
+    if (!twig) {
+      ++failures;
+      continue;
+    }
+    WorkloadQuery wq;
+    wq.twig = std::move(*twig);
+    if (options.compute_true_counts) {
+      wq.truth = match::CountTwigMatches(data, wq.twig);
+    }
+    workload.push_back(std::move(wq));
+  }
+  return workload;
+}
+
+}  // namespace
+
+Workload GeneratePositive(const Tree& data, const WorkloadOptions& options) {
+  return GenerateFromSampler(data, options, options.min_paths,
+                             options.max_paths);
+}
+
+Workload GenerateTrivial(const Tree& data, const WorkloadOptions& options) {
+  return GenerateFromSampler(data, options, 1, 1);
+}
+
+Workload GenerateNegative(const Tree& data, const WorkloadOptions& options) {
+  Sampler sampler(data, options);
+  Workload workload;
+  size_t failures = 0;
+  while (workload.size() < options.num_queries &&
+         failures < options.num_queries * 100 + 1000) {
+    auto twig = sampler.SampleNegativeCandidate();
+    if (!twig) {
+      ++failures;
+      continue;
+    }
+    const match::TwigCounts truth = match::CountTwigMatches(data, *twig);
+    if (truth.occurrence != 0) {
+      ++failures;  // accidentally satisfiable — resample
+      continue;
+    }
+    WorkloadQuery wq;
+    wq.twig = std::move(*twig);
+    wq.truth = truth;
+    workload.push_back(std::move(wq));
+  }
+  return workload;
+}
+
+}  // namespace twig::workload

@@ -1,0 +1,72 @@
+// Query workload generation (Section 6.1).
+//
+// Positive queries are sampled from the data: a random query root node,
+// 2-5 root-to-leaf paths of 2-4 internal (element) nodes each, and 1-4
+// leading characters of actual leaf values as value predicates — so
+// every positive query matches by construction. Trivial queries are
+// the single-path variant. Negative queries glue subpaths sampled from
+// *different* data nodes sharing a label, and are verified to have a
+// true count of zero with the exact matcher.
+//
+// All sampling is deterministic in the options' seed. Exact presence /
+// occurrence counts are attached to each query so experiment harnesses
+// never recompute ground truth.
+
+#ifndef TWIG_WORKLOAD_WORKLOAD_H_
+#define TWIG_WORKLOAD_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "match/matcher.h"
+#include "query/twig.h"
+#include "tree/tree.h"
+
+namespace twig::workload {
+
+/// Knobs for all three workload kinds.
+struct WorkloadOptions {
+  size_t num_queries = 1000;
+  int min_paths = 2;
+  int max_paths = 5;
+  /// Internal (element) nodes per root-to-leaf path, inclusive.
+  int min_internal = 2;
+  int max_internal = 4;
+  /// Leading characters taken from leaf value strings, inclusive.
+  int min_value_chars = 1;
+  int max_value_chars = 4;
+  /// Probability that a query is rooted at the data tree's root (deep
+  /// twigs whose paths have 3-4 internal nodes and whose branches sit
+  /// below the root); otherwise the root is a uniformly random element
+  /// node. Mixing the two covers the paper's "2 to 4 internal nodes
+  /// per path" range.
+  double root_at_top_probability = 0.25;
+  uint64_t seed = 7;
+  /// Attach exact counts (always true for negative workloads, where
+  /// verification needs them anyway).
+  bool compute_true_counts = true;
+};
+
+/// One generated query with its exact ground truth.
+struct WorkloadQuery {
+  query::Twig twig;
+  match::TwigCounts truth;
+};
+
+using Workload = std::vector<WorkloadQuery>;
+
+/// Positive, non-trivial queries (multi-path twigs present in data).
+Workload GeneratePositive(const tree::Tree& data,
+                          const WorkloadOptions& options);
+
+/// Trivial queries: single root-to-leaf paths (Figure 3's workload).
+Workload GenerateTrivial(const tree::Tree& data,
+                         const WorkloadOptions& options);
+
+/// Negative queries: glued from real subpaths, verified true count 0.
+Workload GenerateNegative(const tree::Tree& data,
+                          const WorkloadOptions& options);
+
+}  // namespace twig::workload
+
+#endif  // TWIG_WORKLOAD_WORKLOAD_H_

@@ -1,0 +1,385 @@
+#include "xml/xml.h"
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+namespace twig::xml {
+
+namespace {
+
+using tree::kNullNode;
+using tree::NodeId;
+using tree::Tree;
+
+/// Internal cursor over the document with error reporting.
+class Parser {
+ public:
+  Parser(std::string_view input, const XmlParseOptions& options)
+      : input_(input), options_(options) {}
+
+  Result<Tree> Parse() {
+    SkipProlog();
+    Tree tree;
+    Status s = ParseElement(&tree, kNullNode);
+    if (!s.ok()) return s;
+    SkipMisc();
+    if (!AtEnd()) {
+      return Error("trailing content after document element");
+    }
+    if (tree.empty()) return Status::ParseError("no document element");
+    return tree;
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= input_.size(); }
+  char Peek() const { return input_[pos_]; }
+  bool Lookahead(std::string_view s) const {
+    return input_.substr(pos_, s.size()) == s;
+  }
+
+  Status Error(std::string msg) const {
+    return Status::ParseError(msg + " at byte " + std::to_string(pos_));
+  }
+
+  void SkipWhitespace() {
+    while (!AtEnd() && std::isspace(static_cast<unsigned char>(Peek()))) {
+      ++pos_;
+    }
+  }
+
+  /// Skips comments, PIs and whitespace between markup.
+  void SkipMisc() {
+    while (true) {
+      SkipWhitespace();
+      if (Lookahead("<!--")) {
+        size_t end = input_.find("-->", pos_ + 4);
+        pos_ = (end == std::string_view::npos) ? input_.size() : end + 3;
+      } else if (Lookahead("<?")) {
+        size_t end = input_.find("?>", pos_ + 2);
+        pos_ = (end == std::string_view::npos) ? input_.size() : end + 2;
+      } else if (Lookahead("<!DOCTYPE")) {
+        // Skip to the matching '>' (bracket counting covers internal
+        // subsets and nested markup declarations).
+        pos_ += 9;
+        int depth = 0;
+        while (!AtEnd()) {
+          char c = input_[pos_++];
+          if (c == '<' || c == '[') ++depth;
+          if (c == ']') --depth;
+          if (c == '>') {
+            if (depth == 0) break;
+            --depth;
+          }
+        }
+      } else {
+        break;
+      }
+    }
+  }
+
+  void SkipProlog() { SkipMisc(); }
+
+  static bool IsNameStart(char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+  }
+  static bool IsNameChar(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == ':' || c == '-' || c == '.';
+  }
+
+  Result<std::string_view> ParseName() {
+    if (AtEnd() || !IsNameStart(Peek())) return Error("expected name");
+    size_t start = pos_;
+    while (!AtEnd() && IsNameChar(Peek())) ++pos_;
+    return input_.substr(start, pos_ - start);
+  }
+
+  /// Decodes entity and character references in `raw` into `out`.
+  Status DecodeText(std::string_view raw, std::string* out) {
+    for (size_t i = 0; i < raw.size();) {
+      char c = raw[i];
+      if (c != '&') {
+        out->push_back(c);
+        ++i;
+        continue;
+      }
+      size_t semi = raw.find(';', i + 1);
+      if (semi == std::string_view::npos) {
+        return Status::ParseError("unterminated entity reference");
+      }
+      std::string_view ent = raw.substr(i + 1, semi - i - 1);
+      if (ent == "amp") {
+        out->push_back('&');
+      } else if (ent == "lt") {
+        out->push_back('<');
+      } else if (ent == "gt") {
+        out->push_back('>');
+      } else if (ent == "quot") {
+        out->push_back('"');
+      } else if (ent == "apos") {
+        out->push_back('\'');
+      } else if (!ent.empty() && ent[0] == '#') {
+        long code = 0;
+        if (ent.size() > 1 && (ent[1] == 'x' || ent[1] == 'X')) {
+          code = std::strtol(std::string(ent.substr(2)).c_str(), nullptr, 16);
+        } else {
+          code = std::strtol(std::string(ent.substr(1)).c_str(), nullptr, 10);
+        }
+        // Encode as UTF-8 (covers the BMP; enough for data files).
+        if (code < 0x80) {
+          out->push_back(static_cast<char>(code));
+        } else if (code < 0x800) {
+          out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+          out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+        } else {
+          out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+          out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+          out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+        }
+      } else {
+        // Unknown entity: keep it verbatim so data is not lost.
+        out->push_back('&');
+        out->append(ent);
+        out->push_back(';');
+      }
+      i = semi + 1;
+    }
+    return Status::OK();
+  }
+
+  /// Appends text content to `parent`, applying whitespace policy.
+  Status EmitText(Tree* tree, NodeId parent, std::string_view raw) {
+    std::string decoded;
+    Status s = DecodeText(raw, &decoded);
+    if (!s.ok()) return s;
+    if (options_.normalize_text_whitespace) {
+      std::string norm;
+      bool in_space = false;
+      for (char c : decoded) {
+        if (std::isspace(static_cast<unsigned char>(c))) {
+          in_space = true;
+          continue;
+        }
+        if (in_space && !norm.empty()) norm.push_back(' ');
+        in_space = false;
+        norm.push_back(c);
+      }
+      decoded = std::move(norm);
+    }
+    if (options_.skip_whitespace_text) {
+      bool all_space = true;
+      for (char c : decoded) {
+        if (!std::isspace(static_cast<unsigned char>(c))) {
+          all_space = false;
+          break;
+        }
+      }
+      if (all_space) return Status::OK();
+    }
+    if (!decoded.empty()) tree->AddValue(parent, decoded);
+    return Status::OK();
+  }
+
+  Status ParseAttributes(Tree* tree, NodeId element) {
+    while (true) {
+      SkipWhitespace();
+      if (AtEnd()) return Error("unterminated start tag");
+      if (Peek() == '>' || Peek() == '/') return Status::OK();
+      auto name = ParseName();
+      if (!name.ok()) return name.status();
+      SkipWhitespace();
+      if (AtEnd() || Peek() != '=') return Error("expected '=' in attribute");
+      ++pos_;
+      SkipWhitespace();
+      if (AtEnd() || (Peek() != '"' && Peek() != '\'')) {
+        return Error("expected quoted attribute value");
+      }
+      char quote = Peek();
+      ++pos_;
+      size_t start = pos_;
+      while (!AtEnd() && Peek() != quote) ++pos_;
+      if (AtEnd()) return Error("unterminated attribute value");
+      std::string_view raw = input_.substr(start, pos_ - start);
+      ++pos_;  // closing quote
+      if (options_.attributes_as_children) {
+        NodeId attr = tree->AddElement(element, *name);
+        std::string decoded;
+        Status s = DecodeText(raw, &decoded);
+        if (!s.ok()) return s;
+        if (!decoded.empty()) tree->AddValue(attr, decoded);
+      }
+    }
+  }
+
+  Status ParseContent(Tree* tree, NodeId element) {
+    size_t text_start = pos_;
+    while (true) {
+      if (AtEnd()) return Error("unterminated element content");
+      if (Peek() != '<') {
+        ++pos_;
+        continue;
+      }
+      // Flush pending text.
+      if (pos_ > text_start) {
+        Status s =
+            EmitText(tree, element, input_.substr(text_start, pos_ - text_start));
+        if (!s.ok()) return s;
+      }
+      if (Lookahead("</")) return Status::OK();  // caller consumes end tag
+      if (Lookahead("<!--")) {
+        size_t end = input_.find("-->", pos_ + 4);
+        if (end == std::string_view::npos) return Error("unterminated comment");
+        pos_ = end + 3;
+      } else if (Lookahead("<![CDATA[")) {
+        size_t end = input_.find("]]>", pos_ + 9);
+        if (end == std::string_view::npos) return Error("unterminated CDATA");
+        std::string_view data = input_.substr(pos_ + 9, end - pos_ - 9);
+        if (!data.empty()) tree->AddValue(element, data);
+        pos_ = end + 3;
+      } else if (Lookahead("<?")) {
+        size_t end = input_.find("?>", pos_ + 2);
+        if (end == std::string_view::npos) return Error("unterminated PI");
+        pos_ = end + 2;
+      } else {
+        Status s = ParseElement(tree, element);
+        if (!s.ok()) return s;
+      }
+      text_start = pos_;
+    }
+  }
+
+  Status ParseElement(Tree* tree, NodeId parent) {
+    if (AtEnd() || Peek() != '<') return Error("expected '<'");
+    ++pos_;
+    auto name = ParseName();
+    if (!name.ok()) return name.status();
+    NodeId element = (parent == kNullNode) ? tree->AddRoot(*name)
+                                           : tree->AddElement(parent, *name);
+    Status s = ParseAttributes(tree, element);
+    if (!s.ok()) return s;
+    if (Lookahead("/>")) {
+      pos_ += 2;
+      return Status::OK();
+    }
+    if (AtEnd() || Peek() != '>') return Error("expected '>'");
+    ++pos_;
+    s = ParseContent(tree, element);
+    if (!s.ok()) return s;
+    // Consume "</name>".
+    pos_ += 2;
+    auto end_name = ParseName();
+    if (!end_name.ok()) return end_name.status();
+    if (*end_name != *name) {
+      return Error("mismatched end tag </" + std::string(*end_name) +
+                   "> for <" + std::string(*name) + ">");
+    }
+    SkipWhitespace();
+    if (AtEnd() || Peek() != '>') return Error("expected '>' in end tag");
+    ++pos_;
+    return Status::OK();
+  }
+
+  std::string_view input_;
+  const XmlParseOptions& options_;
+  size_t pos_ = 0;
+};
+
+/// Shared serialization walker for WriteXml and XmlByteSize.
+template <typename Sink>
+void Serialize(const Tree& tree, NodeId n, int depth, bool pretty,
+               Sink& sink) {
+  if (tree.IsValue(n)) {
+    sink.Text(EscapeXml(tree.Value(n)));
+    return;
+  }
+  std::string_view tag = tree.LabelName(n);
+  if (pretty) sink.Indent(depth);
+  sink.Text("<");
+  sink.Text(tag);
+  const auto& children = tree.Children(n);
+  if (children.empty()) {
+    sink.Text("/>");
+    if (pretty) sink.Text("\n");
+    return;
+  }
+  sink.Text(">");
+  const bool has_element_child = [&] {
+    for (NodeId c : children) {
+      if (!tree.IsValue(c)) return true;
+    }
+    return false;
+  }();
+  if (pretty && has_element_child) sink.Text("\n");
+  for (NodeId c : children) {
+    Serialize(tree, c, depth + 1, pretty && has_element_child, sink);
+  }
+  if (pretty && has_element_child) sink.Indent(depth);
+  sink.Text("</");
+  sink.Text(tag);
+  sink.Text(">");
+  if (pretty) sink.Text("\n");
+}
+
+struct StringSink {
+  std::string out;
+  void Text(std::string_view s) { out.append(s); }
+  void Indent(int depth) { out.append(static_cast<size_t>(depth) * 2, ' '); }
+};
+
+struct CountSink {
+  size_t bytes = 0;
+  void Text(std::string_view s) { bytes += s.size(); }
+  void Indent(int depth) { bytes += static_cast<size_t>(depth) * 2; }
+};
+
+}  // namespace
+
+Result<tree::Tree> ParseXml(std::string_view input,
+                            const XmlParseOptions& options) {
+  Parser parser(input, options);
+  return parser.Parse();
+}
+
+std::string WriteXml(const tree::Tree& tree, const XmlWriteOptions& options) {
+  if (tree.empty()) return "";
+  StringSink sink;
+  Serialize(tree, tree.root(), 0, options.pretty, sink);
+  return std::move(sink.out);
+}
+
+size_t XmlByteSize(const tree::Tree& tree) {
+  if (tree.empty()) return 0;
+  CountSink sink;
+  Serialize(tree, tree.root(), 0, /*pretty=*/false, sink);
+  return sink.bytes;
+}
+
+std::string EscapeXml(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      case '\'':
+        out += "&apos;";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace twig::xml

@@ -1,0 +1,61 @@
+// XML <-> node-labeled tree conversion.
+//
+// This is the substrate that turns XML documents (the paper's data
+// model instance) into the Tree the estimators operate on:
+//  * element tags and attribute names become non-leaf labels,
+//  * text content and attribute values become leaf value nodes.
+//
+// The parser is a small, self-contained recursive-descent parser that
+// handles elements, attributes, character data, entity references,
+// comments, CDATA sections, processing instructions and the XML
+// declaration. It is not a validating parser; it accepts the
+// well-formed subset needed for data files like DBLP and SWISS-PROT.
+
+#ifndef TWIG_XML_XML_H_
+#define TWIG_XML_XML_H_
+
+#include <string>
+#include <string_view>
+
+#include "tree/tree.h"
+#include "util/status.h"
+
+namespace twig::xml {
+
+/// Options controlling XML -> Tree conversion.
+struct XmlParseOptions {
+  /// If true, attributes become child elements holding a value node
+  /// (`<a b="c"/>` parses like `<a><b>c</b></a>`). If false, attributes
+  /// are dropped.
+  bool attributes_as_children = true;
+  /// If true, whitespace-only text between elements is ignored.
+  bool skip_whitespace_text = true;
+  /// Collapse runs of whitespace inside text content to single spaces.
+  bool normalize_text_whitespace = true;
+};
+
+/// Parses an XML document into a Tree. Returns ParseError with a
+/// byte-offset diagnostic on malformed input.
+Result<tree::Tree> ParseXml(std::string_view xml,
+                            const XmlParseOptions& options = {});
+
+/// Options controlling Tree -> XML serialization.
+struct XmlWriteOptions {
+  /// Indent with two spaces per depth level when true; compact otherwise.
+  bool pretty = false;
+};
+
+/// Serializes a Tree as an XML document (value nodes as text content).
+std::string WriteXml(const tree::Tree& tree, const XmlWriteOptions& options = {});
+
+/// Number of bytes WriteXml(tree, {.pretty = false}) would produce,
+/// without materializing the string. Used as the "data set size"
+/// denominator for summary-structure space budgets.
+size_t XmlByteSize(const tree::Tree& tree);
+
+/// Escapes &, <, >, ", ' for inclusion in XML text or attribute values.
+std::string EscapeXml(std::string_view text);
+
+}  // namespace twig::xml
+
+#endif  // TWIG_XML_XML_H_

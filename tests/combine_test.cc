@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/combine.h"
+#include "core/parse.h"
+#include "cst/cst.h"
+#include "query/twig.h"
+#include "test_trees.h"
+
+namespace twig::core {
+namespace {
+
+using cst::Cst;
+using cst::CstOptions;
+using query::ParseTwig;
+using suffix::PathSuffixTree;
+using tree::Tree;
+
+Cst BuildCst(const Tree& data) {
+  auto pst = PathSuffixTree::Build(data);
+  CstOptions options;
+  options.prune_threshold = 1;
+  return Cst::Build(data, pst, options);
+}
+
+/// Builds a single-subpath piece from explicit atoms.
+EstimandPiece PathPiece(const std::vector<AtomId>& atoms) {
+  EstimandPiece piece;
+  piece.root_atom = atoms.front();
+  piece.atoms = atoms;
+  piece.subpaths.push_back(atoms);
+  return piece;
+}
+
+class CombinerTest : public ::testing::Test {
+ protected:
+  CombinerTest()
+      : data_(testutil::FigureOneTree()), cst_(BuildCst(data_)) {}
+
+  Combiner MakeCombiner(CountSemantics semantics) {
+    CombineOptions options;
+    options.semantics = semantics;
+    return Combiner(eq_, cst_, options);
+  }
+
+  void Expand(const char* twig_text) {
+    auto twig = ParseTwig(twig_text);
+    ASSERT_TRUE(twig.ok());
+    twig_ = std::move(*twig);
+    eq_ = ExpandQuery(twig_, cst_);
+  }
+
+  Tree data_;
+  Cst cst_;
+  query::Twig twig_;
+  ExpandedQuery eq_;
+};
+
+TEST_F(CombinerTest, SingleSubpathPieceReadsCst) {
+  Expand("book.author");
+  Combiner presence = MakeCombiner(CountSemantics::kPresence);
+  Combiner occurrence = MakeCombiner(CountSemantics::kOccurrence);
+  EstimandPiece piece = PathPiece({0, 1});
+  EXPECT_DOUBLE_EQ(presence.PieceCount(piece), 3.0);   // 3 books
+  EXPECT_DOUBLE_EQ(occurrence.PieceCount(piece), 6.0);  // 6 pairs
+}
+
+TEST_F(CombinerTest, MissingPieceChargedDefault) {
+  Expand("book.author");
+  CombineOptions options;
+  options.missing_count = 7.5;
+  Combiner combiner(eq_, cst_, options);
+  EstimandPiece piece = PathPiece({0});
+  piece.missing = true;
+  EXPECT_DOUBLE_EQ(combiner.PieceCount(piece), 7.5);
+}
+
+TEST_F(CombinerTest, TwigletIntersectionExactOnIdenticalSets) {
+  // book.author and book.year root at the same 3 books: presence 3;
+  // occurrences 6 author-pairs x 3/3 year = 6 (the Section 5 example).
+  Expand("book(author, year)");
+  Combiner presence = MakeCombiner(CountSemantics::kPresence);
+  Combiner occurrence = MakeCombiner(CountSemantics::kOccurrence);
+  EstimandPiece twiglet;
+  twiglet.root_atom = 0;
+  twiglet.subpaths = {{0, 1}, {0, 2}};  // book.author, book.year
+  twiglet.atoms = {0, 1, 2};
+  EXPECT_DOUBLE_EQ(presence.PieceCount(twiglet), 3.0);
+  EXPECT_DOUBLE_EQ(occurrence.PieceCount(twiglet), 6.0);
+}
+
+TEST_F(CombinerTest, MoCombineConditionsOnOverlap) {
+  // Two chained pieces book.author and author.'A': estimate
+  // = N * Pr(book.author) * Pr(author.A) / Pr(author).
+  Expand("book.author=\"A\"");
+  Combiner combiner = MakeCombiner(CountSemantics::kPresence);
+  const double n = static_cast<double>(cst_.data_node_count());
+  std::vector<EstimandPiece> pieces = {PathPiece({0, 1}),
+                                       PathPiece({1, 2})};
+  const double expected = n * (3.0 / n) * (6.0 / n) / (6.0 / n);
+  EXPECT_NEAR(combiner.MoCombine(pieces), expected, 1e-9);
+}
+
+TEST_F(CombinerTest, MoCombineSkipsFullyCoveredPieces) {
+  Expand("book.author");
+  Combiner combiner = MakeCombiner(CountSemantics::kPresence);
+  std::vector<EstimandPiece> pieces = {PathPiece({0, 1}), PathPiece({0, 1})};
+  EXPECT_DOUBLE_EQ(combiner.MoCombine(pieces), 3.0);
+}
+
+TEST_F(CombinerTest, IndependenceCombineDoesNotCondition) {
+  Expand("book(author, year)");
+  Combiner combiner = MakeCombiner(CountSemantics::kPresence);
+  const double n = static_cast<double>(cst_.data_node_count());
+  std::vector<EstimandPiece> pieces = {PathPiece({0, 1}), PathPiece({0, 2})};
+  // Greedy: N * Pr(book.author) * Pr(book.year) — no division by
+  // the shared book.
+  EXPECT_NEAR(combiner.IndependenceCombine(pieces), n * (3 / n) * (3 / n),
+              1e-9);
+  // MO conditions on the shared root and recovers the true count.
+  EXPECT_NEAR(combiner.MoCombine(pieces), 3.0, 0.5);
+}
+
+TEST_F(CombinerTest, AtomSetProbSinglePath) {
+  Expand("book.author");
+  Combiner combiner = MakeCombiner(CountSemantics::kPresence);
+  const double n = static_cast<double>(cst_.data_node_count());
+  EXPECT_NEAR(combiner.AtomSetProb({0}), 3.0 / n, 1e-12);
+  EXPECT_NEAR(combiner.AtomSetProb({0, 1}), 3.0 / n, 1e-12);
+  EXPECT_DOUBLE_EQ(combiner.AtomSetProb({}), 1.0);
+}
+
+TEST_F(CombinerTest, AtomSetProbDisconnectedComponentsMultiply) {
+  // book(author, year): atoms {1} (author) and {2} (year) with the
+  // root excluded form two components.
+  Expand("book(author, year)");
+  Combiner combiner = MakeCombiner(CountSemantics::kPresence);
+  const double n = static_cast<double>(cst_.data_node_count());
+  const double pa = combiner.AtomSetProb({1});
+  const double py = combiner.AtomSetProb({2});
+  EXPECT_NEAR(combiner.AtomSetProb({1, 2}), pa * py, 1e-12);
+  EXPECT_NEAR(pa, 6.0 / n, 1e-12);
+}
+
+TEST_F(CombinerTest, AtomSetProbSubtreeUsesSetHashing) {
+  // The connected set {book, author, year} is a subtree: estimated by
+  // intersecting the author/year signatures (exact here).
+  Expand("book(author, year)");
+  Combiner combiner = MakeCombiner(CountSemantics::kPresence);
+  const double n = static_cast<double>(cst_.data_node_count());
+  EXPECT_NEAR(combiner.AtomSetProb({0, 1, 2}), 3.0 / n, 1e-9);
+}
+
+TEST_F(CombinerTest, DeepSharedPrefixTwigletConstrained) {
+  // Twiglet dblp(book.author, book.year) where both subpaths go through
+  // the *same* book atom: count must reflect the joint structure, not
+  // independent picks of books.
+  Expand("dblp.book(author, year)");
+  // Atoms: dblp=0, book=1, author=2, year=3.
+  Combiner occurrence = MakeCombiner(CountSemantics::kOccurrence);
+  EstimandPiece twiglet;
+  twiglet.root_atom = 0;
+  twiglet.subpaths = {{0, 1, 2}, {0, 1, 3}};
+  twiglet.atoms = {0, 1, 2, 3};
+  // True joint occurrence: all 3 books have authors and years: 6.
+  EXPECT_NEAR(occurrence.PieceCount(twiglet), 6.0, 1.0);
+}
+
+TEST_F(CombinerTest, DuplicateSubpathsUseFallingFactorial) {
+  // book(author, author): per-book multiplicity m = 2, so the
+  // duplicate-aware occurrence scale is m(m-1) = 2 rather than m^2 = 4
+  // over presence 3 -> estimate 6 (true 8); the uncorrected scale
+  // yields 12.
+  Expand("book(author, author)");
+  EstimandPiece twiglet;
+  twiglet.root_atom = 0;
+  twiglet.subpaths = {{0, 1}, {0, 2}};
+  twiglet.atoms = {0, 1, 2};
+  CombineOptions corrected;
+  corrected.semantics = CountSemantics::kOccurrence;
+  EXPECT_NEAR(Combiner(eq_, cst_, corrected).PieceCount(twiglet), 6.0, 1e-9);
+  CombineOptions naive;
+  naive.semantics = CountSemantics::kOccurrence;
+  naive.duplicate_aware_occurrence = false;
+  EXPECT_NEAR(Combiner(eq_, cst_, naive).PieceCount(twiglet), 12.0, 1e-9);
+}
+
+TEST_F(CombinerTest, AutoMissingCountTracksThreshold) {
+  Expand("book.author");
+  CombineOptions options;  // missing_count = 0 -> auto
+  Combiner combiner(eq_, cst_, options);
+  EstimandPiece missing = PathPiece({0});
+  missing.missing = true;
+  // Threshold 1 -> max(0.5, 0.5) = 0.5.
+  EXPECT_DOUBLE_EQ(combiner.PieceCount(missing), 0.5);
+}
+
+}  // namespace
+}  // namespace twig::core

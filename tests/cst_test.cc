@@ -1,0 +1,240 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "cst/cst.h"
+#include "test_trees.h"
+
+namespace twig::cst {
+namespace {
+
+using suffix::PathSuffixTree;
+using tree::Tree;
+
+/// Walks the CST along "tags:chars" (see suffix_test.cc).
+CstNodeId Find(const Cst& cst, const std::string& spec) {
+  const size_t colon = spec.find(':');
+  const std::string tags =
+      spec.substr(0, colon == std::string::npos ? spec.size() : colon);
+  CstNodeId node = cst.root();
+  if (!tags.empty()) {
+    size_t start = 0;
+    while (start <= tags.size()) {
+      size_t dot = tags.find('.', start);
+      const std::string tag =
+          tags.substr(start, dot == std::string::npos ? std::string::npos
+                                                      : dot - start);
+      node = cst.Step(node, cst.TagSymbolFor(tag));
+      if (node == kNoCstNode) return kNoCstNode;
+      if (dot == std::string::npos) break;
+      start = dot + 1;
+    }
+  }
+  if (colon != std::string::npos) {
+    for (char c : spec.substr(colon + 1)) {
+      node = cst.Step(node, suffix::CharSymbol(c));
+      if (node == kNoCstNode) return kNoCstNode;
+    }
+  }
+  return node;
+}
+
+Cst BuildFullCst(const Tree& data) {
+  auto pst = PathSuffixTree::Build(data);
+  CstOptions options;
+  options.prune_threshold = 1;
+  return Cst::Build(data, pst, options);
+}
+
+TEST(CstTest, PresenceCountsFigureOne) {
+  Tree data = testutil::FigureOneTree();
+  Cst cst = BuildFullCst(data);
+  // Presence = distinct rooting nodes.
+  EXPECT_DOUBLE_EQ(cst.PresenceCount(Find(cst, "book")), 3.0);
+  EXPECT_DOUBLE_EQ(cst.PresenceCount(Find(cst, "book.author")), 3.0);
+  EXPECT_DOUBLE_EQ(cst.PresenceCount(Find(cst, "author")), 6.0);
+  EXPECT_DOUBLE_EQ(cst.PresenceCount(Find(cst, "book.year:Y1")), 3.0);
+  EXPECT_DOUBLE_EQ(cst.PresenceCount(Find(cst, "dblp.book")), 1.0);
+}
+
+TEST(CstTest, OccurrenceCountsFigureOne) {
+  Tree data = testutil::FigureOneTree();
+  Cst cst = BuildFullCst(data);
+  // Occurrence = node-sequence instances: 6 (book,author) pairs
+  // (the paper's Section 5 example numbers).
+  EXPECT_DOUBLE_EQ(cst.OccurrenceCount(Find(cst, "book.author")), 6.0);
+  EXPECT_DOUBLE_EQ(cst.OccurrenceCount(Find(cst, "book.year:Y1")), 3.0);
+  EXPECT_DOUBLE_EQ(cst.OccurrenceCount(Find(cst, "dblp.book.author")), 6.0);
+  EXPECT_DOUBLE_EQ(cst.OccurrenceCount(Find(cst, "author:A1")), 3.0);
+  EXPECT_DOUBLE_EQ(cst.OccurrenceCount(Find(cst, "author:A2")), 2.0);
+}
+
+TEST(CstTest, CharOnlySubpathCounts) {
+  Tree data = testutil::FigureOneTree();
+  Cst cst = BuildFullCst(data);
+  // ":A" occurs once per author value (6) plus nowhere else.
+  EXPECT_DOUBLE_EQ(cst.PresenceCount(Find(cst, ":A")), 6.0);
+  // ":1" occurs in A1 (x3), T1 (x1), Y1 (x3).
+  EXPECT_DOUBLE_EQ(cst.PresenceCount(Find(cst, ":1")), 7.0);
+}
+
+TEST(CstTest, RepeatedLabelsOnOnePathPresenceIsDistinctRoots) {
+  // a/b/a/b chain with two leaves: subpath "a.b" roots at two distinct
+  // nodes even though markers alternate (the regression that forces
+  // root-at-a-time accumulation).
+  Tree data;
+  auto a1 = data.AddRoot("a");
+  auto b1 = data.AddElement(a1, "b");
+  auto a2 = data.AddElement(b1, "a");
+  auto b2 = data.AddElement(a2, "b");
+  data.AddValue(b2, "x");
+  data.AddValue(b2, "y");
+  Cst cst = BuildFullCst(data);
+  EXPECT_DOUBLE_EQ(cst.PresenceCount(Find(cst, "a.b")), 2.0);
+  EXPECT_DOUBLE_EQ(cst.OccurrenceCount(Find(cst, "a.b")), 2.0);
+  EXPECT_DOUBLE_EQ(cst.PresenceCount(Find(cst, "a")), 2.0);
+  EXPECT_DOUBLE_EQ(cst.PresenceCount(Find(cst, "b.a.b")), 1.0);
+}
+
+TEST(CstTest, SignaturesOnlyOnTagRootedSubpaths) {
+  Tree data = testutil::FigureOneTree();
+  Cst cst = BuildFullCst(data);
+  EXPECT_NE(cst.GetSignature(Find(cst, "book.author")), nullptr);
+  EXPECT_NE(cst.GetSignature(Find(cst, "author:A1")), nullptr);
+  EXPECT_EQ(cst.GetSignature(Find(cst, ":A")), nullptr);
+}
+
+TEST(CstTest, SignatureCapturesRootingSets) {
+  Tree data = testutil::FigureOneTree();
+  Cst cst = BuildFullCst(data);
+  // "book.author" and "book.year" are rooted at the same 3 book nodes:
+  // identical sets, so identical signatures and resemblance 1.
+  const auto* sa = cst.GetSignature(Find(cst, "book.author"));
+  const auto* sy = cst.GetSignature(Find(cst, "book.year"));
+  ASSERT_NE(sa, nullptr);
+  ASSERT_NE(sy, nullptr);
+  EXPECT_EQ(*sa, *sy);
+  // "author:A3" roots at 1 author node; disjoint from year nodes.
+  const auto* s3 = cst.GetSignature(Find(cst, "author:A3"));
+  ASSERT_NE(s3, nullptr);
+  EXPECT_NE(*s3, *sa);
+}
+
+TEST(CstTest, PruningKeepsFrequentDropsRare) {
+  Tree data = testutil::FigureOneTree();
+  auto pst = PathSuffixTree::Build(data);
+  CstOptions options;
+  options.prune_threshold = 3;
+  Cst cst = Cst::Build(data, pst, options);
+  EXPECT_NE(Find(cst, "book.author"), kNoCstNode);  // pt = 6
+  EXPECT_NE(Find(cst, "year:Y1"), kNoCstNode);      // pt = 3
+  EXPECT_EQ(Find(cst, "title:T1"), kNoCstNode);     // pt = 1
+  EXPECT_EQ(Find(cst, "author:A3"), kNoCstNode);    // pt = 1
+}
+
+TEST(CstTest, PrunedCstClosedUnderSubpaths) {
+  Tree data = testutil::FigureOneTree();
+  auto pst = PathSuffixTree::Build(data);
+  for (uint32_t threshold : {2, 3, 6}) {
+    CstOptions options;
+    options.prune_threshold = threshold;
+    Cst cst = Cst::Build(data, pst, options);
+    // Every node's parent exists and suffix of every retained subpath
+    // is retained: spot-check with the known hierarchy.
+    if (Find(cst, "dblp.book.author") != kNoCstNode) {
+      EXPECT_NE(Find(cst, "book.author"), kNoCstNode);
+      EXPECT_NE(Find(cst, "author"), kNoCstNode);
+      EXPECT_NE(Find(cst, "dblp.book"), kNoCstNode);
+    }
+  }
+}
+
+TEST(CstTest, BudgetedBuildRespectsBudget) {
+  Tree data = testutil::FigureOneTree();
+  auto pst = PathSuffixTree::Build(data);
+  CstOptions options;
+  options.space_budget_bytes = 2000;
+  Cst cst = Cst::Build(data, pst, options);
+  EXPECT_LE(cst.size_bytes(), 2000u);
+  EXPECT_GT(cst.node_count(), 1u);
+  // A tighter budget retains no more nodes.
+  options.space_budget_bytes = 600;
+  Cst tight = Cst::Build(data, pst, options);
+  EXPECT_LE(tight.size_bytes(), 600u);
+  EXPECT_LE(tight.node_count(), cst.node_count());
+}
+
+TEST(CstTest, LongestMatch) {
+  Tree data = testutil::FigureOneTree();
+  Cst cst = BuildFullCst(data);
+  std::vector<suffix::Symbol> symbols = {
+      cst.TagSymbolFor("book"), cst.TagSymbolFor("author"),
+      suffix::CharSymbol('A'), suffix::CharSymbol('9')};
+  auto match = cst.LongestMatch(symbols, 0);
+  EXPECT_EQ(match.length, 3u);  // book.author.A but not the '9'
+  EXPECT_EQ(match.node, Find(cst, "book.author:A"));
+  auto from1 = cst.LongestMatch(symbols, 1);
+  EXPECT_EQ(from1.length, 2u);  // author.A
+}
+
+TEST(CstTest, UnknownTagNeverMatches) {
+  Tree data = testutil::FigureOneTree();
+  Cst cst = BuildFullCst(data);
+  EXPECT_EQ(cst.TagSymbolFor("nosuchtag"), Cst::kUnknownSymbol);
+  EXPECT_EQ(cst.Step(cst.root(), Cst::kUnknownSymbol), kNoCstNode);
+}
+
+TEST(CstSerializeTest, RoundTripPreservesEverything) {
+  Tree data = testutil::FigureOneTree();
+  Cst original = BuildFullCst(data);
+  const std::string blob = original.Serialize();
+  auto restored = Cst::Deserialize(blob);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored->node_count(), original.node_count());
+  EXPECT_EQ(restored->signature_count(), original.signature_count());
+  EXPECT_EQ(restored->data_node_count(), original.data_node_count());
+  EXPECT_EQ(restored->prune_threshold(), original.prune_threshold());
+  EXPECT_EQ(restored->size_bytes(), original.size_bytes());
+  // Structure, counts, and signatures survive.
+  for (const char* spec : {"book.author", "book.year:Y1", "author:A1", ":A"}) {
+    CstNodeId a = Find(original, spec);
+    CstNodeId b = Find(*restored, spec);
+    ASSERT_NE(a, kNoCstNode) << spec;
+    ASSERT_NE(b, kNoCstNode) << spec;
+    EXPECT_DOUBLE_EQ(restored->PresenceCount(b), original.PresenceCount(a));
+    EXPECT_DOUBLE_EQ(restored->OccurrenceCount(b),
+                     original.OccurrenceCount(a));
+    const auto* sa = original.GetSignature(a);
+    const auto* sb = restored->GetSignature(b);
+    ASSERT_EQ(sa == nullptr, sb == nullptr) << spec;
+    if (sa != nullptr) EXPECT_EQ(*sa, *sb);
+  }
+}
+
+TEST(CstSerializeTest, RejectsCorruptInput) {
+  Tree data = testutil::FigureOneTree();
+  Cst original = BuildFullCst(data);
+  std::string blob = original.Serialize();
+  EXPECT_FALSE(Cst::Deserialize("garbage").ok());
+  EXPECT_FALSE(Cst::Deserialize(blob.substr(0, blob.size() / 2)).ok());
+  std::string extended = blob + "x";
+  EXPECT_FALSE(Cst::Deserialize(extended).ok());
+  std::string bad_magic = blob;
+  bad_magic[0] = 'X';
+  auto result = Cst::Deserialize(bad_magic);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+}
+
+TEST(CstTest, GlobalStats) {
+  Tree data = testutil::FigureOneTree();
+  Cst cst = BuildFullCst(data);
+  EXPECT_EQ(cst.data_node_count(), data.size());
+  EXPECT_EQ(cst.prune_threshold(), 1u);
+  EXPECT_GT(cst.size_bytes(), 0u);
+  EXPECT_EQ(cst.signature_length(), CstOptions{}.signature_length);
+}
+
+}  // namespace
+}  // namespace twig::cst

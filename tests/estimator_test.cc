@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include "core/estimator.h"
+#include "cst/cst.h"
+#include "match/matcher.h"
+#include "query/twig.h"
+#include "test_trees.h"
+
+namespace twig::core {
+namespace {
+
+using cst::Cst;
+using cst::CstOptions;
+using query::ParseTwig;
+using suffix::PathSuffixTree;
+using tree::Tree;
+
+class EstimatorTest : public ::testing::Test {
+ protected:
+  EstimatorTest() : data_(testutil::FigureOneTree()) {
+    auto pst = PathSuffixTree::Build(data_);
+    CstOptions options;
+    options.prune_threshold = 1;  // unpruned: estimates should be sharp
+    cst_ = Cst::Build(data_, pst, options);
+  }
+
+  double Estimate(const char* twig_text, Algorithm algorithm,
+                  CountSemantics semantics = CountSemantics::kOccurrence) {
+    auto twig = ParseTwig(twig_text);
+    EXPECT_TRUE(twig.ok());
+    EstimateOptions options;
+    options.semantics = semantics;
+    return TwigEstimator(&cst_).Estimate(*twig, algorithm, options);
+  }
+
+  double Truth(const char* twig_text) {
+    auto twig = ParseTwig(twig_text);
+    EXPECT_TRUE(twig.ok());
+    return match::CountTwigMatches(data_, *twig).occurrence;
+  }
+
+  Tree data_;
+  Cst cst_;
+};
+
+TEST_F(EstimatorTest, SingleSubpathExactWithFullCst) {
+  for (const char* q : {"book.author", "book.year=\"Y1\"", "author=\"A1\""}) {
+    EXPECT_DOUBLE_EQ(Estimate(q, Algorithm::kMo), Truth(q)) << q;
+    EXPECT_DOUBLE_EQ(Estimate(q, Algorithm::kMsh), Truth(q)) << q;
+  }
+}
+
+TEST_F(EstimatorTest, SetHashAlgorithmsNailCorrelatedTwig) {
+  // All books have both author and year: strong correlation that the
+  // independence baselines miss.
+  const char* q = "book(author=\"A1\", year=\"Y1\")";
+  const double truth = Truth(q);  // 3
+  EXPECT_NEAR(Estimate(q, Algorithm::kMosh), truth, 0.6);
+  EXPECT_NEAR(Estimate(q, Algorithm::kMsh), truth, 0.6);
+  EXPECT_LT(Estimate(q, Algorithm::kGreedy), truth);
+}
+
+TEST_F(EstimatorTest, PresenceVsOccurrence) {
+  const char* q = "book.author";
+  EXPECT_DOUBLE_EQ(Estimate(q, Algorithm::kMo, CountSemantics::kPresence),
+                   3.0);
+  EXPECT_DOUBLE_EQ(Estimate(q, Algorithm::kMo, CountSemantics::kOccurrence),
+                   6.0);
+}
+
+TEST_F(EstimatorTest, SectionFiveExample) {
+  // book(author, year="Y1"): presence 3, occurrence 6 (the paper's
+  // estimate was 2.9 / 5.8; the unpruned CST is exact).
+  const char* q = "book(author, year=\"Y1\")";
+  EXPECT_NEAR(Estimate(q, Algorithm::kMosh, CountSemantics::kPresence), 3.0,
+              0.3);
+  EXPECT_NEAR(Estimate(q, Algorithm::kMosh, CountSemantics::kOccurrence), 6.0,
+              0.6);
+}
+
+TEST_F(EstimatorTest, LeafIgnoresPathContext) {
+  // Leaf estimates book.year."Y1" purely from the string "Y1".
+  const double leaf = Estimate("book.year=\"Y1\"", Algorithm::kLeaf);
+  const double moved = Estimate("book.author=\"Y1\"", Algorithm::kLeaf);
+  EXPECT_DOUBLE_EQ(leaf, moved);  // same leaf string, same estimate
+  const double mo = Estimate("book.author=\"Y1\"", Algorithm::kMo);
+  EXPECT_NE(leaf, mo);
+}
+
+TEST_F(EstimatorTest, UnknownTagEstimatesNearZero) {
+  const double est = Estimate("journal=\"X\"", Algorithm::kMo);
+  EXPECT_LT(est, 1.0);
+}
+
+TEST_F(EstimatorTest, EstimatesAreNonNegative) {
+  for (Algorithm a : kAllAlgorithms) {
+    EXPECT_GE(Estimate("book(author=\"A9\", title=\"zz\")", a), 0.0);
+  }
+}
+
+TEST_F(EstimatorTest, AlgorithmNames) {
+  EXPECT_STREQ(AlgorithmName(Algorithm::kLeaf), "Leaf");
+  EXPECT_STREQ(AlgorithmName(Algorithm::kGreedy), "Greedy");
+  EXPECT_STREQ(AlgorithmName(Algorithm::kMo), "MO");
+  EXPECT_STREQ(AlgorithmName(Algorithm::kMosh), "MOSH");
+  EXPECT_STREQ(AlgorithmName(Algorithm::kPmosh), "PMOSH");
+  EXPECT_STREQ(AlgorithmName(Algorithm::kMsh), "MSH");
+}
+
+TEST_F(EstimatorTest, FingerprintsStableAndAlgorithmSensitive) {
+  auto twig = ParseTwig("book(author=\"A1\", year=\"Y1\")");
+  ASSERT_TRUE(twig.ok());
+  TwigEstimator estimator(&cst_);
+  const uint64_t mosh =
+      estimator.DecompositionFingerprint(*twig, Algorithm::kMosh);
+  EXPECT_EQ(mosh, estimator.DecompositionFingerprint(*twig, Algorithm::kMosh));
+  EXPECT_NE(mosh, estimator.DecompositionFingerprint(*twig, Algorithm::kMo));
+}
+
+/// Property sweep: on an unpruned CST, MO and the set-hash algorithms
+/// must reproduce exact counts for every single-path query, under both
+/// semantics.
+struct TrivialCase {
+  const char* query;
+  double presence;
+  double occurrence;
+};
+
+class TrivialExactness : public ::testing::TestWithParam<TrivialCase> {};
+
+TEST_P(TrivialExactness, MatchesTruth) {
+  Tree data = testutil::FigureOneTree();
+  auto pst = PathSuffixTree::Build(data);
+  CstOptions options;
+  options.prune_threshold = 1;
+  Cst cst = Cst::Build(data, pst, options);
+  TwigEstimator estimator(&cst);
+  auto twig = ParseTwig(GetParam().query);
+  ASSERT_TRUE(twig.ok());
+  const match::TwigCounts truth = match::CountTwigMatches(data, *twig);
+  EXPECT_DOUBLE_EQ(truth.presence, GetParam().presence);
+  EXPECT_DOUBLE_EQ(truth.occurrence, GetParam().occurrence);
+  for (Algorithm a : {Algorithm::kMo, Algorithm::kMosh, Algorithm::kMsh}) {
+    EstimateOptions popt;
+    popt.semantics = CountSemantics::kPresence;
+    EXPECT_DOUBLE_EQ(estimator.Estimate(*twig, a, popt), truth.presence)
+        << GetParam().query;
+    EstimateOptions oopt;
+    oopt.semantics = CountSemantics::kOccurrence;
+    EXPECT_DOUBLE_EQ(estimator.Estimate(*twig, a, oopt), truth.occurrence)
+        << GetParam().query;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FigureOneQueries, TrivialExactness,
+    ::testing::Values(TrivialCase{"dblp.book.author", 1, 6},
+                      TrivialCase{"book.author=\"A1\"", 3, 3},
+                      TrivialCase{"book.author=\"A2\"", 2, 2},
+                      TrivialCase{"book.title=\"T3\"", 1, 1},
+                      TrivialCase{"book.year=\"Y1\"", 3, 3},
+                      TrivialCase{"author=\"A\"", 6, 6},
+                      TrivialCase{"year", 3, 3}));
+
+}  // namespace
+}  // namespace twig::core

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include "match/matcher.h"
+#include "query/twig.h"
+#include "test_trees.h"
+
+namespace twig::match {
+namespace {
+
+using query::ParseTwig;
+using tree::Tree;
+
+TwigCounts Count(const Tree& data, const char* twig_text,
+                 const MatchOptions& options = {}) {
+  auto twig = ParseTwig(twig_text);
+  EXPECT_TRUE(twig.ok()) << twig.status().ToString();
+  return CountTwigMatches(data, *twig, options);
+}
+
+TEST(MatcherTest, PaperQueryOne) {
+  // Figure 1, QUERY 1: book(author="A1", year="Y1") has three matches.
+  Tree data = testutil::FigureOneTree();
+  TwigCounts counts = Count(data, "book(author=\"A1\", year=\"Y1\")");
+  EXPECT_DOUBLE_EQ(counts.presence, 3.0);
+  EXPECT_DOUBLE_EQ(counts.occurrence, 3.0);
+}
+
+TEST(MatcherTest, PaperQueryTwoUnorderedVsOrdered) {
+  // Figure 1, QUERY 2: book(author="A2", author="A1"-side, year="Y1"):
+  // 2 unordered matches, 1 ordered match. Expressed with the sampled
+  // sibling order author="A2" before author="A1".
+  Tree data = testutil::FigureOneTree();
+  const char* q = "book(author=\"A2\", author=\"A1\", year=\"Y1\")";
+  TwigCounts unordered = Count(data, q);
+  EXPECT_DOUBLE_EQ(unordered.presence, 2.0);
+  EXPECT_DOUBLE_EQ(unordered.occurrence, 2.0);
+  MatchOptions ordered;
+  ordered.ordered = true;
+  // In document order, authors appear as A1 then A2, so requiring A2
+  // before A1 yields no ordered match; the A1-then-A2 query yields 2.
+  EXPECT_DOUBLE_EQ(Count(data, q, ordered).occurrence, 0.0);
+  EXPECT_DOUBLE_EQ(
+      Count(data, "book(author=\"A1\", author=\"A2\", year=\"Y1\")", ordered)
+          .occurrence,
+      2.0);
+}
+
+TEST(MatcherTest, OccurrenceCountsAllMappings) {
+  // book(author) maps to each (book, author) pair: 1 + 2 + 3 = 6;
+  // presence counts distinct books: 3.
+  Tree data = testutil::FigureOneTree();
+  TwigCounts counts = Count(data, "book.author");
+  EXPECT_DOUBLE_EQ(counts.presence, 3.0);
+  EXPECT_DOUBLE_EQ(counts.occurrence, 6.0);
+}
+
+TEST(MatcherTest, SiblingInjectivity) {
+  // book(author, author): injective pairs of distinct authors, ordered
+  // mappings: book1: 0, book2: 2, book3: 6 -> 8 total; presence 2.
+  Tree data = testutil::FigureOneTree();
+  TwigCounts counts = Count(data, "book(author, author)");
+  EXPECT_DOUBLE_EQ(counts.presence, 2.0);
+  EXPECT_DOUBLE_EQ(counts.occurrence, 8.0);
+}
+
+TEST(MatcherTest, ValuePrefixSemantics) {
+  Tree data;
+  auto dblp = data.AddRoot("dblp");
+  auto book = data.AddElement(dblp, "book");
+  auto author = data.AddElement(book, "author");
+  data.AddValue(author, "Suciu");
+  EXPECT_DOUBLE_EQ(Count(data, "author=\"Su\"").occurrence, 1.0);
+  EXPECT_DOUBLE_EQ(Count(data, "author=\"Suciu\"").occurrence, 1.0);
+  EXPECT_DOUBLE_EQ(Count(data, "author=\"uciu\"").occurrence, 0.0);
+  EXPECT_DOUBLE_EQ(Count(data, "author=\"Suciux\"").occurrence, 0.0);
+}
+
+TEST(MatcherTest, RootCanMatchAnywhere) {
+  // The twig root maps to any data node, not just the data root.
+  Tree data = testutil::FigureOneTree();
+  EXPECT_DOUBLE_EQ(Count(data, "author=\"A3\"").occurrence, 1.0);
+  EXPECT_DOUBLE_EQ(Count(data, "year").presence, 3.0);
+}
+
+TEST(MatcherTest, NoMatchMeansZero) {
+  Tree data = testutil::FigureOneTree();
+  EXPECT_DOUBLE_EQ(Count(data, "book(author=\"A3\", title=\"T1\")").occurrence,
+                   0.0);
+  EXPECT_DOUBLE_EQ(Count(data, "journal").occurrence, 0.0);
+}
+
+TEST(MatcherTest, DeepChainMatch) {
+  Tree data = testutil::FigureOneTree();
+  EXPECT_DOUBLE_EQ(Count(data, "dblp.book.author=\"A1\"").occurrence, 3.0);
+  EXPECT_DOUBLE_EQ(Count(data, "dblp.book.author=\"A1\"").presence, 1.0);
+}
+
+TEST(MatcherTest, WildcardMatchesAnyElement) {
+  Tree data = testutil::FigureOneTree();
+  // *(author="A2") matches books 2 and 3.
+  EXPECT_DOUBLE_EQ(Count(data, "*(author=\"A2\")").presence, 2.0);
+  // book.* counts all element children of books: 3+4+5 = 12.
+  EXPECT_DOUBLE_EQ(Count(data, "book.*").occurrence, 12.0);
+}
+
+TEST(MatcherTest, MultisetPermanentBranching) {
+  // A node with 4 identical-label children, query asks for 3:
+  // occurrence = 4 * 3 * 2 = 24 injective ordered mappings.
+  Tree data;
+  auto root = data.AddRoot("r");
+  for (int i = 0; i < 4; ++i) data.AddElement(root, "c");
+  TwigCounts counts = Count(data, "r(c, c, c)");
+  EXPECT_DOUBLE_EQ(counts.presence, 1.0);
+  EXPECT_DOUBLE_EQ(counts.occurrence, 24.0);
+  // Ordered semantics: choose an increasing triple: C(4,3) = 4.
+  MatchOptions ordered;
+  ordered.ordered = true;
+  EXPECT_DOUBLE_EQ(Count(data, "r(c, c, c)", ordered).occurrence, 4.0);
+}
+
+TEST(MatcherTest, FigureTwoPattern) {
+  Tree data = testutil::FigureTwoTree();
+  TwigCounts counts = Count(data, "a.b.c(d.e, f.g)");
+  EXPECT_DOUBLE_EQ(counts.presence, 1.0);
+  EXPECT_DOUBLE_EQ(counts.occurrence, 1.0);
+  EXPECT_DOUBLE_EQ(Count(data, "c(d, f)").occurrence, 1.0);
+  EXPECT_DOUBLE_EQ(Count(data, "c(e, f)").occurrence, 0.0);
+}
+
+TEST(MatcherTest, EmptyInputs) {
+  Tree empty;
+  auto twig = ParseTwig("a");
+  ASSERT_TRUE(twig.ok());
+  TwigCounts counts = CountTwigMatches(empty, *twig);
+  EXPECT_DOUBLE_EQ(counts.occurrence, 0.0);
+}
+
+TEST(MatcherTest, ValueLeafUnderWrongParentFails) {
+  Tree data = testutil::FigureOneTree();
+  // "book" elements have no direct value children.
+  EXPECT_DOUBLE_EQ(Count(data, "book=\"A1\"").occurrence, 0.0);
+}
+
+}  // namespace
+}  // namespace twig::match

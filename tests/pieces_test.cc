@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/expanded_query.h"
+#include "core/parse.h"
+#include "core/pieces.h"
+#include "cst/cst.h"
+#include "query/twig.h"
+#include "test_trees.h"
+
+namespace twig::core {
+namespace {
+
+using cst::Cst;
+using cst::CstOptions;
+using query::ParseTwig;
+using suffix::PathSuffixTree;
+using tree::Tree;
+
+Cst BuildCst(const Tree& data) {
+  auto pst = PathSuffixTree::Build(data);
+  CstOptions options;
+  options.prune_threshold = 1;
+  return Cst::Build(data, pst, options);
+}
+
+/// Counts pieces with >= 2 subpaths (set-hash twiglets).
+size_t TwigletCount(const std::vector<EstimandPiece>& pieces) {
+  return static_cast<size_t>(
+      std::count_if(pieces.begin(), pieces.end(),
+                    [](const EstimandPiece& p) { return p.subpaths.size() >= 2; }));
+}
+
+TEST(SinglePathPiecesTest, OnePiecePerParsedSubpath) {
+  Tree data = testutil::FigureOneTree();
+  Cst cst = BuildCst(data);
+  auto twig = ParseTwig("book(author=\"A1\", year=\"Y1\")");
+  ASSERT_TRUE(twig.ok());
+  ExpandedQuery eq = ExpandQuery(*twig, cst);
+  auto parsed = ParseQuery(eq, cst, ParseStrategy::kMaximal);
+  auto pieces = SinglePathPieces(eq, parsed);
+  ASSERT_EQ(pieces.size(), parsed.size());
+  for (const auto& p : pieces) {
+    EXPECT_EQ(p.subpaths.size(), 1u);
+    EXPECT_EQ(p.atoms.size(), p.subpaths[0].size());
+    EXPECT_EQ(p.root_atom, p.subpaths[0].front());
+  }
+}
+
+TEST(MoshDecomposeTest, MergesSameStartThroughBranch) {
+  Tree data = testutil::FigureOneTree();
+  Cst cst = BuildCst(data);
+  auto twig = ParseTwig("book(author=\"A1\", year=\"Y1\")");
+  ASSERT_TRUE(twig.ok());
+  ExpandedQuery eq = ExpandQuery(*twig, cst);
+  auto parsed = ParseQuery(eq, cst, ParseStrategy::kMaximal);
+  auto pieces = MoshDecompose(eq, parsed);
+  // Both whole-path pieces start at the root (book) and pass through
+  // the branch (book): one twiglet, no leftover singles.
+  ASSERT_EQ(pieces.size(), 1u);
+  EXPECT_EQ(pieces[0].subpaths.size(), 2u);
+  EXPECT_EQ(pieces[0].root_atom, 0);
+  EXPECT_EQ(pieces[0].atoms.size(), eq.atoms.size());
+}
+
+TEST(MoshDecomposeTest, SingletonGroupsDegradeToPureMo) {
+  // The paper's PMOSH motivation (Section 4.3): parses whose maximal
+  // subpaths through the branch have distinct start atoms form no
+  // twiglet.
+  Tree data = testutil::FigureTwoTree();
+  Cst cst = BuildCst(data);
+  auto twig = ParseTwig("a.b.c(d.e, f.g)");
+  ASSERT_TRUE(twig.ok());
+  ExpandedQuery eq = ExpandQuery(*twig, cst);
+  // Hand-build the paper's parse: pieces a.b.c.d.e (start a) and
+  // b.c.f.g (start b): distinct starts -> no twiglet.
+  std::vector<ParsedPiece> parsed(2);
+  parsed[0] = {.path = 0, .start = 0, .length = 5, .missing = false,
+               .cst_node = cst.root()};
+  parsed[1] = {.path = 1, .start = 1, .length = 4, .missing = false,
+               .cst_node = cst.root()};
+  auto pieces = MoshDecompose(eq, parsed);
+  EXPECT_EQ(TwigletCount(pieces), 0u);
+  EXPECT_EQ(pieces.size(), 2u);
+}
+
+TEST(MshDecomposeTest, SuffixesRescueDistinctStarts) {
+  // Same parse as above: MSH admits the suffix b.c.d.e of a.b.c.d.e at
+  // starting point b, pairing it with b.c.f.g (Section 4.4).
+  Tree data = testutil::FigureTwoTree();
+  Cst cst = BuildCst(data);
+  auto twig = ParseTwig("a.b.c(d.e, f.g)");
+  ASSERT_TRUE(twig.ok());
+  ExpandedQuery eq = ExpandQuery(*twig, cst);
+  std::vector<ParsedPiece> parsed(2);
+  parsed[0] = {.path = 0, .start = 0, .length = 5, .missing = false,
+               .cst_node = cst.root()};
+  parsed[1] = {.path = 1, .start = 1, .length = 4, .missing = false,
+               .cst_node = cst.root()};
+  auto pieces = MshDecompose(eq, parsed);
+  EXPECT_GE(TwigletCount(pieces), 1u);
+  // The full piece a.b.c.d.e keeps participating (only suffix-shortened
+  // in the twiglet): it must remain as a standalone piece too.
+  bool has_full = false;
+  for (const auto& p : pieces) {
+    if (p.subpaths.size() == 1 && p.atoms.size() == 5) has_full = true;
+  }
+  EXPECT_TRUE(has_full);
+  // And b.c.f.g participated fully in a twiglet, so it is absorbed.
+  for (const auto& p : pieces) {
+    if (p.subpaths.size() == 1) {
+      EXPECT_NE(p.atoms.size(), 4u);
+    }
+  }
+}
+
+TEST(MshDecomposeTest, EqualsToMoshOnRootBranchQueries) {
+  // When all maximal pieces start at the branch-root, MSH == MOSH.
+  Tree data = testutil::FigureOneTree();
+  Cst cst = BuildCst(data);
+  auto twig = ParseTwig("book(author=\"A1\", year=\"Y1\")");
+  ASSERT_TRUE(twig.ok());
+  ExpandedQuery eq = ExpandQuery(*twig, cst);
+  auto parsed = ParseQuery(eq, cst, ParseStrategy::kMaximal);
+  EXPECT_EQ(DecompositionFingerprint(MoshDecompose(eq, parsed)),
+            DecompositionFingerprint(MshDecompose(eq, parsed)));
+}
+
+TEST(DecompositionFingerprintTest, OrderIndependent) {
+  Tree data = testutil::FigureOneTree();
+  Cst cst = BuildCst(data);
+  auto twig = ParseTwig("book(author=\"A1\", year=\"Y1\")");
+  ASSERT_TRUE(twig.ok());
+  ExpandedQuery eq = ExpandQuery(*twig, cst);
+  auto parsed = ParseQuery(eq, cst, ParseStrategy::kMaximal);
+  auto pieces = SinglePathPieces(eq, parsed);
+  auto reversed = pieces;
+  std::reverse(reversed.begin(), reversed.end());
+  EXPECT_EQ(DecompositionFingerprint(pieces),
+            DecompositionFingerprint(reversed));
+}
+
+TEST(DecompositionFingerprintTest, DistinguishesDecompositions) {
+  Tree data = testutil::FigureOneTree();
+  Cst cst = BuildCst(data);
+  auto twig = ParseTwig("book(author=\"A1\", year=\"Y1\")");
+  ASSERT_TRUE(twig.ok());
+  ExpandedQuery eq = ExpandQuery(*twig, cst);
+  auto parsed = ParseQuery(eq, cst, ParseStrategy::kMaximal);
+  EXPECT_NE(DecompositionFingerprint(SinglePathPieces(eq, parsed)),
+            DecompositionFingerprint(MoshDecompose(eq, parsed)));
+}
+
+TEST(MoshDecomposeTest, MissingPiecesStaySingle) {
+  Tree data = testutil::FigureOneTree();
+  Cst cst = BuildCst(data);
+  auto twig = ParseTwig("book(journal, year=\"Y1\")");
+  ASSERT_TRUE(twig.ok());
+  ExpandedQuery eq = ExpandQuery(*twig, cst);
+  auto parsed = ParseQuery(eq, cst, ParseStrategy::kMaximal);
+  auto pieces = MoshDecompose(eq, parsed);
+  bool missing_found = false;
+  for (const auto& p : pieces) {
+    if (p.missing) {
+      missing_found = true;
+      EXPECT_EQ(p.subpaths.size(), 1u);
+      EXPECT_EQ(p.atoms.size(), 1u);
+    }
+  }
+  EXPECT_TRUE(missing_found);
+}
+
+}  // namespace
+}  // namespace twig::core

@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "query/twig.h"
+
+namespace twig::query {
+namespace {
+
+TEST(TwigTest, BuildSimpleTwig) {
+  Twig t;
+  TwigNodeId book = t.AddRoot("book");
+  TwigNodeId author = t.AddElement(book, "author");
+  TwigNodeId value = t.AddValue(author, "Su");
+  EXPECT_EQ(t.root(), book);
+  EXPECT_EQ(t.Tag(book), "book");
+  EXPECT_EQ(t.Tag(author), "author");
+  EXPECT_TRUE(t.IsValue(value));
+  EXPECT_EQ(t.Value(value), "Su");
+  EXPECT_EQ(t.size(), 3u);
+  EXPECT_EQ(t.ElementCount(), 2u);
+}
+
+TEST(TwigTest, RootToLeafPaths) {
+  auto t = ParseTwig("a(b.c=\"x\", d)");
+  ASSERT_TRUE(t.ok());
+  auto paths = t->RootToLeafPaths();
+  ASSERT_EQ(paths.size(), 2u);
+  // a.b.c."x" and a.d
+  EXPECT_EQ(paths[0].size(), 4u);
+  EXPECT_EQ(paths[1].size(), 2u);
+  EXPECT_EQ(paths[0][0], t->root());
+  EXPECT_EQ(paths[1][0], t->root());
+}
+
+TEST(TwigTest, BranchNodes) {
+  auto t = ParseTwig("a(b(c, d), e)");
+  ASSERT_TRUE(t.ok());
+  auto branches = t->BranchNodes();
+  ASSERT_EQ(branches.size(), 2u);  // a and b
+  EXPECT_EQ(t->Tag(branches[0]), "a");
+  EXPECT_EQ(t->Tag(branches[1]), "b");
+}
+
+TEST(TwigTest, DepthIsEdgesFromRoot) {
+  auto t = ParseTwig("a.b.c");
+  ASSERT_TRUE(t.ok());
+  auto paths = t->RootToLeafPaths();
+  EXPECT_EQ(t->Depth(paths[0][0]), 0u);
+  EXPECT_EQ(t->Depth(paths[0][2]), 2u);
+}
+
+TEST(TwigTest, WildcardDetection) {
+  auto t = ParseTwig("book(*=\"x\")");
+  ASSERT_TRUE(t.ok());
+  TwigNodeId star = t->Children(t->root())[0];
+  EXPECT_TRUE(t->IsWildcard(star));
+  EXPECT_FALSE(t->IsWildcard(t->root()));
+}
+
+TEST(ParseTwigTest, DotChain) {
+  auto t = ParseTwig("dblp.book.author=\"Suciu\"");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->size(), 4u);
+  EXPECT_EQ(FormatTwig(*t), "dblp.book.author=\"Suciu\"");
+}
+
+TEST(ParseTwigTest, NestedChildren) {
+  auto t = ParseTwig("book(publisher=\"MK\", year=\"1993\")");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->Children(t->root()).size(), 2u);
+  EXPECT_EQ(FormatTwig(*t), "book(publisher=\"MK\", year=\"1993\")");
+}
+
+TEST(ParseTwigTest, WhitespaceTolerated) {
+  auto t = ParseTwig("  book ( author = \"Su\" , year ) ");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(FormatTwig(*t), "book(author=\"Su\", year)");
+}
+
+TEST(ParseTwigTest, EscapedQuotes) {
+  auto t = ParseTwig(R"(a="x\"y")");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->Value(t->Children(t->root())[0]), "x\"y");
+}
+
+TEST(ParseTwigTest, Errors) {
+  EXPECT_FALSE(ParseTwig("").ok());
+  EXPECT_FALSE(ParseTwig("a(b").ok());
+  EXPECT_FALSE(ParseTwig("a=unquoted").ok());
+  EXPECT_FALSE(ParseTwig("a)b").ok());
+  EXPECT_FALSE(ParseTwig("a=\"unterminated").ok());
+}
+
+TEST(FormatTwigTest, RoundTripsComplexTwig) {
+  const char* text = "dblp.article(author=\"Sto\", year=\"1993\", title)";
+  auto t = ParseTwig(text);
+  ASSERT_TRUE(t.ok());
+  auto reparsed = ParseTwig(FormatTwig(*t));
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_TRUE(TwigEquals(*t, *reparsed));
+}
+
+TEST(TwigEqualsTest, DetectsDifferences) {
+  auto a = ParseTwig("a(b, c)");
+  auto b = ParseTwig("a(b, c)");
+  auto c = ParseTwig("a(c, b)");
+  auto d = ParseTwig("a(b, c=\"x\")");
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok() && d.ok());
+  EXPECT_TRUE(TwigEquals(*a, *b));
+  EXPECT_FALSE(TwigEquals(*a, *c));  // child order matters structurally
+  EXPECT_FALSE(TwigEquals(*a, *d));
+}
+
+TEST(TwigEqualsTest, EmptyTwigs) {
+  Twig a, b;
+  EXPECT_TRUE(TwigEquals(a, b));
+}
+
+}  // namespace
+}  // namespace twig::query

@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/metrics.h"
+
+namespace twig::stats {
+namespace {
+
+TEST(ErrorAccumulatorTest, EmptyIsZero) {
+  ErrorAccumulator acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_DOUBLE_EQ(acc.AvgRelativeError(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.AvgRelativeSquaredError(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.Rmse(), 0.0);
+}
+
+TEST(ErrorAccumulatorTest, PerfectEstimatesZeroError) {
+  ErrorAccumulator acc;
+  acc.Add(10, 10);
+  acc.Add(3, 3);
+  EXPECT_DOUBLE_EQ(acc.AvgRelativeError(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.AvgRelativeSquaredError(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.Rmse(), 0.0);
+}
+
+TEST(ErrorAccumulatorTest, RelativeError) {
+  ErrorAccumulator acc;
+  acc.Add(10, 5);    // rel 0.5
+  acc.Add(100, 150); // rel 0.5
+  EXPECT_DOUBLE_EQ(acc.AvgRelativeError(), 0.5);
+}
+
+TEST(ErrorAccumulatorTest, RelativeSquaredErrorMatchesPaperIntuition) {
+  // The paper's Section 6.1 example: estimates 5000/50 for true
+  // 10000/100 have equal relative error; estimates 9950/50 have equal
+  // absolute error but the second is intuitively worse — and the
+  // squared-relative metric says so.
+  ErrorAccumulator a;
+  a.Add(10000, 9950);
+  ErrorAccumulator b;
+  b.Add(100, 50);
+  EXPECT_LT(a.AvgRelativeSquaredError(), b.AvgRelativeSquaredError());
+}
+
+TEST(ErrorAccumulatorTest, RmseForNegativeQueries) {
+  ErrorAccumulator acc;
+  acc.Add(0, 3);
+  acc.Add(0, 4);
+  // sqrt((9 + 16) / 2) = sqrt(12.5)
+  EXPECT_NEAR(acc.Rmse(), std::sqrt(12.5), 1e-12);
+}
+
+TEST(ErrorAccumulatorTest, ZeroTruthSkippedInRelativeMetrics) {
+  ErrorAccumulator acc;
+  acc.Add(0, 100);
+  acc.Add(10, 5);
+  EXPECT_DOUBLE_EQ(acc.AvgRelativeError(), 0.5);  // only the t=10 pair
+  EXPECT_EQ(acc.count(), 2u);
+}
+
+TEST(ErrorAccumulatorTest, Log10Floored) {
+  EXPECT_DOUBLE_EQ(ErrorAccumulator::Log10(100.0), 2.0);
+  EXPECT_LE(ErrorAccumulator::Log10(0.0), -5.0);  // floored, not -inf
+  EXPECT_TRUE(std::isfinite(ErrorAccumulator::Log10(0.0)));
+}
+
+TEST(RatioHistogramTest, BucketBoundaries) {
+  RatioHistogram hist;
+  hist.Add(100, 5);     // 0.05  -> <0.1
+  hist.Add(100, 20);    // 0.2   -> <0.5
+  hist.Add(100, 80);    // 0.8   -> <1
+  hist.Add(100, 120);   // 1.2   -> <1.5
+  hist.Add(100, 500);   // 5     -> <10
+  hist.Add(100, 5000);  // 50    -> >=10
+  EXPECT_EQ(hist.count(), 6u);
+  for (size_t b = 0; b < RatioHistogram::kBuckets; ++b) {
+    EXPECT_NEAR(hist.Percent(b), 100.0 / 6, 1e-9) << b;
+  }
+}
+
+TEST(RatioHistogramTest, ExactBoundariesGoUp) {
+  RatioHistogram hist;
+  hist.Add(10, 1);    // exactly 0.1 -> <0.5 bucket
+  hist.Add(10, 10);   // exactly 1   -> <1.5 bucket
+  hist.Add(10, 100);  // exactly 10  -> >=10 bucket
+  EXPECT_DOUBLE_EQ(hist.Percent(1), 100.0 / 3);
+  EXPECT_DOUBLE_EQ(hist.Percent(3), 100.0 / 3);
+  EXPECT_DOUBLE_EQ(hist.Percent(5), 100.0 / 3);
+}
+
+TEST(RatioHistogramTest, ZeroTruthIgnored) {
+  RatioHistogram hist;
+  hist.Add(0, 100);
+  EXPECT_EQ(hist.count(), 0u);
+}
+
+TEST(RatioHistogramTest, LabelsMatchBucketCount) {
+  EXPECT_EQ(RatioHistogram::Labels().size(), RatioHistogram::kBuckets);
+}
+
+}  // namespace
+}  // namespace twig::stats

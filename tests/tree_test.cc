@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "tree/tree.h"
+
+namespace twig::tree {
+namespace {
+
+Tree FigureOneTree() {
+  // The paper's Figure 1 DBLP fragment: three books.
+  Tree t;
+  NodeId dblp = t.AddRoot("dblp");
+  NodeId b1 = t.AddElement(dblp, "book");
+  NodeId a = t.AddElement(b1, "author");
+  t.AddValue(a, "A1");
+  NodeId ti = t.AddElement(b1, "title");
+  t.AddValue(ti, "T1");
+  NodeId y = t.AddElement(b1, "year");
+  t.AddValue(y, "Y1");
+
+  NodeId b2 = t.AddElement(dblp, "book");
+  NodeId a1 = t.AddElement(b2, "author");
+  t.AddValue(a1, "A1");
+  NodeId a2 = t.AddElement(b2, "author");
+  t.AddValue(a2, "A2");
+  NodeId t2 = t.AddElement(b2, "title");
+  t.AddValue(t2, "T2");
+  NodeId y2 = t.AddElement(b2, "year");
+  t.AddValue(y2, "Y1");
+
+  NodeId b3 = t.AddElement(dblp, "book");
+  for (const char* av : {"A1", "A2", "A3"}) {
+    NodeId an = t.AddElement(b3, "author");
+    t.AddValue(an, av);
+  }
+  NodeId t3 = t.AddElement(b3, "title");
+  t.AddValue(t3, "T3");
+  NodeId y3 = t.AddElement(b3, "year");
+  t.AddValue(y3, "Y1");
+  return t;
+}
+
+TEST(TreeTest, RootIsFirstNode) {
+  Tree t;
+  NodeId r = t.AddRoot("dblp");
+  EXPECT_EQ(r, t.root());
+  EXPECT_EQ(t.LabelName(r), "dblp");
+  EXPECT_EQ(t.Parent(r), kNullNode);
+}
+
+TEST(TreeTest, ChildrenPreserveOrder) {
+  Tree t;
+  NodeId r = t.AddRoot("a");
+  NodeId c1 = t.AddElement(r, "b");
+  NodeId c2 = t.AddElement(r, "c");
+  ASSERT_EQ(t.Children(r).size(), 2u);
+  EXPECT_EQ(t.Children(r)[0], c1);
+  EXPECT_EQ(t.Children(r)[1], c2);
+  EXPECT_EQ(t.Parent(c1), r);
+  EXPECT_EQ(t.Parent(c2), r);
+}
+
+TEST(TreeTest, ValueNodesCarryStrings) {
+  Tree t;
+  NodeId r = t.AddRoot("book");
+  NodeId v = t.AddValue(r, "Morgan Kaufmann");
+  EXPECT_TRUE(t.IsValue(v));
+  EXPECT_FALSE(t.IsValue(r));
+  EXPECT_EQ(t.Value(v), "Morgan Kaufmann");
+}
+
+TEST(TreeTest, MultipleValuesShareArena) {
+  Tree t;
+  NodeId r = t.AddRoot("r");
+  NodeId v1 = t.AddValue(r, "abc");
+  NodeId v2 = t.AddValue(r, "defg");
+  EXPECT_EQ(t.Value(v1), "abc");
+  EXPECT_EQ(t.Value(v2), "defg");
+}
+
+TEST(TreeTest, DepthIsEdgesFromRoot) {
+  Tree t = FigureOneTree();
+  EXPECT_EQ(t.Depth(t.root()), 0u);
+  NodeId book = t.Children(t.root())[0];
+  EXPECT_EQ(t.Depth(book), 1u);
+  NodeId author = t.Children(book)[0];
+  EXPECT_EQ(t.Depth(author), 2u);
+}
+
+TEST(TreeTest, LabelsInterned) {
+  Tree t = FigureOneTree();
+  NodeId b1 = t.Children(t.root())[0];
+  NodeId b2 = t.Children(t.root())[1];
+  EXPECT_EQ(t.Label(b1), t.Label(b2));
+  EXPECT_EQ(t.labels().Find("book"), t.Label(b1));
+  EXPECT_EQ(t.labels().Find("nosuchtag"), kInvalidLabel);
+}
+
+TEST(TreeStatsTest, CountsFigureOne) {
+  Tree t = FigureOneTree();
+  TreeStats stats = ComputeStats(t);
+  // 1 dblp + 3 book + 6 author + 3 title + 3 year = 16 elements,
+  // and one value under each of the 12 field nodes.
+  EXPECT_EQ(stats.element_count, 16u);
+  EXPECT_EQ(stats.value_count, 12u);
+  EXPECT_EQ(stats.node_count, 28u);
+  EXPECT_EQ(stats.distinct_labels, 5u);
+  EXPECT_EQ(stats.max_depth, 3u);
+  EXPECT_EQ(stats.total_value_bytes, 24u);  // 12 two-char values
+  EXPECT_GT(stats.approx_xml_bytes, 0u);
+}
+
+TEST(LabelTableTest, InternIsIdempotent) {
+  LabelTable table;
+  LabelId a = table.Intern("author");
+  LabelId b = table.Intern("book");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(table.Intern("author"), a);
+  EXPECT_EQ(table.Name(a), "author");
+  EXPECT_EQ(table.size(), 2u);
+}
+
+}  // namespace
+}  // namespace twig::tree

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "util/hash.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/strings.h"
+
+namespace twig {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::ParseError("bad token");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kParseError);
+  EXPECT_EQ(s.message(), "bad token");
+  EXPECT_EQ(s.ToString(), "ParseError: bad token");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kParseError,
+        StatusCode::kNotFound, StatusCode::kOutOfRange, StatusCode::kCorruption,
+        StatusCode::kUnimplemented, StatusCode::kInternal}) {
+    EXPECT_STRNE(StatusCodeToString(code), "Unknown");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(HashTest, Mix64IsDeterministicAndSpreads) {
+  EXPECT_EQ(Mix64(1), Mix64(1));
+  std::set<uint64_t> values;
+  for (uint64_t i = 0; i < 1000; ++i) values.insert(Mix64(i));
+  EXPECT_EQ(values.size(), 1000u);
+}
+
+TEST(HashTest, SeededHashDependsOnSeed) {
+  EXPECT_NE(SeededHash64(1, 99), SeededHash64(2, 99));
+  EXPECT_EQ(SeededHash64(1, 99), SeededHash64(1, 99));
+}
+
+TEST(HashTest, HashBytesStable) {
+  EXPECT_EQ(HashBytes("abc"), HashBytes("abc"));
+  EXPECT_NE(HashBytes("abc"), HashBytes("abd"));
+  EXPECT_NE(HashBytes("abc", 1), HashBytes("abc", 2));
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(7), b(7), c(8);
+  EXPECT_EQ(a.Next(), b.Next());
+  EXPECT_NE(a.Next(), c.Next());
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t v = rng.Uniform(10);
+    EXPECT_LT(v, 10u);
+  }
+}
+
+TEST(RngTest, UniformIntInclusiveBounds) {
+  Rng rng(3);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t v = rng.UniformInt(2, 5);
+    EXPECT_GE(v, 2);
+    EXPECT_LE(v, 5);
+    saw_lo = saw_lo || v == 2;
+    saw_hi = saw_hi || v == 5;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(ZipfTest, UniformWhenThetaZero) {
+  ZipfSampler zipf(4, 0.0);
+  Rng rng(5);
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < 40000; ++i) ++counts[zipf.Sample(rng)];
+  for (int c : counts) EXPECT_NEAR(c, 10000, 600);
+}
+
+TEST(ZipfTest, SkewedWhenThetaLarge) {
+  ZipfSampler zipf(100, 1.2);
+  Rng rng(5);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[zipf.Sample(rng)];
+  EXPECT_GT(counts[0], counts[50] * 5);
+}
+
+TEST(StringsTest, SplitKeepsEmptyPieces) {
+  EXPECT_EQ(StrSplit("a.b", '.'), (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(StrSplit("a..b", '.'), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(StrSplit("", '.'), (std::vector<std::string>{""}));
+}
+
+TEST(StringsTest, JoinRoundTrips) {
+  const std::vector<std::string> pieces = {"x", "y", "z"};
+  EXPECT_EQ(StrJoin(pieces, "."), "x.y.z");
+  EXPECT_EQ(StrSplit(StrJoin(pieces, "."), '.'), pieces);
+}
+
+TEST(StringsTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("Stonebraker", "Stone"));
+  EXPECT_TRUE(StartsWith("abc", ""));
+  EXPECT_FALSE(StartsWith("ab", "abc"));
+}
+
+TEST(StringsTest, HumanBytes) {
+  EXPECT_EQ(HumanBytes(512), "512 B");
+  EXPECT_EQ(HumanBytes(2048), "2.0 KB");
+  EXPECT_EQ(HumanBytes(3 * 1024 * 1024), "3.0 MB");
+}
+
+}  // namespace
+}  // namespace twig

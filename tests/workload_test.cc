@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+#include "match/matcher.h"
+#include "query/twig.h"
+#include "workload/workload.h"
+
+namespace twig::workload {
+namespace {
+
+tree::Tree SmallDblp() {
+  data::DblpOptions options;
+  options.target_bytes = 64 * 1024;
+  options.seed = 11;
+  return data::GenerateDblp(options);
+}
+
+WorkloadOptions SmallOptions(size_t n) {
+  WorkloadOptions options;
+  options.num_queries = n;
+  options.seed = 99;
+  return options;
+}
+
+TEST(WorkloadTest, PositiveQueriesArePositive) {
+  tree::Tree data = SmallDblp();
+  Workload wl = GeneratePositive(data, SmallOptions(50));
+  ASSERT_EQ(wl.size(), 50u);
+  for (const auto& wq : wl) {
+    EXPECT_GE(wq.truth.occurrence, 1.0)
+        << query::FormatTwig(wq.twig);
+    EXPECT_GE(wq.truth.presence, 1.0);
+  }
+}
+
+TEST(WorkloadTest, PositiveQueriesRespectShapeBounds) {
+  tree::Tree data = SmallDblp();
+  WorkloadOptions options = SmallOptions(50);
+  Workload wl = GeneratePositive(data, options);
+  for (const auto& wq : wl) {
+    const auto paths = wq.twig.RootToLeafPaths();
+    EXPECT_GE(static_cast<int>(paths.size()), 2);
+    EXPECT_LE(static_cast<int>(paths.size()),
+              options.max_paths + 1);  // value leaves can split paths
+    for (const auto& path : paths) {
+      int internal = 0;
+      for (auto n : path) {
+        if (!wq.twig.IsValue(n)) ++internal;
+      }
+      EXPECT_GE(internal, options.min_internal);
+      EXPECT_LE(internal, options.max_internal);
+    }
+  }
+}
+
+TEST(WorkloadTest, ValuePredicateLengthsInRange) {
+  tree::Tree data = SmallDblp();
+  WorkloadOptions options = SmallOptions(50);
+  Workload wl = GeneratePositive(data, options);
+  for (const auto& wq : wl) {
+    for (query::TwigNodeId n = 0; n < wq.twig.size(); ++n) {
+      if (!wq.twig.IsValue(n)) continue;
+      EXPECT_GE(static_cast<int>(wq.twig.Value(n).size()),
+                options.min_value_chars);
+      EXPECT_LE(static_cast<int>(wq.twig.Value(n).size()),
+                options.max_value_chars);
+    }
+  }
+}
+
+TEST(WorkloadTest, TrivialQueriesAreSinglePath) {
+  tree::Tree data = SmallDblp();
+  Workload wl = GenerateTrivial(data, SmallOptions(30));
+  ASSERT_EQ(wl.size(), 30u);
+  for (const auto& wq : wl) {
+    EXPECT_EQ(wq.twig.RootToLeafPaths().size(), 1u);
+    EXPECT_GE(wq.truth.occurrence, 1.0);
+  }
+}
+
+TEST(WorkloadTest, NegativeQueriesHaveZeroCount) {
+  tree::Tree data = SmallDblp();
+  Workload wl = GenerateNegative(data, SmallOptions(30));
+  ASSERT_EQ(wl.size(), 30u);
+  for (const auto& wq : wl) {
+    EXPECT_DOUBLE_EQ(wq.truth.occurrence, 0.0);
+    // Verified against the matcher, not just recorded.
+    EXPECT_DOUBLE_EQ(match::CountTwigMatches(data, wq.twig).occurrence, 0.0);
+    EXPECT_GE(wq.twig.RootToLeafPaths().size(), 2u);
+  }
+}
+
+TEST(WorkloadTest, DeterministicInSeed) {
+  tree::Tree data = SmallDblp();
+  Workload a = GeneratePositive(data, SmallOptions(10));
+  Workload b = GeneratePositive(data, SmallOptions(10));
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_TRUE(query::TwigEquals(a[i].twig, b[i].twig));
+  }
+  WorkloadOptions other = SmallOptions(10);
+  other.seed = 100;
+  Workload c = GeneratePositive(data, other);
+  bool all_equal = true;
+  for (size_t i = 0; i < std::min(a.size(), c.size()); ++i) {
+    all_equal = all_equal && query::TwigEquals(a[i].twig, c[i].twig);
+  }
+  EXPECT_FALSE(all_equal);
+}
+
+TEST(WorkloadTest, TopRootedQueriesAppear) {
+  tree::Tree data = SmallDblp();
+  WorkloadOptions options = SmallOptions(60);
+  options.root_at_top_probability = 0.5;
+  Workload wl = GeneratePositive(data, options);
+  size_t top_rooted = 0;
+  for (const auto& wq : wl) {
+    if (wq.twig.Tag(wq.twig.root()) == "dblp") ++top_rooted;
+  }
+  EXPECT_GT(top_rooted, 10u);
+  EXPECT_LT(top_rooted, 50u);
+}
+
+TEST(WorkloadTest, CountsCanBeSkipped) {
+  tree::Tree data = SmallDblp();
+  WorkloadOptions options = SmallOptions(10);
+  options.compute_true_counts = false;
+  Workload wl = GeneratePositive(data, options);
+  for (const auto& wq : wl) {
+    EXPECT_DOUBLE_EQ(wq.truth.occurrence, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace twig::workload
