@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_trivial.dir/bench_fig3_trivial.cc.o"
+  "CMakeFiles/bench_fig3_trivial.dir/bench_fig3_trivial.cc.o.d"
+  "bench_fig3_trivial"
+  "bench_fig3_trivial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_trivial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_positive.dir/bench_fig4_positive.cc.o"
+  "CMakeFiles/bench_fig4_positive.dir/bench_fig4_positive.cc.o.d"
+  "bench_fig4_positive"
+  "bench_fig4_positive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_positive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

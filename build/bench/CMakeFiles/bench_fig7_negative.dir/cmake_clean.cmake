@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_negative.dir/bench_fig7_negative.cc.o"
+  "CMakeFiles/bench_fig7_negative.dir/bench_fig7_negative.cc.o.d"
+  "bench_fig7_negative"
+  "bench_fig7_negative.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_negative.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

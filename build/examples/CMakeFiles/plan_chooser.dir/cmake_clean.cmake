@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plan_chooser.dir/plan_chooser.cc.o"
+  "CMakeFiles/plan_chooser.dir/plan_chooser.cc.o.d"
+  "plan_chooser"
+  "plan_chooser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plan_chooser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for plan_chooser.
+# This may be replaced when dependencies are built.

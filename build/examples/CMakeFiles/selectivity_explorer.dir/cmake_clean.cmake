@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selectivity_explorer.dir/selectivity_explorer.cc.o"
+  "CMakeFiles/selectivity_explorer.dir/selectivity_explorer.cc.o.d"
+  "selectivity_explorer"
+  "selectivity_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selectivity_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

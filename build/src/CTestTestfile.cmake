@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("tree")
+subdirs("xml")
+subdirs("query")
+subdirs("sethash")
+subdirs("suffix")
+subdirs("cst")
+subdirs("match")
+subdirs("core")
+subdirs("workload")
+subdirs("data")
+subdirs("stats")
+subdirs("exp")

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/combine.cc" "src/core/CMakeFiles/twig_core.dir/combine.cc.o" "gcc" "src/core/CMakeFiles/twig_core.dir/combine.cc.o.d"
+  "/root/repo/src/core/estimator.cc" "src/core/CMakeFiles/twig_core.dir/estimator.cc.o" "gcc" "src/core/CMakeFiles/twig_core.dir/estimator.cc.o.d"
+  "/root/repo/src/core/expanded_query.cc" "src/core/CMakeFiles/twig_core.dir/expanded_query.cc.o" "gcc" "src/core/CMakeFiles/twig_core.dir/expanded_query.cc.o.d"
+  "/root/repo/src/core/parse.cc" "src/core/CMakeFiles/twig_core.dir/parse.cc.o" "gcc" "src/core/CMakeFiles/twig_core.dir/parse.cc.o.d"
+  "/root/repo/src/core/pieces.cc" "src/core/CMakeFiles/twig_core.dir/pieces.cc.o" "gcc" "src/core/CMakeFiles/twig_core.dir/pieces.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cst/CMakeFiles/twig_cst.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/twig_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/sethash/CMakeFiles/twig_sethash.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/twig_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/suffix/CMakeFiles/twig_suffix.dir/DependInfo.cmake"
+  "/root/repo/build/src/tree/CMakeFiles/twig_tree.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

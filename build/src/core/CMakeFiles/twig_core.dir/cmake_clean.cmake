@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/twig_core.dir/combine.cc.o"
+  "CMakeFiles/twig_core.dir/combine.cc.o.d"
+  "CMakeFiles/twig_core.dir/estimator.cc.o"
+  "CMakeFiles/twig_core.dir/estimator.cc.o.d"
+  "CMakeFiles/twig_core.dir/expanded_query.cc.o"
+  "CMakeFiles/twig_core.dir/expanded_query.cc.o.d"
+  "CMakeFiles/twig_core.dir/parse.cc.o"
+  "CMakeFiles/twig_core.dir/parse.cc.o.d"
+  "CMakeFiles/twig_core.dir/pieces.cc.o"
+  "CMakeFiles/twig_core.dir/pieces.cc.o.d"
+  "libtwig_core.a"
+  "libtwig_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/twig_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cst/cst.cc" "src/cst/CMakeFiles/twig_cst.dir/cst.cc.o" "gcc" "src/cst/CMakeFiles/twig_cst.dir/cst.cc.o.d"
+  "/root/repo/src/cst/cst_serialize.cc" "src/cst/CMakeFiles/twig_cst.dir/cst_serialize.cc.o" "gcc" "src/cst/CMakeFiles/twig_cst.dir/cst_serialize.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/suffix/CMakeFiles/twig_suffix.dir/DependInfo.cmake"
+  "/root/repo/build/src/sethash/CMakeFiles/twig_sethash.dir/DependInfo.cmake"
+  "/root/repo/build/src/tree/CMakeFiles/twig_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/twig_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/twig_cst.dir/cst.cc.o"
+  "CMakeFiles/twig_cst.dir/cst.cc.o.d"
+  "CMakeFiles/twig_cst.dir/cst_serialize.cc.o"
+  "CMakeFiles/twig_cst.dir/cst_serialize.cc.o.d"
+  "libtwig_cst.a"
+  "libtwig_cst.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/twig_cst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

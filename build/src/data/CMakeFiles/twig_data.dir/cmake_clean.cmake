@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/twig_data.dir/generators.cc.o"
+  "CMakeFiles/twig_data.dir/generators.cc.o.d"
+  "CMakeFiles/twig_data.dir/vocab.cc.o"
+  "CMakeFiles/twig_data.dir/vocab.cc.o.d"
+  "libtwig_data.a"
+  "libtwig_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/twig_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/twig_exp.dir/harness.cc.o"
+  "CMakeFiles/twig_exp.dir/harness.cc.o.d"
+  "libtwig_exp.a"
+  "libtwig_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/twig_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

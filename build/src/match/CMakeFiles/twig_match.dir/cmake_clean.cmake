@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/twig_match.dir/matcher.cc.o"
+  "CMakeFiles/twig_match.dir/matcher.cc.o.d"
+  "libtwig_match.a"
+  "libtwig_match.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/twig_match.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtwig_match.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/twig_query.dir/twig.cc.o"
+  "CMakeFiles/twig_query.dir/twig.cc.o.d"
+  "libtwig_query.a"
+  "libtwig_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/twig_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/twig_sethash.dir/sethash.cc.o"
+  "CMakeFiles/twig_sethash.dir/sethash.cc.o.d"
+  "libtwig_sethash.a"
+  "libtwig_sethash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/twig_sethash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

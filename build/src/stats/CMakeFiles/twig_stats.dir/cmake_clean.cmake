@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/twig_stats.dir/metrics.cc.o"
+  "CMakeFiles/twig_stats.dir/metrics.cc.o.d"
+  "libtwig_stats.a"
+  "libtwig_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/twig_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/twig_suffix.dir/path_suffix_tree.cc.o"
+  "CMakeFiles/twig_suffix.dir/path_suffix_tree.cc.o.d"
+  "libtwig_suffix.a"
+  "libtwig_suffix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/twig_suffix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/twig_tree.dir/tree.cc.o"
+  "CMakeFiles/twig_tree.dir/tree.cc.o.d"
+  "libtwig_tree.a"
+  "libtwig_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/twig_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

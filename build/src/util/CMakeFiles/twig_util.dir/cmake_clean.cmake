@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/twig_util.dir/rng.cc.o"
+  "CMakeFiles/twig_util.dir/rng.cc.o.d"
+  "CMakeFiles/twig_util.dir/status.cc.o"
+  "CMakeFiles/twig_util.dir/status.cc.o.d"
+  "CMakeFiles/twig_util.dir/strings.cc.o"
+  "CMakeFiles/twig_util.dir/strings.cc.o.d"
+  "libtwig_util.a"
+  "libtwig_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/twig_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/twig_workload.dir/workload.cc.o"
+  "CMakeFiles/twig_workload.dir/workload.cc.o.d"
+  "libtwig_workload.a"
+  "libtwig_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/twig_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

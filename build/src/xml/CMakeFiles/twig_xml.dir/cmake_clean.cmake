@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/twig_xml.dir/xml.cc.o"
+  "CMakeFiles/twig_xml.dir/xml.cc.o.d"
+  "libtwig_xml.a"
+  "libtwig_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/twig_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pieces_test.dir/pieces_test.cc.o"
+  "CMakeFiles/pieces_test.dir/pieces_test.cc.o.d"
+  "pieces_test"
+  "pieces_test.pdb"
+  "pieces_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pieces_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

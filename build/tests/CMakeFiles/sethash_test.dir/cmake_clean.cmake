@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sethash_test.dir/sethash_test.cc.o"
+  "CMakeFiles/sethash_test.dir/sethash_test.cc.o.d"
+  "sethash_test"
+  "sethash_test.pdb"
+  "sethash_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sethash_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/suffix_test.cc" "tests/CMakeFiles/suffix_test.dir/suffix_test.cc.o" "gcc" "tests/CMakeFiles/suffix_test.dir/suffix_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exp/CMakeFiles/twig_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/twig_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cst/CMakeFiles/twig_cst.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/twig_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/sethash/CMakeFiles/twig_sethash.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/twig_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/suffix/CMakeFiles/twig_suffix.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/twig_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/match/CMakeFiles/twig_match.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/twig_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/twig_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/tree/CMakeFiles/twig_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/twig_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/suffix_test.dir/suffix_test.cc.o"
+  "CMakeFiles/suffix_test.dir/suffix_test.cc.o.d"
+  "suffix_test"
+  "suffix_test.pdb"
+  "suffix_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/suffix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
