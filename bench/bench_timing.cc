@@ -96,6 +96,33 @@ BENCHMARK(BM_Estimate)
     ->DenseRange(0, 5, 1)
     ->Unit(benchmark::kMicrosecond);
 
+void BM_EstimateBatch(benchmark::State& state) {
+  const size_t num_threads = static_cast<size_t>(state.range(0));
+  const auto& summary = SharedCst();
+  const auto& wl = SharedWorkload();
+  core::TwigEstimator estimator(&summary);
+  core::BatchOptions options;
+  options.num_threads = num_threads;
+  for (auto _ : state) {
+    stats::BatchStats batch_stats;
+    const auto estimates =
+        estimator.EstimateBatch(wl, core::Algorithm::kMsh, options,
+                                &batch_stats);
+    benchmark::DoNotOptimize(estimates.data());
+    state.counters["qps"] = batch_stats.throughput_qps();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(wl.size()));
+  state.SetLabel("MSH x" + std::to_string(num_threads) + " threads");
+}
+BENCHMARK(BM_EstimateBatch)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
 void BM_ExactMatchCount(benchmark::State& state) {
   const auto& data = SharedData();
   const auto& wl = SharedWorkload();

@@ -16,7 +16,7 @@ Combiner::Combiner(const ExpandedQuery& eq, const cst::Cst& cst,
   }
 }
 
-cst::CstNodeId Combiner::LookupAtoms(const std::vector<AtomId>& seq) const {
+cst::CstNodeId Combiner::LookupAtoms(const AtomSeq& seq) const {
   cst::CstNodeId node = cst_.root();
   for (AtomId a : seq) {
     const suffix::Symbol symbol = eq_.atoms[a].symbol;
@@ -27,8 +27,7 @@ cst::CstNodeId Combiner::LookupAtoms(const std::vector<AtomId>& seq) const {
   return node;
 }
 
-double Combiner::SubpathsCount(
-    const std::vector<std::vector<AtomId>>& subpaths) const {
+double Combiner::SubpathsCount(const SubpathList& subpaths) const {
   assert(!subpaths.empty());
   if (subpaths.size() == 1) {
     const cst::CstNodeId node = LookupAtoms(subpaths[0]);
@@ -51,16 +50,16 @@ double Combiner::SubpathsCount(
   //      their LCP-prefix signatures, with the Section 5 occurrence
   //      scaling per group.
   struct Group {
-    std::vector<AtomId> prefix;  // root .. LCP node (CST-resolvable)
+    AtomSeq prefix;              // root .. LCP node (CST-resolvable)
     double multiplicity = 1.0;   // expected instances per rooting node
     double presence_factor = 1.0;  // presence-mode damping (<= 1)
   };
-  std::vector<Group> groups;
+  util::SmallVector<Group, 4> groups;
   {
     // Partition by first edge, preserving order. Length-1 subpaths
     // (the bare root) are implied by any other subpath; drop them.
-    std::vector<std::vector<const std::vector<AtomId>*>> parts;
-    std::vector<AtomId> part_keys;
+    util::SmallVector<util::SmallVector<const AtomSeq*, 4>, 4> parts;
+    AtomSeq part_keys;
     for (const auto& sp : subpaths) {
       if (sp.size() < 2) continue;
       const AtomId key = sp[1];
@@ -97,7 +96,7 @@ double Combiner::SubpathsCount(
       group.multiplicity = prefix_co / prefix_cp;
       if (part.size() >= 2) {
         // Joint branch structure below the LCP node w.
-        std::vector<std::vector<AtomId>> branches;
+        SubpathList branches;
         for (const auto* sp : part) {
           branches.emplace_back(sp->begin() + (lcp - 1), sp->end());
         }
@@ -126,10 +125,10 @@ double Combiner::SubpathsCount(
   }
 
   // Intersect the groups' rooting sets via set hashing.
-  std::vector<sethash::SizedSignature> sized;
+  util::SmallVector<sethash::SizedSignature, 4> sized;
   double fallback_min = -1.0;
-  std::vector<std::vector<AtomId>> representatives;
-  std::vector<double> multiplicities;
+  SubpathList representatives;
+  util::SmallVector<double, 4> multiplicities;
   double presence_damp = 1.0;
   for (const Group& group : groups) {
     const cst::CstNodeId node = LookupAtoms(group.prefix);
@@ -172,8 +171,8 @@ double Combiner::SubpathsCount(
 }
 
 double Combiner::OccurrenceScale(
-    const std::vector<std::vector<AtomId>>& subpaths,
-    const std::vector<double>& multiplicities) const {
+    const SubpathList& subpaths,
+    const util::SmallVector<double, 4>& multiplicities) const {
   if (!options_.duplicate_aware_occurrence) {
     double scale = 1.0;
     for (double m : multiplicities) scale *= m;
@@ -187,13 +186,14 @@ double Combiner::OccurrenceScale(
   // branch consumes one unit of the general branch's multiplicity
   // (falling factorial instead of a plain power).
   const size_t k = subpaths.size();
-  std::vector<size_t> order(k);
+  util::SmallVector<size_t, 8> order;
+  order.resize(k);
   for (size_t i = 0; i < k; ++i) order[i] = i;
   std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
     return subpaths[a].size() > subpaths[b].size();
   });
-  auto symbols_prefix_of = [&](const std::vector<AtomId>& shorter,
-                               const std::vector<AtomId>& longer) {
+  auto symbols_prefix_of = [&](const AtomSeq& shorter,
+                               const AtomSeq& longer) {
     if (shorter.size() > longer.size()) return false;
     for (size_t i = 0; i < shorter.size(); ++i) {
       if (eq_.atoms[shorter[i]].symbol != eq_.atoms[longer[i]].symbol) {
@@ -215,8 +215,7 @@ double Combiner::OccurrenceScale(
   return scale;
 }
 
-double Combiner::TwigletMoFallback(
-    const std::vector<std::vector<AtomId>>& subpaths) const {
+double Combiner::TwigletMoFallback(const SubpathList& subpaths) const {
   std::vector<EstimandPiece> pieces;
   pieces.reserve(subpaths.size());
   for (const auto& sp : subpaths) {
@@ -234,14 +233,15 @@ double Combiner::PieceCount(const EstimandPiece& piece) const {
   return SubpathsCount(piece.subpaths);
 }
 
-double Combiner::AtomSetProb(const std::vector<AtomId>& atoms) const {
+double Combiner::AtomSetProb(const AtomSeq& atoms) const {
   if (atoms.empty()) return 1.0;
   // Split into connected components (an atom joins its parent's
   // component when the parent is in the set). `atoms` is sorted, and
   // parents precede children in atom numbering (preorder), so one pass
   // suffices.
-  std::vector<int> comp(atoms.size());
-  std::vector<AtomId> roots;
+  util::SmallVector<int, 12> comp;
+  comp.resize(atoms.size());
+  AtomSeq roots;
   for (size_t i = 0; i < atoms.size(); ++i) {
     const AtomId parent = eq_.atoms[atoms[i]].parent;
     const auto it =
@@ -255,20 +255,22 @@ double Combiner::AtomSetProb(const std::vector<AtomId>& atoms) const {
   }
   // Extract each component's root-anchored subpaths: a leaf (atom with
   // no child in the set) terminates one subpath; walk up to the root.
-  std::vector<bool> has_child_in_set(atoms.size(), false);
+  util::SmallVector<unsigned char, 12> has_child_in_set;
+  has_child_in_set.resize(atoms.size());
   for (size_t i = 0; i < atoms.size(); ++i) {
     const AtomId parent = eq_.atoms[atoms[i]].parent;
     const auto it =
         std::lower_bound(atoms.begin(), atoms.begin() + i, parent);
     if (parent >= 0 && it != atoms.begin() + i && *it == parent) {
-      has_child_in_set[it - atoms.begin()] = true;
+      has_child_in_set[it - atoms.begin()] = 1;
     }
   }
-  std::vector<std::vector<std::vector<AtomId>>> comp_subpaths(roots.size());
+  util::SmallVector<SubpathList, 4> comp_subpaths;
+  comp_subpaths.resize(roots.size());
   for (size_t i = 0; i < atoms.size(); ++i) {
     if (has_child_in_set[i]) continue;
     // Leaf of the set: collect the chain up to its component root.
-    std::vector<AtomId> chain;
+    AtomSeq chain;
     AtomId a = atoms[i];
     while (true) {
       chain.push_back(a);
@@ -297,10 +299,11 @@ double Combiner::MoCombine(std::vector<EstimandPiece> pieces) const {
               return a.atoms.size() > b.atoms.size();
             });
 
-  std::vector<bool> covered(eq_.atoms.size(), false);
+  util::SmallVector<unsigned char, 32> covered;
+  covered.resize(eq_.atoms.size());
   double estimate = n_;
   for (const EstimandPiece& piece : pieces) {
-    std::vector<AtomId> overlap;
+    AtomSeq overlap;
     for (AtomId a : piece.atoms) {
       if (covered[a]) overlap.push_back(a);
     }
@@ -310,7 +313,7 @@ double Combiner::MoCombine(std::vector<EstimandPiece> pieces) const {
       const double overlap_prob = AtomSetProb(overlap);
       estimate /= std::max(overlap_prob, 1e-12);
     }
-    for (AtomId a : piece.atoms) covered[a] = true;
+    for (AtomId a : piece.atoms) covered[a] = 1;
     if (estimate <= 0) return 0.0;
   }
   return estimate;

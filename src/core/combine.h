@@ -69,25 +69,25 @@ class Combiner {
 
   /// Probability (count / N) of an arbitrary atom set: its connected
   /// components are estimated independently and multiplied.
-  double AtomSetProb(const std::vector<AtomId>& atoms) const;
+  double AtomSetProb(const AtomSeq& atoms) const;
 
  private:
   /// CST node for an explicit atom sequence, or kNoCstNode.
-  cst::CstNodeId LookupAtoms(const std::vector<AtomId>& seq) const;
+  cst::CstNodeId LookupAtoms(const AtomSeq& seq) const;
 
   /// Count of a root-anchored group of subpaths (1 => CST read, >= 2 =>
   /// set-hash twiglet estimate).
-  double SubpathsCount(const std::vector<std::vector<AtomId>>& subpaths) const;
+  double SubpathsCount(const SubpathList& subpaths) const;
 
   /// Pure-MO conditioning estimate of a twiglet, used when its
   /// intersection is below the signatures' resolution.
-  double TwigletMoFallback(
-      const std::vector<std::vector<AtomId>>& subpaths) const;
+  double TwigletMoFallback(const SubpathList& subpaths) const;
 
   /// Occurrences-per-presence scale of a twiglet (Section 5), with the
   /// optional duplicate-aware falling-factorial correction.
-  double OccurrenceScale(const std::vector<std::vector<AtomId>>& subpaths,
-                         const std::vector<double>& multiplicities) const;
+  double OccurrenceScale(const SubpathList& subpaths,
+                         const util::SmallVector<double, 4>& multiplicities)
+      const;
 
   double CountOf(cst::CstNodeId node) const {
     return options_.semantics == CountSemantics::kOccurrence

@@ -1,9 +1,11 @@
 #include "core/estimator.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "core/parse.h"
 #include "core/pieces.h"
+#include "util/thread_pool.h"
 
 namespace twig::core {
 
@@ -113,6 +115,43 @@ double TwigEstimator::Estimate(const query::Twig& twig, Algorithm algorithm,
     return combiner.IndependenceCombine(pieces);
   }
   return combiner.MoCombine(std::move(pieces));
+}
+
+std::vector<double> TwigEstimator::EstimateBatch(
+    const workload::Workload& workload, Algorithm algorithm,
+    const BatchOptions& options, stats::BatchStats* stats) const {
+  using Clock = std::chrono::steady_clock;
+  const size_t num_threads =
+      options.num_threads == 0
+          ? std::max(1u, std::thread::hardware_concurrency())
+          : options.num_threads;
+
+  std::vector<double> estimates(workload.size());
+  stats::BatchStats local;
+  local.num_threads = num_threads;
+  local.queries_per_thread.assign(num_threads, 0);
+  local.busy_seconds_per_thread.assign(num_threads, 0);
+
+  const auto wall_start = Clock::now();
+  auto run_one = [&](size_t item, size_t worker) {
+    const auto t0 = Clock::now();
+    estimates[item] =
+        Estimate(workload[item].twig, algorithm, options.estimate);
+    local.busy_seconds_per_thread[worker] +=
+        std::chrono::duration<double>(Clock::now() - t0).count();
+    ++local.queries_per_thread[worker];
+  };
+  if (num_threads == 1) {
+    for (size_t i = 0; i < workload.size(); ++i) run_one(i, 0);
+  } else {
+    util::ThreadPool pool(num_threads);
+    pool.ParallelFor(workload.size(), run_one);
+  }
+  local.wall_seconds =
+      std::chrono::duration<double>(Clock::now() - wall_start).count();
+
+  if (stats != nullptr) *stats = std::move(local);
+  return estimates;
 }
 
 uint64_t TwigEstimator::DecompositionFingerprint(const query::Twig& twig,

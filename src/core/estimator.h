@@ -23,10 +23,13 @@
 
 #include <array>
 #include <cstdint>
+#include <vector>
 
 #include "core/combine.h"
 #include "cst/cst.h"
 #include "query/twig.h"
+#include "stats/metrics.h"
+#include "workload/workload.h"
 
 namespace twig::core {
 
@@ -59,6 +62,14 @@ struct EstimateOptions {
   double missing_count = 0;
 };
 
+/// Options for EstimateBatch.
+struct BatchOptions {
+  /// Worker threads; 0 = one per hardware thread. 1 runs inline on the
+  /// calling thread (no pool).
+  size_t num_threads = 1;
+  EstimateOptions estimate;
+};
+
 /// Estimates twig match counts against a CST summary. Stateless apart
 /// from the CST reference; cheap to construct.
 class TwigEstimator {
@@ -69,6 +80,18 @@ class TwigEstimator {
   /// Estimated number of matches of `twig` in the summarized data.
   double Estimate(const query::Twig& twig, Algorithm algorithm,
                   const EstimateOptions& options = {}) const;
+
+  /// Estimates every query of `workload`, fanning the (independent)
+  /// queries across options.num_threads workers. estimates[i] always
+  /// equals Estimate(workload[i].twig, ...) bit for bit, regardless of
+  /// thread count: queries never share mutable state — the only shared
+  /// structure is the immutable CST — and each result is written to its
+  /// own slot. If `stats` is non-null it receives per-thread query and
+  /// busy-time counters plus the batch wall time.
+  std::vector<double> EstimateBatch(const workload::Workload& workload,
+                                    Algorithm algorithm,
+                                    const BatchOptions& options = {},
+                                    stats::BatchStats* stats = nullptr) const;
 
   /// Order-independent fingerprint of the algorithm's decomposition of
   /// `twig` (pieces + twiglets). Two algorithms "parse a query

@@ -43,7 +43,7 @@ ExpandedQuery ExpandQuery(const Twig& twig, const cst::Cst& cst) {
   expand(expand, twig.root(), -1);
 
   // Root-to-leaf atom paths.
-  std::vector<AtomId> current;
+  AtomSeq current;
   auto walk = [&](auto&& self, AtomId a) -> void {
     current.push_back(a);
     if (eq.atoms[a].children.empty()) {

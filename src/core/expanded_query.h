@@ -16,11 +16,17 @@
 #include "cst/cst.h"
 #include "query/twig.h"
 #include "suffix/symbol.h"
+#include "util/small_vector.h"
 
 namespace twig::core {
 
 /// Index of an atom within an ExpandedQuery.
 using AtomId = int;
+
+/// A short sequence of atoms (a path, subpath, or chain). Queries have
+/// a handful of atoms per path, so the inline capacity makes these
+/// allocation-free on the estimation hot path.
+using AtomSeq = util::SmallVector<AtomId, 12>;
 
 /// A twig query in CST-symbol form.
 struct ExpandedQuery {
@@ -33,7 +39,7 @@ struct ExpandedQuery {
     /// Depth in the expanded tree (root atom = 0).
     uint32_t depth = 0;
     /// Children in expansion order.
-    std::vector<AtomId> children;
+    util::SmallVector<AtomId, 4> children;
     /// True for element atoms (tag symbols); branch points can only be
     /// element atoms.
     bool is_tag = false;
@@ -41,7 +47,7 @@ struct ExpandedQuery {
 
   std::vector<Atom> atoms;  // preorder; atoms[0] is the root atom
   /// Root-to-leaf atom sequences, left-to-right.
-  std::vector<std::vector<AtomId>> paths;
+  std::vector<AtomSeq> paths;
   /// Atoms with >= 2 children (the twig's branch nodes).
   std::vector<AtomId> branch_atoms;
 

@@ -1,6 +1,8 @@
 #include "core/parse.h"
 
-#include <unordered_set>
+#include <algorithm>
+
+#include "util/small_vector.h"
 
 namespace twig::core {
 
@@ -100,14 +102,19 @@ std::vector<ParsedPiece> GreedyParseInterval(const ExpandedQuery& eq,
 std::vector<ParsedPiece> ParseQuery(const ExpandedQuery& eq, const Cst& cst,
                                     ParseStrategy strategy) {
   std::vector<ParsedPiece> all;
-  std::unordered_set<uint64_t> seen;  // (start atom, end atom) intervals
+  // (start atom, end atom) intervals already emitted. A handful of
+  // pieces per query, so a flat sequence beats a hash set here.
+  util::SmallVector<uint64_t, 16> seen;
 
   auto emit = [&](std::vector<ParsedPiece>&& pieces) {
     for (ParsedPiece& p : pieces) {
       const uint64_t key =
           (static_cast<uint64_t>(p.StartAtom(eq)) << 32) |
           static_cast<uint32_t>(p.EndAtom(eq));
-      if (seen.insert(key).second) all.push_back(p);
+      if (std::find(seen.begin(), seen.end(), key) == seen.end()) {
+        seen.push_back(key);
+        all.push_back(p);
+      }
     }
   };
 
@@ -123,7 +130,7 @@ std::vector<ParsedPiece> ParseQuery(const ExpandedQuery& eq, const Cst& cst,
       case ParseStrategy::kPiecewiseMaximal: {
         // Segment boundaries: root, branch atoms, and the leaf; each
         // boundary belongs to both adjacent segments.
-        std::vector<int> bounds;
+        util::SmallVector<int, 8> bounds;
         bounds.push_back(0);
         for (int i = 1; i + 1 < len; ++i) {
           if (eq.IsBranch(eq.paths[pi][i])) bounds.push_back(i);

@@ -1,32 +1,29 @@
 #include "core/pieces.h"
 
 #include <algorithm>
-#include <map>
-#include <set>
 
 #include "util/hash.h"
+#include "util/small_vector.h"
 
 namespace twig::core {
 
 namespace {
 
 /// Atom sequence of a parsed subpath.
-std::vector<AtomId> PieceAtoms(const ExpandedQuery& eq, const ParsedPiece& p) {
+AtomSeq PieceAtoms(const ExpandedQuery& eq, const ParsedPiece& p) {
   const auto& path = eq.paths[p.path];
-  return std::vector<AtomId>(path.begin() + p.start,
-                             path.begin() + p.start + p.length);
+  return AtomSeq(path.begin() + p.start, path.begin() + p.start + p.length);
 }
 
 /// Position of `atom` within `seq`, or -1.
-int FindAtom(const std::vector<AtomId>& seq, AtomId atom) {
+int FindAtom(const AtomSeq& seq, AtomId atom) {
   for (size_t i = 0; i < seq.size(); ++i) {
     if (seq[i] == atom) return static_cast<int>(i);
   }
   return -1;
 }
 
-EstimandPiece MakeTwiglet(AtomId root,
-                          std::vector<std::vector<AtomId>> subpaths) {
+EstimandPiece MakeTwiglet(AtomId root, SubpathList subpaths) {
   EstimandPiece piece;
   piece.root_atom = root;
   for (const auto& sp : subpaths) {
@@ -43,7 +40,7 @@ EstimandPiece MakeTwiglet(AtomId root,
 
 EstimandPiece PieceFromParsed(const ExpandedQuery& eq, const ParsedPiece& p) {
   EstimandPiece piece;
-  std::vector<AtomId> atoms = PieceAtoms(eq, p);
+  AtomSeq atoms = PieceAtoms(eq, p);
   piece.root_atom = atoms.front();
   piece.atoms = atoms;  // a path: already sorted in preorder = ascending
   piece.subpaths.push_back(std::move(atoms));
@@ -61,36 +58,57 @@ std::vector<EstimandPiece> SinglePathPieces(
 
 std::vector<EstimandPiece> MoshDecompose(const ExpandedQuery& eq,
                                          const std::vector<ParsedPiece>& parsed) {
-  std::vector<std::vector<AtomId>> atom_seqs(parsed.size());
+  util::SmallVector<AtomSeq, 8> atom_seqs;
+  atom_seqs.resize(parsed.size());
   for (size_t i = 0; i < parsed.size(); ++i) {
     atom_seqs[i] = PieceAtoms(eq, parsed[i]);
   }
 
   // Group member subpaths by (branch atom, start atom); a subpath
   // "passes through" the branch if it contains it at a non-final
-  // position (i.e., continues below the branch).
-  std::map<std::pair<AtomId, AtomId>, std::vector<size_t>> groups;
+  // position (i.e., continues below the branch). Queries have a
+  // handful of groups, so a flat vector kept sorted by key stands in
+  // for a std::map (same iteration order, no per-node allocations).
+  struct Grouping {
+    std::pair<AtomId, AtomId> key;
+    std::vector<size_t> members;
+  };
+  std::vector<Grouping> groups;
   for (AtomId beta : eq.branch_atoms) {
     for (size_t i = 0; i < parsed.size(); ++i) {
       if (parsed[i].missing) continue;
       const int pos = FindAtom(atom_seqs[i], beta);
       if (pos < 0 || pos + 1 >= static_cast<int>(atom_seqs[i].size())) continue;
-      groups[{beta, atom_seqs[i].front()}].push_back(i);
+      const std::pair<AtomId, AtomId> key = {beta, atom_seqs[i].front()};
+      auto it = std::lower_bound(
+          groups.begin(), groups.end(), key,
+          [](const Grouping& g, const std::pair<AtomId, AtomId>& k) {
+            return g.key < k;
+          });
+      if (it == groups.end() || it->key != key) {
+        it = groups.insert(it, Grouping{key, {}});
+      }
+      it->members.push_back(i);
     }
   }
 
   std::vector<EstimandPiece> out;
-  std::vector<bool> absorbed(parsed.size(), false);
-  std::set<std::vector<size_t>> emitted;  // dedupe by member set
+  util::SmallVector<unsigned char, 8> absorbed;
+  absorbed.resize(parsed.size());
+  std::vector<std::vector<size_t>> emitted;  // dedupe by member set
   for (auto& [key, members] : groups) {
     if (members.size() < 2) continue;
     std::sort(members.begin(), members.end());
     members.erase(std::unique(members.begin(), members.end()), members.end());
-    if (members.size() < 2 || !emitted.insert(members).second) continue;
-    std::vector<std::vector<AtomId>> subpaths;
+    if (members.size() < 2 ||
+        std::find(emitted.begin(), emitted.end(), members) != emitted.end()) {
+      continue;
+    }
+    emitted.push_back(members);
+    SubpathList subpaths;
     for (size_t i : members) {
       subpaths.push_back(atom_seqs[i]);
-      absorbed[i] = true;
+      absorbed[i] = 1;
     }
     out.push_back(MakeTwiglet(key.second, std::move(subpaths)));
   }
@@ -102,27 +120,32 @@ std::vector<EstimandPiece> MoshDecompose(const ExpandedQuery& eq,
 
 std::vector<EstimandPiece> MshDecompose(const ExpandedQuery& eq,
                                         const std::vector<ParsedPiece>& parsed) {
-  std::vector<std::vector<AtomId>> atom_seqs(parsed.size());
+  util::SmallVector<AtomSeq, 8> atom_seqs;
+  atom_seqs.resize(parsed.size());
   for (size_t i = 0; i < parsed.size(); ++i) {
     atom_seqs[i] = PieceAtoms(eq, parsed[i]);
   }
 
   std::vector<EstimandPiece> out;
-  std::vector<bool> absorbed(parsed.size(), false);
+  util::SmallVector<unsigned char, 8> absorbed;
+  absorbed.resize(parsed.size());
   // Dedupe twiglets by their member (piece, suffix offset) sets.
-  std::set<std::vector<std::pair<size_t, int>>> emitted;
+  std::vector<std::vector<std::pair<size_t, int>>> emitted;
 
   for (AtomId beta : eq.branch_atoms) {
-    // Subpaths passing through this branch, and their start atoms.
-    std::vector<size_t> through;
-    std::set<AtomId> starts;
+    // Subpaths passing through this branch, and their start atoms
+    // (visited in ascending order, as the std::set this replaces did).
+    util::SmallVector<size_t, 8> through;
+    AtomSeq starts;
     for (size_t i = 0; i < parsed.size(); ++i) {
       if (parsed[i].missing) continue;
       const int pos = FindAtom(atom_seqs[i], beta);
       if (pos < 0 || pos + 1 >= static_cast<int>(atom_seqs[i].size())) continue;
       through.push_back(i);
-      starts.insert(atom_seqs[i].front());
+      starts.push_back(atom_seqs[i].front());
     }
+    std::sort(starts.begin(), starts.end());
+    starts.erase(std::unique(starts.begin(), starts.end()), starts.end());
     // For each starting point, admit the suffix (from that start) of
     // every subpath through the branch that contains the start on the
     // root side of the branch.
@@ -136,8 +159,12 @@ std::vector<EstimandPiece> MshDecompose(const ExpandedQuery& eq,
       }
       if (members.size() < 2) continue;
       std::sort(members.begin(), members.end());
-      if (!emitted.insert(members).second) continue;
-      std::vector<std::vector<AtomId>> subpaths;
+      if (std::find(emitted.begin(), emitted.end(), members) !=
+          emitted.end()) {
+        continue;
+      }
+      emitted.push_back(members);
+      SubpathList subpaths;
       for (const auto& [i, pos_u] : members) {
         subpaths.emplace_back(atom_seqs[i].begin() + pos_u,
                               atom_seqs[i].end());

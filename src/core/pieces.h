@@ -28,15 +28,19 @@
 
 namespace twig::core {
 
+/// The subpaths of one estimand piece; nearly always 1 (a plain path)
+/// or the 2-4 branches of a twiglet, so inline storage suffices.
+using SubpathList = util::SmallVector<AtomSeq, 4>;
+
 /// A connected query subtree whose count the combiner will estimate:
 /// one or more subpaths emanating from a common root atom.
 struct EstimandPiece {
   AtomId root_atom = -1;
   /// Root-anchored atom sequences (each begins with root_atom). One
   /// sequence = plain subpath; several = set-hash twiglet.
-  std::vector<std::vector<AtomId>> subpaths;
+  SubpathList subpaths;
   /// Sorted union of all subpath atoms.
-  std::vector<AtomId> atoms;
+  AtomSeq atoms;
   /// True for a single atom with no CST match.
   bool missing = false;
 };

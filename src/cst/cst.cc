@@ -91,11 +91,13 @@ Cst Cst::Build(const Tree& data, const PathSuffixTree& pst,
     }
     const CstNodeId id = static_cast<CstNodeId>(cst.nodes_.size());
     remap[n] = id;
-    cst.child_map_.emplace(ChildKey(node.parent, node.symbol), id);
     cst.size_bytes_ +=
         options.bytes_per_node + (node.starts_with_tag ? sig_bytes : 0);
     cst.nodes_.push_back(std::move(node));
   }
+  cst.child_index_ = suffix::ChildIndex::Build(
+      cst.nodes_.size(), [&](size_t n) { return cst.nodes_[n].parent; },
+      [&](size_t n) { return cst.nodes_[n].symbol; });
 
   sethash::SetHashFamily family(options.signature_length,
                                 options.signature_seed);

@@ -28,10 +28,10 @@
 #include <cstdint>
 #include <span>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "sethash/sethash.h"
+#include "suffix/child_index.h"
 #include "suffix/path_suffix_tree.h"
 #include "suffix/symbol.h"
 #include "tree/tree.h"
@@ -80,10 +80,13 @@ class Cst {
 
   CstNodeId root() const { return 0; }
 
-  /// Child of `node` along `symbol`, or kNoCstNode.
+  /// Child of `node` along `symbol`, or kNoCstNode. Out-of-range
+  /// symbols (> suffix::kMaxSymbol, including kUnknownSymbol) never
+  /// match: the flat index stores full-width symbols, so no sentinel
+  /// can alias another (node, symbol) entry.
   CstNodeId Step(CstNodeId node, suffix::Symbol symbol) const {
-    auto it = child_map_.find(ChildKey(node, symbol));
-    return it == child_map_.end() ? kNoCstNode : it->second;
+    if (symbol > suffix::kMaxSymbol) return kNoCstNode;
+    return child_index_.Find(node, symbol);
   }
 
   /// Deepest CST node matching a prefix of symbols[start..), plus the
@@ -176,10 +179,6 @@ class Cst {
     uint32_t signature_index = 0xffffffffu;
   };
 
-  static uint64_t ChildKey(CstNodeId node, suffix::Symbol symbol) {
-    return (static_cast<uint64_t>(node) << 22) | symbol;
-  }
-
   /// Picks the smallest threshold whose retained size fits the budget.
   static uint32_t ThresholdForBudget(const suffix::PathSuffixTree& pst,
                                      const CstOptions& options);
@@ -190,7 +189,7 @@ class Cst {
                         const sethash::SetHashFamily& family);
 
   std::vector<Node> nodes_;
-  std::unordered_map<uint64_t, CstNodeId> child_map_;
+  suffix::ChildIndex child_index_;
   std::vector<sethash::Signature> signatures_;
   tree::LabelTable labels_;
   uint64_t data_node_count_ = 0;

@@ -1,9 +1,19 @@
 // Binary (de)serialization of the CST summary.
 //
-// Layout: magic, global scalars, the label table, the node array, and
-// the signature pool. Everything a deployment needs to answer
-// estimates without the data tree. Host endianness (the summary is a
-// cache artifact, not an interchange format).
+// Layout (format "TWCST02"): magic, global scalars, the label table,
+// the node array, the flat child index (per-node offsets + sorted
+// (symbol, child) entries), and the signature pool. Everything a
+// deployment needs to answer estimates without the data tree. Host
+// endianness (the summary is a cache artifact, not an interchange
+// format).
+//
+// Deserialize treats the blob as untrusted: every count is bounded
+// against the bytes actually remaining before anything is allocated,
+// label names must be unique (duplicates would collapse under Intern
+// and silently shift every later LabelId), node symbols must be within
+// suffix::kMaxSymbol with tag symbols resolvable in the label table,
+// and the child index must exactly mirror the node array's (parent,
+// symbol) edges.
 
 #include <cstring>
 #include <type_traits>
@@ -14,7 +24,11 @@ namespace twig::cst {
 
 namespace {
 
-constexpr char kMagic[8] = {'T', 'W', 'C', 'S', 'T', '0', '1', '\0'};
+constexpr char kMagic[8] = {'T', 'W', 'C', 'S', 'T', '0', '2', '\0'};
+
+/// Bytes of the fixed-width fields of one serialized node record.
+constexpr size_t kNodeRecordBytes = 4 * sizeof(uint32_t) + 2 * sizeof(double) +
+                                    sizeof(uint32_t);
 
 /// Append-only raw writer.
 class Writer {
@@ -63,6 +77,9 @@ class Reader {
   }
   bool AtEnd() const { return pos_ == in_.size(); }
 
+  /// Bytes not yet consumed — the bound for any upcoming repeat count.
+  size_t Remaining() const { return in_.size() - pos_; }
+
  private:
   std::string_view in_;
   size_t pos_ = 0;
@@ -96,6 +113,15 @@ std::string Cst::Serialize() const {
     w.U32(node.signature_index);
   }
 
+  // The flat child index: node_count+1 span offsets, then the entries
+  // (one per non-root node), each span sorted by symbol.
+  for (uint32_t offset : child_index_.offsets()) w.U32(offset);
+  w.U32(static_cast<uint32_t>(child_index_.entry_count()));
+  for (const suffix::ChildIndex::Entry& e : child_index_.entries()) {
+    w.U32(e.symbol);
+    w.U32(e.child);
+  }
+
   w.U32(static_cast<uint32_t>(signatures_.size()));
   for (const sethash::Signature& sig : signatures_) {
     for (uint32_t component : sig) w.U32(component);
@@ -123,14 +149,26 @@ Result<Cst> Cst::Deserialize(std::string_view blob) {
 
   uint32_t label_count = 0;
   if (!r.U32(&label_count)) return Status::Corruption("truncated labels");
+  // Each label carries at least its 4-byte length prefix.
+  if (label_count > r.Remaining() / sizeof(uint32_t)) {
+    return Status::Corruption("label count exceeds blob size");
+  }
   for (uint32_t i = 0; i < label_count; ++i) {
     std::string name;
     if (!r.String(&name)) return Status::Corruption("truncated label");
+    if (cst.labels_.Find(name) != tree::kInvalidLabel) {
+      // Intern would collapse the duplicate and shift every later
+      // LabelId, silently attaching counts to the wrong tags.
+      return Status::Corruption("duplicate label name");
+    }
     cst.labels_.Intern(name);
   }
 
   uint32_t node_count = 0;
   if (!r.U32(&node_count)) return Status::Corruption("truncated nodes");
+  if (node_count > r.Remaining() / kNodeRecordBytes) {
+    return Status::Corruption("node count exceeds blob size");
+  }
   cst.nodes_.reserve(node_count);
   for (uint32_t i = 0; i < node_count; ++i) {
     Node node;
@@ -141,20 +179,72 @@ Result<Cst> Cst::Deserialize(std::string_view blob) {
       return Status::Corruption("truncated node record");
     }
     node.starts_with_tag = starts_with_tag != 0;
-    if (i > 0) {
-      if (node.parent >= i) {
-        return Status::Corruption("node parent out of order");
-      }
-      cst.child_map_.emplace(ChildKey(node.parent, node.symbol),
-                             static_cast<CstNodeId>(i));
+    if (node.symbol > suffix::kMaxSymbol) {
+      return Status::Corruption("node symbol out of range");
+    }
+    if (suffix::IsTagSymbol(node.symbol) &&
+        suffix::SymbolLabel(node.symbol) >= label_count) {
+      return Status::Corruption("node tag symbol has no label");
+    }
+    if (i > 0 && node.parent >= i) {
+      return Status::Corruption("node parent out of order");
     }
     cst.nodes_.push_back(std::move(node));
   }
   if (cst.nodes_.empty()) return Status::Corruption("empty CST");
 
+  // Child index: offsets, then entries. Validated structurally by
+  // FromParts and cross-checked edge-by-edge against the node array.
+  if (static_cast<size_t>(node_count) + 1 >
+      r.Remaining() / sizeof(uint32_t)) {
+    return Status::Corruption("truncated child index offsets");
+  }
+  std::vector<uint32_t> offsets(static_cast<size_t>(node_count) + 1);
+  for (uint32_t& offset : offsets) {
+    if (!r.U32(&offset)) return Status::Corruption("truncated child index");
+  }
+  uint32_t entry_count = 0;
+  if (!r.U32(&entry_count)) return Status::Corruption("truncated child index");
+  if (entry_count != node_count - 1) {
+    return Status::Corruption("child index entry count mismatch");
+  }
+  if (entry_count > r.Remaining() / (2 * sizeof(uint32_t))) {
+    return Status::Corruption("child index exceeds blob size");
+  }
+  std::vector<suffix::ChildIndex::Entry> entries(entry_count);
+  for (suffix::ChildIndex::Entry& e : entries) {
+    if (!r.U32(&e.symbol) || !r.U32(&e.child)) {
+      return Status::Corruption("truncated child index entry");
+    }
+  }
+  if (!suffix::ChildIndex::FromParts(node_count, std::move(offsets),
+                                     std::move(entries), &cst.child_index_)) {
+    return Status::Corruption("malformed child index");
+  }
+  for (uint32_t n = 0; n < node_count; ++n) {
+    for (const suffix::ChildIndex::Entry& e : cst.child_index_.Children(n)) {
+      if (cst.nodes_[e.child].parent != n ||
+          cst.nodes_[e.child].symbol != e.symbol) {
+        return Status::Corruption("child index disagrees with node array");
+      }
+    }
+  }
+
   uint32_t signature_count = 0;
   if (!r.U32(&signature_count)) {
     return Status::Corruption("truncated signatures");
+  }
+  // At most one signature per node, and all components must fit in the
+  // remaining bytes — checked before any signature storage is reserved.
+  if (signature_count > node_count) {
+    return Status::Corruption("more signatures than nodes");
+  }
+  if (signature_count > 0 &&
+      (cst.signature_length_ > r.Remaining() / sizeof(uint32_t) ||
+       (cst.signature_length_ > 0 &&
+        signature_count >
+            r.Remaining() / (cst.signature_length_ * sizeof(uint32_t))))) {
+    return Status::Corruption("signatures exceed blob size");
   }
   cst.signatures_.reserve(signature_count);
   for (uint32_t i = 0; i < signature_count; ++i) {

@@ -38,23 +38,28 @@ cst::Cst BuildCstAtFraction(const Dataset& dataset, double fraction,
 
 AlgorithmEval EvaluateOne(const cst::Cst& summary,
                           const workload::Workload& workload,
-                          core::Algorithm algorithm) {
+                          core::Algorithm algorithm, size_t num_threads,
+                          stats::BatchStats* stats) {
   core::TwigEstimator estimator(&summary);
+  core::BatchOptions options;
+  options.num_threads = num_threads;
+  const std::vector<double> estimates =
+      estimator.EstimateBatch(workload, algorithm, options, stats);
   AlgorithmEval eval;
   eval.algorithm = algorithm;
-  for (const auto& wq : workload) {
-    const double est = estimator.Estimate(wq.twig, algorithm);
-    eval.errors.Add(wq.truth.occurrence, est);
-    eval.ratios.Add(wq.truth.occurrence, est);
+  for (size_t i = 0; i < workload.size(); ++i) {
+    eval.errors.Add(workload[i].truth.occurrence, estimates[i]);
+    eval.ratios.Add(workload[i].truth.occurrence, estimates[i]);
   }
   return eval;
 }
 
 std::vector<AlgorithmEval> EvaluateAll(const cst::Cst& summary,
-                                       const workload::Workload& workload) {
+                                       const workload::Workload& workload,
+                                       size_t num_threads) {
   std::vector<AlgorithmEval> out;
   for (core::Algorithm algorithm : core::kAllAlgorithms) {
-    out.push_back(EvaluateOne(summary, workload, algorithm));
+    out.push_back(EvaluateOne(summary, workload, algorithm, num_threads));
   }
   return out;
 }

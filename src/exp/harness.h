@@ -54,14 +54,19 @@ struct AlgorithmEval {
 };
 
 /// Runs every algorithm on every query; truth is the workload's
-/// occurrence count (the experiments run on multiset data).
+/// occurrence count (the experiments run on multiset data). Estimation
+/// fans across `num_threads` workers (estimates are bit-identical to a
+/// sequential run; accumulators are fed in query order afterwards).
 std::vector<AlgorithmEval> EvaluateAll(const cst::Cst& summary,
-                                       const workload::Workload& workload);
+                                       const workload::Workload& workload,
+                                       size_t num_threads = 1);
 
-/// Convenience: evaluation for a single algorithm.
+/// Convenience: evaluation for a single algorithm. `stats`, if
+/// non-null, receives the batch's per-thread counters.
 AlgorithmEval EvaluateOne(const cst::Cst& summary,
                           const workload::Workload& workload,
-                          core::Algorithm algorithm);
+                          core::Algorithm algorithm, size_t num_threads = 1,
+                          stats::BatchStats* stats = nullptr);
 
 /// Printing helpers for aligned report tables.
 void PrintRule(size_t width = 78);

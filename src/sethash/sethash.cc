@@ -71,7 +71,7 @@ double EstimateResemblance(const std::vector<const Signature*>& sigs) {
 }
 
 IntersectionEstimate EstimateIntersectionSize(
-    const std::vector<SizedSignature>& sets) {
+    std::span<const SizedSignature> sets) {
   assert(!sets.empty());
   IntersectionEstimate out;
   if (sets.size() == 1) {
@@ -84,30 +84,52 @@ IntersectionEstimate EstimateIntersectionSize(
     if (s.size <= 0) return out;
   }
 
-  std::vector<const Signature*> sigs;
-  sigs.reserve(sets.size());
-  for (const auto& s : sets) sigs.push_back(s.signature);
-
-  // Step 1: resemblance of the k sets.
-  const double rho = EstimateResemblance(sigs);
-  const size_t length = sigs[0]->size();
-  out.matching_components =
-      static_cast<size_t>(rho * static_cast<double>(length) + 0.5);
+  // Step 1: resemblance of the k sets — the fraction of components on
+  // which all signatures agree (and are non-empty).
+  const size_t length = sets[0].signature->size();
+  size_t matching = 0;
+  for (size_t i = 0; i < length; ++i) {
+    const uint32_t first = (*sets[0].signature)[i];
+    if (first == kEmptyComponent) continue;
+    bool all_equal = true;
+    for (size_t s = 1; s < sets.size(); ++s) {
+      if ((*sets[s].signature)[i] != first) {
+        all_equal = false;
+        break;
+      }
+    }
+    if (all_equal) ++matching;
+  }
+  const double rho =
+      static_cast<double>(matching) / static_cast<double>(length);
+  out.matching_components = matching;
   out.resemblance = rho;
   if (rho <= 0.0) return out;
 
-  // Step 2: signature of the union.
-  const Signature union_sig = UnionSignature(sigs);
-
-  // Step 3: the largest set gives the best accuracy for the union size.
+  // Step 3 (reordered): the largest set gives the best accuracy for
+  // the union size.
   size_t largest = 0;
   for (size_t s = 1; s < sets.size(); ++s) {
     if (sets[s].size > sets[largest].size) largest = s;
   }
   // f estimates |A_largest| / |union| (A_largest is a subset of the
-  // union, so their resemblance is exactly that ratio).
+  // union, so their resemblance is exactly that ratio). The union's
+  // signature (step 2) is the component-wise minimum; computing each
+  // component on the fly avoids materializing it.
+  const Signature& largest_sig = *sets[largest].signature;
+  size_t f_matching = 0;
+  for (size_t i = 0; i < length; ++i) {
+    uint32_t union_component = kEmptyComponent;
+    for (const auto& s : sets) {
+      union_component = std::min(union_component, (*s.signature)[i]);
+    }
+    if (union_component != kEmptyComponent &&
+        largest_sig[i] == union_component) {
+      ++f_matching;
+    }
+  }
   const double f =
-      EstimateResemblance({sets[largest].signature, &union_sig});
+      static_cast<double>(f_matching) / static_cast<double>(length);
 
   // Step 4: |∩| = rho * |union|, with |union| = |A_largest| / f. If f
   // came out zero (signature noise), fall back to the union upper

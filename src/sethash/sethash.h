@@ -15,6 +15,7 @@
 #define TWIG_SETHASH_SETHASH_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "util/hash.h"
@@ -95,9 +96,16 @@ struct IntersectionEstimate {
 /// Estimates |A_1 ∩ ... ∩ A_k| via the paper's steps 1–4:
 /// resemblance of the k signatures, union signature, scale by the
 /// largest known set size. k == 1 returns that set's size with full
-/// support.
+/// support. Allocation-free (called per twiglet on the estimation hot
+/// path).
 IntersectionEstimate EstimateIntersectionSize(
-    const std::vector<SizedSignature>& sets);
+    std::span<const SizedSignature> sets);
+
+inline IntersectionEstimate EstimateIntersectionSize(
+    std::initializer_list<SizedSignature> sets) {
+  return EstimateIntersectionSize(
+      std::span<const SizedSignature>(sets.begin(), sets.size()));
+}
 
 }  // namespace twig::sethash
 

@@ -11,8 +11,46 @@
 #include <array>
 #include <cstddef>
 #include <string>
+#include <vector>
 
 namespace twig::stats {
+
+/// Per-thread accounting for one batch-estimation run
+/// (core::TwigEstimator::EstimateBatch). Worker w handled
+/// queries_per_thread[w] queries spending busy_seconds_per_thread[w]
+/// inside Estimate; wall_seconds spans the whole batch including
+/// dispatch, so throughput is reported against the wall.
+struct BatchStats {
+  size_t num_threads = 0;
+  std::vector<size_t> queries_per_thread;
+  std::vector<double> busy_seconds_per_thread;
+  double wall_seconds = 0;
+
+  size_t total_queries() const {
+    size_t total = 0;
+    for (size_t q : queries_per_thread) total += q;
+    return total;
+  }
+
+  double busy_seconds() const {
+    double total = 0;
+    for (double s : busy_seconds_per_thread) total += s;
+    return total;
+  }
+
+  /// Queries completed per wall-clock second.
+  double throughput_qps() const {
+    return wall_seconds > 0 ? static_cast<double>(total_queries()) /
+                                  wall_seconds
+                            : 0;
+  }
+
+  /// Mean per-query estimation latency (busy time, excluding queueing).
+  double avg_latency_seconds() const {
+    const size_t n = total_queries();
+    return n > 0 ? busy_seconds() / static_cast<double>(n) : 0;
+  }
+};
 
 /// Accumulates (truth, estimate) pairs and reports the paper's metrics.
 class ErrorAccumulator {

@@ -10,15 +10,16 @@ std::string SymbolToString(Symbol s, const tree::LabelTable& labels) {
 }
 
 void PathSuffixTree::InsertPathSuffixes(const std::vector<Symbol>& symbols,
-                                        uint32_t path_id, size_t max_nodes) {
+                                        uint32_t path_id, size_t max_nodes,
+                                        BuildMap& build_map) {
   for (size_t start = 0; start < symbols.size(); ++start) {
     PstNodeId node = root();
     for (size_t i = start; i < symbols.size(); ++i) {
       const Symbol symbol = symbols[i];
-      const uint64_t key = ChildKey(node, symbol);
-      auto it = child_map_.find(key);
+      const uint64_t key = BuildKey(node, symbol);
+      auto it = build_map.find(key);
       PstNodeId child;
-      if (it != child_map_.end()) {
+      if (it != build_map.end()) {
         child = it->second;
       } else {
         if (max_nodes != 0 && nodes_.size() >= max_nodes) {
@@ -33,7 +34,7 @@ void PathSuffixTree::InsertPathSuffixes(const std::vector<Symbol>& symbols,
         n.starts_with_tag =
             (node == root()) ? IsTagSymbol(symbol) : nodes_[node].starts_with_tag;
         nodes_.push_back(n);
-        child_map_.emplace(key, child);
+        build_map.emplace(key, child);
       }
       Node& c = nodes_[child];
       if (c.last_path != path_id) {
@@ -49,10 +50,13 @@ PathSuffixTree PathSuffixTree::Build(const tree::Tree& data,
                                      const PathSuffixTreeOptions& options) {
   PathSuffixTree pst;
   pst.nodes_.push_back(Node{});  // root: the empty subpath
-  if (data.empty()) return pst;
 
   // DFS over the data tree maintaining the current tag-symbol stack;
-  // each leaf terminates one root-to-leaf path.
+  // each leaf terminates one root-to-leaf path. Child edges go into a
+  // hash map only during construction (insertion is incremental); the
+  // flat index that serves all post-build lookups is built once at the
+  // end.
+  BuildMap build_map;
   std::vector<Symbol> symbols;
   uint32_t path_id = 0;
   auto dfs = [&](auto&& self, tree::NodeId n) -> void {
@@ -62,21 +66,24 @@ PathSuffixTree PathSuffixTree::Build(const tree::Tree& data,
       for (size_t i = 0; i < take; ++i) {
         symbols.push_back(CharSymbol(value[i]));
       }
-      pst.InsertPathSuffixes(symbols, path_id++, options.max_nodes);
+      pst.InsertPathSuffixes(symbols, path_id++, options.max_nodes, build_map);
       symbols.resize(symbols.size() - take);
       return;
     }
     symbols.push_back(TagSymbol(data.Label(n)));
     if (data.Children(n).empty()) {
       // A childless element is itself a leaf of the data tree.
-      pst.InsertPathSuffixes(symbols, path_id++, options.max_nodes);
+      pst.InsertPathSuffixes(symbols, path_id++, options.max_nodes, build_map);
     } else {
       for (tree::NodeId c : data.Children(n)) self(self, c);
     }
     symbols.pop_back();
   };
-  dfs(dfs, data.root());
+  if (!data.empty()) dfs(dfs, data.root());
   pst.total_paths_ = path_id;
+  pst.child_index_ = ChildIndex::Build(
+      pst.nodes_.size(), [&](size_t n) { return pst.nodes_[n].parent; },
+      [&](size_t n) { return pst.nodes_[n].symbol; });
   return pst;
 }
 

@@ -18,6 +18,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "suffix/child_index.h"
 #include "suffix/symbol.h"
 #include "tree/tree.h"
 
@@ -53,10 +54,12 @@ class PathSuffixTree {
 
   PstNodeId root() const { return 0; }
 
-  /// Child of `node` along `symbol`, or kNoPstNode.
+  /// Child of `node` along `symbol`, or kNoPstNode. Out-of-range
+  /// symbols (> kMaxSymbol, including unknown-tag sentinels) never
+  /// match any child.
   PstNodeId FindChild(PstNodeId node, Symbol symbol) const {
-    auto it = child_map_.find(ChildKey(node, symbol));
-    return it == child_map_.end() ? kNoPstNode : it->second;
+    if (symbol > kMaxSymbol) return kNoPstNode;
+    return child_index_.Find(node, symbol);
   }
 
   /// Path appearance count of the node's subpath.
@@ -90,16 +93,21 @@ class PathSuffixTree {
     bool starts_with_tag = false;
   };
 
-  static uint64_t ChildKey(PstNodeId node, Symbol symbol) {
-    return (static_cast<uint64_t>(node) << 22) | symbol;
+  /// Construction-time child lookup: a full-width (node, symbol) pack,
+  /// so no symbol value can alias another node's key. Dropped once the
+  /// flat index is built.
+  using BuildMap = std::unordered_map<uint64_t, PstNodeId>;
+  static uint64_t BuildKey(PstNodeId node, Symbol symbol) {
+    return (static_cast<uint64_t>(node) << 32) | symbol;
   }
 
   /// Inserts all suffixes of one root-to-leaf path given as symbols.
   void InsertPathSuffixes(const std::vector<Symbol>& symbols,
-                          uint32_t path_id, size_t max_nodes);
+                          uint32_t path_id, size_t max_nodes,
+                          BuildMap& build_map);
 
   std::vector<Node> nodes_;
-  std::unordered_map<uint64_t, PstNodeId> child_map_;
+  ChildIndex child_index_;
   uint32_t total_paths_ = 0;
   bool truncated_ = false;
 };

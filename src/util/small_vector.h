@@ -1,0 +1,200 @@
+// A vector with inline storage for its first N elements.
+//
+// The estimation hot path (expand -> parse -> decompose -> combine)
+// manipulates many short sequences of atom IDs — query paths, parsed
+// subpaths, twiglet member lists — almost all of which fit in a few
+// dozen bytes. Profiling shows a full estimate spends most of its time
+// in the allocator servicing those tiny vectors. SmallVector keeps up
+// to N elements in the object itself and only touches the heap when a
+// sequence outgrows that, which removes the large majority of per-query
+// allocations while keeping std::vector's contiguous-iteration API
+// (begin/end are raw pointers, so <algorithm> and std::span work
+// unchanged).
+
+#ifndef TWIG_UTIL_SMALL_VECTOR_H_
+#define TWIG_UTIL_SMALL_VECTOR_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <initializer_list>
+#include <memory>
+#include <new>
+#include <utility>
+#include <vector>
+
+namespace twig::util {
+
+template <typename T, size_t N>
+class SmallVector {
+ public:
+  using value_type = T;
+  using iterator = T*;
+  using const_iterator = const T*;
+
+  SmallVector() = default;
+
+  SmallVector(std::initializer_list<T> init) { assign(init.begin(), init.end()); }
+
+  template <typename It>
+  SmallVector(It first, It last) {
+    assign(first, last);
+  }
+
+  /// Implicit from std::vector, so call sites and tests can keep
+  /// building sequences with ordinary vectors.
+  SmallVector(const std::vector<T>& v)  // NOLINT(runtime/explicit)
+      : SmallVector(v.begin(), v.end()) {}
+
+  SmallVector(const SmallVector& other) { assign(other.begin(), other.end()); }
+
+  SmallVector(SmallVector&& other) noexcept { MoveFrom(std::move(other)); }
+
+  SmallVector& operator=(const SmallVector& other) {
+    if (this != &other) assign(other.begin(), other.end());
+    return *this;
+  }
+
+  SmallVector& operator=(SmallVector&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      MoveFrom(std::move(other));
+    }
+    return *this;
+  }
+
+  SmallVector& operator=(std::initializer_list<T> init) {
+    assign(init.begin(), init.end());
+    return *this;
+  }
+
+  ~SmallVector() { Reset(); }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  size_t capacity() const { return capacity_; }
+
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+
+  iterator begin() { return data_; }
+  iterator end() { return data_ + size_; }
+  const_iterator begin() const { return data_; }
+  const_iterator end() const { return data_ + size_; }
+
+  T& operator[](size_t i) { return data_[i]; }
+  const T& operator[](size_t i) const { return data_[i]; }
+  T& front() { return data_[0]; }
+  const T& front() const { return data_[0]; }
+  T& back() { return data_[size_ - 1]; }
+  const T& back() const { return data_[size_ - 1]; }
+
+  void reserve(size_t want) {
+    if (want > capacity_) Grow(want);
+  }
+
+  void push_back(const T& value) { emplace_back(value); }
+  void push_back(T&& value) { emplace_back(std::move(value)); }
+
+  template <typename... Args>
+  T& emplace_back(Args&&... args) {
+    if (size_ == capacity_) Grow(capacity_ * 2);
+    T* slot = data_ + size_;
+    ::new (static_cast<void*>(slot)) T(std::forward<Args>(args)...);
+    ++size_;
+    return *slot;
+  }
+
+  void pop_back() {
+    --size_;
+    data_[size_].~T();
+  }
+
+  void clear() {
+    std::destroy(begin(), end());
+    size_ = 0;
+  }
+
+  template <typename It>
+  void assign(It first, It last) {
+    clear();
+    for (; first != last; ++first) emplace_back(*first);
+  }
+
+  void resize(size_t count) {
+    while (size_ > count) pop_back();
+    reserve(count);
+    while (size_ < count) emplace_back();
+  }
+
+  /// Appends [first, last); insertion elsewhere is rotated into place
+  /// (the hot paths only ever append).
+  template <typename It>
+  iterator insert(const_iterator pos, It first, It last) {
+    const size_t at = static_cast<size_t>(pos - begin());
+    const size_t old_size = size_;
+    for (; first != last; ++first) emplace_back(*first);
+    std::rotate(begin() + at, begin() + old_size, end());
+    return begin() + at;
+  }
+
+  iterator erase(const_iterator first, const_iterator last) {
+    iterator f = begin() + (first - begin());
+    iterator l = begin() + (last - begin());
+    iterator new_end = std::move(l, end(), f);
+    while (end() != new_end) pop_back();
+    return f;
+  }
+
+  friend bool operator==(const SmallVector& a, const SmallVector& b) {
+    return std::equal(a.begin(), a.end(), b.begin(), b.end());
+  }
+
+ private:
+  T* InlineData() { return reinterpret_cast<T*>(inline_storage_); }
+  bool OnHeap() const { return data_ != nullptr && capacity_ > N; }
+
+  void Grow(size_t want) {
+    const size_t new_capacity = std::max(want, std::max<size_t>(N * 2, 8));
+    T* heap = static_cast<T*>(::operator new(new_capacity * sizeof(T)));
+    std::uninitialized_move(begin(), end(), heap);
+    const size_t count = size_;
+    Reset();
+    data_ = heap;
+    size_ = count;
+    capacity_ = new_capacity;
+  }
+
+  /// Destroys elements and releases any heap block; leaves the vector
+  /// empty and inline.
+  void Reset() {
+    std::destroy(begin(), end());
+    if (OnHeap()) ::operator delete(data_);
+    data_ = InlineData();
+    size_ = 0;
+    capacity_ = N;
+  }
+
+  void MoveFrom(SmallVector&& other) {
+    if (other.OnHeap()) {
+      data_ = other.data_;
+      size_ = other.size_;
+      capacity_ = other.capacity_;
+      other.data_ = other.InlineData();
+      other.size_ = 0;
+      other.capacity_ = N;
+    } else {
+      std::uninitialized_move(other.begin(), other.end(), InlineData());
+      size_ = other.size_;
+      other.clear();
+    }
+  }
+
+  alignas(T) unsigned char inline_storage_[N * sizeof(T)];
+  T* data_ = InlineData();
+  size_t size_ = 0;
+  size_t capacity_ = N;
+};
+
+}  // namespace twig::util
+
+#endif  // TWIG_UTIL_SMALL_VECTOR_H_

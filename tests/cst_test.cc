@@ -212,6 +212,27 @@ TEST(CstSerializeTest, RoundTripPreservesEverything) {
   }
 }
 
+TEST(CstTest, OutOfRangeSymbolsNeverMatch) {
+  // Regression: the old child map keyed (node << 22) | symbol without
+  // masking the symbol, so stepping node n with symbol (1 << 22) | s
+  // aliased ((n + 1) << 22) | s and returned node n+1's child along s.
+  Tree data = testutil::FigureOneTree();
+  Cst cst = BuildFullCst(data);
+  std::vector<suffix::Symbol> in_range;
+  for (const char* tag : {"dblp", "book", "author", "year"}) {
+    ASSERT_NE(cst.TagSymbolFor(tag), Cst::kUnknownSymbol) << tag;
+    in_range.push_back(cst.TagSymbolFor(tag));
+  }
+  for (char c : {'A', 'Y', '1'}) in_range.push_back(suffix::CharSymbol(c));
+  for (CstNodeId n = 0; n < static_cast<CstNodeId>(cst.node_count()); ++n) {
+    EXPECT_EQ(cst.Step(n, Cst::kUnknownSymbol), kNoCstNode);
+    EXPECT_EQ(cst.Step(n, suffix::kMaxSymbol + 1), kNoCstNode);
+    for (suffix::Symbol s : in_range) {
+      EXPECT_EQ(cst.Step(n, s | (1u << 22)), kNoCstNode);
+    }
+  }
+}
+
 TEST(CstSerializeTest, RejectsCorruptInput) {
   Tree data = testutil::FigureOneTree();
   Cst original = BuildFullCst(data);
@@ -225,6 +246,65 @@ TEST(CstSerializeTest, RejectsCorruptInput) {
   auto result = Cst::Deserialize(bad_magic);
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+}
+
+TEST(CstSerializeTest, RejectsDuplicateLabelNames) {
+  // Interning would silently collapse duplicate names and shift every
+  // later LabelId, so the blob's tag symbols would point at the wrong
+  // labels; Deserialize must reject instead.
+  Tree data = testutil::FigureOneTree();
+  Cst original = BuildFullCst(data);
+  std::string blob = original.Serialize();
+  const size_t year = blob.find("year");
+  ASSERT_NE(year, std::string::npos);
+  blob.replace(year, 4, "book");
+  auto result = Cst::Deserialize(blob);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+}
+
+TEST(CstSerializeTest, TruncationSweepAlwaysRejects) {
+  // Every section's extent is implied by earlier content, so any strict
+  // prefix must end inside some section and fail cleanly — no crash, no
+  // blob-controlled allocation.
+  Tree data = testutil::FigureOneTree();
+  auto pst = PathSuffixTree::Build(data);
+  CstOptions options;
+  options.prune_threshold = 1;
+  options.signature_length = 8;  // keep the blob small; sweep is O(n^2)
+  Cst original = Cst::Build(data, pst, options);
+  const std::string blob = original.Serialize();
+  ASSERT_TRUE(Cst::Deserialize(blob).ok());
+  for (size_t len = 0; len < blob.size(); ++len) {
+    auto result = Cst::Deserialize(blob.substr(0, len));
+    EXPECT_FALSE(result.ok()) << "truncated at " << len;
+  }
+}
+
+TEST(CstSerializeTest, ByteFuzzSweepNeverCrashes) {
+  // Stamp 0xFF over every 4-byte window in turn: whatever counts or
+  // node fields that clobbers, Deserialize must either reject or
+  // produce a CST that is safe to walk (bounds hold under ASan).
+  Tree data = testutil::FigureOneTree();
+  auto pst = PathSuffixTree::Build(data);
+  CstOptions options;
+  options.prune_threshold = 1;
+  options.signature_length = 8;
+  Cst original = Cst::Build(data, pst, options);
+  const std::string blob = original.Serialize();
+  for (size_t off = 0; off + 4 <= blob.size(); ++off) {
+    std::string fuzzed = blob;
+    for (size_t i = 0; i < 4; ++i) fuzzed[off + i] = '\xff';
+    auto result = Cst::Deserialize(fuzzed);
+    if (result.ok()) {
+      CstNodeId node = result->Step(result->root(),
+                                    result->TagSymbolFor("book"));
+      if (node != kNoCstNode) {
+        (void)result->PresenceCount(node);
+        (void)result->GetSignature(node);
+      }
+    }
+  }
 }
 
 TEST(CstTest, GlobalStats) {

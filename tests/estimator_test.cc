@@ -152,6 +152,54 @@ TEST_P(TrivialExactness, MatchesTruth) {
   }
 }
 
+TEST_F(EstimatorTest, BatchMatchesSequentialBitForBit) {
+  workload::Workload wl;
+  const char* texts[] = {
+      "book.author",
+      "book(author=\"A1\", year=\"Y1\")",
+      "dblp.book(author, year)",
+      "book(author=\"A\", title, year=\"Y\")",
+      "author=\"A2\"",
+      "book.title=\"T3\"",
+  };
+  for (int copy = 0; copy < 7; ++copy) {
+    for (const char* text : texts) {
+      auto twig = ParseTwig(text);
+      ASSERT_TRUE(twig.ok()) << text;
+      workload::WorkloadQuery wq;
+      wq.twig = *twig;
+      wl.push_back(std::move(wq));
+    }
+  }
+
+  TwigEstimator estimator(&cst_);
+  for (Algorithm algorithm : kAllAlgorithms) {
+    BatchOptions sequential;
+    sequential.num_threads = 1;
+    const auto expected = estimator.EstimateBatch(wl, algorithm, sequential);
+    ASSERT_EQ(expected.size(), wl.size());
+    for (size_t threads : {2u, 4u, 8u}) {
+      BatchOptions parallel;
+      parallel.num_threads = threads;
+      stats::BatchStats batch_stats;
+      const auto got =
+          estimator.EstimateBatch(wl, algorithm, parallel, &batch_stats);
+      ASSERT_EQ(got.size(), expected.size());
+      for (size_t i = 0; i < got.size(); ++i) {
+        // Exact equality: parallel runs must be bit-identical.
+        EXPECT_EQ(got[i], expected[i])
+            << AlgorithmName(algorithm) << " query " << i << " at "
+            << threads << " threads";
+      }
+      EXPECT_EQ(batch_stats.num_threads, threads);
+      EXPECT_EQ(batch_stats.total_queries(), wl.size());
+      EXPECT_GT(batch_stats.wall_seconds, 0.0);
+      EXPECT_GT(batch_stats.throughput_qps(), 0.0);
+      EXPECT_GT(batch_stats.avg_latency_seconds(), 0.0);
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(
     FigureOneQueries, TrivialExactness,
     ::testing::Values(TrivialCase{"dblp.book.author", 1, 6},

@@ -169,6 +169,26 @@ TEST(PathSuffixTreeTest, DepthTracked) {
   EXPECT_EQ(pst.Depth(Find(pst, data, "book.author:A1")), 4u);
 }
 
+TEST(PathSuffixTreeTest, OutOfRangeSymbolsNeverMatch) {
+  // Regression for the packed child-map key: symbol (1 << 22) | s on
+  // node n used to alias node n+1's edge along s.
+  Tree data = testutil::FigureOneTree();
+  auto pst = PathSuffixTree::Build(data);
+  std::vector<Symbol> in_range;
+  for (const char* tag : {"dblp", "book", "author", "year"}) {
+    const tree::LabelId id = data.labels().Find(tag);
+    ASSERT_NE(id, tree::kInvalidLabel) << tag;
+    in_range.push_back(TagSymbol(id));
+  }
+  for (char c : {'A', 'Y', '1'}) in_range.push_back(CharSymbol(c));
+  for (PstNodeId n = 0; n < static_cast<PstNodeId>(pst.node_count()); ++n) {
+    EXPECT_EQ(pst.FindChild(n, kMaxSymbol + 1), kNoPstNode);
+    for (Symbol s : in_range) {
+      EXPECT_EQ(pst.FindChild(n, s | (1u << 22)), kNoPstNode);
+    }
+  }
+}
+
 TEST(SymbolTest, EncodingRoundTrips) {
   EXPECT_TRUE(IsTagSymbol(TagSymbol(0)));
   EXPECT_FALSE(IsTagSymbol(CharSymbol('a')));

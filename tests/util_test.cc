@@ -6,8 +6,10 @@
 
 #include "util/hash.h"
 #include "util/rng.h"
+#include "util/small_vector.h"
 #include "util/status.h"
 #include "util/strings.h"
+#include "util/thread_pool.h"
 
 namespace twig {
 namespace {
@@ -141,6 +143,88 @@ TEST(StringsTest, HumanBytes) {
   EXPECT_EQ(HumanBytes(512), "512 B");
   EXPECT_EQ(HumanBytes(2048), "2.0 KB");
   EXPECT_EQ(HumanBytes(3 * 1024 * 1024), "3.0 MB");
+}
+
+TEST(SmallVectorTest, StaysInlineThenSpillsToHeap) {
+  util::SmallVector<int, 4> v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.capacity(), 4u);
+  for (int i = 0; i < 100; ++i) v.push_back(i);
+  EXPECT_EQ(v.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(v[i], i);
+  EXPECT_EQ(v.front(), 0);
+  EXPECT_EQ(v.back(), 99);
+}
+
+TEST(SmallVectorTest, ConvertsFromVectorAndInitializerList) {
+  const std::vector<int> source = {1, 2, 3, 4, 5, 6};
+  util::SmallVector<int, 4> from_vector = source;
+  EXPECT_TRUE(std::equal(from_vector.begin(), from_vector.end(),
+                         source.begin(), source.end()));
+  util::SmallVector<int, 4> from_list = {7, 8};
+  EXPECT_EQ(from_list.size(), 2u);
+  from_list = {9};
+  EXPECT_EQ(from_list.size(), 1u);
+  EXPECT_EQ(from_list[0], 9);
+}
+
+TEST(SmallVectorTest, CopyAndMoveAcrossStorageModes) {
+  util::SmallVector<std::string, 2> inline_v = {"a", "b"};
+  util::SmallVector<std::string, 2> heap_v = {"a", "b", "c", "d"};
+  auto inline_copy = inline_v;
+  auto heap_copy = heap_v;
+  EXPECT_EQ(inline_copy, inline_v);
+  EXPECT_EQ(heap_copy, heap_v);
+  auto inline_moved = std::move(inline_copy);
+  auto heap_moved = std::move(heap_copy);
+  EXPECT_EQ(inline_moved, inline_v);
+  EXPECT_EQ(heap_moved, heap_v);
+  heap_moved = inline_v;  // shrink back across modes
+  EXPECT_EQ(heap_moved, inline_v);
+}
+
+TEST(SmallVectorTest, InsertEraseResize) {
+  util::SmallVector<int, 4> v = {1, 2, 5};
+  const std::vector<int> mid = {3, 4};
+  v.insert(v.begin() + 2, mid.begin(), mid.end());
+  EXPECT_EQ(v, (util::SmallVector<int, 4>{1, 2, 3, 4, 5}));
+  v.erase(v.begin() + 1, v.begin() + 3);
+  EXPECT_EQ(v, (util::SmallVector<int, 4>{1, 4, 5}));
+  v.resize(5);
+  EXPECT_EQ(v, (util::SmallVector<int, 4>{1, 4, 5, 0, 0}));
+  v.resize(2);
+  EXPECT_EQ(v, (util::SmallVector<int, 4>{1, 4}));
+}
+
+TEST(ThreadPoolTest, ParallelForVisitsEveryItemExactlyOnce) {
+  util::ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  constexpr size_t kItems = 5000;
+  std::vector<int> hits(kItems, 0);  // distinct slots: no contention
+  std::vector<int> worker_used(pool.size(), 0);
+  pool.ParallelFor(kItems, [&](size_t item, size_t worker) {
+    ASSERT_LT(item, kItems);
+    ASSERT_LT(worker, pool.size());
+    hits[item] += 1;
+    worker_used[worker] = 1;
+  });
+  for (size_t i = 0; i < kItems; ++i) EXPECT_EQ(hits[i], 1) << i;
+  // At least one worker ran; how many share the batch is scheduling-
+  // dependent (a fast worker may drain it alone on a loaded machine).
+  EXPECT_GE(worker_used[0] + worker_used[1] + worker_used[2] +
+                worker_used[3],
+            1);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossBatchesAndHandlesEmpty) {
+  util::ThreadPool pool(2);
+  pool.ParallelFor(0, [](size_t, size_t) { FAIL(); });
+  for (int round = 0; round < 50; ++round) {
+    std::vector<int> hits(round + 1, 0);
+    pool.ParallelFor(hits.size(),
+                     [&](size_t item, size_t) { hits[item] += 1; });
+    for (int h : hits) EXPECT_EQ(h, 1);
+  }
 }
 
 }  // namespace
