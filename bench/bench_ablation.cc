@@ -22,15 +22,18 @@ int main() {
 
   std::printf("== Ablation 1: signature length at 1%% space (MSH) ==\n");
   exp::PrintSeriesHeader("length", {"CST nodes", "rel err", "log10(sqerr)"});
+  stats::BatchStats batch_stats;
   for (size_t length : {16, 32, 64, 128, 256}) {
     cst::Cst c = exp::BuildCstAtFraction(ds, 0.01, length);
-    auto eval = exp::EvaluateOne(c, wl, core::Algorithm::kMsh);
+    auto eval = exp::EvaluateOne(c, wl, core::Algorithm::kMsh,
+                                 /*num_threads=*/1, &batch_stats);
     exp::PrintSeriesRow(std::to_string(length),
                         {static_cast<double>(c.node_count()),
                          eval.errors.AvgRelativeError(),
                          stats::ErrorAccumulator::Log10(
                              eval.errors.AvgRelativeSquaredError())});
   }
+  exp::PrintBatchObservability(batch_stats);  // last row's batch
 
   std::printf("\n== Ablation 2: duplicate-aware occurrence scaling (MSH, 1%% "
               "space) ==\n");
@@ -77,5 +80,8 @@ int main() {
   std::printf("\nStoring signatures on every node (including character "
               "nodes) would\nretain far fewer subpaths at the same budget — "
               "the paper's reason to\nsign only subpath roots.\n");
+
+  std::printf("\n== Process metrics snapshot (obs registry JSON) ==\n%s\n",
+              exp::MetricsSnapshotJson().c_str());
   return 0;
 }

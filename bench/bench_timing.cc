@@ -9,6 +9,8 @@
 #include "core/estimator.h"
 #include "cst/cst.h"
 #include "data/generators.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "suffix/path_suffix_tree.h"
 #include "workload/workload.h"
 #include "xml/xml.h"
@@ -96,6 +98,32 @@ BENCHMARK(BM_Estimate)
     ->DenseRange(0, 5, 1)
     ->Unit(benchmark::kMicrosecond);
 
+// Same loop as BM_Estimate/MSH but with an explain trace attached, to
+// quantify the cost of tracing (trace-off estimation must stay within
+// ~2% of a build without obs wiring; trace-on pays for the string
+// rendering and is expected to be several times slower).
+void BM_EstimateTraced(benchmark::State& state) {
+  const auto algorithm = static_cast<core::Algorithm>(state.range(0));
+  const auto& summary = SharedCst();
+  const auto& wl = SharedWorkload();
+  core::TwigEstimator estimator(&summary);
+  obs::Trace trace;
+  core::EstimateOptions options;
+  options.trace = &trace;
+  size_t i = 0;
+  for (auto _ : state) {
+    const double est =
+        estimator.Estimate(wl[i % wl.size()].twig, algorithm, options);
+    benchmark::DoNotOptimize(est);
+    benchmark::DoNotOptimize(trace.pieces.data());
+    ++i;
+  }
+  state.SetLabel(std::string(core::AlgorithmName(algorithm)) + " traced");
+}
+BENCHMARK(BM_EstimateTraced)
+    ->Arg(static_cast<int>(core::Algorithm::kMsh))
+    ->Unit(benchmark::kMicrosecond);
+
 void BM_EstimateBatch(benchmark::State& state) {
   const size_t num_threads = static_cast<size_t>(state.range(0));
   const auto& summary = SharedCst();
@@ -110,6 +138,14 @@ void BM_EstimateBatch(benchmark::State& state) {
                                 &batch_stats);
     benchmark::DoNotOptimize(estimates.data());
     state.counters["qps"] = batch_stats.throughput_qps();
+    const auto delta = [&](obs::Counter c) {
+      return static_cast<double>(
+          batch_stats.counter_deltas[static_cast<size_t>(c)]);
+    };
+    state.counters["cst_lookups"] =
+        delta(obs::Counter::kCstSubpathLookups);
+    state.counters["sethash_ix"] =
+        delta(obs::Counter::kSethashIntersections);
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
                           static_cast<int64_t>(wl.size()));

@@ -12,6 +12,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -46,7 +47,16 @@ query::Twig BranchTwig(const query::Twig& twig,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (argc > 1) {
+    const bool help = std::strcmp(argv[1], "--help") == 0;
+    if (!help) {
+      std::fprintf(stderr, "plan_chooser: unknown argument '%s'\n", argv[1]);
+    }
+    std::fprintf(help ? stdout : stderr,
+                 "usage: plan_chooser  (takes no arguments)\n");
+    return help ? 0 : 2;
+  }
   data::DblpOptions options;
   options.target_bytes = 2 * 1024 * 1024;
   tree::Tree data = data::GenerateDblp(options);

@@ -5,6 +5,7 @@
 //   ./quickstart file.xml        # summarizes your own XML document
 
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -43,6 +44,16 @@ twig::tree::Tree LoadOrGenerate(int argc, char** argv) {
 
 int main(int argc, char** argv) {
   using namespace twig;
+
+  for (int i = 1; i < argc; ++i) {
+    if (argv[i][0] != '-') continue;
+    const bool help = std::strcmp(argv[i], "--help") == 0;
+    if (!help) {
+      std::fprintf(stderr, "quickstart: unknown flag '%s'\n", argv[i]);
+    }
+    std::fprintf(help ? stdout : stderr, "usage: quickstart [file.xml]\n");
+    return help ? 0 : 2;
+  }
 
   // 1. A node-labeled data tree (from XML or the built-in generator).
   tree::Tree data = LoadOrGenerate(argc, argv);

@@ -47,6 +47,16 @@ int main(int argc, char** argv) {
   bool generated = true;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
+    if (!arg.empty() && arg[0] == '-') {
+      const bool help = arg == "--help";
+      if (!help) {
+        std::fprintf(stderr, "selectivity_explorer: unknown flag '%s'\n",
+                     arg.c_str());
+      }
+      std::fprintf(help ? stdout : stderr,
+                   "usage: selectivity_explorer [file.xml] [TWIG...]\n");
+      return help ? 0 : 2;
+    }
     if (arg.size() > 4 && arg.substr(arg.size() - 4) == ".xml") {
       data = LoadTree(arg);
       generated = false;

@@ -1,0 +1,207 @@
+// Twig explain: per-query estimation traces (the observability layer's
+// "EXPLAIN"). Runs one twig query through the estimation algorithms and
+// prints, for each, how the estimate was assembled: the decomposition
+// into pieces/twiglets, every CST subpath lookup with its counts (or
+// the missing-count fallback), every set-hash intersection, and every
+// maximal-overlap combination term.
+//
+//   ./twig_explain                               # defaults: all six algorithms
+//   ./twig_explain --query='book(author, year)'  # your own twig
+//   ./twig_explain --algo=MSH --json             # one algorithm, JSON trace
+//   ./twig_explain --xml=file.xml --space=0.05   # your data, 5% summary
+//
+// Flags:
+//   --query=TWIG    query text (default: article(author="S", year="19"))
+//   --xml=FILE      summarize FILE instead of generated DBLP data
+//   --bytes=N       generated data target size in bytes (default 2097152)
+//   --space=F       CST space budget as a fraction of data (default 0.01)
+//   --algo=NAME     trace only Leaf|Greedy|MO|MOSH|PMOSH|MSH
+//   --json          emit traces as a JSON array (DESIGN.md §9 schema)
+//   --metrics       also print the obs metrics registry snapshot (JSON)
+//   --help          this message
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/estimator.h"
+#include "cst/cst.h"
+#include "data/generators.h"
+#include "match/matcher.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "query/twig.h"
+#include "suffix/path_suffix_tree.h"
+#include "util/strings.h"
+#include "xml/xml.h"
+
+namespace {
+
+using namespace twig;
+
+struct Options {
+  std::string query = "article(author=\"S\", year=\"19\")";
+  std::string xml_path;
+  size_t bytes = 2 * 1024 * 1024;
+  double space = 0.01;
+  std::vector<core::Algorithm> algorithms{core::kAllAlgorithms.begin(),
+                                          core::kAllAlgorithms.end()};
+  bool json = false;
+  bool metrics = false;
+};
+
+void PrintUsage(std::FILE* out) {
+  std::fprintf(
+      out,
+      "usage: twig_explain [--query=TWIG] [--xml=FILE] [--bytes=N]\n"
+      "                    [--space=F] [--algo=NAME] [--json] [--metrics]\n"
+      "  --query=TWIG  query text, e.g. 'book(author=\"Su\", year)'\n"
+      "  --xml=FILE    summarize FILE instead of generated DBLP data\n"
+      "  --bytes=N     generated data target size in bytes (default "
+      "2097152)\n"
+      "  --space=F     CST space fraction of the data (default 0.01)\n"
+      "  --algo=NAME   one of Leaf, Greedy, MO, MOSH, PMOSH, MSH "
+      "(default: all)\n"
+      "  --json        emit traces as a JSON array (schema: DESIGN.md "
+      "§9)\n"
+      "  --metrics     also print the obs metrics registry snapshot\n");
+}
+
+/// Value of `--name=value`, or nullptr if `arg` is a different flag.
+const char* FlagValue(const char* arg, const char* name) {
+  const size_t n = std::strlen(name);
+  if (std::strncmp(arg, name, n) == 0 && arg[n] == '=') return arg + n + 1;
+  return nullptr;
+}
+
+bool ParseArgs(int argc, char** argv, Options* out) {
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    const char* v = nullptr;
+    if (std::strcmp(arg, "--help") == 0) {
+      PrintUsage(stdout);
+      std::exit(0);
+    } else if ((v = FlagValue(arg, "--query")) != nullptr) {
+      out->query = v;
+    } else if ((v = FlagValue(arg, "--xml")) != nullptr) {
+      out->xml_path = v;
+    } else if ((v = FlagValue(arg, "--bytes")) != nullptr) {
+      out->bytes = static_cast<size_t>(std::strtoull(v, nullptr, 10));
+    } else if ((v = FlagValue(arg, "--space")) != nullptr) {
+      out->space = std::strtod(v, nullptr);
+    } else if ((v = FlagValue(arg, "--algo")) != nullptr) {
+      out->algorithms.clear();
+      for (core::Algorithm a : core::kAllAlgorithms) {
+        if (std::strcmp(v, core::AlgorithmName(a)) == 0) {
+          out->algorithms.push_back(a);
+        }
+      }
+      if (out->algorithms.empty()) {
+        std::fprintf(stderr, "twig_explain: unknown algorithm '%s'\n", v);
+        return false;
+      }
+    } else if (std::strcmp(arg, "--json") == 0) {
+      out->json = true;
+    } else if (std::strcmp(arg, "--metrics") == 0) {
+      out->metrics = true;
+    } else {
+      std::fprintf(stderr, "twig_explain: unknown argument '%s'\n", arg);
+      return false;
+    }
+  }
+  if (out->bytes == 0 || out->space <= 0) {
+    std::fprintf(stderr, "twig_explain: --bytes and --space must be > 0\n");
+    return false;
+  }
+  return true;
+}
+
+tree::Tree LoadOrGenerate(const Options& options) {
+  if (!options.xml_path.empty()) {
+    std::ifstream in(options.xml_path);
+    if (!in) {
+      std::fprintf(stderr, "twig_explain: cannot open %s\n",
+                   options.xml_path.c_str());
+      std::exit(1);
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    auto parsed = xml::ParseXml(buf.str());
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "twig_explain: parse error in %s: %s\n",
+                   options.xml_path.c_str(),
+                   parsed.status().ToString().c_str());
+      std::exit(1);
+    }
+    return std::move(parsed).value();
+  }
+  data::DblpOptions gen;
+  gen.target_bytes = options.bytes;
+  return data::GenerateDblp(gen);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  if (!ParseArgs(argc, argv, &options)) {
+    PrintUsage(stderr);
+    return 2;
+  }
+
+  auto twig = query::ParseTwig(options.query);
+  if (!twig.ok()) {
+    std::fprintf(stderr, "twig_explain: bad query '%s': %s\n",
+                 options.query.c_str(), twig.status().ToString().c_str());
+    return 1;
+  }
+
+  tree::Tree data = LoadOrGenerate(options);
+  const size_t xml_bytes = xml::XmlByteSize(data);
+  auto pst = suffix::PathSuffixTree::Build(data);
+  cst::CstOptions copt;
+  copt.space_budget_bytes =
+      static_cast<size_t>(options.space * static_cast<double>(xml_bytes));
+  cst::Cst summary = cst::Cst::Build(data, pst, copt);
+  if (!options.json) {
+    std::printf("data: %zu nodes, %s | CST: %zu subpaths, %s (%.2f%%), "
+                "prune threshold %u\n",
+                data.size(), HumanBytes(xml_bytes).c_str(),
+                summary.node_count(),
+                HumanBytes(summary.size_bytes()).c_str(),
+                100.0 * summary.size_bytes() / xml_bytes,
+                summary.prune_threshold());
+    const match::TwigCounts truth = match::CountTwigMatches(data, *twig);
+    std::printf("query %s: true presence %.0f, true occurrence %.0f\n",
+                query::FormatTwig(*twig).c_str(), truth.presence,
+                truth.occurrence);
+  }
+
+  core::TwigEstimator estimator(&summary);
+  obs::Trace trace;
+  core::EstimateOptions eopt;
+  eopt.trace = &trace;
+  if (options.json) std::printf("[");
+  bool first = true;
+  for (core::Algorithm algorithm : options.algorithms) {
+    estimator.Estimate(*twig, algorithm, eopt);
+    if (options.json) {
+      std::printf("%s%s", first ? "" : ",\n", trace.ToJson().c_str());
+    } else {
+      std::printf("\n%s", trace.ToText().c_str());
+    }
+    first = false;
+  }
+  if (options.json) std::printf("]\n");
+
+  if (options.metrics) {
+    if (!options.json) std::printf("\n== obs metrics snapshot ==\n");
+    std::printf("%s\n",
+                obs::MetricsRegistry::Get().Snapshot().ToJson().c_str());
+  }
+  return 0;
+}

@@ -4,35 +4,83 @@
 #include <cassert>
 #include <cmath>
 
+#include "obs/metrics.h"
+
 namespace twig::core {
+
+double ResolveMissingCount(const cst::Cst& cst, double requested) {
+  if (requested > 0) return requested;
+  return std::max(0.5, 0.5 * static_cast<double>(cst.prune_threshold()));
+}
 
 Combiner::Combiner(const ExpandedQuery& eq, const cst::Cst& cst,
                    const CombineOptions& options)
     : eq_(eq), cst_(cst), options_(options) {
   n_ = std::max<double>(1.0, static_cast<double>(cst.data_node_count()));
-  if (options_.missing_count <= 0) {
-    options_.missing_count =
-        std::max(0.5, 0.5 * static_cast<double>(cst.prune_threshold()));
+  options_.missing_count = ResolveMissingCount(cst, options_.missing_count);
+}
+
+Combiner::~Combiner() {
+  if (tally_lookups_ == 0 && tally_fallbacks_ == 0) return;
+  auto& registry = obs::MetricsRegistry::Get();
+  registry.Add(obs::Counter::kCstSubpathLookups, tally_lookups_);
+  if (tally_hits_ > 0) {
+    registry.Add(obs::Counter::kCstSubpathHits, tally_hits_);
+  }
+  if (tally_misses_ > 0) {
+    registry.Add(obs::Counter::kCstSubpathMisses, tally_misses_);
+  }
+  if (tally_fallbacks_ > 0) {
+    registry.Add(obs::Counter::kTwigletMoFallbacks, tally_fallbacks_);
   }
 }
 
 cst::CstNodeId Combiner::LookupAtoms(const AtomSeq& seq) const {
+  ++tally_lookups_;
   cst::CstNodeId node = cst_.root();
   for (AtomId a : seq) {
     const suffix::Symbol symbol = eq_.atoms[a].symbol;
-    if (symbol == cst::Cst::kUnknownSymbol) return cst::kNoCstNode;
-    node = cst_.Step(node, symbol);
-    if (node == cst::kNoCstNode) return cst::kNoCstNode;
+    if (symbol != cst::Cst::kUnknownSymbol) {
+      node = cst_.Step(node, symbol);
+    } else {
+      node = cst::kNoCstNode;
+    }
+    if (node == cst::kNoCstNode) {
+      ++tally_misses_;
+      return cst::kNoCstNode;
+    }
   }
+  ++tally_hits_;
   return node;
+}
+
+void Combiner::TraceSubpath(const AtomSeq& seq, cst::CstNodeId node,
+                            double count_used) const {
+  if (current_piece_ == nullptr) return;
+  obs::SubpathTrace sp;
+  if (node == cst::kNoCstNode) {
+    sp.subpath = RenderAtomSeq(eq_, cst_.labels(), seq);
+  } else {
+    sp.subpath = cst_.DescribeSubpath(node);
+    sp.hit = true;
+    sp.presence = cst_.PresenceCount(node);
+    sp.occurrence = cst_.OccurrenceCount(node);
+  }
+  sp.count = count_used;
+  current_piece_->subpaths.push_back(std::move(sp));
 }
 
 double Combiner::SubpathsCount(const SubpathList& subpaths) const {
   assert(!subpaths.empty());
   if (subpaths.size() == 1) {
     const cst::CstNodeId node = LookupAtoms(subpaths[0]);
-    if (node == cst::kNoCstNode) return options_.missing_count;
-    return CountOf(node);
+    if (node == cst::kNoCstNode) {
+      TraceSubpath(subpaths[0], node, options_.missing_count);
+      return options_.missing_count;
+    }
+    const double count = CountOf(node);
+    TraceSubpath(subpaths[0], node, count);
+    return count;
   }
 
   // A twiglet is a *tree* of subpaths from a shared root. Intersecting
@@ -90,7 +138,10 @@ double Combiner::SubpathsCount(const SubpathList& subpaths) const {
       }
       group.prefix.assign(part[0]->begin(), part[0]->begin() + lcp);
       const cst::CstNodeId prefix_node = LookupAtoms(group.prefix);
-      if (prefix_node == cst::kNoCstNode) return options_.missing_count;
+      if (prefix_node == cst::kNoCstNode) {
+        TraceSubpath(group.prefix, prefix_node, options_.missing_count);
+        return options_.missing_count;
+      }
       const double prefix_cp = std::max(cst_.PresenceCount(prefix_node), 1.0);
       const double prefix_co = cst_.OccurrenceCount(prefix_node);
       group.multiplicity = prefix_co / prefix_cp;
@@ -118,6 +169,7 @@ double Combiner::SubpathsCount(const SubpathList& subpaths) const {
     const Group& g = groups[0];
     const cst::CstNodeId node = LookupAtoms(g.prefix);
     const double cp = cst_.PresenceCount(node);
+    TraceSubpath(g.prefix, node, CountOf(node));
     if (options_.semantics == CountSemantics::kOccurrence) {
       return cp * g.multiplicity;
     }
@@ -130,6 +182,11 @@ double Combiner::SubpathsCount(const SubpathList& subpaths) const {
   SubpathList representatives;
   util::SmallVector<double, 4> multiplicities;
   double presence_damp = 1.0;
+  obs::IntersectionTrace* ix = nullptr;
+  if (current_piece_ != nullptr) {
+    current_piece_->intersections.emplace_back();
+    ix = &current_piece_->intersections.back();
+  }
   for (const Group& group : groups) {
     const cst::CstNodeId node = LookupAtoms(group.prefix);
     const double cp = cst_.PresenceCount(node);
@@ -140,26 +197,39 @@ double Combiner::SubpathsCount(const SubpathList& subpaths) const {
     } else {
       sized.push_back({sig, cp});
     }
+    if (ix != nullptr) {
+      ix->inputs.push_back(cst_.DescribeSubpath(node));
+      ix->input_sizes.push_back(cp);
+    }
+    TraceSubpath(group.prefix, node, CountOf(node));
     representatives.push_back(group.prefix);
     multiplicities.push_back(group.multiplicity);
     presence_damp *= group.presence_factor;
   }
+  if (ix != nullptr) ix->signatures = sized.size();
   const double occ_scale = OccurrenceScale(representatives, multiplicities);
   double presence;
   if (sized.size() >= 2) {
     const sethash::IntersectionEstimate estimate =
         sethash::EstimateIntersectionSize(sized);
+    if (ix != nullptr) {
+      ix->matching_components = estimate.matching_components;
+      ix->resemblance = estimate.resemblance;
+    }
     if (estimate.matching_components < kMinSignatureSupport ||
         estimate.size <= 0) {
       // The intersection is below the signatures' resolution: the
       // estimate would be pure quantization noise (or zero). Degrade
       // to the pure-MO conditioning estimate of the twiglet.
+      if (ix != nullptr) ix->fallback = true;
       return TwigletMoFallback(subpaths);
     }
     presence = estimate.size;
     if (fallback_min >= 0) presence = std::min(presence, fallback_min);
+    if (ix != nullptr) ix->estimate = presence;
   } else {
     // No usable signatures: degrade to pure-MO conditioning.
+    if (ix != nullptr) ix->fallback = true;
     return TwigletMoFallback(subpaths);
   }
   if (options_.semantics == CountSemantics::kOccurrence) {
@@ -216,6 +286,7 @@ double Combiner::OccurrenceScale(
 }
 
 double Combiner::TwigletMoFallback(const SubpathList& subpaths) const {
+  ++tally_fallbacks_;
   std::vector<EstimandPiece> pieces;
   pieces.reserve(subpaths.size());
   for (const auto& sp : subpaths) {
@@ -229,7 +300,13 @@ double Combiner::TwigletMoFallback(const SubpathList& subpaths) const {
 }
 
 double Combiner::PieceCount(const EstimandPiece& piece) const {
-  if (piece.missing) return options_.missing_count;
+  if (piece.missing) {
+    if (!piece.subpaths.empty()) {
+      TraceSubpath(piece.subpaths[0], cst::kNoCstNode,
+                   options_.missing_count);
+    }
+    return options_.missing_count;
+  }
   return SubpathsCount(piece.subpaths);
 }
 
@@ -299,32 +376,102 @@ double Combiner::MoCombine(std::vector<EstimandPiece> pieces) const {
               return a.atoms.size() > b.atoms.size();
             });
 
+  // Terms are traced only for the query's own combination, not for the
+  // recursive pure-MO twiglet fallbacks.
+  ++combine_depth_;
+  obs::Trace* const trace =
+      combine_depth_ == 1 ? options_.trace : nullptr;
+
   util::SmallVector<unsigned char, 32> covered;
   covered.resize(eq_.atoms.size());
   double estimate = n_;
   for (const EstimandPiece& piece : pieces) {
+    size_t piece_index = 0;
+    if (trace != nullptr) {
+      obs::PieceTrace pt;
+      pt.label = DescribePiece(eq_, cst_.labels(), piece);
+      pt.num_subpaths = piece.subpaths.size();
+      pt.missing = piece.missing;
+      trace->pieces.push_back(std::move(pt));
+      piece_index = trace->pieces.size() - 1;
+    }
     AtomSeq overlap;
     for (AtomId a : piece.atoms) {
       if (covered[a]) overlap.push_back(a);
     }
-    if (overlap.size() == piece.atoms.size()) continue;  // fully covered
-    estimate *= PieceCount(piece) / n_;
+    if (overlap.size() == piece.atoms.size()) {  // fully covered
+      if (trace != nullptr) {
+        obs::CombineTermTrace term;
+        term.piece = piece_index;
+        term.skipped = true;
+        term.running_estimate = estimate;
+        trace->terms.push_back(std::move(term));
+      }
+      continue;
+    }
+    if (trace != nullptr) current_piece_ = &trace->pieces[piece_index];
+    const double count = PieceCount(piece);
+    if (trace != nullptr) {
+      trace->pieces[piece_index].count = count;
+      current_piece_ = nullptr;
+    }
+    estimate *= count / n_;
+    double overlap_prob = 1.0;
     if (!overlap.empty()) {
-      const double overlap_prob = AtomSetProb(overlap);
+      overlap_prob = AtomSetProb(overlap);
       estimate /= std::max(overlap_prob, 1e-12);
     }
+    if (trace != nullptr) {
+      obs::CombineTermTrace term;
+      term.piece = piece_index;
+      term.piece_prob = count / n_;
+      if (!overlap.empty()) {
+        term.overlap = RenderAtomSet(eq_, cst_.labels(), overlap);
+        term.overlap_prob = overlap_prob;
+      }
+      term.running_estimate = estimate;
+      trace->terms.push_back(std::move(term));
+    }
     for (AtomId a : piece.atoms) covered[a] = 1;
-    if (estimate <= 0) return 0.0;
+    if (estimate <= 0) {
+      estimate = 0.0;
+      break;
+    }
   }
+  --combine_depth_;
   return estimate;
 }
 
 double Combiner::IndependenceCombine(
     const std::vector<EstimandPiece>& pieces) const {
+  ++combine_depth_;
+  obs::Trace* const trace =
+      combine_depth_ == 1 ? options_.trace : nullptr;
   double estimate = n_;
   for (const EstimandPiece& piece : pieces) {
-    estimate *= PieceCount(piece) / n_;
+    size_t piece_index = 0;
+    if (trace != nullptr) {
+      obs::PieceTrace pt;
+      pt.label = DescribePiece(eq_, cst_.labels(), piece);
+      pt.num_subpaths = piece.subpaths.size();
+      pt.missing = piece.missing;
+      trace->pieces.push_back(std::move(pt));
+      piece_index = trace->pieces.size() - 1;
+      current_piece_ = &trace->pieces[piece_index];
+    }
+    const double count = PieceCount(piece);
+    estimate *= count / n_;
+    if (trace != nullptr) {
+      trace->pieces[piece_index].count = count;
+      current_piece_ = nullptr;
+      obs::CombineTermTrace term;
+      term.piece = piece_index;
+      term.piece_prob = count / n_;
+      term.running_estimate = estimate;
+      trace->terms.push_back(std::move(term));
+    }
   }
+  --combine_depth_;
   return std::max(estimate, 0.0);
 }
 

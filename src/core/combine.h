@@ -17,11 +17,13 @@
 #ifndef TWIG_CORE_COMBINE_H_
 #define TWIG_CORE_COMBINE_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "core/expanded_query.h"
 #include "core/pieces.h"
 #include "cst/cst.h"
+#include "obs/trace.h"
 
 namespace twig::core {
 
@@ -45,7 +47,15 @@ struct CombineOptions {
   /// multiplicities instead of the plain Section 5 product, accounting
   /// for the 1-1 mapping's need for *distinct* sibling children.
   bool duplicate_aware_occurrence = true;
+  /// Optional explain sink (not owned; not thread-safe — one per
+  /// concurrent estimate). When null — the default — the hot path pays
+  /// a pointer check only.
+  obs::Trace* trace = nullptr;
 };
+
+/// The fallback count actually charged for `requested` missing_count
+/// (<= 0 selects the automatic half-threshold default).
+double ResolveMissingCount(const cst::Cst& cst, double requested);
 
 /// Minimum matching signature components for a set-hash twiglet
 /// estimate to be trusted; below this the twiglet degrades to pure-MO
@@ -57,6 +67,13 @@ class Combiner {
  public:
   Combiner(const ExpandedQuery& eq, const cst::Cst& cst,
            const CombineOptions& options);
+
+  /// Flushes the query's CST-lookup / fallback tallies to the global
+  /// obs::MetricsRegistry (one batched update per estimate).
+  ~Combiner();
+
+  Combiner(const Combiner&) = delete;
+  Combiner& operator=(const Combiner&) = delete;
 
   /// Count estimate of one piece (under the configured semantics).
   double PieceCount(const EstimandPiece& piece) const;
@@ -95,10 +112,28 @@ class Combiner {
                : cst_.PresenceCount(node);
   }
 
+  /// Records one resolved subpath under the piece being traced (no-op
+  /// unless a trace is attached and a piece is in flight).
+  void TraceSubpath(const AtomSeq& seq, cst::CstNodeId node,
+                    double count_used) const;
+
   const ExpandedQuery& eq_;
   const cst::Cst& cst_;
   CombineOptions options_;
   double n_;  // data node count (the paper's normalizer)
+
+  // -- Observability (write-only on the estimation path) ------------------
+  /// Piece currently being estimated, when tracing; subpath and
+  /// intersection records append here.
+  mutable obs::PieceTrace* current_piece_ = nullptr;
+  /// MoCombine nesting depth: combination terms are traced only at
+  /// depth 1 (twiglet pure-MO fallbacks recurse into MoCombine).
+  mutable int combine_depth_ = 0;
+  // Per-query tallies, flushed once by the destructor.
+  mutable uint32_t tally_lookups_ = 0;
+  mutable uint32_t tally_hits_ = 0;
+  mutable uint32_t tally_misses_ = 0;
+  mutable uint32_t tally_fallbacks_ = 0;
 };
 
 }  // namespace twig::core

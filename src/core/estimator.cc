@@ -5,9 +5,14 @@
 
 #include "core/parse.h"
 #include "core/pieces.h"
+#include "obs/metrics.h"
 #include "util/thread_pool.h"
 
 namespace twig::core {
+
+// obs latency series are indexed by Algorithm value; keep them in sync.
+static_assert(obs::kLatencySeries == kAllAlgorithms.size(),
+              "obs::kLatencySeriesNames must mirror core::kAllAlgorithms");
 
 const char* AlgorithmName(Algorithm algorithm) {
   switch (algorithm) {
@@ -101,44 +106,84 @@ double TwigEstimator::EstimateLeaf(const ExpandedQuery& eq,
 
 double TwigEstimator::Estimate(const query::Twig& twig, Algorithm algorithm,
                                const EstimateOptions& options) const {
+  obs::CountEvent(obs::Counter::kEstimates);
+  obs::Trace* const trace = options.trace;
+  if (trace != nullptr) {
+    trace->Clear();
+    trace->query = query::FormatTwig(twig);
+    trace->algorithm = AlgorithmName(algorithm);
+    trace->semantics = options.semantics == CountSemantics::kOccurrence
+                           ? "occurrence"
+                           : "presence";
+    trace->data_node_count =
+        static_cast<double>(cst_->data_node_count());
+    trace->missing_count = ResolveMissingCount(*cst_, options.missing_count);
+    if (algorithm == Algorithm::kLeaf) {
+      trace->note =
+          "Leaf: each leaf string MO-estimated alone; per-leaf "
+          "probabilities combined under independence";
+    }
+    obs::CountEvent(obs::Counter::kTracesRecorded);
+  }
   const ExpandedQuery eq = ExpandQuery(twig, *cst_);
   if (eq.atoms.empty()) return 0.0;
   CombineOptions copt;
   copt.semantics = options.semantics;
   copt.missing_count = options.missing_count;
+  copt.trace = trace;
 
-  if (algorithm == Algorithm::kLeaf) return EstimateLeaf(eq, copt);
-
-  Combiner combiner(eq, *cst_, copt);
-  std::vector<EstimandPiece> pieces = Decompose(eq, *cst_, algorithm);
-  if (algorithm == Algorithm::kGreedy) {
-    return combiner.IndependenceCombine(pieces);
+  double estimate;
+  if (algorithm == Algorithm::kLeaf) {
+    estimate = EstimateLeaf(eq, copt);
+  } else {
+    Combiner combiner(eq, *cst_, copt);
+    std::vector<EstimandPiece> pieces = Decompose(eq, *cst_, algorithm);
+    estimate = algorithm == Algorithm::kGreedy
+                   ? combiner.IndependenceCombine(pieces)
+                   : combiner.MoCombine(std::move(pieces));
   }
-  return combiner.MoCombine(std::move(pieces));
+  if (trace != nullptr) trace->estimate = estimate;
+  return estimate;
 }
 
 std::vector<double> TwigEstimator::EstimateBatch(
     const workload::Workload& workload, Algorithm algorithm,
     const BatchOptions& options, stats::BatchStats* stats) const {
   using Clock = std::chrono::steady_clock;
+  obs::CountEvent(obs::Counter::kBatches);
   const size_t num_threads =
       options.num_threads == 0
           ? std::max(1u, std::thread::hardware_concurrency())
           : options.num_threads;
+
+  // Explain traces are single-query sinks: queries fan across workers,
+  // so an attached trace would be mutated concurrently. Batch runs
+  // always estimate untraced (identically for num_threads == 1, to
+  // keep the inline path bit-for-bit equal to the pooled one).
+  EstimateOptions estimate_options = options.estimate;
+  estimate_options.trace = nullptr;
 
   std::vector<double> estimates(workload.size());
   stats::BatchStats local;
   local.num_threads = num_threads;
   local.queries_per_thread.assign(num_threads, 0);
   local.busy_seconds_per_thread.assign(num_threads, 0);
+  const obs::MetricsSnapshot before = obs::MetricsRegistry::Get().Snapshot();
 
   const auto wall_start = Clock::now();
+  const size_t latency_series = static_cast<size_t>(algorithm);
   auto run_one = [&](size_t item, size_t worker) {
     const auto t0 = Clock::now();
     estimates[item] =
-        Estimate(workload[item].twig, algorithm, options.estimate);
+        Estimate(workload[item].twig, algorithm, estimate_options);
+    const auto elapsed = Clock::now() - t0;
+    obs::MetricsRegistry::Get().RecordLatency(
+        latency_series,
+        static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+                .count()));
     local.busy_seconds_per_thread[worker] +=
-        std::chrono::duration<double>(Clock::now() - t0).count();
+        std::chrono::duration<double>(elapsed).count();
     ++local.queries_per_thread[worker];
   };
   if (num_threads == 1) {
@@ -149,6 +194,8 @@ std::vector<double> TwigEstimator::EstimateBatch(
   }
   local.wall_seconds =
       std::chrono::duration<double>(Clock::now() - wall_start).count();
+  local.counter_deltas =
+      obs::MetricsRegistry::Get().Snapshot().Delta(before).counters;
 
   if (stats != nullptr) *stats = std::move(local);
   return estimates;

@@ -27,6 +27,7 @@
 
 #include "core/combine.h"
 #include "cst/cst.h"
+#include "obs/trace.h"
 #include "query/twig.h"
 #include "stats/metrics.h"
 #include "workload/workload.h"
@@ -60,6 +61,12 @@ struct EstimateOptions {
   /// Count charged to atoms with no CST match; 0 = auto (half the
   /// prune threshold).
   double missing_count = 0;
+  /// Optional explain sink: when non-null, Estimate clears it and
+  /// records the full decomposition + combination provenance
+  /// (obs/trace.h). Not owned; NOT thread-safe — attach one trace per
+  /// concurrent estimate. EstimateBatch ignores it (queries fan across
+  /// threads; use a sequential Estimate call to explain one query).
+  obs::Trace* trace = nullptr;
 };
 
 /// Options for EstimateBatch.
@@ -87,7 +94,10 @@ class TwigEstimator {
   /// thread count: queries never share mutable state — the only shared
   /// structure is the immutable CST — and each result is written to its
   /// own slot. If `stats` is non-null it receives per-thread query and
-  /// busy-time counters plus the batch wall time.
+  /// busy-time counters, the batch wall time, and the batch's global
+  /// obs counter deltas. Per-query latencies feed the algorithm's
+  /// obs::MetricsRegistry histogram. An options.estimate.trace sink is
+  /// ignored (traces are single-query; see EstimateOptions::trace).
   std::vector<double> EstimateBatch(const workload::Workload& workload,
                                     Algorithm algorithm,
                                     const BatchOptions& options = {},

@@ -61,4 +61,48 @@ ExpandedQuery ExpandQuery(const Twig& twig, const cst::Cst& cst) {
   return eq;
 }
 
+namespace {
+
+void AppendAtomSymbol(const ExpandedQuery& eq, const tree::LabelTable& labels,
+                      AtomId a, std::string& out) {
+  const suffix::Symbol s = eq.atoms[a].symbol;
+  if (s == cst::Cst::kUnknownSymbol) {
+    out.push_back('?');
+  } else if (suffix::IsTagSymbol(s)) {
+    out += labels.Name(suffix::SymbolLabel(s));
+  } else {
+    out.push_back(suffix::SymbolChar(s));
+  }
+}
+
+}  // namespace
+
+std::string RenderAtomSeq(const ExpandedQuery& eq,
+                          const tree::LabelTable& labels,
+                          const AtomSeq& seq) {
+  std::string out;
+  bool prev_was_char = false;
+  for (AtomId a : seq) {
+    const bool is_char = !eq.atoms[a].is_tag;
+    if (!out.empty() && !(prev_was_char && is_char)) out.push_back('.');
+    AppendAtomSymbol(eq, labels, a, out);
+    prev_was_char = is_char;
+  }
+  return out;
+}
+
+std::string RenderAtomSet(const ExpandedQuery& eq,
+                          const tree::LabelTable& labels,
+                          const AtomSeq& atoms) {
+  std::string out;
+  for (AtomId a : atoms) {
+    if (!out.empty()) out += ", ";
+    out.push_back('#');
+    out += std::to_string(a);
+    out.push_back(':');
+    AppendAtomSymbol(eq, labels, a, out);
+  }
+  return out;
+}
+
 }  // namespace twig::core

@@ -11,6 +11,7 @@
 #define TWIG_CORE_EXPANDED_QUERY_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "cst/cst.h"
@@ -57,6 +58,19 @@ struct ExpandedQuery {
 /// Expands `twig` against `cst` (which supplies the tag-symbol mapping
 /// and the value-character cap).
 ExpandedQuery ExpandQuery(const query::Twig& twig, const cst::Cst& cst);
+
+/// Renders an atom sequence for diagnostics and explain traces, in the
+/// same form as Cst::DescribeSubpath ("book.author.Su"); atoms whose
+/// tag never occurs in the data render as "?".
+std::string RenderAtomSeq(const ExpandedQuery& eq,
+                          const tree::LabelTable& labels, const AtomSeq& seq);
+
+/// Renders an arbitrary atom set ("#3:author, #4:S") — used for
+/// maximal-overlap conditioning sets, which need atom identity because
+/// distinct query regions can share symbols.
+std::string RenderAtomSet(const ExpandedQuery& eq,
+                          const tree::LabelTable& labels,
+                          const AtomSeq& atoms);
 
 }  // namespace twig::core
 

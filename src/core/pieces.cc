@@ -204,4 +204,16 @@ uint64_t DecompositionFingerprint(const std::vector<EstimandPiece>& pieces) {
   return out;
 }
 
+std::string DescribePiece(const ExpandedQuery& eq,
+                          const tree::LabelTable& labels,
+                          const EstimandPiece& piece) {
+  std::string out;
+  for (const auto& sp : piece.subpaths) {
+    if (!out.empty()) out += " | ";
+    out += RenderAtomSeq(eq, labels, sp);
+  }
+  if (piece.missing) out += " (missing)";
+  return out;
+}
+
 }  // namespace twig::core

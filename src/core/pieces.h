@@ -66,6 +66,12 @@ std::vector<EstimandPiece> MshDecompose(const ExpandedQuery& eq,
 /// fingerprints differ.
 uint64_t DecompositionFingerprint(const std::vector<EstimandPiece>& pieces);
 
+/// Renders a piece for explain traces: its root-anchored subpaths in
+/// symbol form, " | "-separated for twiglets ("book.author | book.year").
+std::string DescribePiece(const ExpandedQuery& eq,
+                          const tree::LabelTable& labels,
+                          const EstimandPiece& piece);
+
 }  // namespace twig::core
 
 #endif  // TWIG_CORE_PIECES_H_

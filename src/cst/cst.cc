@@ -30,6 +30,28 @@ Cst::Match Cst::LongestMatch(std::span<const Symbol> symbols,
   return match;
 }
 
+std::string Cst::DescribeSubpath(CstNodeId node) const {
+  // Collect symbols root-to-node.
+  std::vector<Symbol> symbols(Depth(node));
+  for (CstNodeId n = node; n != root(); n = Parent(n)) {
+    symbols[Depth(n) - 1] = GetSymbol(n);
+  }
+  std::string out;
+  bool prev_was_char = false;
+  for (Symbol s : symbols) {
+    if (IsTagSymbol(s)) {
+      if (!out.empty()) out.push_back('.');
+      out += labels_.Name(suffix::SymbolLabel(s));
+      prev_was_char = false;
+    } else {
+      if (!prev_was_char && !out.empty()) out.push_back('.');
+      out.push_back(suffix::SymbolChar(s));
+      prev_was_char = true;
+    }
+  }
+  return out;
+}
+
 uint32_t Cst::ThresholdForBudget(const PathSuffixTree& pst,
                                  const CstOptions& options) {
   const size_t sig_bytes =

@@ -123,6 +123,12 @@ class Cst {
   suffix::Symbol GetSymbol(CstNodeId node) const { return nodes_[node].symbol; }
   CstNodeId Parent(CstNodeId node) const { return nodes_[node].parent; }
 
+  /// Renders the node's full subpath for diagnostics and explain
+  /// traces: symbols root-to-node, tags dot-separated, consecutive
+  /// value characters run together ("book.author.Su"). The root
+  /// (empty subpath) renders as "".
+  std::string DescribeSubpath(CstNodeId node) const;
+
   // -- Global statistics ---------------------------------------------------
 
   /// Number of nodes in the data tree (the paper's normalizer for

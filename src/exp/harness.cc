@@ -1,8 +1,10 @@
 #include "exp/harness.h"
 
+#include <cstdint>
 #include <cstdio>
 
 #include "data/generators.h"
+#include "obs/metrics.h"
 #include "xml/xml.h"
 
 namespace twig::exp {
@@ -62,6 +64,30 @@ std::vector<AlgorithmEval> EvaluateAll(const cst::Cst& summary,
     out.push_back(EvaluateOne(summary, workload, algorithm, num_threads));
   }
   return out;
+}
+
+std::string MetricsSnapshotJson() {
+  return obs::MetricsRegistry::Get().Snapshot().ToJson();
+}
+
+void PrintBatchObservability(const stats::BatchStats& stats) {
+  const auto counter = [&](obs::Counter c) {
+    return stats.counter_deltas[static_cast<size_t>(c)];
+  };
+  const uint64_t lookups = counter(obs::Counter::kCstSubpathLookups);
+  const uint64_t hits = counter(obs::Counter::kCstSubpathHits);
+  std::printf(
+      "obs: %zu queries, %.0f q/s | CST subpath lookups %llu "
+      "(%.1f%% hit) | set-hash intersections %llu | MO fallbacks %llu\n",
+      stats.total_queries(), stats.throughput_qps(),
+      static_cast<unsigned long long>(lookups),
+      lookups > 0 ? 100.0 * static_cast<double>(hits) /
+                        static_cast<double>(lookups)
+                  : 0.0,
+      static_cast<unsigned long long>(
+          counter(obs::Counter::kSethashIntersections)),
+      static_cast<unsigned long long>(
+          counter(obs::Counter::kTwigletMoFallbacks)));
 }
 
 void PrintRule(size_t width) {

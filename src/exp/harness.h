@@ -68,6 +68,15 @@ AlgorithmEval EvaluateOne(const cst::Cst& summary,
                           core::Algorithm algorithm, size_t num_threads = 1,
                           stats::BatchStats* stats = nullptr);
 
+/// JSON snapshot of the process-wide obs::MetricsRegistry (counters +
+/// per-algorithm latency histograms; schema in DESIGN.md §9).
+std::string MetricsSnapshotJson();
+
+/// One-line observability summary of a batch run: throughput plus the
+/// batch's CST hit rate and set-hash intersection count, derived from
+/// stats.counter_deltas.
+void PrintBatchObservability(const stats::BatchStats& stats);
+
 /// Printing helpers for aligned report tables.
 void PrintRule(size_t width = 78);
 void PrintSeriesHeader(const std::string& first_column,

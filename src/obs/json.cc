@@ -1,0 +1,105 @@
+#include "obs/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace twig::obs {
+
+void JsonWriter::Separate() {
+  if (needs_comma_) out_.push_back(',');
+  needs_comma_ = false;
+}
+
+void JsonWriter::OpenContainer(char open) {
+  Separate();
+  out_.push_back(open);
+  stack_.push_back(open == '{' ? Frame::kObject : Frame::kArray);
+}
+
+void JsonWriter::CloseContainer(char close) {
+  stack_.pop_back();
+  out_.push_back(close);
+  needs_comma_ = true;
+}
+
+void JsonWriter::Key(std::string_view key) {
+  Separate();
+  AppendEscaped(key);
+  out_.push_back(':');
+}
+
+void JsonWriter::AppendEscaped(std::string_view s) {
+  out_.push_back('"');
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out_ += "\\\"";
+        break;
+      case '\\':
+        out_ += "\\\\";
+        break;
+      case '\n':
+        out_ += "\\n";
+        break;
+      case '\r':
+        out_ += "\\r";
+        break;
+      case '\t':
+        out_ += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out_ += buf;
+        } else {
+          out_.push_back(static_cast<char>(c));
+        }
+    }
+  }
+  out_.push_back('"');
+}
+
+void JsonWriter::String(std::string_view value) {
+  Separate();
+  AppendEscaped(value);
+  needs_comma_ = true;
+}
+
+void JsonWriter::Bool(bool value) {
+  Separate();
+  out_ += value ? "true" : "false";
+  needs_comma_ = true;
+}
+
+void JsonWriter::Double(double value) {
+  Separate();
+  if (!std::isfinite(value)) {
+    out_ += "null";
+  } else {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.17g", value);
+    out_ += buf;
+  }
+  needs_comma_ = true;
+}
+
+void JsonWriter::Uint(uint64_t value) {
+  Separate();
+  out_ += std::to_string(value);
+  needs_comma_ = true;
+}
+
+void JsonWriter::Int(int64_t value) {
+  Separate();
+  out_ += std::to_string(value);
+  needs_comma_ = true;
+}
+
+void JsonWriter::Null() {
+  Separate();
+  out_ += "null";
+  needs_comma_ = true;
+}
+
+}  // namespace twig::obs

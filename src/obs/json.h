@@ -1,0 +1,64 @@
+// Minimal JSON writer for the observability exports (explain traces,
+// metrics snapshots). Emits compact, stable-key-order JSON; commas and
+// nesting are managed by a small state stack so callers can't produce
+// structurally invalid output. Not a general-purpose serializer: no
+// parsing, no pretty printing beyond optional indentation.
+
+#ifndef TWIG_OBS_JSON_H_
+#define TWIG_OBS_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace twig::obs {
+
+/// Streaming JSON writer.
+///
+///   JsonWriter w;
+///   w.BeginObject();
+///   w.Key("estimate"); w.Double(17.3);
+///   w.Key("pieces");   w.BeginArray(); ... w.EndArray();
+///   w.EndObject();
+///   std::string json = std::move(w).str();
+class JsonWriter {
+ public:
+  void BeginObject() { OpenContainer('{'); }
+  void EndObject() { CloseContainer('}'); }
+  void BeginArray() { OpenContainer('['); }
+  void EndArray() { CloseContainer(']'); }
+
+  /// Object key; must be followed by exactly one value (or container).
+  void Key(std::string_view key);
+
+  void String(std::string_view value);
+  void Bool(bool value);
+  /// Doubles render with up to 17 significant digits (round-trippable);
+  /// NaN and infinities, which JSON cannot represent, render as null.
+  void Double(double value);
+  void Uint(uint64_t value);
+  void Int(int64_t value);
+  void Null();
+
+  /// The finished document. All containers must be closed.
+  std::string str() && { return std::move(out_); }
+  const std::string& str() const& { return out_; }
+
+ private:
+  enum class Frame : unsigned char { kObject, kArray };
+
+  void OpenContainer(char open);
+  void CloseContainer(char close);
+  /// Emits the separating comma before a value or key if needed.
+  void Separate();
+  void AppendEscaped(std::string_view s);
+
+  std::string out_;
+  std::vector<Frame> stack_;
+  bool needs_comma_ = false;
+};
+
+}  // namespace twig::obs
+
+#endif  // TWIG_OBS_JSON_H_

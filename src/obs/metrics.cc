@@ -1,0 +1,194 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "obs/json.h"
+
+namespace twig::obs {
+
+const char* CounterName(Counter counter) {
+  switch (counter) {
+    case Counter::kEstimates:
+      return "estimates";
+    case Counter::kTracesRecorded:
+      return "traces_recorded";
+    case Counter::kCstSubpathLookups:
+      return "cst_subpath_lookups";
+    case Counter::kCstSubpathHits:
+      return "cst_subpath_hits";
+    case Counter::kCstSubpathMisses:
+      return "cst_subpath_misses";
+    case Counter::kSethashIntersections:
+      return "sethash_intersections";
+    case Counter::kTwigletMoFallbacks:
+      return "twiglet_mo_fallbacks";
+    case Counter::kBatches:
+      return "batches";
+    case Counter::kCount:
+      break;
+  }
+  return "?";
+}
+
+const std::array<const char*, kLatencySeries> kLatencySeriesNames = {
+    "Leaf", "Greedy", "MO", "MOSH", "PMOSH", "MSH"};
+
+std::string CountersToJson(const CounterArray& counters) {
+  JsonWriter w;
+  w.BeginObject();
+  for (size_t i = 0; i < kCounterCount; ++i) {
+    w.Key(CounterName(static_cast<Counter>(i)));
+    w.Uint(counters[i]);
+  }
+  w.EndObject();
+  return std::move(w).str();
+}
+
+double HistogramSnapshot::QuantileNanos(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = static_cast<uint64_t>(q * static_cast<double>(count));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kLatencyBuckets; ++i) {
+    seen += buckets[i];
+    if (seen > target || (seen == count && seen > 0)) {
+      return static_cast<double>(uint64_t{1} << i);  // bucket upper edge
+    }
+  }
+  return static_cast<double>(uint64_t{1} << (kLatencyBuckets - 1));
+}
+
+MetricsSnapshot MetricsSnapshot::Delta(const MetricsSnapshot& earlier) const {
+  auto minus = [](uint64_t a, uint64_t b) { return a >= b ? a - b : 0; };
+  MetricsSnapshot out;
+  for (size_t i = 0; i < kCounterCount; ++i) {
+    out.counters[i] = minus(counters[i], earlier.counters[i]);
+  }
+  for (size_t s = 0; s < kLatencySeries; ++s) {
+    out.latency[s].count = minus(latency[s].count, earlier.latency[s].count);
+    out.latency[s].sum_nanos =
+        minus(latency[s].sum_nanos, earlier.latency[s].sum_nanos);
+    for (size_t b = 0; b < kLatencyBuckets; ++b) {
+      out.latency[s].buckets[b] =
+          minus(latency[s].buckets[b], earlier.latency[s].buckets[b]);
+    }
+  }
+  return out;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("counters");
+  w.BeginObject();
+  for (size_t i = 0; i < kCounterCount; ++i) {
+    w.Key(CounterName(static_cast<Counter>(i)));
+    w.Uint(counters[i]);
+  }
+  w.EndObject();
+  w.Key("estimate_latency");
+  w.BeginObject();
+  for (size_t s = 0; s < kLatencySeries; ++s) {
+    const HistogramSnapshot& h = latency[s];
+    w.Key(kLatencySeriesNames[s]);
+    w.BeginObject();
+    w.Key("count");
+    w.Uint(h.count);
+    w.Key("sum_nanos");
+    w.Uint(h.sum_nanos);
+    w.Key("mean_us");
+    w.Double(h.MeanNanos() / 1e3);
+    w.Key("p50_us");
+    w.Double(h.QuantileNanos(0.5) / 1e3);
+    w.Key("p99_us");
+    w.Double(h.QuantileNanos(0.99) / 1e3);
+    w.Key("buckets");
+    w.BeginArray();
+    for (uint64_t b : h.buckets) w.Uint(b);
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndObject();
+  w.EndObject();
+  return std::move(w).str();
+}
+
+MetricsRegistry& MetricsRegistry::Get() {
+  // Leaked singleton: worker threads may flush counters during static
+  // destruction, so the registry must outlive every other static.
+  static MetricsRegistry* const kRegistry = new MetricsRegistry();
+  return *kRegistry;
+}
+
+class MetricsRegistry::SlotLease {
+ public:
+  explicit SlotLease(MetricsRegistry* registry)
+      : registry_(registry), slot_(registry->AcquireSlot()) {}
+  ~SlotLease() { registry_->ReleaseSlot(slot_); }
+  SlotLease(const SlotLease&) = delete;
+  SlotLease& operator=(const SlotLease&) = delete;
+
+  ThreadSlot* slot() const { return slot_; }
+
+ private:
+  MetricsRegistry* registry_;
+  ThreadSlot* slot_;
+};
+
+MetricsRegistry::ThreadSlot& MetricsRegistry::LocalSlot() {
+  thread_local SlotLease lease(this);
+  return *lease.slot();
+}
+
+MetricsRegistry::ThreadSlot* MetricsRegistry::AcquireSlot() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!free_slots_.empty()) {
+    ThreadSlot* slot = free_slots_.back();
+    free_slots_.pop_back();
+    return slot;
+  }
+  slots_.push_back(std::make_unique<ThreadSlot>());
+  return slots_.back().get();
+}
+
+void MetricsRegistry::ReleaseSlot(ThreadSlot* slot) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  free_slots_.push_back(slot);
+}
+
+void MetricsRegistry::RecordLatency(size_t series, uint64_t nanos) {
+  ThreadSlot& slot = LocalSlot();
+  const size_t bucket = std::min<size_t>(
+      nanos == 0 ? 0 : static_cast<size_t>(std::bit_width(nanos)),
+      kLatencyBuckets - 1);
+  auto bump = [](std::atomic<uint64_t>& a, uint64_t d) {
+    a.store(a.load(std::memory_order_relaxed) + d,
+            std::memory_order_relaxed);
+  };
+  bump(slot.latency_buckets[series][bucket], 1);
+  bump(slot.latency_sum_nanos[series], nanos);
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot out;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& slot : slots_) {
+    for (size_t i = 0; i < kCounterCount; ++i) {
+      out.counters[i] += slot->counts[i].load(std::memory_order_relaxed);
+    }
+    for (size_t s = 0; s < kLatencySeries; ++s) {
+      out.latency[s].sum_nanos +=
+          slot->latency_sum_nanos[s].load(std::memory_order_relaxed);
+      for (size_t b = 0; b < kLatencyBuckets; ++b) {
+        const uint64_t c =
+            slot->latency_buckets[s][b].load(std::memory_order_relaxed);
+        out.latency[s].buckets[b] += c;
+        out.latency[s].count += c;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace twig::obs

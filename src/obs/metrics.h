@@ -1,0 +1,157 @@
+// Process-wide estimator metrics: lock-free per-thread counters and
+// latency histograms, aggregated on demand.
+//
+// The write path is a single-writer design: every thread owns a slot
+// of plain-stored atomics (store(load(relaxed)+d) compiles to an
+// ordinary increment — no interlocked RMW), so instrumented hot paths
+// pay a thread-local load plus a handful of adds per query. Slots are
+// recycled through a free list when threads exit, so short-lived batch
+// pool workers do not grow the registry without bound. Aggregation
+// (Snapshot) walks all slots under the registration mutex; counters
+// are cumulative for the process, so callers wanting an interval take
+// two snapshots and Delta them — there is no destructive Reset racing
+// the writers.
+//
+// Latency is tracked per estimation algorithm in log2-bucketed
+// nanosecond histograms (bucket i covers [2^(i-1), 2^i) ns, bucket 0
+// is [0, 1] ns), which is enough resolution for p50/p99 trends while
+// keeping a slot under 2 KB.
+
+#ifndef TWIG_OBS_METRICS_H_
+#define TWIG_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace twig::obs {
+
+/// The global counters. Lookup counters count *subpath* resolutions
+/// (one walk of a root-anchored atom sequence), not individual child
+/// steps, to keep instrumentation off the innermost loops.
+enum class Counter : size_t {
+  kEstimates,             // TwigEstimator::Estimate calls
+  kTracesRecorded,        // estimates that filled an explain trace
+  kCstSubpathLookups,     // combiner subpath resolutions against the CST
+  kCstSubpathHits,        //   ... that found a CST node
+  kCstSubpathMisses,      //   ... that fell back to missing_count
+  kSethashIntersections,  // k-way set-hash intersection estimates
+  kTwigletMoFallbacks,    // twiglets degraded to pure-MO conditioning
+  kBatches,               // EstimateBatch calls
+  kCount,
+};
+
+inline constexpr size_t kCounterCount = static_cast<size_t>(Counter::kCount);
+
+/// Stable snake_case name used as the JSON key ("cst_subpath_hits").
+const char* CounterName(Counter counter);
+
+/// A plain aggregated counter vector (used for per-batch deltas).
+using CounterArray = std::array<uint64_t, kCounterCount>;
+
+/// JSON object {"name": value, ...} over all counters.
+std::string CountersToJson(const CounterArray& counters);
+
+/// One latency series per core::Algorithm, in kAllAlgorithms order
+/// (Leaf, Greedy, MO, MOSH, PMOSH, MSH). obs cannot depend on core, so
+/// the correspondence is by index; estimator.cc asserts the count.
+inline constexpr size_t kLatencySeries = 6;
+extern const std::array<const char*, kLatencySeries> kLatencySeriesNames;
+
+inline constexpr size_t kLatencyBuckets = 32;
+
+/// Aggregated view of one latency series.
+struct HistogramSnapshot {
+  std::array<uint64_t, kLatencyBuckets> buckets{};
+  uint64_t count = 0;
+  uint64_t sum_nanos = 0;
+
+  double MeanNanos() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum_nanos) /
+                            static_cast<double>(count);
+  }
+  /// Upper edge (ns) of the bucket containing quantile `q` in [0, 1];
+  /// 0 when empty. Log-bucket resolution: within a factor of 2.
+  double QuantileNanos(double q) const;
+};
+
+/// Aggregated view of the whole registry at one instant.
+struct MetricsSnapshot {
+  CounterArray counters{};
+  std::array<HistogramSnapshot, kLatencySeries> latency{};
+
+  /// Component-wise this - earlier (both from the same registry;
+  /// `earlier` taken first). Negative differences clamp to 0.
+  MetricsSnapshot Delta(const MetricsSnapshot& earlier) const;
+
+  /// Stable-schema JSON export:
+  ///   {"counters": {"estimates": 12, ...},
+  ///    "estimate_latency": {"MSH": {"count": n, "sum_nanos": s,
+  ///        "mean_us": m, "p50_us": a, "p99_us": b,
+  ///        "buckets": [..32 counts..]}, ...}}
+  /// Series with count 0 are still emitted (all-zero) so consumers can
+  /// rely on the keys.
+  std::string ToJson() const;
+};
+
+/// The process-wide registry. All methods are thread-safe.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Get();
+
+  /// Bumps a counter on the calling thread's slot.
+  void Add(Counter counter, uint64_t delta = 1) {
+    LocalSlot().Add(static_cast<size_t>(counter), delta);
+  }
+
+  /// Records one estimate latency into series `series`
+  /// (< kLatencySeries, core::Algorithm order).
+  void RecordLatency(size_t series, uint64_t nanos);
+
+  /// Aggregates all thread slots.
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  struct alignas(64) ThreadSlot {
+    std::array<std::atomic<uint64_t>, kCounterCount> counts{};
+    std::array<std::array<std::atomic<uint64_t>, kLatencyBuckets>,
+               kLatencySeries>
+        latency_buckets{};
+    std::array<std::atomic<uint64_t>, kLatencySeries> latency_sum_nanos{};
+
+    /// Single-writer increment: plain load + store, not an RMW.
+    void Add(size_t i, uint64_t delta) {
+      counts[i].store(counts[i].load(std::memory_order_relaxed) + delta,
+                      std::memory_order_relaxed);
+    }
+  };
+
+  /// Binds a slot to the thread on first use and returns it to the
+  /// registry's free list when the thread exits (counts intact —
+  /// counters are cumulative, so a later thread resumes the slot).
+  class SlotLease;
+
+  MetricsRegistry() = default;
+  ThreadSlot& LocalSlot();
+  ThreadSlot* AcquireSlot();
+  void ReleaseSlot(ThreadSlot* slot);
+
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<ThreadSlot>> slots_;
+  std::vector<ThreadSlot*> free_slots_;
+};
+
+/// Convenience for instrumentation sites.
+inline void CountEvent(Counter counter, uint64_t delta = 1) {
+  MetricsRegistry::Get().Add(counter, delta);
+}
+
+}  // namespace twig::obs
+
+#endif  // TWIG_OBS_METRICS_H_

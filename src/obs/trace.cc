@@ -1,0 +1,195 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+
+#include "obs/json.h"
+
+namespace twig::obs {
+
+namespace {
+
+void AppendF(std::string& out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void AppendF(std::string& out, const char* fmt, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, fmt);
+  const int n = std::vsnprintf(buf, sizeof buf, fmt, args);
+  va_end(args);
+  if (n > 0) out.append(buf, std::min<size_t>(static_cast<size_t>(n),
+                                              sizeof buf - 1));
+}
+
+}  // namespace
+
+void Trace::Clear() {
+  query.clear();
+  algorithm.clear();
+  semantics.clear();
+  note.clear();
+  data_node_count = 0;
+  missing_count = 0;
+  pieces.clear();
+  terms.clear();
+  estimate = 0;
+}
+
+std::string Trace::ToText() const {
+  std::string out;
+  AppendF(out, "query: %s\n", query.c_str());
+  AppendF(out, "algorithm: %s (%s semantics), N=%.0f, missing_count=%g\n",
+          algorithm.c_str(), semantics.c_str(), data_node_count,
+          missing_count);
+  if (!note.empty()) AppendF(out, "note: %s\n", note.c_str());
+  AppendF(out, "decomposition: %zu piece(s)\n", pieces.size());
+  for (size_t i = 0; i < pieces.size(); ++i) {
+    const PieceTrace& p = pieces[i];
+    AppendF(out, "  piece %zu: %s  [%s, %zu subpath(s)]  count=%g\n", i,
+            p.label.c_str(),
+            p.missing ? "missing"
+                      : (p.num_subpaths >= 2 ? "twiglet" : "subpath"),
+            p.num_subpaths, p.count);
+    for (const SubpathTrace& sp : p.subpaths) {
+      if (sp.hit) {
+        AppendF(out, "    subpath %-32s hit   Cp=%g Co=%g count=%g\n",
+                sp.subpath.c_str(), sp.presence, sp.occurrence, sp.count);
+      } else {
+        AppendF(out, "    subpath %-32s MISS  -> missing_count=%g\n",
+                sp.subpath.c_str(), sp.count);
+      }
+    }
+    for (const IntersectionTrace& ix : p.intersections) {
+      AppendF(out, "    intersect k=%zu {", ix.inputs.size());
+      for (size_t j = 0; j < ix.inputs.size(); ++j) {
+        AppendF(out, "%s%s(%g)", j ? ", " : "", ix.inputs[j].c_str(),
+                j < ix.input_sizes.size() ? ix.input_sizes[j] : 0.0);
+      }
+      AppendF(out, "} signatures=%zu match=%zu resemblance=%g ",
+              ix.signatures, ix.matching_components, ix.resemblance);
+      if (ix.fallback) {
+        out += "-> pure-MO fallback\n";
+      } else {
+        AppendF(out, "estimate=%g\n", ix.estimate);
+      }
+    }
+  }
+  AppendF(out, "combination: %zu term(s)\n", terms.size());
+  for (size_t i = 0; i < terms.size(); ++i) {
+    const CombineTermTrace& t = terms[i];
+    if (t.skipped) {
+      AppendF(out, "  term %zu: piece %zu fully covered, skipped\n", i,
+              t.piece);
+      continue;
+    }
+    AppendF(out, "  term %zu: piece %zu  Pr=%g", i, t.piece, t.piece_prob);
+    if (!t.overlap.empty()) {
+      AppendF(out, " / overlap{%s} Pr=%g", t.overlap.c_str(),
+              t.overlap_prob);
+    }
+    AppendF(out, "  -> %g\n", t.running_estimate);
+  }
+  AppendF(out, "estimate: %g\n", estimate);
+  return out;
+}
+
+std::string Trace::ToJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("query");
+  w.String(query);
+  w.Key("algorithm");
+  w.String(algorithm);
+  w.Key("semantics");
+  w.String(semantics);
+  w.Key("note");
+  w.String(note);
+  w.Key("data_node_count");
+  w.Double(data_node_count);
+  w.Key("missing_count");
+  w.Double(missing_count);
+  w.Key("estimate");
+  w.Double(estimate);
+  w.Key("pieces");
+  w.BeginArray();
+  for (const PieceTrace& p : pieces) {
+    w.BeginObject();
+    w.Key("label");
+    w.String(p.label);
+    w.Key("num_subpaths");
+    w.Uint(p.num_subpaths);
+    w.Key("missing");
+    w.Bool(p.missing);
+    w.Key("count");
+    w.Double(p.count);
+    w.Key("subpaths");
+    w.BeginArray();
+    for (const SubpathTrace& sp : p.subpaths) {
+      w.BeginObject();
+      w.Key("subpath");
+      w.String(sp.subpath);
+      w.Key("hit");
+      w.Bool(sp.hit);
+      w.Key("presence");
+      w.Double(sp.presence);
+      w.Key("occurrence");
+      w.Double(sp.occurrence);
+      w.Key("count");
+      w.Double(sp.count);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.Key("intersections");
+    w.BeginArray();
+    for (const IntersectionTrace& ix : p.intersections) {
+      w.BeginObject();
+      w.Key("inputs");
+      w.BeginArray();
+      for (const std::string& s : ix.inputs) w.String(s);
+      w.EndArray();
+      w.Key("input_sizes");
+      w.BeginArray();
+      for (double d : ix.input_sizes) w.Double(d);
+      w.EndArray();
+      w.Key("signatures");
+      w.Uint(ix.signatures);
+      w.Key("matching_components");
+      w.Uint(ix.matching_components);
+      w.Key("resemblance");
+      w.Double(ix.resemblance);
+      w.Key("estimate");
+      w.Double(ix.estimate);
+      w.Key("fallback");
+      w.Bool(ix.fallback);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("terms");
+  w.BeginArray();
+  for (const CombineTermTrace& t : terms) {
+    w.BeginObject();
+    w.Key("piece");
+    w.Uint(t.piece);
+    w.Key("piece_prob");
+    w.Double(t.piece_prob);
+    w.Key("overlap");
+    w.String(t.overlap);
+    w.Key("overlap_prob");
+    w.Double(t.overlap_prob);
+    w.Key("skipped");
+    w.Bool(t.skipped);
+    w.Key("running_estimate");
+    w.Double(t.running_estimate);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return std::move(w).str();
+}
+
+}  // namespace twig::obs

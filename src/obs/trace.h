@@ -1,0 +1,103 @@
+// Per-query explain traces (the observability layer's "EXPLAIN").
+//
+// A Trace is an optional sink attached to core::EstimateOptions: when
+// non-null, the estimator records how the estimate was produced — the
+// decomposition into pieces, every subpath resolved against the CST
+// (hit with its presence/occurrence counts, or charged the
+// missing_count fallback), every set-hash intersection (inputs,
+// matching components, resemblance, whether it degraded to pure-MO
+// conditioning), and every maximal-overlap combination term (the
+// Pr(piece) numerator and Pr(overlap) denominator with the running
+// estimate). The trace renders as human-readable text (ToText) and as
+// stable-schema JSON (ToJson; schema documented in DESIGN.md §9).
+//
+// Tracing is strictly per query: a Trace is not thread-safe and must
+// not be shared across concurrent estimates (EstimateBatch ignores an
+// attached sink for exactly this reason). The untraced hot path pays a
+// null-pointer check only.
+
+#ifndef TWIG_OBS_TRACE_H_
+#define TWIG_OBS_TRACE_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace twig::obs {
+
+/// One root-anchored subpath resolved against the CST.
+struct SubpathTrace {
+  /// The subpath in symbol form, e.g. "book.author.S" (tags and leaf
+  /// value characters dot-separated). For hits this is the CST node's
+  /// own subpath; for misses it is the query-side sequence that failed
+  /// (unknown tags render as "?").
+  std::string subpath;
+  /// True when the CST resolved the subpath; false when the combiner
+  /// charged the missing-count fallback.
+  bool hit = false;
+  double presence = 0;    // C_p (hits only)
+  double occurrence = 0;  // C_o (hits only)
+  /// The count actually used under the active semantics (the
+  /// missing_count for misses).
+  double count = 0;
+};
+
+/// One k-way set-hash intersection of twiglet branch groups.
+struct IntersectionTrace {
+  std::vector<std::string> inputs;  // group prefix subpaths
+  std::vector<double> input_sizes;  // their presence counts
+  size_t signatures = 0;            // inputs that carried a signature
+  size_t matching_components = 0;   // the estimate's support
+  double resemblance = 0;
+  double estimate = 0;  // presence-intersection estimate (0 if fallback)
+  /// True when the intersection was below the signatures' resolution
+  /// and the twiglet degraded to pure-MO conditioning.
+  bool fallback = false;
+};
+
+/// One estimand piece, in combination (application) order.
+struct PieceTrace {
+  std::string label;          // the piece's atoms in query form
+  size_t num_subpaths = 0;    // 1 = plain subpath, >= 2 = twiglet
+  bool missing = false;       // single atom with no CST match
+  double count = 0;           // the combiner's count for the piece
+  std::vector<SubpathTrace> subpaths;
+  std::vector<IntersectionTrace> intersections;
+};
+
+/// One combination term: estimate *= piece_prob / overlap_prob.
+struct CombineTermTrace {
+  size_t piece = 0;        // index into Trace::pieces
+  double piece_prob = 0;   // Pr(piece) = count / N
+  std::string overlap;     // already-covered atoms ("" if none)
+  double overlap_prob = 1; // Pr(overlap) divisor
+  bool skipped = false;    // piece fully covered: contributed nothing
+  double running_estimate = 0;
+};
+
+/// The full explain record for one Estimate call.
+struct Trace {
+  std::string query;      // query::FormatTwig rendering
+  std::string algorithm;  // core::AlgorithmName
+  std::string semantics;  // "presence" | "occurrence"
+  /// Extra context, e.g. Leaf's per-leaf independence combination.
+  std::string note;
+  double data_node_count = 0;  // N, the probability normalizer
+  double missing_count = 0;    // resolved fallback count
+  std::vector<PieceTrace> pieces;
+  std::vector<CombineTermTrace> terms;
+  double estimate = 0;
+
+  /// Reuses the buffers for another query.
+  void Clear();
+
+  /// Multi-line human-readable rendering.
+  std::string ToText() const;
+
+  /// Stable-schema JSON (DESIGN.md §9).
+  std::string ToJson() const;
+};
+
+}  // namespace twig::obs
+
+#endif  // TWIG_OBS_TRACE_H_

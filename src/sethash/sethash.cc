@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/metrics.h"
+
 namespace twig::sethash {
 
 SetHashFamily::SetHashFamily(size_t length, uint64_t seed) : length_(length) {
@@ -73,6 +75,7 @@ double EstimateResemblance(const std::vector<const Signature*>& sigs) {
 IntersectionEstimate EstimateIntersectionSize(
     std::span<const SizedSignature> sets) {
   assert(!sets.empty());
+  obs::CountEvent(obs::Counter::kSethashIntersections);
   IntersectionEstimate out;
   if (sets.size() == 1) {
     out.size = sets[0].size;

@@ -13,6 +13,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace twig::stats {
 
 /// Per-thread accounting for one batch-estimation run
@@ -25,6 +27,16 @@ struct BatchStats {
   std::vector<size_t> queries_per_thread;
   std::vector<double> busy_seconds_per_thread;
   double wall_seconds = 0;
+  /// Global obs counter deltas across the batch (registry snapshot
+  /// after minus before): CST subpath hit/miss mix, set-hash
+  /// intersections, fallbacks. The registry is process-wide, so
+  /// concurrent non-batch estimation bleeds into the delta.
+  obs::CounterArray counter_deltas{};
+
+  /// counter_deltas as a JSON object (obs::CountersToJson).
+  std::string CounterDeltasJson() const {
+    return obs::CountersToJson(counter_deltas);
+  }
 
   size_t total_queries() const {
     size_t total = 0;
@@ -82,6 +94,13 @@ class ErrorAccumulator {
 
 /// Distribution of estimate/truth ratios over the paper's buckets
 /// (<0.1, <0.5, <1, <1.5, <10, >=10) — Figure 5(a).
+///
+/// Bucket edges follow the half-open convention [lo, hi): bucket i
+/// holds ratios in [edge_{i-1}, edge_i) with edges 0.1, 0.5, 1.0, 1.5,
+/// 10.0 — so a ratio exactly on an edge lands in the bucket *above* it
+/// (1.0 is "<1.5", i.e. an exact estimate counts as not
+/// underestimated; 10.0 is ">=10"). Pairs with truth <= 0 are skipped
+/// (the ratio is undefined; negative workloads report RMSE instead).
 class RatioHistogram {
  public:
   static constexpr size_t kBuckets = 6;

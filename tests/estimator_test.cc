@@ -200,6 +200,101 @@ TEST_F(EstimatorTest, BatchMatchesSequentialBitForBit) {
   }
 }
 
+TEST_F(EstimatorTest, BatchEmptyWorkload) {
+  workload::Workload empty;
+  TwigEstimator estimator(&cst_);
+  for (size_t threads : {1u, 4u}) {
+    BatchOptions options;
+    options.num_threads = threads;
+    stats::BatchStats batch_stats;
+    const auto estimates = estimator.EstimateBatch(
+        empty, Algorithm::kMsh, options, &batch_stats);
+    EXPECT_TRUE(estimates.empty());
+    EXPECT_EQ(batch_stats.num_threads, threads);
+    EXPECT_EQ(batch_stats.total_queries(), 0u);
+    EXPECT_DOUBLE_EQ(batch_stats.busy_seconds(), 0.0);
+    EXPECT_DOUBLE_EQ(batch_stats.throughput_qps(), 0.0);
+    EXPECT_DOUBLE_EQ(batch_stats.avg_latency_seconds(), 0.0);
+  }
+}
+
+TEST_F(EstimatorTest, BatchMoreThreadsThanQueries) {
+  workload::Workload wl;
+  for (const char* text : {"book.author", "book.year=\"Y1\""}) {
+    auto twig = ParseTwig(text);
+    ASSERT_TRUE(twig.ok());
+    workload::WorkloadQuery wq;
+    wq.twig = *twig;
+    wl.push_back(std::move(wq));
+  }
+  TwigEstimator estimator(&cst_);
+  BatchOptions options;
+  options.num_threads = 8;  // far more workers than queries
+  stats::BatchStats batch_stats;
+  const auto got =
+      estimator.EstimateBatch(wl, Algorithm::kMo, options, &batch_stats);
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_DOUBLE_EQ(got[0], Estimate("book.author", Algorithm::kMo));
+  EXPECT_DOUBLE_EQ(got[1], Estimate("book.year=\"Y1\"", Algorithm::kMo));
+  EXPECT_EQ(batch_stats.num_threads, 8u);
+  EXPECT_EQ(batch_stats.queries_per_thread.size(), 8u);
+  EXPECT_EQ(batch_stats.total_queries(), 2u);
+}
+
+TEST_F(EstimatorTest, BatchStatsPopulatedOnInlinePath) {
+  // num_threads == 1 runs inline with no pool; stats must still be
+  // filled, including the obs counter deltas (satisfied at minimum by
+  // the kEstimates increments of this very batch).
+  workload::Workload wl;
+  auto twig = ParseTwig("book(author, year=\"Y1\")");
+  ASSERT_TRUE(twig.ok());
+  for (int i = 0; i < 3; ++i) {
+    workload::WorkloadQuery wq;
+    wq.twig = *twig;
+    wl.push_back(std::move(wq));
+  }
+  TwigEstimator estimator(&cst_);
+  stats::BatchStats batch_stats;
+  const auto got = estimator.EstimateBatch(wl, Algorithm::kMsh, {},
+                                           &batch_stats);
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(batch_stats.num_threads, 1u);
+  ASSERT_EQ(batch_stats.queries_per_thread.size(), 1u);
+  EXPECT_EQ(batch_stats.queries_per_thread[0], 3u);
+  EXPECT_GT(batch_stats.wall_seconds, 0.0);
+  EXPECT_GE(batch_stats.wall_seconds, batch_stats.busy_seconds() * 0.5);
+  EXPECT_GE(
+      batch_stats.counter_deltas[static_cast<size_t>(
+          obs::Counter::kEstimates)],
+      3u);
+  // The JSON rendering carries one key per counter.
+  const std::string json = batch_stats.CounterDeltasJson();
+  EXPECT_NE(json.find("\"estimates\""), std::string::npos);
+  EXPECT_NE(json.find("\"cst_subpath_lookups\""), std::string::npos);
+}
+
+TEST_F(EstimatorTest, BatchIgnoresAttachedTrace) {
+  workload::Workload wl;
+  auto twig = ParseTwig("book(author, year=\"Y1\")");
+  ASSERT_TRUE(twig.ok());
+  for (int i = 0; i < 4; ++i) {
+    workload::WorkloadQuery wq;
+    wq.twig = *twig;
+    wl.push_back(std::move(wq));
+  }
+  TwigEstimator estimator(&cst_);
+  const auto expected = estimator.EstimateBatch(wl, Algorithm::kMsh);
+  obs::Trace trace;
+  trace.query = "sentinel";
+  BatchOptions traced;
+  traced.num_threads = 2;
+  traced.estimate.trace = &trace;
+  const auto got = estimator.EstimateBatch(wl, Algorithm::kMsh, traced);
+  EXPECT_EQ(got, expected);               // estimates unaffected
+  EXPECT_EQ(trace.query, "sentinel");     // sink never touched
+  EXPECT_TRUE(trace.pieces.empty());
+}
+
 INSTANTIATE_TEST_SUITE_P(
     FigureOneQueries, TrivialExactness,
     ::testing::Values(TrivialCase{"dblp.book.author", 1, 6},

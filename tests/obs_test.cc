@@ -1,0 +1,483 @@
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/estimator.h"
+#include "cst/cst.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "query/twig.h"
+#include "test_trees.h"
+
+namespace twig::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// A minimal recursive-descent JSON syntax checker, so the tests verify
+// "the export actually parses" rather than just eyeballing substrings.
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : s_(text) {}
+
+  bool Valid() {
+    SkipWs();
+    if (!Value()) return false;
+    SkipWs();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool Value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{':
+        return Object();
+      case '[':
+        return Array();
+      case '"':
+        return String();
+      case 't':
+        return Literal("true");
+      case 'f':
+        return Literal("false");
+      case 'n':
+        return Literal("null");
+      default:
+        return Number();
+    }
+  }
+
+  bool Object() {
+    ++pos_;  // '{'
+    SkipWs();
+    if (Peek('}')) return true;
+    while (true) {
+      SkipWs();
+      if (!String()) return false;
+      SkipWs();
+      if (!Expect(':')) return false;
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek('}')) return true;
+      if (!Expect(',')) return false;
+    }
+  }
+
+  bool Array() {
+    ++pos_;  // '['
+    SkipWs();
+    if (Peek(']')) return true;
+    while (true) {
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek(']')) return true;
+      if (!Expect(',')) return false;
+    }
+  }
+
+  bool String() {
+    if (pos_ >= s_.size() || s_[pos_] != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) return false;  // raw control
+      if (c == '\\') {
+        if (pos_ >= s_.size()) return false;
+        const char e = s_[pos_++];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            if (pos_ >= s_.size() || !std::isxdigit(
+                    static_cast<unsigned char>(s_[pos_++]))) {
+              return false;
+            }
+          }
+        } else if (std::string("\"\\/bfnrt").find(e) == std::string::npos) {
+          return false;
+        }
+      }
+    }
+    return false;
+  }
+
+  bool Number() {
+    const size_t start = pos_;
+    if (Peek('-')) {
+    }
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            std::string(".eE+-").find(s_[pos_]) != std::string::npos)) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool Literal(const char* lit) {
+    const size_t n = std::string(lit).size();
+    if (s_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  bool Expect(char c) {
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool Peek(char c) {
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  void SkipWs() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+bool IsValidJson(const std::string& text) {
+  return JsonChecker(text).Valid();
+}
+
+TEST(JsonCheckerTest, SanityOnHandWrittenCases) {
+  EXPECT_TRUE(IsValidJson("{}"));
+  EXPECT_TRUE(IsValidJson("{\"a\":[1,2.5,-3e4],\"b\":{\"c\":null}}"));
+  EXPECT_FALSE(IsValidJson("{\"a\":1,}"));
+  EXPECT_FALSE(IsValidJson("{\"a\" 1}"));
+  EXPECT_FALSE(IsValidJson("[1,2"));
+  EXPECT_FALSE(IsValidJson("{\"a\":\"\x01\"}"));
+}
+
+// ---------------------------------------------------------------------------
+// JsonWriter
+
+TEST(JsonWriterTest, NestedContainersAndCommas) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("a");
+  w.Uint(1);
+  w.Key("b");
+  w.BeginArray();
+  w.Int(-2);
+  w.Bool(true);
+  w.Null();
+  w.BeginObject();
+  w.Key("c");
+  w.String("x");
+  w.EndObject();
+  w.EndArray();
+  w.EndObject();
+  const std::string json = std::move(w).str();
+  EXPECT_EQ(json, "{\"a\":1,\"b\":[-2,true,null,{\"c\":\"x\"}]}");
+  EXPECT_TRUE(IsValidJson(json));
+}
+
+TEST(JsonWriterTest, EscapesStrings) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("k\"ey");
+  w.String("line\nbreak\ttab\\slash\x01");
+  w.EndObject();
+  const std::string json = std::move(w).str();
+  EXPECT_EQ(json,
+            "{\"k\\\"ey\":\"line\\nbreak\\ttab\\\\slash\\u0001\"}");
+  EXPECT_TRUE(IsValidJson(json));
+}
+
+TEST(JsonWriterTest, NonFiniteDoublesBecomeNull) {
+  JsonWriter w;
+  w.BeginArray();
+  w.Double(1.5);
+  w.Double(std::nan(""));
+  w.Double(INFINITY);
+  w.EndArray();
+  const std::string json = std::move(w).str();
+  EXPECT_EQ(json, "[1.5,null,null]");
+}
+
+// ---------------------------------------------------------------------------
+// Counters and the metrics registry
+
+TEST(MetricsTest, CounterNamesAreStableJsonKeys) {
+  EXPECT_STREQ(CounterName(Counter::kEstimates), "estimates");
+  EXPECT_STREQ(CounterName(Counter::kCstSubpathLookups),
+               "cst_subpath_lookups");
+  EXPECT_STREQ(CounterName(Counter::kCstSubpathHits), "cst_subpath_hits");
+  EXPECT_STREQ(CounterName(Counter::kCstSubpathMisses),
+               "cst_subpath_misses");
+  EXPECT_STREQ(CounterName(Counter::kSethashIntersections),
+               "sethash_intersections");
+  EXPECT_STREQ(CounterName(Counter::kTwigletMoFallbacks),
+               "twiglet_mo_fallbacks");
+  EXPECT_STREQ(CounterName(Counter::kTracesRecorded), "traces_recorded");
+  EXPECT_STREQ(CounterName(Counter::kBatches), "batches");
+}
+
+TEST(MetricsTest, CountersToJsonEmitsEveryCounter) {
+  CounterArray counters{};
+  counters[static_cast<size_t>(Counter::kEstimates)] = 7;
+  const std::string json = CountersToJson(counters);
+  EXPECT_TRUE(IsValidJson(json));
+  EXPECT_NE(json.find("\"estimates\":7"), std::string::npos);
+  for (size_t i = 0; i < kCounterCount; ++i) {
+    EXPECT_NE(json.find(std::string("\"") +
+                        CounterName(static_cast<Counter>(i)) + "\""),
+              std::string::npos)
+        << i;
+  }
+}
+
+TEST(MetricsTest, AddIsVisibleInSnapshotDelta) {
+  auto& registry = MetricsRegistry::Get();
+  const MetricsSnapshot before = registry.Snapshot();
+  registry.Add(Counter::kEstimates, 3);
+  registry.Add(Counter::kCstSubpathHits);
+  const MetricsSnapshot delta = registry.Snapshot().Delta(before);
+  EXPECT_GE(delta.counters[static_cast<size_t>(Counter::kEstimates)], 3u);
+  EXPECT_GE(delta.counters[static_cast<size_t>(Counter::kCstSubpathHits)],
+            1u);
+}
+
+TEST(MetricsTest, AggregatesAcrossThreads) {
+  auto& registry = MetricsRegistry::Get();
+  const MetricsSnapshot before = registry.Snapshot();
+  constexpr int kThreads = 4;
+  constexpr uint64_t kPerThread = 1000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&] {
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        CountEvent(Counter::kSethashIntersections);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  const MetricsSnapshot delta = registry.Snapshot().Delta(before);
+  EXPECT_GE(
+      delta.counters[static_cast<size_t>(Counter::kSethashIntersections)],
+      kThreads * kPerThread);
+}
+
+TEST(MetricsTest, LatencyHistogramBucketsAndQuantiles) {
+  auto& registry = MetricsRegistry::Get();
+  const MetricsSnapshot before = registry.Snapshot();
+  // Series 0 (Leaf) is not exercised concurrently by other tests here.
+  for (int i = 0; i < 100; ++i) registry.RecordLatency(0, 1000);  // ~1 us
+  registry.RecordLatency(0, 1u << 20);                            // ~1 ms
+  const MetricsSnapshot delta = registry.Snapshot().Delta(before);
+  const HistogramSnapshot& h = delta.latency[0];
+  EXPECT_EQ(h.count, 101u);
+  EXPECT_EQ(h.sum_nanos, 100u * 1000u + (1u << 20));
+  // 1000 ns lands in bucket [512, 1024): index 10 = bit_width(1000).
+  EXPECT_EQ(h.buckets[10], 100u);
+  EXPECT_EQ(h.buckets[21], 1u);  // 2^20 in [2^20, 2^21)
+  EXPECT_NEAR(h.MeanNanos(), (100.0 * 1000 + (1u << 20)) / 101, 1e-9);
+  // p50 within log-bucket resolution of 1000 ns; p99+ catches the tail.
+  EXPECT_LE(h.QuantileNanos(0.5), 1024.0);
+  EXPECT_GE(h.QuantileNanos(0.999), 1 << 20);
+  EXPECT_DOUBLE_EQ(HistogramSnapshot{}.QuantileNanos(0.5), 0.0);
+}
+
+TEST(MetricsTest, DeltaClampsNegativeToZero) {
+  MetricsSnapshot a;
+  MetricsSnapshot b;
+  a.counters[0] = 5;
+  b.counters[0] = 9;
+  const MetricsSnapshot d = a.Delta(b);  // a - b < 0
+  EXPECT_EQ(d.counters[0], 0u);
+}
+
+TEST(MetricsTest, SnapshotJsonParsesAndHasAllSeries) {
+  const std::string json = MetricsRegistry::Get().Snapshot().ToJson();
+  EXPECT_TRUE(IsValidJson(json));
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"estimate_latency\""), std::string::npos);
+  for (const char* name : kLatencySeriesNames) {
+    EXPECT_NE(json.find(std::string("\"") + name + "\""),
+              std::string::npos)
+        << name;
+  }
+  EXPECT_NE(json.find("\"p99_us\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Explain traces, end to end through the estimator
+
+class TraceTest : public ::testing::Test {
+ protected:
+  TraceTest() : data_(testutil::FigureOneTree()) {
+    auto pst = suffix::PathSuffixTree::Build(data_);
+    cst::CstOptions options;
+    options.prune_threshold = 1;
+    cst_ = cst::Cst::Build(data_, pst, options);
+  }
+
+  Trace Explain(const char* twig_text, core::Algorithm algorithm) {
+    auto twig = query::ParseTwig(twig_text);
+    EXPECT_TRUE(twig.ok());
+    Trace trace;
+    core::EstimateOptions options;
+    options.trace = &trace;
+    core::TwigEstimator(&cst_).Estimate(*twig, algorithm, options);
+    return trace;
+  }
+
+  tree::Tree data_;
+  cst::Cst cst_;
+};
+
+TEST_F(TraceTest, RecordsHeaderAndEstimate) {
+  const Trace trace =
+      Explain("book(author, year=\"Y1\")", core::Algorithm::kMsh);
+  EXPECT_EQ(trace.query, "book(author, year=\"Y1\")");
+  EXPECT_EQ(trace.algorithm, "MSH");
+  EXPECT_EQ(trace.semantics, "occurrence");
+  EXPECT_GT(trace.data_node_count, 0.0);
+  EXPECT_GT(trace.missing_count, 0.0);
+  EXPECT_FALSE(trace.pieces.empty());
+  EXPECT_FALSE(trace.terms.empty());
+  EXPECT_NEAR(trace.estimate, 6.0, 0.6);  // the Section 5 example
+}
+
+TEST_F(TraceTest, SubpathHitsCarryCstCounts) {
+  const Trace trace =
+      Explain("book(author, year=\"Y1\")", core::Algorithm::kMsh);
+  size_t hits = 0;
+  for (const PieceTrace& piece : trace.pieces) {
+    EXPECT_FALSE(piece.label.empty());
+    for (const SubpathTrace& sp : piece.subpaths) {
+      EXPECT_FALSE(sp.subpath.empty());
+      if (sp.hit) {
+        ++hits;
+        EXPECT_GT(sp.presence, 0.0) << sp.subpath;
+        EXPECT_GE(sp.occurrence, sp.presence) << sp.subpath;
+        EXPECT_GT(sp.count, 0.0) << sp.subpath;
+      }
+    }
+  }
+  EXPECT_GT(hits, 0u);  // unpruned CST: the query's subpaths are present
+}
+
+TEST_F(TraceTest, UnknownTagRecordedAsMiss) {
+  const Trace trace = Explain("journal=\"X\"", core::Algorithm::kMo);
+  ASSERT_FALSE(trace.pieces.empty());
+  bool saw_miss = false;
+  for (const PieceTrace& piece : trace.pieces) {
+    for (const SubpathTrace& sp : piece.subpaths) {
+      if (!sp.hit) {
+        saw_miss = true;
+        EXPECT_DOUBLE_EQ(sp.count, trace.missing_count) << sp.subpath;
+      }
+    }
+  }
+  EXPECT_TRUE(saw_miss);
+}
+
+TEST_F(TraceTest, TermsReproduceTheEstimate) {
+  // The MO combination is estimate = N * prod(piece_prob/overlap_prob)
+  // over non-skipped terms; replaying the recorded terms must land on
+  // the recorded estimate, and the running estimates must agree.
+  const Trace trace =
+      Explain("book(author=\"A1\", year=\"Y1\")", core::Algorithm::kMsh);
+  double replay = trace.data_node_count;
+  for (const CombineTermTrace& t : trace.terms) {
+    ASSERT_LT(t.piece, trace.pieces.size());
+    if (t.skipped) continue;
+    ASSERT_NE(t.overlap_prob, 0.0);
+    replay *= t.piece_prob / t.overlap_prob;
+    EXPECT_NEAR(replay, t.running_estimate, 1e-9 * (1.0 + replay));
+  }
+  EXPECT_NEAR(replay, trace.estimate, 1e-9 * (1.0 + replay));
+}
+
+TEST_F(TraceTest, ClearedBetweenQueries) {
+  auto twig_a = query::ParseTwig("book(author, year=\"Y1\")");
+  auto twig_b = query::ParseTwig("book.author");
+  ASSERT_TRUE(twig_a.ok() && twig_b.ok());
+  Trace trace;
+  core::EstimateOptions options;
+  options.trace = &trace;
+  core::TwigEstimator estimator(&cst_);
+  estimator.Estimate(*twig_a, core::Algorithm::kMsh, options);
+  estimator.Estimate(*twig_b, core::Algorithm::kMo, options);
+  EXPECT_EQ(trace.query, "book.author");
+  EXPECT_EQ(trace.algorithm, "MO");
+  // Nothing accumulated from the first query: the reused sink renders
+  // identically to a fresh one.
+  const Trace fresh = Explain("book.author", core::Algorithm::kMo);
+  EXPECT_EQ(trace.ToJson(), fresh.ToJson());
+}
+
+TEST_F(TraceTest, LeafCarriesExplanatoryNote) {
+  const Trace trace = Explain("book.author", core::Algorithm::kLeaf);
+  EXPECT_NE(trace.note.find("Leaf"), std::string::npos);
+}
+
+TEST_F(TraceTest, TracingDoesNotChangeTheEstimate) {
+  auto twig = query::ParseTwig("book(author=\"A1\", year=\"Y1\")");
+  ASSERT_TRUE(twig.ok());
+  core::TwigEstimator estimator(&cst_);
+  for (core::Algorithm a : core::kAllAlgorithms) {
+    const double untraced = estimator.Estimate(*twig, a);
+    Trace trace;
+    core::EstimateOptions options;
+    options.trace = &trace;
+    EXPECT_EQ(estimator.Estimate(*twig, a, options), untraced)
+        << core::AlgorithmName(a);
+    EXPECT_EQ(trace.estimate, untraced) << core::AlgorithmName(a);
+  }
+}
+
+TEST_F(TraceTest, TextAndJsonRenderings) {
+  for (core::Algorithm a : core::kAllAlgorithms) {
+    const Trace trace = Explain("book(author, year=\"Y1\")", a);
+    const std::string text = trace.ToText();
+    EXPECT_NE(text.find("query: "), std::string::npos);
+    EXPECT_NE(text.find("estimate: "), std::string::npos);
+    const std::string json = trace.ToJson();
+    EXPECT_TRUE(IsValidJson(json)) << core::AlgorithmName(a) << "\n"
+                                   << json;
+    for (const char* key :
+         {"\"query\"", "\"algorithm\"", "\"semantics\"", "\"pieces\"",
+          "\"terms\"", "\"estimate\"", "\"subpaths\"",
+          "\"intersections\""}) {
+      EXPECT_NE(json.find(key), std::string::npos)
+          << core::AlgorithmName(a) << " missing " << key;
+    }
+  }
+}
+
+TEST_F(TraceTest, EstimateCountsTraceEvents) {
+  auto& registry = MetricsRegistry::Get();
+  const MetricsSnapshot before = registry.Snapshot();
+  Explain("book(author, year=\"Y1\")", core::Algorithm::kMsh);
+  const MetricsSnapshot delta = registry.Snapshot().Delta(before);
+  EXPECT_GE(delta.counters[static_cast<size_t>(Counter::kEstimates)], 1u);
+  EXPECT_GE(
+      delta.counters[static_cast<size_t>(Counter::kTracesRecorded)], 1u);
+  EXPECT_GE(
+      delta.counters[static_cast<size_t>(Counter::kCstSubpathLookups)],
+      delta.counters[static_cast<size_t>(Counter::kCstSubpathHits)]);
+}
+
+}  // namespace
+}  // namespace twig::obs

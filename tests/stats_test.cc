@@ -89,6 +89,29 @@ TEST(RatioHistogramTest, ExactBoundariesGoUp) {
   EXPECT_DOUBLE_EQ(hist.Percent(5), 100.0 / 3);
 }
 
+TEST(RatioHistogramTest, EveryEdgePinnedToBucketAbove) {
+  // Pins the documented half-open [lo, hi) convention for all five
+  // edges (stats/metrics.h): a ratio exactly on an edge lands in the
+  // bucket above it, so an exact estimate (ratio 1.0) counts as "<1.5",
+  // not underestimated. Truths of 10 make every ratio an exact double.
+  const struct {
+    double estimate;
+    size_t bucket;
+  } kEdges[] = {
+      {1, 1},    // ratio 0.1  -> "<0.5"
+      {5, 2},    // ratio 0.5  -> "<1"
+      {10, 3},   // ratio 1.0  -> "<1.5"
+      {15, 4},   // ratio 1.5  -> "<10"
+      {100, 5},  // ratio 10.0 -> ">=10"
+  };
+  for (const auto& e : kEdges) {
+    RatioHistogram hist;
+    hist.Add(10, e.estimate);
+    EXPECT_DOUBLE_EQ(hist.Percent(e.bucket), 100.0)
+        << "ratio " << e.estimate / 10;
+  }
+}
+
 TEST(RatioHistogramTest, ZeroTruthIgnored) {
   RatioHistogram hist;
   hist.Add(0, 100);
