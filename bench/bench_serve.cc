@@ -1,0 +1,142 @@
+// Serving-layer benchmark (DESIGN.md §10): what does putting the
+// estimator behind the snapshot catalog + bounded queue + worker pool
+// cost, and how does the queue behave at and past saturation?
+//
+//   1. Baseline: direct TwigEstimator calls on the caller thread.
+//   2. Served throughput: closed-loop clients (each waits for its
+//      response before sending the next) against the EstimateService,
+//      sweeping worker counts — per-request overhead is the gap to the
+//      baseline.
+//   3. Overload: an open-loop burst far past queue capacity; every
+//      request is answered (estimate or structured rejection), and the
+//      split shows the admission discipline doing its job.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exp/harness.h"
+#include "serve/service.h"
+#include "serve/snapshot.h"
+
+namespace {
+
+using namespace twig;
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+int main() {
+  exp::Dataset ds = exp::MakeDataset(exp::DatasetKind::kDblp,
+                                     exp::kDefaultDblpBytes, 20010402);
+  workload::WorkloadOptions wopt;
+  wopt.num_queries = 200;
+  wopt.seed = 1789;
+  const workload::Workload wl = workload::GeneratePositive(ds.tree, wopt);
+
+  serve::SnapshotCatalog catalog;
+  catalog.Publish(exp::BuildCstAtFraction(ds, 0.01), "dblp @ 1%");
+  const std::shared_ptr<const serve::CstSnapshot> snapshot = catalog.Current();
+
+  constexpr size_t kRounds = 10;  // passes over the workload per run
+
+  // -- 1. Baseline: the estimator with no serving machinery around it.
+  core::TwigEstimator direct(&snapshot->summary);
+  Clock::time_point start = Clock::now();
+  for (size_t round = 0; round < kRounds; ++round) {
+    for (const auto& wq : wl) {
+      direct.Estimate(wq.twig, core::Algorithm::kMsh);
+    }
+  }
+  const double direct_seconds = SecondsSince(start);
+  const size_t total = kRounds * wl.size();
+  std::printf("== Direct estimator baseline (MSH, 1%% space) ==\n");
+  std::printf("  %zu estimates in %.3f s: %.0f/s, %.1f us each\n\n", total,
+              direct_seconds, static_cast<double>(total) / direct_seconds,
+              1e6 * direct_seconds / static_cast<double>(total));
+
+  // -- 2. Served, closed loop: sweep the worker count.
+  std::printf("== Served throughput (closed loop, 4 client threads) ==\n");
+  std::printf("  %-8s %10s %12s %12s %12s\n", "workers", "req/s", "vs direct",
+              "wait p50 us", "wait p99 us");
+  for (size_t workers : {1, 2, 4}) {
+    serve::ServiceOptions sopt;
+    sopt.num_workers = workers;
+    serve::EstimateService service(&catalog, sopt);
+
+    constexpr size_t kClients = 4;
+    std::vector<std::vector<double>> waits(kClients);
+    start = Clock::now();
+    std::vector<std::thread> clients;
+    for (size_t c = 0; c < kClients; ++c) {
+      clients.emplace_back([&, c] {
+        waits[c].reserve(kRounds * wl.size() / kClients);
+        for (size_t i = c; i < kRounds * wl.size(); i += kClients) {
+          serve::EstimateRequest request;
+          request.twig = wl[i % wl.size()].twig;
+          request.algorithm = core::Algorithm::kMsh;
+          serve::EstimateResponse response =
+              service.SubmitAndWait(std::move(request));
+          if (response.status.ok()) {
+            waits[c].push_back(1e-3 *
+                               static_cast<double>(response.queue_wait.count()));
+          }
+        }
+      });
+    }
+    for (std::thread& t : clients) t.join();
+    const double served_seconds = SecondsSince(start);
+    service.Shutdown(/*drain=*/true);
+
+    std::vector<double> all_waits;
+    for (const auto& w : waits) all_waits.insert(all_waits.end(), w.begin(),
+                                                 w.end());
+    std::sort(all_waits.begin(), all_waits.end());
+    const auto quantile = [&](double q) {
+      if (all_waits.empty()) return 0.0;
+      return all_waits[static_cast<size_t>(
+          q * static_cast<double>(all_waits.size() - 1))];
+    };
+    std::printf("  %-8zu %10.0f %11.2fx %12.1f %12.1f\n", workers,
+                static_cast<double>(total) / served_seconds,
+                served_seconds / direct_seconds, quantile(0.5),
+                quantile(0.99));
+  }
+
+  // -- 3. Overload: open-loop burst past the queue, count the split.
+  std::printf("\n== Overload (open loop, queue capacity 64, 1 worker) ==\n");
+  serve::ServiceOptions sopt;
+  sopt.num_workers = 1;
+  sopt.queue_capacity = 64;
+  serve::EstimateService service(&catalog, sopt);
+  std::vector<std::future<serve::EstimateResponse>> in_flight;
+  in_flight.reserve(4 * wl.size());
+  for (size_t i = 0; i < 4 * wl.size(); ++i) {
+    serve::EstimateRequest request;
+    request.twig = wl[i % wl.size()].twig;
+    in_flight.push_back(service.Submit(std::move(request)));
+  }
+  size_t served = 0, rejected = 0;
+  for (auto& f : in_flight) {
+    serve::EstimateResponse response = f.get();
+    if (response.status.ok()) {
+      ++served;
+    } else {
+      ++rejected;
+    }
+  }
+  service.Shutdown(/*drain=*/true);
+  std::printf("  %zu submitted: %zu served, %zu rejected (every request "
+              "answered)\n",
+              in_flight.size(), served, rejected);
+  return 0;
+}

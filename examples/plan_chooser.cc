@@ -12,7 +12,6 @@
 
 #include <algorithm>
 #include <cstdio>
-#include <cstring>
 #include <string>
 #include <vector>
 
@@ -22,6 +21,7 @@
 #include "match/matcher.h"
 #include "query/twig.h"
 #include "suffix/path_suffix_tree.h"
+#include "util/flags.h"
 #include "xml/xml.h"
 
 namespace {
@@ -48,15 +48,9 @@ query::Twig BranchTwig(const query::Twig& twig,
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc > 1) {
-    const bool help = std::strcmp(argv[1], "--help") == 0;
-    if (!help) {
-      std::fprintf(stderr, "plan_chooser: unknown argument '%s'\n", argv[1]);
-    }
-    std::fprintf(help ? stdout : stderr,
-                 "usage: plan_chooser  (takes no arguments)\n");
-    return help ? 0 : 2;
-  }
+  util::FlagParser flags("plan_chooser",
+                         "usage: plan_chooser  (takes no arguments)\n");
+  if (int code = flags.Parse(argc, argv); code >= 0) return code;
   data::DblpOptions options;
   options.target_bytes = 2 * 1024 * 1024;
   tree::Tree data = data::GenerateDblp(options);

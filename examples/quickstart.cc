@@ -5,10 +5,10 @@
 //   ./quickstart file.xml        # summarizes your own XML document
 
 #include <cstdio>
-#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "core/estimator.h"
 #include "cst/cst.h"
@@ -16,16 +16,18 @@
 #include "match/matcher.h"
 #include "query/twig.h"
 #include "suffix/path_suffix_tree.h"
+#include "util/flags.h"
 #include "util/strings.h"
 #include "xml/xml.h"
 
 namespace {
 
-twig::tree::Tree LoadOrGenerate(int argc, char** argv) {
-  if (argc > 1) {
-    std::ifstream in(argv[1]);
+twig::tree::Tree LoadOrGenerate(const std::vector<std::string>& paths) {
+  if (!paths.empty()) {
+    std::ifstream in(paths.front());
     if (!in) {
-      std::fprintf(stderr, "cannot open %s; using generated data\n", argv[1]);
+      std::fprintf(stderr, "cannot open %s; using generated data\n",
+                   paths.front().c_str());
     } else {
       std::ostringstream buf;
       buf << in.rdbuf();
@@ -45,18 +47,13 @@ twig::tree::Tree LoadOrGenerate(int argc, char** argv) {
 int main(int argc, char** argv) {
   using namespace twig;
 
-  for (int i = 1; i < argc; ++i) {
-    if (argv[i][0] != '-') continue;
-    const bool help = std::strcmp(argv[i], "--help") == 0;
-    if (!help) {
-      std::fprintf(stderr, "quickstart: unknown flag '%s'\n", argv[i]);
-    }
-    std::fprintf(help ? stdout : stderr, "usage: quickstart [file.xml]\n");
-    return help ? 0 : 2;
-  }
+  std::vector<std::string> paths;
+  util::FlagParser flags("quickstart", "usage: quickstart [file.xml]\n");
+  flags.Positional(&paths);
+  if (int code = flags.Parse(argc, argv); code >= 0) return code;
 
   // 1. A node-labeled data tree (from XML or the built-in generator).
-  tree::Tree data = LoadOrGenerate(argc, argv);
+  tree::Tree data = LoadOrGenerate(paths);
   const size_t xml_bytes = xml::XmlByteSize(data);
   std::printf("data tree: %zu nodes, %s serialized\n", data.size(),
               HumanBytes(xml_bytes).c_str());

@@ -19,6 +19,7 @@
 #include "match/matcher.h"
 #include "query/twig.h"
 #include "suffix/path_suffix_tree.h"
+#include "util/flags.h"
 #include "util/strings.h"
 #include "xml/xml.h"
 
@@ -42,21 +43,16 @@ tree::Tree LoadTree(const std::string& path) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  std::vector<std::string> args;
+  util::FlagParser flags("selectivity_explorer",
+                         "usage: selectivity_explorer [file.xml] [TWIG...]\n");
+  flags.Positional(&args);
+  if (int code = flags.Parse(argc, argv); code >= 0) return code;
+
   std::vector<std::string> query_texts;
   tree::Tree data;
   bool generated = true;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (!arg.empty() && arg[0] == '-') {
-      const bool help = arg == "--help";
-      if (!help) {
-        std::fprintf(stderr, "selectivity_explorer: unknown flag '%s'\n",
-                     arg.c_str());
-      }
-      std::fprintf(help ? stdout : stderr,
-                   "usage: selectivity_explorer [file.xml] [TWIG...]\n");
-      return help ? 0 : 2;
-    }
+  for (const std::string& arg : args) {
     if (arg.size() > 4 && arg.substr(arg.size() - 4) == ".xml") {
       data = LoadTree(arg);
       generated = false;

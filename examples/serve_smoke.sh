@@ -1,0 +1,70 @@
+#!/bin/sh
+# End-to-end smoke for the serving subsystem: start twig_serve on an
+# ephemeral port, drive it with twig_client (ping, explain, metrics, a
+# multi-threaded estimate bench with a snapshot hot-swap mid-run), then
+# shut it down over the wire and check it exits cleanly.
+#
+#   serve_smoke.sh <twig_serve> <twig_client> <workdir>
+set -eu
+
+SERVE="$1"
+CLIENT="$2"
+WORK="$3"
+
+mkdir -p "$WORK"
+PORT_FILE="$WORK/port"
+LOG="$WORK/serve.log"
+rm -f "$PORT_FILE"
+
+"$SERVE" --port=0 --port-file="$PORT_FILE" --bytes=131072 --workers=2 \
+    --conns=4 >"$LOG" 2>&1 &
+SERVE_PID=$!
+
+fail() {
+    echo "serve_smoke: $1" >&2
+    cat "$LOG" >&2 || true
+    kill "$SERVE_PID" 2>/dev/null || true
+    exit 1
+}
+
+# Wait for the server to write its bound port.
+tries=0
+while [ ! -s "$PORT_FILE" ]; do
+    tries=$((tries + 1))
+    [ "$tries" -le 100 ] || fail "server did not start"
+    kill -0 "$SERVE_PID" 2>/dev/null || fail "server died during startup"
+    sleep 0.1
+done
+PORT=$(cat "$PORT_FILE")
+echo "serve_smoke: server on port $PORT"
+
+"$CLIENT" --port="$PORT" --op=ping || fail "ping failed"
+"$CLIENT" --port="$PORT" --op=estimate --query='article(author, year)' \
+    || fail "estimate failed"
+"$CLIENT" --port="$PORT" --op=explain --query='article.author' \
+    || fail "explain failed"
+
+# Load: 1000 estimates across 4 connections with a snapshot swap once
+# 300 have completed. Transport errors or a failed swap exit nonzero.
+"$CLIENT" --port="$PORT" --bench --count=1000 --threads=4 --swap-at=300 \
+    --space=0.02 || fail "bench with hot swap failed"
+
+# The metrics snapshot must reflect the traffic.
+METRICS=$("$CLIENT" --port="$PORT" --op=metrics) || fail "metrics failed"
+case "$METRICS" in
+  *serve_served*) : ;;
+  *) fail "metrics response lacks serve counters: $METRICS" ;;
+esac
+
+"$CLIENT" --port="$PORT" --op=shutdown || fail "shutdown op failed"
+
+# Graceful exit: the server process must stop on its own.
+tries=0
+while kill -0 "$SERVE_PID" 2>/dev/null; do
+    tries=$((tries + 1))
+    [ "$tries" -le 100 ] || fail "server did not stop after shutdown"
+    sleep 0.1
+done
+wait "$SERVE_PID" 2>/dev/null || fail "server exited nonzero"
+grep -q "stopped" "$LOG" || fail "server log lacks clean-stop line"
+echo "serve_smoke: OK"

@@ -1,0 +1,364 @@
+// twig_client: command-line client for twig_serve (DESIGN.md §10).
+//
+//   ./twig_client --port=7411 --op=ping
+//   ./twig_client --port=7411 --op=estimate --query='article(author)'
+//   ./twig_client --port=7411 --op=shutdown
+//   ./twig_client --port=7411                 # REPL: stdin lines are
+//                                             # requests, responses print
+//   ./twig_client --port=7411 --bench --count=1000 --threads=4
+//                 --swap-at=500               # load + hot swap mid-run
+//
+// Bench mode drives `count` estimate requests across `threads`
+// connections, optionally triggering a snapshot swap once `swap-at`
+// requests have completed, and reports served/rejected/deadline-missed
+// totals plus every snapshot version observed — the e2e smoke check
+// that a hot swap never drops or corrupts in-flight traffic.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json.h"
+#include "util/flags.h"
+#include "util/status.h"
+
+namespace {
+
+using namespace twig;
+
+struct Options {
+  size_t port = 7411;
+  std::string op;
+  std::string query;
+  std::string algo = "MSH";
+  std::string semantics;
+  double deadline_ms = 0;
+  double space = 0;
+  bool bench = false;
+  size_t count = 1000;
+  size_t threads = 4;
+  size_t swap_at = 0;
+};
+
+constexpr char kUsage[] =
+    "usage: twig_client --port=N [--op=NAME ...] [--bench ...]\n"
+    "  --port=N         server port on 127.0.0.1 (default 7411)\n"
+    "single-shot (one request, prints the response line):\n"
+    "  --op=NAME        ping | estimate | explain | metrics | swap |\n"
+    "                   shutdown\n"
+    "  --query=TWIG     estimate/explain query\n"
+    "  --algo=NAME      Leaf | Greedy | MO | MOSH | PMOSH | MSH\n"
+    "  --semantics=S    occurrence | presence\n"
+    "  --deadline-ms=F  per-request deadline\n"
+    "  --space=F        swap: CST space fraction (0 = server default)\n"
+    "bench (estimate load across connections):\n"
+    "  --bench          enable bench mode\n"
+    "  --count=N        total requests (default 1000)\n"
+    "  --threads=N      client connections (default 4)\n"
+    "  --swap-at=N      trigger a snapshot swap after N requests\n"
+    "with neither --op nor --bench, stdin lines are sent as requests.\n";
+
+/// A blocking loopback connection speaking one-line-per-request.
+class Connection {
+ public:
+  ~Connection() {
+    if (fd_ >= 0) close(fd_);
+  }
+
+  Status Open(uint16_t port) {
+    fd_ = socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) {
+      return Status::Internal(std::string("socket: ") + std::strerror(errno));
+    }
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+      return Status::Unavailable(std::string("connect: ") +
+                                 std::strerror(errno));
+    }
+    return Status::OK();
+  }
+
+  /// Sends `request` (plus newline) and reads one response line.
+  Result<std::string> RoundTrip(std::string request) {
+    request.push_back('\n');
+    size_t sent = 0;
+    while (sent < request.size()) {
+      const ssize_t n = send(fd_, request.data() + sent,
+                             request.size() - sent, MSG_NOSIGNAL);
+      if (n <= 0) {
+        return Status::Unavailable(std::string("send: ") +
+                                   std::strerror(errno));
+      }
+      sent += static_cast<size_t>(n);
+    }
+    for (;;) {
+      const size_t nl = buffer_.find('\n');
+      if (nl != std::string::npos) {
+        std::string line = buffer_.substr(0, nl);
+        buffer_.erase(0, nl + 1);
+        if (!line.empty() && line.back() == '\r') line.pop_back();
+        return line;
+      }
+      char chunk[4096];
+      const ssize_t n = recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) {
+        return Status::Unavailable("server closed the connection");
+      }
+      buffer_.append(chunk, static_cast<size_t>(n));
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+std::string BuildRequest(const Options& options, uint64_t id) {
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("op");
+  w.String(options.op);
+  w.Key("id");
+  w.Uint(id);
+  if (options.op == "estimate" || options.op == "explain") {
+    w.Key("query");
+    w.String(options.query);
+    w.Key("algo");
+    w.String(options.algo);
+    if (!options.semantics.empty()) {
+      w.Key("semantics");
+      w.String(options.semantics);
+    }
+    if (options.deadline_ms > 0) {
+      w.Key("deadline_ms");
+      w.Double(options.deadline_ms);
+    }
+  }
+  if (options.op == "swap" && options.space > 0) {
+    w.Key("space");
+    w.Double(options.space);
+  }
+  w.EndObject();
+  return std::move(w).str();
+}
+
+/// Bench tallies, merged across worker threads.
+struct BenchTally {
+  size_t sent = 0;
+  size_t ok = 0;
+  size_t transport_errors = 0;
+  std::map<std::string, size_t> error_codes;
+  std::set<uint64_t> versions;
+};
+
+int RunBench(const Options& options) {
+  std::atomic<size_t> next_request{0};
+  std::atomic<size_t> completed{0};
+  std::mutex mutex;
+  BenchTally total;
+
+  auto worker = [&] {
+    Connection conn;
+    if (!conn.Open(static_cast<uint16_t>(options.port)).ok()) {
+      std::lock_guard<std::mutex> lock(mutex);
+      ++total.transport_errors;
+      return;
+    }
+    Options request_options = options;
+    request_options.op = "estimate";
+    BenchTally tally;
+    for (size_t id = next_request.fetch_add(1); id < options.count;
+         id = next_request.fetch_add(1)) {
+      ++tally.sent;
+      Result<std::string> line =
+          conn.RoundTrip(BuildRequest(request_options, id));
+      completed.fetch_add(1);
+      if (!line.ok()) {
+        ++tally.transport_errors;
+        break;  // the connection is gone; stop this worker
+      }
+      Result<obs::JsonValue> parsed = obs::ParseJson(line.value());
+      if (!parsed.ok()) {
+        ++tally.transport_errors;
+        continue;
+      }
+      const obs::JsonValue& response = parsed.value();
+      if (response.GetBool("ok")) {
+        ++tally.ok;
+        tally.versions.insert(
+            static_cast<uint64_t>(response.GetNumber("version")));
+      } else if (const obs::JsonValue* error = response.Find("error")) {
+        ++tally.error_codes[std::string(error->GetString("code", "?"))];
+      } else {
+        ++tally.transport_errors;
+      }
+    }
+    std::lock_guard<std::mutex> lock(mutex);
+    total.sent += tally.sent;
+    total.ok += tally.ok;
+    total.transport_errors += tally.transport_errors;
+    for (const auto& [code, n] : tally.error_codes) {
+      total.error_codes[code] += n;
+    }
+    total.versions.insert(tally.versions.begin(), tally.versions.end());
+  };
+
+  std::vector<std::thread> workers;
+  for (size_t i = 0; i < std::max<size_t>(1, options.threads); ++i) {
+    workers.emplace_back(worker);
+  }
+
+  // The swap runs on its own connection once enough requests completed,
+  // so the hot swap lands mid-run with estimate traffic in flight.
+  bool swap_ok = true;
+  if (options.swap_at > 0) {
+    while (completed.load() < options.swap_at &&
+           completed.load() < options.count) {
+      std::this_thread::yield();
+    }
+    Connection conn;
+    swap_ok = false;
+    if (conn.Open(static_cast<uint16_t>(options.port)).ok()) {
+      Options swap_options = options;
+      swap_options.op = "swap";
+      Result<std::string> line =
+          conn.RoundTrip(BuildRequest(swap_options, options.count + 1));
+      if (line.ok()) {
+        Result<obs::JsonValue> parsed = obs::ParseJson(line.value());
+        swap_ok = parsed.ok() && parsed.value().GetBool("ok");
+        std::printf("swap: %s\n", line.value().c_str());
+      }
+      // Post-swap estimates on this connection: with the swap
+      // acknowledged, these must be served by the new snapshot version
+      // even while pre-swap bench traffic is still in flight.
+      Options estimate_options = options;
+      estimate_options.op = "estimate";
+      for (size_t i = 0; swap_ok && i < 10; ++i) {
+        Result<std::string> post =
+            conn.RoundTrip(BuildRequest(estimate_options,
+                                        options.count + 2 + i));
+        if (!post.ok()) {
+          swap_ok = false;
+          break;
+        }
+        {
+          std::lock_guard<std::mutex> lock(mutex);
+          ++total.sent;
+        }
+        Result<obs::JsonValue> parsed = obs::ParseJson(post.value());
+        if (!parsed.ok() || !parsed.value().GetBool("ok")) continue;
+        std::lock_guard<std::mutex> lock(mutex);
+        ++total.ok;
+        total.versions.insert(
+            static_cast<uint64_t>(parsed.value().GetNumber("version")));
+      }
+    }
+  }
+  for (std::thread& t : workers) t.join();
+
+  std::printf("bench: %zu sent, %zu ok, %zu transport errors\n", total.sent,
+              total.ok, total.transport_errors);
+  for (const auto& [code, n] : total.error_codes) {
+    std::printf("bench: %zu x %s\n", n, code.c_str());
+  }
+  std::printf("bench: versions seen:");
+  for (uint64_t v : total.versions) {
+    std::printf(" %llu", static_cast<unsigned long long>(v));
+  }
+  std::printf("\n");
+  // Failure = broken transport or a swap that didn't land; structured
+  // rejections (overload, deadline) are expected under load.
+  return total.transport_errors == 0 && swap_ok && total.ok > 0 ? 0 : 1;
+}
+
+int RunRepl(const Options& options) {
+  Connection conn;
+  if (Status status = conn.Open(static_cast<uint16_t>(options.port));
+      !status.ok()) {
+    std::fprintf(stderr, "twig_client: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    Result<std::string> response = conn.RoundTrip(line);
+    if (!response.ok()) {
+      std::fprintf(stderr, "twig_client: %s\n",
+                   response.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s\n", response.value().c_str());
+    std::fflush(stdout);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  util::FlagParser flags("twig_client", kUsage);
+  flags.Size("port", &options.port);
+  flags.String("op", &options.op);
+  flags.String("query", &options.query);
+  flags.String("algo", &options.algo);
+  flags.String("semantics", &options.semantics);
+  flags.Double("deadline-ms", &options.deadline_ms);
+  flags.Double("space", &options.space);
+  flags.Bool("bench", &options.bench);
+  flags.Size("count", &options.count);
+  flags.Size("threads", &options.threads);
+  flags.Size("swap-at", &options.swap_at);
+  if (int code = flags.Parse(argc, argv); code >= 0) return code;
+  if (options.port == 0 || options.port > 65535) {
+    std::fprintf(stderr, "twig_client: --port must be a TCP port\n");
+    return 2;
+  }
+
+  // --query alone means "estimate this", not the stdin REPL; ops that
+  // need a query but got none fall back to a default one.
+  if (options.op.empty() && !options.query.empty() && !options.bench) {
+    options.op = "estimate";
+  }
+  if (options.query.empty() &&
+      (options.bench || options.op == "estimate" || options.op == "explain")) {
+    options.query = "article(author, year)";
+  }
+  if (options.bench) return RunBench(options);
+  if (options.op.empty()) return RunRepl(options);
+
+  Connection conn;
+  if (Status status = conn.Open(static_cast<uint16_t>(options.port));
+      !status.ok()) {
+    std::fprintf(stderr, "twig_client: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  Result<std::string> response = conn.RoundTrip(BuildRequest(options, 1));
+  if (!response.ok()) {
+    std::fprintf(stderr, "twig_client: %s\n",
+                 response.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", response.value().c_str());
+  // Exit 0 only for an ok response, so scripts can gate on the result.
+  Result<obs::JsonValue> parsed = obs::ParseJson(response.value());
+  return parsed.ok() && parsed.value().GetBool("ok") ? 0 : 1;
+}

@@ -36,6 +36,7 @@
 #include "obs/trace.h"
 #include "query/twig.h"
 #include "suffix/path_suffix_tree.h"
+#include "util/flags.h"
 #include "util/strings.h"
 #include "xml/xml.h"
 
@@ -54,70 +55,45 @@ struct Options {
   bool metrics = false;
 };
 
-void PrintUsage(std::FILE* out) {
-  std::fprintf(
-      out,
-      "usage: twig_explain [--query=TWIG] [--xml=FILE] [--bytes=N]\n"
-      "                    [--space=F] [--algo=NAME] [--json] [--metrics]\n"
-      "  --query=TWIG  query text, e.g. 'book(author=\"Su\", year)'\n"
-      "  --xml=FILE    summarize FILE instead of generated DBLP data\n"
-      "  --bytes=N     generated data target size in bytes (default "
-      "2097152)\n"
-      "  --space=F     CST space fraction of the data (default 0.01)\n"
-      "  --algo=NAME   one of Leaf, Greedy, MO, MOSH, PMOSH, MSH "
-      "(default: all)\n"
-      "  --json        emit traces as a JSON array (schema: DESIGN.md "
-      "§9)\n"
-      "  --metrics     also print the obs metrics registry snapshot\n");
-}
+constexpr char kUsage[] =
+    "usage: twig_explain [--query=TWIG] [--xml=FILE] [--bytes=N]\n"
+    "                    [--space=F] [--algo=NAME] [--json] [--metrics]\n"
+    "  --query=TWIG  query text, e.g. 'book(author=\"Su\", year)'\n"
+    "  --xml=FILE    summarize FILE instead of generated DBLP data\n"
+    "  --bytes=N     generated data target size in bytes (default "
+    "2097152)\n"
+    "  --space=F     CST space fraction of the data (default 0.01)\n"
+    "  --algo=NAME   one of Leaf, Greedy, MO, MOSH, PMOSH, MSH "
+    "(default: all)\n"
+    "  --json        emit traces as a JSON array (schema: DESIGN.md §9)\n"
+    "  --metrics     also print the obs metrics registry snapshot\n";
 
-/// Value of `--name=value`, or nullptr if `arg` is a different flag.
-const char* FlagValue(const char* arg, const char* name) {
-  const size_t n = std::strlen(name);
-  if (std::strncmp(arg, name, n) == 0 && arg[n] == '=') return arg + n + 1;
-  return nullptr;
-}
-
-bool ParseArgs(int argc, char** argv, Options* out) {
-  for (int i = 1; i < argc; ++i) {
-    const char* arg = argv[i];
-    const char* v = nullptr;
-    if (std::strcmp(arg, "--help") == 0) {
-      PrintUsage(stdout);
-      std::exit(0);
-    } else if ((v = FlagValue(arg, "--query")) != nullptr) {
-      out->query = v;
-    } else if ((v = FlagValue(arg, "--xml")) != nullptr) {
-      out->xml_path = v;
-    } else if ((v = FlagValue(arg, "--bytes")) != nullptr) {
-      out->bytes = static_cast<size_t>(std::strtoull(v, nullptr, 10));
-    } else if ((v = FlagValue(arg, "--space")) != nullptr) {
-      out->space = std::strtod(v, nullptr);
-    } else if ((v = FlagValue(arg, "--algo")) != nullptr) {
-      out->algorithms.clear();
-      for (core::Algorithm a : core::kAllAlgorithms) {
-        if (std::strcmp(v, core::AlgorithmName(a)) == 0) {
-          out->algorithms.push_back(a);
-        }
-      }
-      if (out->algorithms.empty()) {
-        std::fprintf(stderr, "twig_explain: unknown algorithm '%s'\n", v);
-        return false;
-      }
-    } else if (std::strcmp(arg, "--json") == 0) {
-      out->json = true;
-    } else if (std::strcmp(arg, "--metrics") == 0) {
-      out->metrics = true;
-    } else {
-      std::fprintf(stderr, "twig_explain: unknown argument '%s'\n", arg);
+int ParseArgs(int argc, char** argv, Options* out) {
+  util::FlagParser flags("twig_explain", kUsage);
+  flags.String("query", &out->query);
+  flags.String("xml", &out->xml_path);
+  flags.Size("bytes", &out->bytes);
+  flags.Double("space", &out->space);
+  flags.Custom("algo", [out](std::string_view v) {
+    out->algorithms.clear();
+    for (core::Algorithm a : core::kAllAlgorithms) {
+      if (v == core::AlgorithmName(a)) out->algorithms.push_back(a);
+    }
+    if (out->algorithms.empty()) {
+      std::fprintf(stderr, "twig_explain: unknown algorithm '%.*s'\n",
+                   static_cast<int>(v.size()), v.data());
       return false;
     }
-  }
+    return true;
+  });
+  flags.Bool("json", &out->json);
+  flags.Bool("metrics", &out->metrics);
+  if (int code = flags.Parse(argc, argv); code >= 0) return code;
   if (out->bytes == 0 || out->space <= 0) {
     std::fprintf(stderr, "twig_explain: --bytes and --space must be > 0\n");
-    return false;
+    return 2;
   }
-  return true;
+  return -1;
 }
 
 tree::Tree LoadOrGenerate(const Options& options) {
@@ -148,10 +124,7 @@ tree::Tree LoadOrGenerate(const Options& options) {
 
 int main(int argc, char** argv) {
   Options options;
-  if (!ParseArgs(argc, argv, &options)) {
-    PrintUsage(stderr);
-    return 2;
-  }
+  if (int code = ParseArgs(argc, argv, &options); code >= 0) return code;
 
   auto twig = query::ParseTwig(options.query);
   if (!twig.ok()) {

@@ -1,0 +1,170 @@
+// twig_serve: the estimation server (DESIGN.md §10). Summarizes a
+// document into a CST snapshot, publishes it to a SnapshotCatalog, and
+// serves estimate/explain/metrics/swap requests over newline-delimited
+// JSON on loopback TCP.
+//
+//   ./twig_serve                         # generated DBLP data, port 7411
+//   ./twig_serve --xml=file.xml          # serve your own document
+//   ./twig_serve --port=0 --port-file=p  # ephemeral port, written to ./p
+//
+// Stop it with {"op":"shutdown"} (e.g. via twig_client --op=shutdown).
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+
+#include "cst/cst.h"
+#include "data/generators.h"
+#include "serve/service.h"
+#include "serve/snapshot.h"
+#include "serve/tcp.h"
+#include "suffix/path_suffix_tree.h"
+#include "tree/tree.h"
+#include "util/flags.h"
+#include "util/strings.h"
+#include "xml/xml.h"
+
+namespace {
+
+using namespace twig;
+
+struct Options {
+  size_t port = 7411;
+  std::string port_file;
+  std::string xml_path;
+  size_t bytes = 2 * 1024 * 1024;
+  double space = 0.01;
+  size_t workers = 2;
+  size_t conns = 4;
+  size_t queue = 256;
+  size_t deadline_ms = 0;
+};
+
+constexpr char kUsage[] =
+    "usage: twig_serve [--port=N] [--port-file=PATH] [--xml=FILE]\n"
+    "                  [--bytes=N] [--space=F] [--workers=N] [--conns=N]\n"
+    "                  [--queue=N] [--deadline-ms=N]\n"
+    "  --port=N         TCP port on 127.0.0.1; 0 = ephemeral (default "
+    "7411)\n"
+    "  --port-file=PATH write the bound port to PATH (for scripts)\n"
+    "  --xml=FILE       serve FILE instead of generated DBLP data\n"
+    "  --bytes=N        generated data target size in bytes (default "
+    "2097152)\n"
+    "  --space=F        CST space fraction of the data (default 0.01)\n"
+    "  --workers=N      estimation worker threads (default 2)\n"
+    "  --conns=N        concurrent client connections (default 4)\n"
+    "  --queue=N        request queue capacity (default 256)\n"
+    "  --deadline-ms=N  default per-request deadline; 0 = none\n";
+
+tree::Tree LoadOrGenerate(const Options& options) {
+  if (!options.xml_path.empty()) {
+    std::ifstream in(options.xml_path);
+    if (!in) {
+      std::fprintf(stderr, "twig_serve: cannot open %s\n",
+                   options.xml_path.c_str());
+      std::exit(1);
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    auto parsed = xml::ParseXml(buf.str());
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "twig_serve: parse error in %s: %s\n",
+                   options.xml_path.c_str(),
+                   parsed.status().ToString().c_str());
+      std::exit(1);
+    }
+    return std::move(parsed).value();
+  }
+  data::DblpOptions gen;
+  gen.target_bytes = options.bytes;
+  return data::GenerateDblp(gen);
+}
+
+cst::Cst BuildSummary(const tree::Tree& data,
+                      const suffix::PathSuffixTree& pst, size_t xml_bytes,
+                      double space) {
+  cst::CstOptions copt;
+  copt.space_budget_bytes =
+      static_cast<size_t>(space * static_cast<double>(xml_bytes));
+  return cst::Cst::Build(data, pst, copt);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  util::FlagParser flags("twig_serve", kUsage);
+  flags.Size("port", &options.port);
+  flags.String("port-file", &options.port_file);
+  flags.String("xml", &options.xml_path);
+  flags.Size("bytes", &options.bytes);
+  flags.Double("space", &options.space);
+  flags.Size("workers", &options.workers);
+  flags.Size("conns", &options.conns);
+  flags.Size("queue", &options.queue);
+  flags.Size("deadline-ms", &options.deadline_ms);
+  if (int code = flags.Parse(argc, argv); code >= 0) return code;
+  if (options.port > 65535 || options.space <= 0 || options.bytes == 0) {
+    std::fprintf(stderr,
+                 "twig_serve: --port must fit a TCP port, --bytes and "
+                 "--space must be > 0\n");
+    return 2;
+  }
+
+  // The data tree and its path suffix tree stay resident so the swap op
+  // can rebuild CSTs at other space fractions without re-parsing.
+  const tree::Tree data = LoadOrGenerate(options);
+  const size_t xml_bytes = xml::XmlByteSize(data);
+  const auto pst = suffix::PathSuffixTree::Build(data);
+
+  serve::SnapshotCatalog catalog;
+  const std::string source = options.xml_path.empty()
+                                 ? "generated dblp"
+                                 : options.xml_path;
+  catalog.Publish(BuildSummary(data, pst, xml_bytes, options.space),
+                  source + " @ " + std::to_string(options.space));
+
+  serve::ServiceOptions sopt;
+  sopt.num_workers = options.workers;
+  sopt.queue_capacity = options.queue;
+  sopt.default_deadline = std::chrono::milliseconds(options.deadline_ms);
+  serve::EstimateService service(&catalog, sopt);
+
+  serve::TcpOptions topt;
+  topt.port = static_cast<uint16_t>(options.port);
+  topt.num_connection_threads = options.conns;
+  topt.rebuild = [&data, &pst, xml_bytes,
+                  default_space = options.space](double space) {
+    return Result<cst::Cst>(BuildSummary(
+        data, pst, xml_bytes, space > 0 ? space : default_space));
+  };
+  serve::TcpFrontEnd front_end(&catalog, &service, topt);
+  if (Status status = front_end.Start(); !status.ok()) {
+    std::fprintf(stderr, "twig_serve: %s\n", status.ToString().c_str());
+    return 1;
+  }
+
+  if (!options.port_file.empty()) {
+    std::ofstream out(options.port_file);
+    out << front_end.port() << "\n";
+    if (!out) {
+      std::fprintf(stderr, "twig_serve: cannot write %s\n",
+                   options.port_file.c_str());
+      front_end.Stop();
+      return 1;
+    }
+  }
+  std::printf("twig_serve: %s | data %zu nodes, %s | snapshot v%llu | "
+              "listening on 127.0.0.1:%u\n",
+              source.c_str(), data.size(), HumanBytes(xml_bytes).c_str(),
+              static_cast<unsigned long long>(catalog.version()),
+              front_end.port());
+  std::fflush(stdout);
+
+  front_end.WaitForShutdown();
+  service.Shutdown(/*drain=*/true);
+  std::printf("twig_serve: stopped\n");
+  return 0;
+}

@@ -1,7 +1,9 @@
 #include "core/estimator.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <limits>
 
 #include "core/parse.h"
 #include "core/pieces.h"
@@ -10,9 +12,13 @@
 
 namespace twig::core {
 
-// obs latency series are indexed by Algorithm value; keep them in sync.
-static_assert(obs::kLatencySeries == kAllAlgorithms.size(),
+// obs latency series are indexed by Algorithm value; keep the prefix
+// in sync (series beyond the algorithms belong to the serving layer,
+// e.g. obs::kServeWaitSeries).
+static_assert(obs::kLatencySeries >= kAllAlgorithms.size(),
               "obs::kLatencySeriesNames must mirror core::kAllAlgorithms");
+static_assert(obs::kServeWaitSeries >= kAllAlgorithms.size(),
+              "the serve_wait series must not alias an algorithm series");
 
 const char* AlgorithmName(Algorithm algorithm) {
   switch (algorithm) {
@@ -172,8 +178,14 @@ std::vector<double> TwigEstimator::EstimateBatch(
 
   const auto wall_start = Clock::now();
   const size_t latency_series = static_cast<size_t>(algorithm);
+  std::atomic<size_t> skipped{0};
   auto run_one = [&](size_t item, size_t worker) {
     const auto t0 = Clock::now();
+    if (t0 >= options.deadline) {
+      estimates[item] = std::numeric_limits<double>::quiet_NaN();
+      skipped.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
     estimates[item] =
         Estimate(workload[item].twig, algorithm, estimate_options);
     const auto elapsed = Clock::now() - t0;
@@ -194,6 +206,7 @@ std::vector<double> TwigEstimator::EstimateBatch(
   }
   local.wall_seconds =
       std::chrono::duration<double>(Clock::now() - wall_start).count();
+  local.queries_skipped = skipped.load(std::memory_order_relaxed);
   local.counter_deltas =
       obs::MetricsRegistry::Get().Snapshot().Delta(before).counters;
 

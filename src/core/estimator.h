@@ -22,6 +22,7 @@
 #define TWIG_CORE_ESTIMATOR_H_
 
 #include <array>
+#include <chrono>
 #include <cstdint>
 #include <vector>
 
@@ -74,6 +75,14 @@ struct BatchOptions {
   /// Worker threads; 0 = one per hardware thread. 1 runs inline on the
   /// calling thread (no pool).
   size_t num_threads = 1;
+  /// Absolute deadline for the batch; max() = none. Single estimates
+  /// run in microseconds, so the deadline is checked between queries,
+  /// never mid-query: queries not *started* before the deadline are
+  /// skipped — their estimate slots hold quiet NaN and
+  /// stats->queries_skipped counts them — while completed slots stay
+  /// bit-identical to an undeadlined run.
+  std::chrono::steady_clock::time_point deadline =
+      std::chrono::steady_clock::time_point::max();
   EstimateOptions estimate;
 };
 
@@ -93,7 +102,9 @@ class TwigEstimator {
   /// equals Estimate(workload[i].twig, ...) bit for bit, regardless of
   /// thread count: queries never share mutable state — the only shared
   /// structure is the immutable CST — and each result is written to its
-  /// own slot. If `stats` is non-null it receives per-thread query and
+  /// own slot. Queries not started before options.deadline are skipped
+  /// (quiet NaN slots; see BatchOptions::deadline). If `stats` is
+  /// non-null it receives per-thread query and
   /// busy-time counters, the batch wall time, and the batch's global
   /// obs counter deltas. Per-query latencies feed the algorithm's
   /// obs::MetricsRegistry histogram. An options.estimate.trace sink is

@@ -88,6 +88,10 @@ void PrintBatchObservability(const stats::BatchStats& stats) {
           counter(obs::Counter::kSethashIntersections)),
       static_cast<unsigned long long>(
           counter(obs::Counter::kTwigletMoFallbacks)));
+  if (stats.queries_skipped > 0) {
+    std::printf("obs: %zu queries skipped at the batch deadline\n",
+                stats.queries_skipped);
+  }
 }
 
 void PrintRule(size_t width) {

@@ -1,7 +1,10 @@
 #include "obs/json.h"
 
+#include <cctype>
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 namespace twig::obs {
 
@@ -100,6 +103,328 @@ void JsonWriter::Null() {
   Separate();
   out_ += "null";
   needs_comma_ = true;
+}
+
+void JsonWriter::RawValue(std::string_view json) {
+  Separate();
+  out_.append(json);
+  needs_comma_ = true;
+}
+
+// ---------------------------------------------------------------------------
+// Reader
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [name, value] : members) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+std::string_view JsonValue::GetString(std::string_view key,
+                                      std::string_view fallback) const {
+  const JsonValue* v = Find(key);
+  return v != nullptr && v->kind == Kind::kString ? v->string_value : fallback;
+}
+
+double JsonValue::GetNumber(std::string_view key, double fallback) const {
+  const JsonValue* v = Find(key);
+  return v != nullptr && v->kind == Kind::kNumber ? v->number_value : fallback;
+}
+
+bool JsonValue::GetBool(std::string_view key, bool fallback) const {
+  const JsonValue* v = Find(key);
+  return v != nullptr && v->kind == Kind::kBool ? v->bool_value : fallback;
+}
+
+namespace {
+
+/// Strict recursive-descent parser over a string_view.
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  Result<JsonValue> Parse() {
+    JsonValue value;
+    Status s = ParseValue(&value, 0);
+    if (!s.ok()) return s;
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Status::ParseError("trailing bytes after JSON document");
+    }
+    return value;
+  }
+
+ private:
+  static constexpr size_t kMaxDepth = 64;
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool Consume(char expected) {
+    if (pos_ < text_.size() && text_[pos_] == expected) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeLiteral(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) return false;
+    pos_ += literal.size();
+    return true;
+  }
+
+  Status ParseValue(JsonValue* out, size_t depth) {
+    if (depth >= kMaxDepth) {
+      return Status::ParseError("JSON nested too deeply");
+    }
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Status::ParseError("unexpected end");
+    switch (text_[pos_]) {
+      case '{':
+        return ParseObject(out, depth);
+      case '[':
+        return ParseArray(out, depth);
+      case '"':
+        out->kind = JsonValue::Kind::kString;
+        return ParseString(&out->string_value);
+      case 't':
+        if (!ConsumeLiteral("true")) break;
+        out->kind = JsonValue::Kind::kBool;
+        out->bool_value = true;
+        return Status::OK();
+      case 'f':
+        if (!ConsumeLiteral("false")) break;
+        out->kind = JsonValue::Kind::kBool;
+        out->bool_value = false;
+        return Status::OK();
+      case 'n':
+        if (!ConsumeLiteral("null")) break;
+        out->kind = JsonValue::Kind::kNull;
+        return Status::OK();
+      default:
+        return ParseNumber(out);
+    }
+    return Status::ParseError("unrecognized JSON token");
+  }
+
+  Status ParseObject(JsonValue* out, size_t depth) {
+    ++pos_;  // '{'
+    out->kind = JsonValue::Kind::kObject;
+    SkipWhitespace();
+    if (Consume('}')) return Status::OK();
+    while (true) {
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Status::ParseError("expected object key");
+      }
+      std::string key;
+      if (Status s = ParseString(&key); !s.ok()) return s;
+      SkipWhitespace();
+      if (!Consume(':')) return Status::ParseError("expected ':' after key");
+      JsonValue value;
+      if (Status s = ParseValue(&value, depth + 1); !s.ok()) return s;
+      out->members.emplace_back(std::move(key), std::move(value));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume('}')) return Status::OK();
+      return Status::ParseError("expected ',' or '}' in object");
+    }
+  }
+
+  Status ParseArray(JsonValue* out, size_t depth) {
+    ++pos_;  // '['
+    out->kind = JsonValue::Kind::kArray;
+    SkipWhitespace();
+    if (Consume(']')) return Status::OK();
+    while (true) {
+      JsonValue value;
+      if (Status s = ParseValue(&value, depth + 1); !s.ok()) return s;
+      out->elements.push_back(std::move(value));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume(']')) return Status::OK();
+      return Status::ParseError("expected ',' or ']' in array");
+    }
+  }
+
+  /// Appends `code` (a Unicode scalar value) to `out` as UTF-8.
+  static void AppendUtf8(uint32_t code, std::string* out) {
+    if (code < 0x80) {
+      out->push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out->push_back(static_cast<char>(0xc0 | (code >> 6)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3f)));
+    } else if (code < 0x10000) {
+      out->push_back(static_cast<char>(0xe0 | (code >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3f)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3f)));
+    } else {
+      out->push_back(static_cast<char>(0xf0 | (code >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3f)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3f)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3f)));
+    }
+  }
+
+  /// Parses the 4 hex digits of a \uXXXX escape; false on malformed.
+  bool ParseHex4(uint32_t* out) {
+    if (pos_ + 4 > text_.size()) return false;
+    uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_ + i];
+      uint32_t digit;
+      if (c >= '0' && c <= '9') {
+        digit = static_cast<uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        digit = static_cast<uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        digit = static_cast<uint32_t>(c - 'A' + 10);
+      } else {
+        return false;
+      }
+      value = value << 4 | digit;
+    }
+    pos_ += 4;
+    *out = value;
+    return true;
+  }
+
+  Status ParseString(std::string* out) {
+    ++pos_;  // '"'
+    out->clear();
+    while (pos_ < text_.size()) {
+      const unsigned char c = static_cast<unsigned char>(text_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return Status::OK();
+      }
+      if (c < 0x20) return Status::ParseError("raw control byte in string");
+      if (c != '\\') {
+        out->push_back(static_cast<char>(c));
+        ++pos_;
+        continue;
+      }
+      ++pos_;  // '\'
+      if (pos_ >= text_.size()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+        case '\\':
+        case '/':
+          out->push_back(esc);
+          break;
+        case 'b':
+          out->push_back('\b');
+          break;
+        case 'f':
+          out->push_back('\f');
+          break;
+        case 'n':
+          out->push_back('\n');
+          break;
+        case 'r':
+          out->push_back('\r');
+          break;
+        case 't':
+          out->push_back('\t');
+          break;
+        case 'u': {
+          uint32_t code;
+          if (!ParseHex4(&code)) {
+            return Status::ParseError("malformed \\u escape");
+          }
+          if (code >= 0xd800 && code < 0xdc00) {
+            // High surrogate: must pair with \uDC00-\uDFFF.
+            uint32_t low;
+            if (!ConsumeLiteral("\\u") || !ParseHex4(&low) || low < 0xdc00 ||
+                low > 0xdfff) {
+              return Status::ParseError("unpaired UTF-16 surrogate");
+            }
+            code = 0x10000 + ((code - 0xd800) << 10) + (low - 0xdc00);
+          } else if (code >= 0xdc00 && code < 0xe000) {
+            return Status::ParseError("unpaired UTF-16 surrogate");
+          }
+          AppendUtf8(code, out);
+          break;
+        }
+        default:
+          return Status::ParseError("unknown escape in string");
+      }
+    }
+    return Status::ParseError("unterminated string");
+  }
+
+  /// True iff `text` matches the JSON number grammar exactly —
+  /// stricter than strtod, which also takes "+1", "01", "1.", ".5".
+  static bool IsJsonNumber(std::string_view text) {
+    size_t i = 0;
+    const auto digits = [&] {
+      const size_t start = i;
+      while (i < text.size() &&
+             std::isdigit(static_cast<unsigned char>(text[i]))) {
+        ++i;
+      }
+      return i > start;
+    };
+    if (i < text.size() && text[i] == '-') ++i;
+    if (i < text.size() && text[i] == '0') {
+      ++i;  // a leading zero must stand alone
+    } else if (!digits()) {
+      return false;
+    }
+    if (i < text.size() && text[i] == '.') {
+      ++i;
+      if (!digits()) return false;
+    }
+    if (i < text.size() && (text[i] == 'e' || text[i] == 'E')) {
+      ++i;
+      if (i < text.size() && (text[i] == '+' || text[i] == '-')) ++i;
+      if (!digits()) return false;
+    }
+    return i == text.size();
+  }
+
+  Status ParseNumber(JsonValue* out) {
+    // Take the maximal run of number-ish bytes, then validate the run
+    // against the JSON grammar (so "1-2", "01", "1." all fail) before
+    // strtod converts it.
+    const size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Status::ParseError("unrecognized JSON token");
+    const std::string text(text_.substr(start, pos_ - start));
+    if (!IsJsonNumber(text)) return Status::ParseError("malformed number");
+    char* end = nullptr;
+    errno = 0;
+    const double value = std::strtod(text.c_str(), &end);
+    if (end != text.c_str() + text.size() || errno == ERANGE) {
+      return Status::ParseError("malformed number");
+    }
+    out->kind = JsonValue::Kind::kNumber;
+    out->number_value = value;
+    return Status::OK();
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<JsonValue> ParseJson(std::string_view text) {
+  return JsonParser(text).Parse();
 }
 
 }  // namespace twig::obs

@@ -1,8 +1,11 @@
-// Minimal JSON writer for the observability exports (explain traces,
-// metrics snapshots). Emits compact, stable-key-order JSON; commas and
-// nesting are managed by a small state stack so callers can't produce
-// structurally invalid output. Not a general-purpose serializer: no
-// parsing, no pretty printing beyond optional indentation.
+// Minimal JSON writer and reader for the observability exports
+// (explain traces, metrics snapshots) and the serving layer's wire
+// protocol. The writer emits compact, stable-key-order JSON; commas
+// and nesting are managed by a small state stack so callers can't
+// produce structurally invalid output. The reader (ParseJson) is a
+// strict, depth-limited recursive-descent parser for complete
+// documents — enough to decode wire requests and to round-trip
+// everything the writer emits (including \u-escaped control bytes).
 
 #ifndef TWIG_OBS_JSON_H_
 #define TWIG_OBS_JSON_H_
@@ -10,7 +13,10 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
+
+#include "util/status.h"
 
 namespace twig::obs {
 
@@ -40,6 +46,11 @@ class JsonWriter {
   void Uint(uint64_t value);
   void Int(int64_t value);
   void Null();
+  /// Appends pre-rendered JSON verbatim as a single value (e.g. a
+  /// nested document produced by another writer, or Trace::ToJson
+  /// output embedded in a wire response). The caller guarantees `json`
+  /// is one complete, valid JSON value.
+  void RawValue(std::string_view json);
 
   /// The finished document. All containers must be closed.
   std::string str() && { return std::move(out_); }
@@ -58,6 +69,45 @@ class JsonWriter {
   std::vector<Frame> stack_;
   bool needs_comma_ = false;
 };
+
+/// A parsed JSON value. Objects preserve member order; duplicate keys
+/// are kept as-is (Find returns the first). Numbers are doubles, like
+/// JSON itself.
+struct JsonValue {
+  enum class Kind : unsigned char {
+    kNull,
+    kBool,
+    kNumber,
+    kString,
+    kObject,
+    kArray,
+  };
+
+  Kind kind = Kind::kNull;
+  bool bool_value = false;
+  double number_value = 0;
+  std::string string_value;
+  std::vector<std::pair<std::string, JsonValue>> members;  // objects
+  std::vector<JsonValue> elements;                         // arrays
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(std::string_view key) const;
+
+  /// Typed member lookups: `fallback` when the key is absent or the
+  /// member has a different kind.
+  std::string_view GetString(std::string_view key,
+                             std::string_view fallback = "") const;
+  double GetNumber(std::string_view key, double fallback = 0) const;
+  bool GetBool(std::string_view key, bool fallback = false) const;
+};
+
+/// Parses one complete JSON document: the whole input must be consumed
+/// apart from surrounding whitespace (trailing bytes are a ParseError).
+/// Strings decode every escape the writer emits, including \uXXXX
+/// control bytes (and UTF-16 surrogate pairs, re-encoded as UTF-8).
+/// Nesting is limited to 64 levels so hostile wire input cannot blow
+/// the stack.
+Result<JsonValue> ParseJson(std::string_view text);
 
 }  // namespace twig::obs
 

@@ -25,6 +25,16 @@ const char* CounterName(Counter counter) {
       return "twiglet_mo_fallbacks";
     case Counter::kBatches:
       return "batches";
+    case Counter::kServeEnqueued:
+      return "serve_enqueued";
+    case Counter::kServeServed:
+      return "serve_served";
+    case Counter::kServeRejected:
+      return "serve_rejected";
+    case Counter::kServeDeadlineMisses:
+      return "serve_deadline_misses";
+    case Counter::kSnapshotPublishes:
+      return "snapshot_publishes";
     case Counter::kCount:
       break;
   }
@@ -32,7 +42,7 @@ const char* CounterName(Counter counter) {
 }
 
 const std::array<const char*, kLatencySeries> kLatencySeriesNames = {
-    "Leaf", "Greedy", "MO", "MOSH", "PMOSH", "MSH"};
+    "Leaf", "Greedy", "MO", "MOSH", "PMOSH", "MSH", "serve_wait"};
 
 std::string CountersToJson(const CounterArray& counters) {
   JsonWriter w;

@@ -43,6 +43,13 @@ enum class Counter : size_t {
   kSethashIntersections,  // k-way set-hash intersection estimates
   kTwigletMoFallbacks,    // twiglets degraded to pure-MO conditioning
   kBatches,               // EstimateBatch calls
+  // Serving layer (src/serve/): every admitted, answered, refused, and
+  // expired request, plus snapshot lifecycle events.
+  kServeEnqueued,         // requests admitted to the service queue
+  kServeServed,           // requests answered with an estimate
+  kServeRejected,         // refused: queue full, shutdown, no snapshot
+  kServeDeadlineMisses,   // expired before a worker could run them
+  kSnapshotPublishes,     // CST snapshots published to a catalog
   kCount,
 };
 
@@ -58,10 +65,15 @@ using CounterArray = std::array<uint64_t, kCounterCount>;
 std::string CountersToJson(const CounterArray& counters);
 
 /// One latency series per core::Algorithm, in kAllAlgorithms order
-/// (Leaf, Greedy, MO, MOSH, PMOSH, MSH). obs cannot depend on core, so
-/// the correspondence is by index; estimator.cc asserts the count.
-inline constexpr size_t kLatencySeries = 6;
+/// (Leaf, Greedy, MO, MOSH, PMOSH, MSH), plus one serving-layer series
+/// for time spent waiting in the request queue. obs cannot depend on
+/// core, so the correspondence is by index; estimator.cc asserts the
+/// algorithm prefix.
+inline constexpr size_t kLatencySeries = 7;
 extern const std::array<const char*, kLatencySeries> kLatencySeriesNames;
+
+/// Index of the serving layer's enqueue-wait series ("serve_wait").
+inline constexpr size_t kServeWaitSeries = 6;
 
 inline constexpr size_t kLatencyBuckets = 32;
 

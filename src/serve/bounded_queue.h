@@ -1,0 +1,111 @@
+// A bounded MPMC queue with explicit overload and shutdown semantics,
+// built for admission control in front of the estimation workers.
+//
+// Design choices, in order of importance:
+//   * TryPush never blocks: a full queue is an *overload signal* the
+//     caller turns into a structured rejection, not a place to park
+//     unbounded producers (the reject-rather-than-buffer discipline of
+//     the serving layer).
+//   * Pop blocks, because consumers are dedicated workers with nothing
+//     better to do.
+//   * Close picks one of two documented endgames: drain (consumers
+//     keep receiving queued items until empty — graceful shutdown) or
+//     drop (queued items are *returned to the closer*, who must still
+//     complete them, e.g. by rejecting each one — nothing is silently
+//     lost either way).
+
+#ifndef TWIG_SERVE_BOUNDED_QUEUE_H_
+#define TWIG_SERVE_BOUNDED_QUEUE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace twig::serve {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  /// A zero capacity would make every push an overload; treat it as 1.
+  explicit BoundedQueue(size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Enqueues `item`, or returns false without blocking when the queue
+  /// is full (overload) or closed (shutdown). The item is untouched on
+  /// failure, so the caller can still complete it.
+  bool TryPush(T& item) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    ready_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available (returned) or the queue will
+  /// never produce one again (nullopt): closed with drain once empty,
+  /// or closed without drain immediately.
+  std::optional<T> Pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    ready_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty() || (closed_ && !drain_)) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  /// Closes the queue: every subsequent TryPush fails. With `drain`,
+  /// consumers keep popping until the queue empties; without it they
+  /// wake with nullopt at once and the unconsumed items are returned
+  /// here for the caller to complete. Idempotent — later calls return
+  /// no items and cannot turn drain into drop or back.
+  std::vector<T> Close(bool drain) {
+    std::vector<T> leftovers;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!closed_) {
+        closed_ = true;
+        drain_ = drain;
+        if (!drain) {
+          leftovers.reserve(items_.size());
+          for (T& item : items_) leftovers.push_back(std::move(item));
+          items_.clear();
+        }
+      }
+    }
+    ready_.notify_all();
+    return leftovers;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;
+  std::deque<T> items_;
+  bool closed_ = false;
+  bool drain_ = true;
+};
+
+}  // namespace twig::serve
+
+#endif  // TWIG_SERVE_BOUNDED_QUEUE_H_

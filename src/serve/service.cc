@@ -1,0 +1,135 @@
+#include "serve/service.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace twig::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+uint64_t ToNanos(Clock::duration d) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(d).count());
+}
+
+}  // namespace
+
+EstimateService::EstimateService(SnapshotCatalog* catalog,
+                                 const ServiceOptions& options)
+    : catalog_(catalog),
+      options_(options),
+      num_workers_(options.num_workers == 0
+                       ? std::max(1u, std::thread::hardware_concurrency())
+                       : options.num_workers),
+      queue_(options.queue_capacity),
+      pool_(num_workers_) {
+  // The pool's ParallelFor is synchronous, so a dispatcher thread
+  // hosts it: each "item" is one worker's whole serve loop, which
+  // blocks in Pop until the queue closes.
+  dispatcher_ = std::thread([this] {
+    pool_.ParallelFor(num_workers_, [this](size_t, size_t) { ServeLoop(); });
+  });
+}
+
+EstimateService::~EstimateService() { Shutdown(/*drain=*/true); }
+
+void EstimateService::Reject(Item item, Status status) {
+  obs::CountEvent(obs::Counter::kServeRejected);
+  EstimateResponse response;
+  response.status = std::move(status);
+  item.promise.set_value(std::move(response));
+}
+
+std::future<EstimateResponse> EstimateService::Submit(
+    EstimateRequest request) {
+  Item item;
+  item.request = std::move(request);
+  item.enqueued = Clock::now();
+  if (item.request.deadline == Clock::time_point::max() &&
+      options_.default_deadline.count() > 0) {
+    item.request.deadline = item.enqueued + options_.default_deadline;
+  }
+  std::future<EstimateResponse> future = item.promise.get_future();
+  if (shut_down_.load(std::memory_order_acquire)) {
+    Reject(std::move(item), Status::Unavailable("service is shut down"));
+    return future;
+  }
+  if (!queue_.TryPush(item)) {
+    Reject(std::move(item),
+           queue_.closed()
+               ? Status::Unavailable("service is shutting down")
+               : Status::Unavailable("overloaded: request queue is full"));
+    return future;
+  }
+  obs::CountEvent(obs::Counter::kServeEnqueued);
+  return future;
+}
+
+EstimateResponse EstimateService::SubmitAndWait(EstimateRequest request) {
+  return Submit(std::move(request)).get();
+}
+
+void EstimateService::ServeLoop() {
+  auto& registry = obs::MetricsRegistry::Get();
+  while (std::optional<Item> popped = queue_.Pop()) {
+    Item item = std::move(*popped);
+    if (options_.dequeue_hook) options_.dequeue_hook();
+    const auto dequeued = Clock::now();
+    EstimateResponse response;
+    response.queue_wait =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(dequeued -
+                                                             item.enqueued);
+    registry.RecordLatency(obs::kServeWaitSeries,
+                           ToNanos(dequeued - item.enqueued));
+    if (dequeued >= item.request.deadline) {
+      obs::CountEvent(obs::Counter::kServeDeadlineMisses);
+      response.status =
+          Status::DeadlineExceeded("deadline passed while queued");
+      item.promise.set_value(std::move(response));
+      continue;
+    }
+    const std::shared_ptr<const CstSnapshot> snapshot = catalog_->Current();
+    if (snapshot == nullptr) {
+      obs::CountEvent(obs::Counter::kServeRejected);
+      response.status = Status::Unavailable("no snapshot published yet");
+      item.promise.set_value(std::move(response));
+      continue;
+    }
+    const core::TwigEstimator estimator(&snapshot->summary);
+    core::EstimateOptions eopt;
+    eopt.semantics = item.request.semantics;
+    const auto t0 = Clock::now();
+    response.estimate =
+        estimator.Estimate(item.request.twig, item.request.algorithm, eopt);
+    const auto elapsed = Clock::now() - t0;
+    registry.RecordLatency(static_cast<size_t>(item.request.algorithm),
+                           ToNanos(elapsed));
+    response.exec_time =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed);
+    response.snapshot_version = snapshot->version;
+    response.status = Status::OK();
+    obs::CountEvent(obs::Counter::kServeServed);
+    item.promise.set_value(std::move(response));
+  }
+}
+
+void EstimateService::Shutdown(bool drain) {
+  std::lock_guard<std::mutex> lock(shutdown_mutex_);
+  if (shut_down_.load(std::memory_order_acquire)) return;
+  // Close first so workers see end-of-stream; only then mark the
+  // service down for Submit (requests racing the close are rejected by
+  // TryPush on the closed queue).
+  std::vector<Item> leftovers = queue_.Close(drain);
+  for (Item& item : leftovers) {
+    Reject(std::move(item), Status::Unavailable("service is shutting down"));
+  }
+  shut_down_.store(true, std::memory_order_release);
+  if (dispatcher_.joinable()) dispatcher_.join();
+  pool_.Shutdown(/*drain=*/true);
+}
+
+}  // namespace twig::serve

@@ -1,0 +1,147 @@
+// The estimation service: a bounded request queue in front of a pool
+// of estimation workers reading from a SnapshotCatalog.
+//
+// Admission discipline (in the order a request meets it):
+//   1. Backpressure: a full queue rejects immediately with Unavailable
+//     ("structured overload"), never buffers without bound and never
+//     blocks the caller.
+//   2. Deadlines: each request carries an absolute deadline (or
+//     inherits the service default). A request that expires while
+//     queued is answered DeadlineExceeded by the worker that dequeues
+//     it — expiry costs a dequeue, not an estimate.
+//   3. Snapshot pinning: the worker pins catalog->Current() for
+//     exactly one request, so a hot swap mid-stream never mixes
+//     versions within a response and the answer records which version
+//     produced it.
+//   4. Shutdown: Shutdown(drain=true) (also the destructor) answers
+//     everything already admitted, then stops; Shutdown(drain=false)
+//     rejects the queued remainder with Unavailable. Either way every
+//     admitted request gets exactly one response.
+//
+// Every stage feeds obs::MetricsRegistry: serve_enqueued /
+// serve_served / serve_rejected / serve_deadline_misses counters, the
+// serve_wait latency series (time from admission to dequeue), and the
+// per-algorithm estimate latency series (execution time).
+//
+// Workers run on a util::ThreadPool whose explicit Shutdown keeps
+// teardown ordering deterministic (queue closes first, workers drain,
+// then the pool joins).
+
+#ifndef TWIG_SERVE_SERVICE_H_
+#define TWIG_SERVE_SERVICE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+
+#include "core/estimator.h"
+#include "query/twig.h"
+#include "serve/bounded_queue.h"
+#include "serve/snapshot.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace twig::serve {
+
+struct ServiceOptions {
+  /// Estimation workers; 0 = one per hardware thread.
+  size_t num_workers = 2;
+  /// Requests the queue holds before rejecting with overload.
+  size_t queue_capacity = 256;
+  /// Deadline applied to requests that carry none; zero = unbounded.
+  std::chrono::milliseconds default_deadline{0};
+  /// Test seam: runs on the worker after dequeuing each request,
+  /// before the deadline check. Lets tests hold a worker mid-request
+  /// to force deterministic overload / expiry / drain scenarios.
+  std::function<void()> dequeue_hook;
+};
+
+struct EstimateRequest {
+  query::Twig twig;
+  core::Algorithm algorithm = core::Algorithm::kMsh;
+  core::CountSemantics semantics = core::CountSemantics::kOccurrence;
+  /// Absolute deadline; time_point::max() = none (the service default
+  /// applies at admission).
+  std::chrono::steady_clock::time_point deadline =
+      std::chrono::steady_clock::time_point::max();
+};
+
+struct EstimateResponse {
+  /// OK, Unavailable (overload / shutdown / no snapshot), or
+  /// DeadlineExceeded.
+  Status status;
+  double estimate = 0;
+  /// Version of the snapshot that served the request (0 if none did).
+  uint64_t snapshot_version = 0;
+  /// Admission-to-dequeue wait; zero for requests rejected at
+  /// admission.
+  std::chrono::nanoseconds queue_wait{0};
+  /// Time inside TwigEstimator::Estimate; zero unless status is OK.
+  std::chrono::nanoseconds exec_time{0};
+};
+
+class EstimateService {
+ public:
+  /// `catalog` must outlive the service. Workers start immediately;
+  /// requests submitted before the first Publish are answered
+  /// Unavailable.
+  explicit EstimateService(SnapshotCatalog* catalog,
+                           const ServiceOptions& options = {});
+
+  EstimateService(const EstimateService&) = delete;
+  EstimateService& operator=(const EstimateService&) = delete;
+
+  /// Equivalent to Shutdown(/*drain=*/true).
+  ~EstimateService();
+
+  /// Admits `request` (or rejects it immediately); the future always
+  /// becomes ready — with an estimate, a structured rejection, or a
+  /// deadline miss. Never blocks.
+  std::future<EstimateResponse> Submit(EstimateRequest request);
+
+  /// Convenience: Submit and wait for the response.
+  EstimateResponse SubmitAndWait(EstimateRequest request);
+
+  /// Stops the service. With `drain`, requests already admitted are
+  /// answered first; without it they are rejected with Unavailable.
+  /// Either way new Submits reject, every admitted request's future
+  /// completes, and the workers are joined before returning.
+  /// Idempotent (the first caller's drain choice wins).
+  void Shutdown(bool drain);
+
+  size_t queue_depth() const { return queue_.size(); }
+  size_t queue_capacity() const { return queue_.capacity(); }
+  size_t num_workers() const { return num_workers_; }
+
+ private:
+  struct Item {
+    EstimateRequest request;
+    std::promise<EstimateResponse> promise;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  /// One worker's serve loop: pop, check deadline, pin snapshot,
+  /// estimate, respond. Returns when the queue closes.
+  void ServeLoop();
+
+  /// Completes `item` with a rejection and counts it.
+  static void Reject(Item item, Status status);
+
+  SnapshotCatalog* const catalog_;
+  const ServiceOptions options_;
+  const size_t num_workers_;
+  BoundedQueue<Item> queue_;
+  util::ThreadPool pool_;
+  /// Runs the blocking ParallelFor that hosts the serve loops.
+  std::thread dispatcher_;
+  std::atomic<bool> shut_down_{false};
+  std::mutex shutdown_mutex_;
+};
+
+}  // namespace twig::serve
+
+#endif  // TWIG_SERVE_SERVICE_H_

@@ -1,0 +1,84 @@
+#include "serve/snapshot.h"
+
+#include <chrono>
+
+#include "obs/metrics.h"
+
+namespace twig::serve {
+
+SnapshotCatalog::~SnapshotCatalog() { WaitForRebuild(); }
+
+std::shared_ptr<const CstSnapshot> SnapshotCatalog::Current() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return current_;
+}
+
+uint64_t SnapshotCatalog::version() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return current_ == nullptr ? 0 : current_->version;
+}
+
+uint64_t SnapshotCatalog::Publish(cst::Cst summary, std::string source,
+                                  double build_seconds) {
+  // Assemble the snapshot outside the lock; the swap itself is two
+  // pointer writes.
+  auto snapshot = std::make_shared<CstSnapshot>();
+  snapshot->source = std::move(source);
+  snapshot->build_seconds = build_seconds;
+  snapshot->summary = std::move(summary);
+  uint64_t version;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    version = next_version_++;
+    snapshot->version = version;
+    current_ = std::move(snapshot);
+  }
+  obs::CountEvent(obs::Counter::kSnapshotPublishes);
+  return version;
+}
+
+void SnapshotCatalog::RebuildMain(Builder builder, std::string source) {
+  const auto t0 = std::chrono::steady_clock::now();
+  Result<cst::Cst> built = builder();
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  if (built.ok()) {
+    Publish(std::move(built).value(), std::move(source), seconds);
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    last_rebuild_status_ = built.ok() ? Status::OK() : built.status();
+    rebuild_in_flight_ = false;
+  }
+  rebuild_done_.notify_all();
+}
+
+bool SnapshotCatalog::BeginRebuild(Builder builder, std::string source) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (rebuild_in_flight_) return false;
+  // A previous rebuild has finished: its thread is past any use of
+  // this object (the in-flight flag is its final locked write), so
+  // joining here is immediate.
+  if (rebuild_thread_.joinable()) rebuild_thread_.join();
+  rebuild_in_flight_ = true;
+  rebuild_thread_ = std::thread([this, builder = std::move(builder),
+                                 source = std::move(source)]() mutable {
+    RebuildMain(std::move(builder), std::move(source));
+  });
+  return true;
+}
+
+Status SnapshotCatalog::WaitForRebuild() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  rebuild_done_.wait(lock, [&] { return !rebuild_in_flight_; });
+  if (rebuild_thread_.joinable()) rebuild_thread_.join();
+  return last_rebuild_status_;
+}
+
+bool SnapshotCatalog::rebuild_in_flight() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return rebuild_in_flight_;
+}
+
+}  // namespace twig::serve

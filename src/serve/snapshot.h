@@ -1,0 +1,105 @@
+// Versioned, immutable CST snapshots with an RCU-style publication
+// protocol (the serving layer's answer to "the document changed while
+// queries were in flight").
+//
+// A CstSnapshot is frozen at construction: the CST, the metadata
+// describing how it was built, and a monotone version id. The catalog
+// hands read paths a shared_ptr they *pin* for the duration of one
+// request — publishing version N+1 is a pointer swap, so in-flight
+// readers keep answering against version N and the old snapshot is
+// freed exactly when its last pinned reader drops it. Readers never
+// wait on builders: the only shared critical section is a refcount
+// bump under a mutex held for a pointer copy.
+//
+// Rebuilds run off-thread (BeginRebuild): the builder callback
+// constructs a CST from whatever source the caller closes over — the
+// data tree, or a serialized TWCST02 blob via cst::Cst::Deserialize —
+// and the catalog hot-swaps on completion. One rebuild may be in
+// flight at a time; a second BeginRebuild is refused rather than
+// queued (the newest data wins anyway once the current rebuild lands).
+
+#ifndef TWIG_SERVE_SNAPSHOT_H_
+#define TWIG_SERVE_SNAPSHOT_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "cst/cst.h"
+#include "util/status.h"
+
+namespace twig::serve {
+
+/// One immutable published summary. Everything a request needs to be
+/// answered — and labeled with the version that answered it.
+struct CstSnapshot {
+  /// Monotone catalog version, starting at 1.
+  uint64_t version = 0;
+  /// Human description of the build source ("dblp 2.0 MB @ 1%",
+  /// "blob swap", ...). Diagnostic only.
+  std::string source;
+  /// Wall seconds the build took (0 when built synchronously outside
+  /// the catalog).
+  double build_seconds = 0;
+  cst::Cst summary;
+};
+
+class SnapshotCatalog {
+ public:
+  SnapshotCatalog() = default;
+  SnapshotCatalog(const SnapshotCatalog&) = delete;
+  SnapshotCatalog& operator=(const SnapshotCatalog&) = delete;
+
+  /// Joins any in-flight rebuild (its publish still happens).
+  ~SnapshotCatalog();
+
+  /// The current snapshot, pinned: valid until the returned pointer is
+  /// dropped, regardless of how many versions publish meanwhile.
+  /// nullptr before the first Publish.
+  std::shared_ptr<const CstSnapshot> Current() const;
+
+  /// Version of the current snapshot; 0 before the first Publish.
+  uint64_t version() const;
+
+  /// Publishes `summary` as the new current snapshot and returns its
+  /// version. In-flight readers holding an older snapshot are
+  /// unaffected. Thread-safe (builders may publish concurrently; each
+  /// gets a distinct version, last one wins as "current").
+  uint64_t Publish(cst::Cst summary, std::string source,
+                   double build_seconds = 0);
+
+  /// Builds a CST; the Result carries why a rebuild failed (e.g. a
+  /// corrupt blob).
+  using Builder = std::function<Result<cst::Cst>()>;
+
+  /// Starts an off-thread rebuild that runs `builder` and publishes on
+  /// success. Returns false (and does nothing) if a rebuild is already
+  /// in flight. `source` labels the resulting snapshot.
+  bool BeginRebuild(Builder builder, std::string source);
+
+  /// Blocks until no rebuild is in flight and returns the status of
+  /// the most recent one (OK if none ever ran).
+  Status WaitForRebuild();
+
+  bool rebuild_in_flight() const;
+
+ private:
+  void RebuildMain(Builder builder, std::string source);
+
+  mutable std::mutex mutex_;
+  std::condition_variable rebuild_done_;
+  std::shared_ptr<const CstSnapshot> current_;
+  uint64_t next_version_ = 1;
+  std::thread rebuild_thread_;
+  bool rebuild_in_flight_ = false;
+  Status last_rebuild_status_;
+};
+
+}  // namespace twig::serve
+
+#endif  // TWIG_SERVE_SNAPSHOT_H_

@@ -1,0 +1,288 @@
+#include "serve/tcp.h"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "query/twig.h"
+
+namespace twig::serve {
+
+namespace {
+
+/// Sends the whole buffer plus the protocol's line terminator.
+/// MSG_NOSIGNAL: a peer that hung up yields EPIPE, not SIGPIPE.
+bool SendLine(int fd, std::string line) {
+  line.push_back('\n');
+  size_t sent = 0;
+  while (sent < line.size()) {
+    const ssize_t n =
+        send(fd, line.data() + sent, line.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+TcpFrontEnd::TcpFrontEnd(SnapshotCatalog* catalog, EstimateService* service,
+                         const TcpOptions& options)
+    : catalog_(catalog), service_(service), options_(options) {}
+
+TcpFrontEnd::~TcpFrontEnd() { Stop(); }
+
+Status TcpFrontEnd::Start() {
+  listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(options_.port);
+  if (bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+           sizeof(addr)) != 0) {
+    const Status status =
+        Status::Internal(std::string("bind: ") + std::strerror(errno));
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  if (listen(listen_fd_, SOMAXCONN) != 0) {
+    const Status status =
+        Status::Internal(std::string("listen: ") + std::strerror(errno));
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                  &addr_len) != 0) {
+    const Status status =
+        Status::Internal(std::string("getsockname: ") + std::strerror(errno));
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  port_ = ntohs(addr.sin_port);
+
+  const size_t n = std::max<size_t>(1, options_.num_connection_threads);
+  handlers_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    handlers_.emplace_back([this] { HandlerMain(); });
+  }
+  return Status::OK();
+}
+
+void TcpFrontEnd::HandlerMain() {
+  for (;;) {
+    const int fd = accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      // EINVAL/EBADF after Stop shuts the listener down; any other
+      // persistent accept failure also ends the handler.
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (stop_requested_) {
+        close(fd);
+        return;
+      }
+      open_connections_.push_back(fd);
+    }
+    ServeConnection(fd);
+    {
+      // Deregister and close under one lock so Stop never shuts down a
+      // descriptor number this close has already released for reuse.
+      std::lock_guard<std::mutex> lock(mutex_);
+      open_connections_.erase(std::remove(open_connections_.begin(),
+                                          open_connections_.end(), fd),
+                              open_connections_.end());
+      close(fd);
+    }
+  }
+}
+
+void TcpFrontEnd::ServeConnection(int fd) {
+  std::string buffer;
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) return;  // EOF, error, or Stop's shutdown()
+    buffer.append(chunk, static_cast<size_t>(n));
+    size_t start = 0;
+    for (size_t nl = buffer.find('\n', start); nl != std::string::npos;
+         nl = buffer.find('\n', start)) {
+      std::string_view line(buffer.data() + start, nl - start);
+      if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+      start = nl + 1;
+      if (line.empty()) continue;
+      bool stop_after_reply = false;
+      const bool sent = SendLine(fd, HandleLine(line, &stop_after_reply));
+      // The shutdown op answers its client first, then flags the stop —
+      // flagging earlier would race Stop()'s connection teardown against
+      // the reply still sitting in this thread.
+      if (stop_after_reply) {
+        RequestStop();
+        return;
+      }
+      if (!sent) return;
+    }
+    buffer.erase(0, start);
+    if (buffer.size() > options_.max_line_bytes) {
+      SendLine(fd, ErrorResponse(nullptr,
+                                 Status::InvalidArgument(
+                                     "request line exceeds max_line_bytes")));
+      return;
+    }
+  }
+}
+
+std::string TcpFrontEnd::HandleLine(std::string_view line,
+                                    bool* stop_after_reply) {
+  Result<WireRequest> parsed = ParseRequest(line);
+  if (!parsed.ok()) return ErrorResponse(nullptr, parsed.status());
+  const WireRequest& request = parsed.value();
+
+  if (request.op == "ping") {
+    return PingResponse(request, catalog_->version(), service_->queue_depth());
+  }
+  if (request.op == "estimate") return HandleEstimate(request);
+  if (request.op == "explain") return HandleExplain(request);
+  if (request.op == "metrics") return HandleMetrics(request);
+  if (request.op == "swap") return HandleSwap(request);
+  if (request.op == "shutdown") {
+    *stop_after_reply = true;
+    return ShutdownResponse(request);
+  }
+  return ErrorResponse(&request, Status::InvalidArgument(
+                                     "unknown op '" + request.op + "'"));
+}
+
+std::string TcpFrontEnd::HandleEstimate(const WireRequest& request) {
+  if (request.query.empty()) {
+    return ErrorResponse(&request,
+                         Status::InvalidArgument("estimate needs a query"));
+  }
+  Result<query::Twig> twig = query::ParseTwig(request.query);
+  if (!twig.ok()) return ErrorResponse(&request, twig.status());
+
+  EstimateRequest estimate;
+  estimate.twig = std::move(twig).value();
+  estimate.algorithm = request.algorithm;
+  estimate.semantics = request.semantics;
+  if (request.deadline_ms > 0) {
+    estimate.deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double, std::milli>(request.deadline_ms));
+  }
+  return EstimateWireResponse(request, service_->SubmitAndWait(
+                                           std::move(estimate)));
+}
+
+std::string TcpFrontEnd::HandleExplain(const WireRequest& request) {
+  if (request.query.empty()) {
+    return ErrorResponse(&request,
+                         Status::InvalidArgument("explain needs a query"));
+  }
+  Result<query::Twig> twig = query::ParseTwig(request.query);
+  if (!twig.ok()) return ErrorResponse(&request, twig.status());
+  const std::shared_ptr<const CstSnapshot> snapshot = catalog_->Current();
+  if (snapshot == nullptr) {
+    return ErrorResponse(&request,
+                         Status::Unavailable("no snapshot published yet"));
+  }
+  // Traces are single-query sinks, so explain runs on the handler
+  // thread with a local trace instead of going through the service.
+  obs::Trace trace;
+  core::EstimateOptions eopt;
+  eopt.semantics = request.semantics;
+  eopt.trace = &trace;
+  const core::TwigEstimator estimator(&snapshot->summary);
+  estimator.Estimate(twig.value(), request.algorithm, eopt);
+  return ExplainResponse(request, trace.ToJson(), snapshot->version);
+}
+
+std::string TcpFrontEnd::HandleMetrics(const WireRequest& request) {
+  return MetricsResponse(request,
+                         obs::MetricsRegistry::Get().Snapshot().ToJson(),
+                         catalog_->version(), service_->queue_depth(),
+                         service_->queue_capacity());
+}
+
+std::string TcpFrontEnd::HandleSwap(const WireRequest& request) {
+  if (!options_.rebuild) {
+    return ErrorResponse(
+        &request, Status::Unimplemented("server has no rebuild source"));
+  }
+  const double space = request.space;
+  const bool begun = catalog_->BeginRebuild(
+      [rebuild = options_.rebuild, space] { return rebuild(space); },
+      "swap request");
+  if (!begun) {
+    return ErrorResponse(&request,
+                         Status::Unavailable("rebuild already in flight"));
+  }
+  const Status status = catalog_->WaitForRebuild();
+  if (!status.ok()) return ErrorResponse(&request, status);
+  return SwapResponse(request, catalog_->version());
+}
+
+void TcpFrontEnd::RequestStop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_requested_ = true;
+  }
+  stop_cv_.notify_all();
+}
+
+void TcpFrontEnd::WaitForShutdown() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    stop_cv_.wait(lock, [&] { return stop_requested_; });
+  }
+  Stop();
+}
+
+void TcpFrontEnd::Stop() {
+  RequestStop();
+  std::lock_guard<std::mutex> teardown(teardown_mutex_);
+  if (stopped_) return;
+  stopped_ = true;
+  // shutdown() (not close) unblocks threads inside accept/recv; the
+  // handlers own the close of their connection fds, and listen_fd_ is
+  // closed here after the joins so its descriptor number cannot be
+  // recycled under a handler still entering accept. Connection fds are
+  // shut down while holding mutex_: a handler removes its fd from
+  // open_connections_ and closes it under the same lock, so a shutdown
+  // here can never land on a recycled descriptor number.
+  if (listen_fd_ >= 0) shutdown(listen_fd_, SHUT_RDWR);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (int fd : open_connections_) shutdown(fd, SHUT_RDWR);
+  }
+  for (std::thread& handler : handlers_) {
+    if (handler.joinable()) handler.join();
+  }
+  handlers_.clear();
+  if (listen_fd_ >= 0) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+}  // namespace twig::serve

@@ -1,0 +1,128 @@
+// Blocking TCP front-end for the estimation service.
+//
+// Transport: loopback TCP, newline-delimited JSON (serve/wire.h). A
+// small pool of connection-handler threads shares the listening
+// socket; each thread accepts one connection at a time and serves it
+// to completion, so up to num_connection_threads clients are served
+// concurrently and further connects queue in the kernel backlog.
+// "Slow" ops (estimate) go through the EstimateService queue — its
+// backpressure and deadlines apply unchanged — while cheap ops (ping,
+// metrics) answer on the handler thread, and explain runs inline
+// because traces are single-query sinks.
+//
+// Lifecycle: Start() binds and spawns handlers; the server runs until
+// Stop() — called directly, or by WaitForShutdown() after a client
+// sends {"op":"shutdown"} (the handler answers the client, flags the
+// stop, and teardown happens on the WaitForShutdown caller's thread,
+// never on a handler joining itself). Stop shuts down the listening
+// socket and every open connection, so blocked accept/recv calls
+// return and the handlers join promptly.
+
+#ifndef TWIG_SERVE_TCP_H_
+#define TWIG_SERVE_TCP_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cst/cst.h"
+#include "serve/service.h"
+#include "serve/snapshot.h"
+#include "serve/wire.h"
+#include "util/status.h"
+
+namespace twig::serve {
+
+struct TcpOptions {
+  /// Port to bind on 127.0.0.1; 0 = kernel-assigned ephemeral port
+  /// (read it back from port() after Start).
+  uint16_t port = 0;
+  /// Concurrent connections served; later connects wait in the kernel
+  /// accept backlog.
+  size_t num_connection_threads = 4;
+  /// A request line longer than this closes the connection with a
+  /// structured error (guards the per-connection buffer).
+  size_t max_line_bytes = 1 << 20;
+  /// Builds a replacement CST for the "swap" op, `space` being the
+  /// client-requested space fraction (0 = builder's default). Unset =
+  /// swap answers Unimplemented.
+  std::function<Result<cst::Cst>(double space)> rebuild;
+};
+
+class TcpFrontEnd {
+ public:
+  /// `catalog` and `service` must outlive the front-end.
+  TcpFrontEnd(SnapshotCatalog* catalog, EstimateService* service,
+              const TcpOptions& options = {});
+
+  TcpFrontEnd(const TcpFrontEnd&) = delete;
+  TcpFrontEnd& operator=(const TcpFrontEnd&) = delete;
+
+  /// Equivalent to Stop().
+  ~TcpFrontEnd();
+
+  /// Binds 127.0.0.1:port, listens, and spawns the handler threads.
+  Status Start();
+
+  /// The bound port (the kernel's pick when options.port was 0).
+  /// Valid after a successful Start.
+  uint16_t port() const { return port_; }
+
+  /// Blocks until a client requests shutdown (or Stop is called), then
+  /// tears the server down. The intended main-thread loop of a server
+  /// binary.
+  void WaitForShutdown();
+
+  /// Stops accepting, disconnects open connections, joins the
+  /// handlers. Idempotent, callable from any non-handler thread.
+  void Stop();
+
+ private:
+  /// One handler thread: accept, serve the connection to close,
+  /// repeat until the listening socket shuts down.
+  void HandlerMain();
+
+  /// Reads lines off `fd` and answers them until EOF/error/oversize.
+  void ServeConnection(int fd);
+
+  /// Dispatches one request line to its op handler; returns the
+  /// response line (without the newline). Sets `*stop_after_reply` for
+  /// the shutdown op, so the caller can send the reply before the stop
+  /// tears the connection down.
+  std::string HandleLine(std::string_view line, bool* stop_after_reply);
+
+  std::string HandleEstimate(const WireRequest& request);
+  std::string HandleExplain(const WireRequest& request);
+  std::string HandleMetrics(const WireRequest& request);
+  std::string HandleSwap(const WireRequest& request);
+
+  /// Flags the stop and wakes WaitForShutdown.
+  void RequestStop();
+
+  SnapshotCatalog* const catalog_;
+  EstimateService* const service_;
+  const TcpOptions options_;
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::vector<std::thread> handlers_;
+
+  std::mutex mutex_;
+  std::condition_variable stop_cv_;
+  bool stop_requested_ = false;
+  /// Open connection fds, so Stop can unblock recv on them.
+  std::vector<int> open_connections_;
+
+  /// Serializes teardown: a concurrent second Stop blocks until the
+  /// first finishes joining, then returns.
+  std::mutex teardown_mutex_;
+  bool stopped_ = false;
+};
+
+}  // namespace twig::serve
+
+#endif  // TWIG_SERVE_TCP_H_

@@ -1,0 +1,209 @@
+#include "serve/wire.h"
+
+#include <utility>
+
+#include "obs/json.h"
+
+namespace twig::serve {
+
+namespace {
+
+double ToMicros(std::chrono::nanoseconds d) {
+  return static_cast<double>(d.count()) / 1e3;
+}
+
+/// Opens the response object and writes the envelope fields shared by
+/// every response: id (when the request carried one), ok, op.
+void BeginResponse(obs::JsonWriter& writer, const WireRequest* request,
+                   bool ok) {
+  writer.BeginObject();
+  if (request != nullptr && request->has_id) {
+    writer.Key("id");
+    writer.Uint(request->id);
+  }
+  writer.Key("ok");
+  writer.Bool(ok);
+  if (request != nullptr && !request->op.empty()) {
+    writer.Key("op");
+    writer.String(request->op);
+  }
+}
+
+}  // namespace
+
+bool ParseAlgorithmName(std::string_view name, core::Algorithm* out) {
+  for (core::Algorithm algorithm : core::kAllAlgorithms) {
+    if (name == core::AlgorithmName(algorithm)) {
+      *out = algorithm;
+      return true;
+    }
+  }
+  return false;
+}
+
+Result<WireRequest> ParseRequest(std::string_view line) {
+  Result<obs::JsonValue> parsed = obs::ParseJson(line);
+  if (!parsed.ok()) return parsed.status();
+  const obs::JsonValue& root = parsed.value();
+  if (root.kind != obs::JsonValue::Kind::kObject) {
+    return Status::ParseError("request must be a JSON object");
+  }
+
+  WireRequest request;
+  const obs::JsonValue* op = root.Find("op");
+  if (op == nullptr || op->kind != obs::JsonValue::Kind::kString) {
+    return Status::ParseError("request needs a string \"op\"");
+  }
+  request.op = op->string_value;
+
+  if (const obs::JsonValue* id = root.Find("id"); id != nullptr) {
+    if (id->kind != obs::JsonValue::Kind::kNumber || id->number_value < 0) {
+      return Status::ParseError("\"id\" must be a non-negative number");
+    }
+    request.has_id = true;
+    request.id = static_cast<uint64_t>(id->number_value);
+  }
+
+  if (const obs::JsonValue* query = root.Find("query"); query != nullptr) {
+    if (query->kind != obs::JsonValue::Kind::kString) {
+      return Status::ParseError("\"query\" must be a string");
+    }
+    request.query = query->string_value;
+  }
+
+  if (const obs::JsonValue* algo = root.Find("algo"); algo != nullptr) {
+    if (algo->kind != obs::JsonValue::Kind::kString ||
+        !ParseAlgorithmName(algo->string_value, &request.algorithm)) {
+      return Status::ParseError("\"algo\" must name an algorithm (Leaf, "
+                                "Greedy, MO, MOSH, PMOSH, MSH)");
+    }
+  }
+
+  if (const obs::JsonValue* semantics = root.Find("semantics");
+      semantics != nullptr) {
+    if (semantics->kind == obs::JsonValue::Kind::kString &&
+        semantics->string_value == "occurrence") {
+      request.semantics = core::CountSemantics::kOccurrence;
+    } else if (semantics->kind == obs::JsonValue::Kind::kString &&
+               semantics->string_value == "presence") {
+      request.semantics = core::CountSemantics::kPresence;
+    } else {
+      return Status::ParseError(
+          "\"semantics\" must be \"occurrence\" or \"presence\"");
+    }
+  }
+
+  if (const obs::JsonValue* deadline = root.Find("deadline_ms");
+      deadline != nullptr) {
+    if (deadline->kind != obs::JsonValue::Kind::kNumber ||
+        deadline->number_value < 0) {
+      return Status::ParseError(
+          "\"deadline_ms\" must be a non-negative number");
+    }
+    request.deadline_ms = deadline->number_value;
+  }
+
+  if (const obs::JsonValue* space = root.Find("space"); space != nullptr) {
+    if (space->kind != obs::JsonValue::Kind::kNumber ||
+        space->number_value < 0) {
+      return Status::ParseError("\"space\" must be a non-negative number");
+    }
+    request.space = space->number_value;
+  }
+
+  return request;
+}
+
+std::string ErrorResponse(const WireRequest* request, const Status& status) {
+  obs::JsonWriter writer;
+  BeginResponse(writer, request, /*ok=*/false);
+  writer.Key("error");
+  writer.BeginObject();
+  writer.Key("code");
+  writer.String(StatusCodeToString(status.code()));
+  writer.Key("message");
+  writer.String(status.message());
+  writer.EndObject();
+  writer.EndObject();
+  return std::move(writer).str();
+}
+
+std::string EstimateWireResponse(const WireRequest& request,
+                                 const EstimateResponse& response) {
+  if (!response.status.ok()) return ErrorResponse(&request, response.status);
+  obs::JsonWriter writer;
+  BeginResponse(writer, &request, /*ok=*/true);
+  writer.Key("estimate");
+  writer.Double(response.estimate);
+  writer.Key("algo");
+  writer.String(core::AlgorithmName(request.algorithm));
+  writer.Key("version");
+  writer.Uint(response.snapshot_version);
+  writer.Key("wait_us");
+  writer.Double(ToMicros(response.queue_wait));
+  writer.Key("exec_us");
+  writer.Double(ToMicros(response.exec_time));
+  writer.EndObject();
+  return std::move(writer).str();
+}
+
+std::string PingResponse(const WireRequest& request, uint64_t version,
+                         size_t queue_depth) {
+  obs::JsonWriter writer;
+  BeginResponse(writer, &request, /*ok=*/true);
+  writer.Key("version");
+  writer.Uint(version);
+  writer.Key("queue_depth");
+  writer.Uint(queue_depth);
+  writer.EndObject();
+  return std::move(writer).str();
+}
+
+std::string MetricsResponse(const WireRequest& request,
+                            std::string_view metrics_json, uint64_t version,
+                            size_t queue_depth, size_t queue_capacity) {
+  obs::JsonWriter writer;
+  BeginResponse(writer, &request, /*ok=*/true);
+  writer.Key("version");
+  writer.Uint(version);
+  writer.Key("queue_depth");
+  writer.Uint(queue_depth);
+  writer.Key("queue_capacity");
+  writer.Uint(queue_capacity);
+  writer.Key("metrics");
+  writer.RawValue(metrics_json);
+  writer.EndObject();
+  return std::move(writer).str();
+}
+
+std::string SwapResponse(const WireRequest& request, uint64_t version) {
+  obs::JsonWriter writer;
+  BeginResponse(writer, &request, /*ok=*/true);
+  writer.Key("version");
+  writer.Uint(version);
+  writer.EndObject();
+  return std::move(writer).str();
+}
+
+std::string ExplainResponse(const WireRequest& request,
+                            std::string_view trace_json, uint64_t version) {
+  obs::JsonWriter writer;
+  BeginResponse(writer, &request, /*ok=*/true);
+  writer.Key("version");
+  writer.Uint(version);
+  writer.Key("trace");
+  writer.RawValue(trace_json);
+  writer.EndObject();
+  return std::move(writer).str();
+}
+
+std::string ShutdownResponse(const WireRequest& request) {
+  obs::JsonWriter writer;
+  BeginResponse(writer, &request, /*ok=*/true);
+  writer.Key("stopping");
+  writer.Bool(true);
+  writer.EndObject();
+  return std::move(writer).str();
+}
+
+}  // namespace twig::serve

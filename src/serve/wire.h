@@ -1,0 +1,93 @@
+// The serving wire protocol: newline-delimited JSON, one request
+// object per line, one response object per line (DESIGN.md §10).
+//
+// Requests:
+//   {"op":"ping", "id":1}
+//   {"op":"estimate", "id":2, "query":"article(author, year)",
+//    "algo":"MSH", "semantics":"occurrence", "deadline_ms":250}
+//   {"op":"explain", "id":3, "query":"book.author", "algo":"MO"}
+//   {"op":"metrics", "id":4}
+//   {"op":"swap", "id":5, "space":0.02}
+//   {"op":"shutdown", "id":6}
+//
+// Responses always carry "ok" and echo "op" and "id" (when sent):
+//   {"id":2,"ok":true,"op":"estimate","estimate":41.5,"version":1,
+//    "wait_us":12.0,"exec_us":35.2}
+//   {"id":2,"ok":false,"op":"estimate",
+//    "error":{"code":"Unavailable","message":"overloaded: ..."}}
+//
+// This header is transport-free (no sockets): ParseRequest decodes and
+// validates a request line, the encoders render response lines
+// (without the trailing newline). The TCP front-end and the tests
+// share it.
+
+#ifndef TWIG_SERVE_WIRE_H_
+#define TWIG_SERVE_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "core/estimator.h"
+#include "serve/service.h"
+#include "util/status.h"
+
+namespace twig::serve {
+
+/// A decoded request line. Fields default to the protocol defaults so
+/// handlers can use them directly.
+struct WireRequest {
+  std::string op;
+  /// Client correlation id, echoed in the response when present.
+  bool has_id = false;
+  uint64_t id = 0;
+  std::string query;
+  core::Algorithm algorithm = core::Algorithm::kMsh;
+  core::CountSemantics semantics = core::CountSemantics::kOccurrence;
+  /// Relative deadline in milliseconds; 0 = none given.
+  double deadline_ms = 0;
+  /// swap: CST space fraction to rebuild at; 0 = server default.
+  double space = 0;
+};
+
+/// Parses "MSH" / "MO" / ... (core::AlgorithmName spelling).
+bool ParseAlgorithmName(std::string_view name, core::Algorithm* out);
+
+/// Decodes and validates one request line: must be a JSON object with
+/// a string "op"; optional fields must have the right types ("algo"
+/// must name an algorithm, "semantics" must be "occurrence" or
+/// "presence", "deadline_ms" and "space" must be non-negative
+/// numbers). Unknown keys are ignored (forward compatibility); unknown
+/// *ops* are left to the dispatcher so it can answer with an error
+/// that echoes the id.
+Result<WireRequest> ParseRequest(std::string_view line);
+
+/// {"id":..,"ok":false,"op":..,"error":{"code":..,"message":..}}.
+/// `request` may be nullptr when the line didn't parse (no id/op).
+std::string ErrorResponse(const WireRequest* request, const Status& status);
+
+/// Encodes a service response: OK → estimate/version/timings, error →
+/// ErrorResponse with the status (overloads and deadline misses are
+/// structured errors, not dropped lines).
+std::string EstimateWireResponse(const WireRequest& request,
+                                 const EstimateResponse& response);
+
+std::string PingResponse(const WireRequest& request, uint64_t version,
+                         size_t queue_depth);
+
+/// Embeds a pre-rendered metrics JSON document (registry snapshot).
+std::string MetricsResponse(const WireRequest& request,
+                            std::string_view metrics_json, uint64_t version,
+                            size_t queue_depth, size_t queue_capacity);
+
+std::string SwapResponse(const WireRequest& request, uint64_t version);
+
+/// Embeds a pre-rendered obs::Trace::ToJson document.
+std::string ExplainResponse(const WireRequest& request,
+                            std::string_view trace_json, uint64_t version);
+
+std::string ShutdownResponse(const WireRequest& request);
+
+}  // namespace twig::serve
+
+#endif  // TWIG_SERVE_WIRE_H_

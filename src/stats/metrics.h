@@ -26,6 +26,9 @@ struct BatchStats {
   size_t num_threads = 0;
   std::vector<size_t> queries_per_thread;
   std::vector<double> busy_seconds_per_thread;
+  /// Queries abandoned because BatchOptions::deadline passed before
+  /// they started (their estimate slots hold quiet NaN).
+  size_t queries_skipped = 0;
   double wall_seconds = 0;
   /// Global obs counter deltas across the batch (registry snapshot
   /// after minus before): CST subpath hit/miss mix, set-hash

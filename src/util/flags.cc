@@ -1,0 +1,117 @@
+#include "util/flags.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+namespace twig::util {
+
+FlagParser::FlagParser(std::string program, std::string usage)
+    : program_(std::move(program)), usage_(std::move(usage)) {}
+
+void FlagParser::String(std::string name, std::string* out) {
+  flags_.push_back({std::move(name), Kind::kString, out, nullptr});
+}
+
+void FlagParser::Size(std::string name, size_t* out) {
+  flags_.push_back({std::move(name), Kind::kSize, out, nullptr});
+}
+
+void FlagParser::Double(std::string name, double* out) {
+  flags_.push_back({std::move(name), Kind::kDouble, out, nullptr});
+}
+
+void FlagParser::Bool(std::string name, bool* out) {
+  flags_.push_back({std::move(name), Kind::kBool, out, nullptr});
+}
+
+void FlagParser::Custom(std::string name,
+                        std::function<bool(std::string_view)> handler) {
+  flags_.push_back({std::move(name), Kind::kCustom, nullptr,
+                    std::move(handler)});
+}
+
+void FlagParser::Positional(std::vector<std::string>* out) {
+  positional_ = out;
+}
+
+bool FlagParser::ApplyFlag(std::string_view arg) {
+  // Split "--name=value" (value flags) from "--name" (booleans).
+  std::string_view body = arg.substr(2);
+  const size_t eq = body.find('=');
+  const std::string_view name =
+      eq == std::string_view::npos ? body : body.substr(0, eq);
+  const bool has_value = eq != std::string_view::npos;
+  const std::string_view value = has_value ? body.substr(eq + 1) : "";
+
+  for (const Flag& flag : flags_) {
+    if (flag.name != name) continue;
+    if ((flag.kind == Kind::kBool) == has_value) break;  // wrong shape
+    switch (flag.kind) {
+      case Kind::kBool:
+        *static_cast<bool*>(flag.target) = true;
+        return true;
+      case Kind::kString:
+        static_cast<std::string*>(flag.target)->assign(value);
+        return true;
+      case Kind::kCustom:
+        if (flag.handler(value)) return true;
+        std::fputs(usage_.c_str(), stderr);
+        return false;
+      case Kind::kSize:
+      case Kind::kDouble: {
+        const std::string text(value);
+        char* end = nullptr;
+        errno = 0;
+        if (flag.kind == Kind::kSize) {
+          const unsigned long long parsed = std::strtoull(text.c_str(), &end, 10);
+          if (errno != 0 || end == text.c_str() || *end != '\0') break;
+          *static_cast<size_t*>(flag.target) = static_cast<size_t>(parsed);
+        } else {
+          const double parsed = std::strtod(text.c_str(), &end);
+          if (errno != 0 || end == text.c_str() || *end != '\0') break;
+          *static_cast<double*>(flag.target) = parsed;
+        }
+        return true;
+      }
+    }
+    std::fprintf(stderr, "%s: bad value in '%.*s'\n", program_.c_str(),
+                 static_cast<int>(arg.size()), arg.data());
+    std::fputs(usage_.c_str(), stderr);
+    return false;
+  }
+  std::fprintf(stderr, "%s: unknown argument '%.*s'\n", program_.c_str(),
+               static_cast<int>(arg.size()), arg.data());
+  std::fputs(usage_.c_str(), stderr);
+  return false;
+}
+
+int FlagParser::Parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--help") {
+      std::fputs(usage_.c_str(), stdout);
+      return 0;
+    }
+    if (arg.size() >= 2 && arg[0] == '-' && arg[1] == '-') {
+      if (!ApplyFlag(arg)) return 2;
+    } else if (!arg.empty() && arg[0] == '-') {
+      // Single-dash arguments are never flags here; reject like unknown.
+      std::fprintf(stderr, "%s: unknown argument '%.*s'\n", program_.c_str(),
+                   static_cast<int>(arg.size()), arg.data());
+      std::fputs(usage_.c_str(), stderr);
+      return 2;
+    } else if (positional_ != nullptr) {
+      positional_->push_back(std::string(arg));
+    } else {
+      std::fprintf(stderr, "%s: unexpected argument '%.*s'\n",
+                   program_.c_str(), static_cast<int>(arg.size()), arg.data());
+      std::fputs(usage_.c_str(), stderr);
+      return 2;
+    }
+  }
+  return -1;
+}
+
+}  // namespace twig::util

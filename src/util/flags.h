@@ -1,0 +1,80 @@
+// Tiny declarative command-line parser for the example / tool
+// binaries, covering exactly the conventions they already share:
+//
+//   * value flags are spelled `--name=value` (never `--name value`),
+//   * boolean flags are bare `--name`,
+//   * `--help` prints the usage text to stdout and Parse reports exit 0,
+//   * an unknown flag or a malformed value prints
+//     "<program>: unknown argument '<arg>'" (or a bad-value message)
+//     plus the usage text to stderr and Parse reports exit 2,
+//   * arguments not starting with '-' are positional; they are errors
+//     unless the binary opted in with Positional().
+//
+// Typical use:
+//   util::FlagParser flags("twig_explain", kUsage);
+//   flags.String("query", &options.query);
+//   flags.Size("bytes", &options.bytes);
+//   flags.Bool("json", &options.json);
+//   if (int code = flags.Parse(argc, argv); code >= 0) return code;
+
+#ifndef TWIG_UTIL_FLAGS_H_
+#define TWIG_UTIL_FLAGS_H_
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace twig::util {
+
+class FlagParser {
+ public:
+  /// `program` prefixes error messages; `usage` is the full usage text
+  /// (printed verbatim, should end with a newline).
+  FlagParser(std::string program, std::string usage);
+
+  /// Registers `--name=value` flags writing into caller-owned storage.
+  /// Names are given without the leading dashes.
+  void String(std::string name, std::string* out);
+  void Size(std::string name, size_t* out);     // base-10 unsigned
+  void Double(std::string name, double* out);   // strtod
+  /// Registers a bare `--name` flag that sets *out to true.
+  void Bool(std::string name, bool* out);
+  /// Registers `--name=value` with a caller-supplied handler. The
+  /// handler returns false to reject the value (it should print its own
+  /// diagnostic); Parse then prints the usage text and reports exit 2.
+  void Custom(std::string name, std::function<bool(std::string_view)> handler);
+
+  /// Opts in to positional (non-flag) arguments, collected in order.
+  void Positional(std::vector<std::string>* out);
+
+  /// Parses argv. Returns -1 when the program should proceed, otherwise
+  /// the exit code to return immediately: 0 after `--help` (usage on
+  /// stdout), 2 after an unknown flag / bad value / unexpected
+  /// positional (diagnostic + usage on stderr).
+  int Parse(int argc, char** argv);
+
+ private:
+  enum class Kind { kString, kSize, kDouble, kBool, kCustom };
+
+  struct Flag {
+    std::string name;  // without "--"
+    Kind kind;
+    void* target = nullptr;
+    std::function<bool(std::string_view)> handler;
+  };
+
+  /// Applies one "--name" / "--name=value" argument; false on error
+  /// (diagnostic already printed).
+  bool ApplyFlag(std::string_view arg);
+
+  std::string program_;
+  std::string usage_;
+  std::vector<Flag> flags_;
+  std::vector<std::string>* positional_ = nullptr;
+};
+
+}  // namespace twig::util
+
+#endif  // TWIG_UTIL_FLAGS_H_

@@ -24,6 +24,8 @@ enum class StatusCode {
   kCorruption,
   kUnimplemented,
   kInternal,
+  kUnavailable,       // transient: overload, shutdown, no snapshot yet
+  kDeadlineExceeded,  // request deadline passed before completion
 };
 
 /// Returns a human-readable name for a StatusCode ("OK", "ParseError", ...).
@@ -56,6 +58,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -7,6 +7,14 @@
 // shared atomic counter, which balances load without any per-item
 // queueing or allocation. Workers are started once and reused across
 // calls; the pool joins them on destruction.
+//
+// Shutdown semantics: there is no queue of pending batches (ParallelFor
+// is synchronous), so the only work that can be "queued" is the
+// unclaimed tail of an in-flight batch. Destruction is equivalent to
+// Shutdown(/*drain=*/true): an in-flight ParallelFor finishes every
+// item before the workers join. Long-lived owners (e.g. the serving
+// layer) call Shutdown explicitly so teardown order is deterministic
+// instead of racing the destructor.
 
 #ifndef TWIG_UTIL_THREAD_POOL_H_
 #define TWIG_UTIL_THREAD_POOL_H_
@@ -29,9 +37,20 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
+  /// Equivalent to Shutdown(/*drain=*/true).
   ~ThreadPool();
 
-  /// Number of worker threads (>= 1).
+  /// Stops the pool and joins the workers. With `drain` (the
+  /// destructor's behavior) an in-flight ParallelFor completes all of
+  /// its items first; without it, items not yet claimed by a worker are
+  /// abandoned — the blocked ParallelFor caller still returns once the
+  /// items already in progress finish, but its body will not have run
+  /// for every index. Idempotent and safe to call concurrently with a
+  /// ParallelFor issued from another thread. After Shutdown, ParallelFor
+  /// runs its items inline on the calling thread.
+  void Shutdown(bool drain = true);
+
+  /// Number of worker threads (>= 1 until Shutdown, 0 after).
   size_t size() const { return threads_.size(); }
 
   /// Runs body(item, worker) for every item in [0, count), fanned
@@ -55,6 +74,8 @@ class ThreadPool {
   /// Incremented per ParallelFor call; workers wake when it changes.
   uint64_t generation_ = 0;
   bool stopping_ = false;
+  /// Set once Shutdown has joined the workers (ParallelFor runs inline).
+  bool shut_down_ = false;
 
   // State of the in-flight ParallelFor, valid while busy_workers_ > 0
   // or next_item_ < item_count_.

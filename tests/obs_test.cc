@@ -203,6 +203,45 @@ TEST(JsonWriterTest, EscapesStrings) {
   EXPECT_TRUE(IsValidJson(json));
 }
 
+TEST(JsonWriterTest, ControlBytesEscapeAsUnicode) {
+  // Every byte in U+0000..U+001F must leave as an escape, never raw.
+  std::string raw;
+  for (int c = 0; c < 0x20; ++c) raw.push_back(static_cast<char>(c));
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("ctl");
+  w.String(raw);
+  w.EndObject();
+  const std::string json = std::move(w).str();
+  for (char c : json) {
+    EXPECT_GE(static_cast<unsigned char>(c), 0x20u) << json;
+  }
+  EXPECT_NE(json.find("\\u0000"), std::string::npos);
+  EXPECT_NE(json.find("\\u001f"), std::string::npos);
+  EXPECT_TRUE(IsValidJson(json));
+}
+
+TEST(JsonWriterTest, RawValueEmbedsPreRenderedDocuments) {
+  JsonWriter inner;
+  inner.BeginObject();
+  inner.Key("x");
+  inner.Uint(1);
+  inner.EndObject();
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("a");
+  w.RawValue(inner.str());
+  w.Key("b");
+  w.BeginArray();
+  w.RawValue("[1,2]");
+  w.RawValue("\"s\"");
+  w.EndArray();
+  w.EndObject();
+  const std::string json = std::move(w).str();
+  EXPECT_EQ(json, "{\"a\":{\"x\":1},\"b\":[[1,2],\"s\"]}");
+  EXPECT_TRUE(IsValidJson(json));
+}
+
 TEST(JsonWriterTest, NonFiniteDoublesBecomeNull) {
   JsonWriter w;
   w.BeginArray();
@@ -215,10 +254,109 @@ TEST(JsonWriterTest, NonFiniteDoublesBecomeNull) {
 }
 
 // ---------------------------------------------------------------------------
+// ParseJson (the wire-protocol reader)
+
+TEST(ParseJsonTest, ParsesScalarsContainersAndWhitespace) {
+  Result<JsonValue> r = ParseJson(
+      "  {\"s\": \"hi\", \"n\": -2.5e2, \"b\": true, \"z\": null,"
+      " \"a\": [1, \"two\", {\"k\": false}]}  ");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const JsonValue& v = r.value();
+  ASSERT_EQ(v.kind, JsonValue::Kind::kObject);
+  EXPECT_EQ(v.GetString("s"), "hi");
+  EXPECT_DOUBLE_EQ(v.GetNumber("n"), -250.0);
+  EXPECT_TRUE(v.GetBool("b"));
+  ASSERT_NE(v.Find("z"), nullptr);
+  EXPECT_EQ(v.Find("z")->kind, JsonValue::Kind::kNull);
+  const JsonValue* a = v.Find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->kind, JsonValue::Kind::kArray);
+  ASSERT_EQ(a->elements.size(), 3u);
+  EXPECT_DOUBLE_EQ(a->elements[0].number_value, 1.0);
+  EXPECT_EQ(a->elements[1].string_value, "two");
+  EXPECT_FALSE(a->elements[2].GetBool("k", true));
+}
+
+TEST(ParseJsonTest, DecodesEscapesIncludingSurrogatePairs) {
+  Result<JsonValue> r = ParseJson(
+      "\"q\\\" b\\\\ s\\/ \\b\\f\\n\\r\\t u\\u0041 nul\\u0000"
+      " pair\\ud83d\\ude00\"");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const std::string expected = std::string("q\" b\\ s/ \b\f\n\r\t uA nul") +
+                               '\0' + " pair\xf0\x9f\x98\x80";
+  EXPECT_EQ(r.value().string_value, expected);
+}
+
+TEST(ParseJsonTest, RejectsMalformedDocuments) {
+  for (const char* bad :
+       {"", "{", "[1,2", "{\"a\":1,}", "{\"a\" 1}", "tru", "01", "1.",
+        "+1", "\"\x01\"", "\"unterminated", "\"bad\\q\"", "\"\\u12\"",
+        "\"\\ud83d\"",            // lone high surrogate
+        "{\"a\":1} trailing",     // bytes after the document
+        "nan", "[1] [2]"}) {
+    Result<JsonValue> r = ParseJson(bad);
+    EXPECT_FALSE(r.ok()) << "accepted: " << bad;
+  }
+}
+
+TEST(ParseJsonTest, EnforcesTheDepthLimit) {
+  std::string deep_ok(64, '[');
+  deep_ok += std::string(64, ']');
+  EXPECT_TRUE(ParseJson(deep_ok).ok());
+  std::string too_deep(65, '[');
+  too_deep += std::string(65, ']');
+  EXPECT_FALSE(ParseJson(too_deep).ok());
+}
+
+TEST(ParseJsonTest, RoundTripsWriterOutputWithHostileBytes) {
+  // NUL, newline, quote, backslash, DEL, and multi-byte UTF-8 all
+  // survive writer -> parser byte-identically.
+  const std::string hostile = std::string("a\0b", 3) + "\nq\"uote\\ba\x7f" +
+                              "\xf0\x9f\x98\x80 end";
+  JsonWriter w;
+  w.BeginObject();
+  w.Key(hostile);
+  w.String(hostile);
+  w.Key("nested");
+  w.BeginArray();
+  w.String(std::string("\0", 1));
+  w.Double(-1.25);
+  w.EndArray();
+  w.EndObject();
+  const std::string json = std::move(w).str();
+  Result<JsonValue> r = ParseJson(json);
+  ASSERT_TRUE(r.ok()) << r.status().ToString() << "\n" << json;
+  const JsonValue& v = r.value();
+  ASSERT_EQ(v.members.size(), 2u);
+  EXPECT_EQ(v.members[0].first, hostile);
+  EXPECT_EQ(v.members[0].second.string_value, hostile);
+  const JsonValue* nested = v.Find("nested");
+  ASSERT_NE(nested, nullptr);
+  ASSERT_EQ(nested->elements.size(), 2u);
+  EXPECT_EQ(nested->elements[0].string_value, std::string("\0", 1));
+  EXPECT_DOUBLE_EQ(nested->elements[1].number_value, -1.25);
+}
+
+TEST(ParseJsonTest, RoundTripsAMetricsSnapshotExport) {
+  // The serving layer embeds this export via RawValue; it must parse.
+  Result<JsonValue> r =
+      ParseJson(MetricsRegistry::Get().Snapshot().ToJson());
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_NE(r.value().Find("counters"), nullptr);
+}
+
+// ---------------------------------------------------------------------------
 // Counters and the metrics registry
 
 TEST(MetricsTest, CounterNamesAreStableJsonKeys) {
   EXPECT_STREQ(CounterName(Counter::kEstimates), "estimates");
+  EXPECT_STREQ(CounterName(Counter::kServeEnqueued), "serve_enqueued");
+  EXPECT_STREQ(CounterName(Counter::kServeServed), "serve_served");
+  EXPECT_STREQ(CounterName(Counter::kServeRejected), "serve_rejected");
+  EXPECT_STREQ(CounterName(Counter::kServeDeadlineMisses),
+               "serve_deadline_misses");
+  EXPECT_STREQ(CounterName(Counter::kSnapshotPublishes),
+               "snapshot_publishes");
   EXPECT_STREQ(CounterName(Counter::kCstSubpathLookups),
                "cst_subpath_lookups");
   EXPECT_STREQ(CounterName(Counter::kCstSubpathHits), "cst_subpath_hits");

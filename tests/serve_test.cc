@@ -1,0 +1,922 @@
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <future>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/estimator.h"
+#include "cst/cst.h"
+#include "data/generators.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "query/twig.h"
+#include "serve/bounded_queue.h"
+#include "serve/service.h"
+#include "serve/snapshot.h"
+#include "serve/tcp.h"
+#include "serve/wire.h"
+#include "suffix/path_suffix_tree.h"
+#include "test_trees.h"
+#include "tree/tree.h"
+#include "xml/xml.h"
+
+namespace twig::serve {
+namespace {
+
+using std::chrono::milliseconds;
+using Clock = std::chrono::steady_clock;
+
+// ---------------------------------------------------------------------------
+// BoundedQueue
+
+TEST(BoundedQueueTest, FifoWithinCapacity) {
+  BoundedQueue<int> q(4);
+  EXPECT_EQ(q.capacity(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    int item = i;
+    EXPECT_TRUE(q.TryPush(item));
+  }
+  EXPECT_EQ(q.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    std::optional<int> got = q.Pop();
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, i);
+  }
+  q.Close(/*drain=*/true);
+}
+
+TEST(BoundedQueueTest, TryPushRejectsWhenFullAndLeavesItemIntact) {
+  BoundedQueue<std::string> q(1);
+  std::string first = "first";
+  EXPECT_TRUE(q.TryPush(first));
+  std::string second = "second";
+  EXPECT_FALSE(q.TryPush(second));
+  EXPECT_EQ(second, "second");  // a rejected item is not consumed
+  q.Close(/*drain=*/false);
+}
+
+TEST(BoundedQueueTest, PopBlocksUntilPush) {
+  BoundedQueue<int> q(2);
+  std::promise<int> popped;
+  std::thread consumer([&] { popped.set_value(q.Pop().value()); });
+  std::this_thread::sleep_for(milliseconds(10));
+  int item = 7;
+  EXPECT_TRUE(q.TryPush(item));
+  EXPECT_EQ(popped.get_future().get(), 7);
+  consumer.join();
+  q.Close(/*drain=*/true);
+}
+
+TEST(BoundedQueueTest, CloseWithDrainDeliversQueuedItemsThenEndsStream) {
+  BoundedQueue<int> q(4);
+  for (int i = 0; i < 3; ++i) {
+    int item = i;
+    ASSERT_TRUE(q.TryPush(item));
+  }
+  EXPECT_TRUE(q.Close(/*drain=*/true).empty());
+  EXPECT_TRUE(q.closed());
+  int item = 9;
+  EXPECT_FALSE(q.TryPush(item));  // closed queue admits nothing
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(q.Pop().value(), i);
+  EXPECT_FALSE(q.Pop().has_value());  // end of stream
+}
+
+TEST(BoundedQueueTest, CloseWithoutDrainReturnsLeftoversAndWakesPoppers) {
+  BoundedQueue<int> q(4);
+  std::promise<bool> blocked_pop;
+  std::thread consumer([&] { blocked_pop.set_value(q.Pop().has_value()); });
+  std::this_thread::sleep_for(milliseconds(10));
+  // Close(drop) must wake the blocked Pop with end-of-stream...
+  std::vector<int> leftovers = q.Close(/*drain=*/false);
+  EXPECT_FALSE(blocked_pop.get_future().get());
+  consumer.join();
+  EXPECT_TRUE(leftovers.empty());
+
+  // ...and hand back anything still queued so the caller can reject it.
+  BoundedQueue<int> q2(4);
+  for (int i = 0; i < 3; ++i) {
+    int item = i;
+    ASSERT_TRUE(q2.TryPush(item));
+  }
+  leftovers = q2.Close(/*drain=*/false);
+  EXPECT_EQ(leftovers, (std::vector<int>{0, 1, 2}));
+  EXPECT_FALSE(q2.Pop().has_value());
+  EXPECT_TRUE(q2.Close(/*drain=*/false).empty());  // idempotent
+}
+
+TEST(BoundedQueueTest, ZeroCapacityIsBumpedToOne) {
+  BoundedQueue<int> q(0);
+  EXPECT_EQ(q.capacity(), 1u);
+  q.Close(/*drain=*/true);
+}
+
+// ---------------------------------------------------------------------------
+// Shared CST fixtures
+
+cst::Cst BuildFigureOneCst() {
+  const tree::Tree data = testutil::FigureOneTree();
+  const auto pst = suffix::PathSuffixTree::Build(data);
+  cst::CstOptions copt;
+  copt.space_budget_bytes = 1 << 20;  // keep everything
+  return cst::Cst::Build(data, pst, copt);
+}
+
+/// A larger generated corpus, so concurrent tests exercise real work.
+struct Corpus {
+  tree::Tree data;
+  size_t xml_bytes;
+  suffix::PathSuffixTree pst;
+
+  Corpus() {
+    data::DblpOptions gen;
+    gen.target_bytes = 96 * 1024;
+    data = data::GenerateDblp(gen);
+    xml_bytes = xml::XmlByteSize(data);
+    pst = suffix::PathSuffixTree::Build(data);
+  }
+
+  cst::Cst BuildCst(double fraction) const {
+    cst::CstOptions copt;
+    copt.space_budget_bytes =
+        static_cast<size_t>(fraction * static_cast<double>(xml_bytes));
+    return cst::Cst::Build(data, pst, copt);
+  }
+};
+
+const Corpus& SharedCorpus() {
+  static const Corpus* corpus = new Corpus();
+  return *corpus;
+}
+
+query::Twig MustParse(const char* text) {
+  Result<query::Twig> twig = query::ParseTwig(text);
+  EXPECT_TRUE(twig.ok()) << text;
+  return std::move(twig).value();
+}
+
+// ---------------------------------------------------------------------------
+// SnapshotCatalog
+
+TEST(SnapshotCatalogTest, EmptyUntilFirstPublish) {
+  SnapshotCatalog catalog;
+  EXPECT_EQ(catalog.Current(), nullptr);
+  EXPECT_EQ(catalog.version(), 0u);
+  EXPECT_FALSE(catalog.rebuild_in_flight());
+  EXPECT_TRUE(catalog.WaitForRebuild().ok());  // no rebuild ever ran
+}
+
+TEST(SnapshotCatalogTest, PublishAssignsMonotoneVersionsAndMetadata) {
+  SnapshotCatalog catalog;
+  EXPECT_EQ(catalog.Publish(BuildFigureOneCst(), "first", 0.25), 1u);
+  EXPECT_EQ(catalog.Publish(BuildFigureOneCst(), "second"), 2u);
+  std::shared_ptr<const CstSnapshot> current = catalog.Current();
+  ASSERT_NE(current, nullptr);
+  EXPECT_EQ(current->version, 2u);
+  EXPECT_EQ(current->source, "second");
+  EXPECT_EQ(catalog.version(), 2u);
+}
+
+TEST(SnapshotCatalogTest, ReadersStayPinnedAcrossPublish) {
+  SnapshotCatalog catalog;
+  catalog.Publish(BuildFigureOneCst(), "v1");
+  std::shared_ptr<const CstSnapshot> pinned = catalog.Current();
+  const query::Twig twig = MustParse("book(author, year)");
+  const double before =
+      core::TwigEstimator(&pinned->summary)
+          .Estimate(twig, core::Algorithm::kMsh);
+  catalog.Publish(BuildFigureOneCst(), "v2");
+  EXPECT_EQ(catalog.version(), 2u);
+  // The pinned snapshot still answers, identically, after the swap.
+  EXPECT_EQ(pinned->version, 1u);
+  const double after =
+      core::TwigEstimator(&pinned->summary)
+          .Estimate(twig, core::Algorithm::kMsh);
+  EXPECT_EQ(before, after);
+}
+
+TEST(SnapshotCatalogTest, BackgroundRebuildPublishesOnSuccess) {
+  SnapshotCatalog catalog;
+  ASSERT_TRUE(catalog.BeginRebuild(
+      [] { return Result<cst::Cst>(BuildFigureOneCst()); }, "background"));
+  EXPECT_TRUE(catalog.WaitForRebuild().ok());
+  std::shared_ptr<const CstSnapshot> current = catalog.Current();
+  ASSERT_NE(current, nullptr);
+  EXPECT_EQ(current->version, 1u);
+  EXPECT_EQ(current->source, "background");
+  EXPECT_GE(current->build_seconds, 0.0);
+}
+
+TEST(SnapshotCatalogTest, FailedRebuildLeavesCatalogUntouched) {
+  SnapshotCatalog catalog;
+  catalog.Publish(BuildFigureOneCst(), "good");
+  ASSERT_TRUE(catalog.BeginRebuild(
+      [] { return Result<cst::Cst>(Status::Corruption("bad blob")); },
+      "doomed"));
+  const Status status = catalog.WaitForRebuild();
+  EXPECT_EQ(status.code(), StatusCode::kCorruption);
+  EXPECT_EQ(catalog.version(), 1u);
+  EXPECT_EQ(catalog.Current()->source, "good");
+}
+
+TEST(SnapshotCatalogTest, SecondRebuildRefusedWhileInFlight) {
+  SnapshotCatalog catalog;
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  ASSERT_TRUE(catalog.BeginRebuild(
+      [gate] {
+        gate.wait();
+        return Result<cst::Cst>(BuildFigureOneCst());
+      },
+      "slow"));
+  EXPECT_TRUE(catalog.rebuild_in_flight());
+  EXPECT_FALSE(catalog.BeginRebuild(
+      [] { return Result<cst::Cst>(BuildFigureOneCst()); }, "refused"));
+  release.set_value();
+  EXPECT_TRUE(catalog.WaitForRebuild().ok());
+  EXPECT_EQ(catalog.Current()->source, "slow");
+  // With the first rebuild landed, a new one is accepted again.
+  ASSERT_TRUE(catalog.BeginRebuild(
+      [] { return Result<cst::Cst>(BuildFigureOneCst()); }, "second"));
+  EXPECT_TRUE(catalog.WaitForRebuild().ok());
+  EXPECT_EQ(catalog.version(), 2u);
+}
+
+// The concurrent-swap guarantee: readers pinned on version N keep
+// producing bit-identical estimates (and never touch freed memory —
+// run under ASan via the verify-asan workflow) while version N+1
+// publishes and the catalog drops its reference to N.
+TEST(SnapshotCatalogTest, ConcurrentSwapKeepsPinnedReadersBitIdentical) {
+  const Corpus& corpus = SharedCorpus();
+  SnapshotCatalog catalog;
+  catalog.Publish(corpus.BuildCst(0.02), "v1");
+
+  const query::Twig twig = MustParse("article(author, year)");
+  std::shared_ptr<const CstSnapshot> reference = catalog.Current();
+  const double expected =
+      core::TwigEstimator(&reference->summary)
+          .Estimate(twig, core::Algorithm::kMsh);
+
+  constexpr size_t kReaders = 4;
+  constexpr int kRoundsPerReader = 50;
+  std::atomic<bool> mismatch{false};
+  std::atomic<size_t> pinned_old{0};
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (size_t r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&] {
+      for (int round = 0; round < kRoundsPerReader; ++round) {
+        std::shared_ptr<const CstSnapshot> pinned = catalog.Current();
+        if (pinned->version == 1) {
+          pinned_old.fetch_add(1);
+          const double got = core::TwigEstimator(&pinned->summary)
+                                 .Estimate(twig, core::Algorithm::kMsh);
+          // Bit-identical: the snapshot is immutable, so a pinned
+          // reader must reproduce the pre-swap estimate exactly.
+          if (got != expected) mismatch.store(true);
+        }
+      }
+    });
+  }
+  // Publish v2 (a different space budget: different CST contents) while
+  // the readers are mid-loop, then drop our own v1 pin so the readers'
+  // pins are the only thing keeping v1 alive.
+  catalog.Publish(corpus.BuildCst(0.05), "v2");
+  reference.reset();
+  for (std::thread& t : readers) t.join();
+  EXPECT_FALSE(mismatch.load());
+  EXPECT_GT(pinned_old.load(), 0u);  // the race window was real
+  EXPECT_EQ(catalog.version(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// EstimateService
+
+EstimateRequest MakeRequest(const char* text,
+                            core::Algorithm algorithm = core::Algorithm::kMsh) {
+  EstimateRequest request;
+  request.twig = MustParse(text);
+  request.algorithm = algorithm;
+  return request;
+}
+
+TEST(EstimateServiceTest, ServedEstimatesMatchDirectEstimatorCalls) {
+  const Corpus& corpus = SharedCorpus();
+  SnapshotCatalog catalog;
+  catalog.Publish(corpus.BuildCst(0.02), "v1");
+  ServiceOptions options;
+  options.num_workers = 2;
+  EstimateService service(&catalog, options);
+
+  const std::shared_ptr<const CstSnapshot> snapshot = catalog.Current();
+  const core::TwigEstimator direct(&snapshot->summary);
+  for (const char* text : {"article(author, year)", "article.title",
+                           "inproceedings(author, pages)", "book.publisher"}) {
+    for (core::Algorithm algorithm :
+         {core::Algorithm::kMsh, core::Algorithm::kMo,
+          core::Algorithm::kGreedy}) {
+      EstimateResponse response =
+          service.SubmitAndWait(MakeRequest(text, algorithm));
+      ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+      EXPECT_EQ(response.estimate,
+                direct.Estimate(MustParse(text), algorithm))
+          << text << " via " << core::AlgorithmName(algorithm);
+      EXPECT_EQ(response.snapshot_version, 1u);
+      EXPECT_GE(response.queue_wait.count(), 0);
+      EXPECT_GT(response.exec_time.count(), 0);
+    }
+  }
+}
+
+TEST(EstimateServiceTest, NoSnapshotYieldsUnavailable) {
+  SnapshotCatalog catalog;
+  EstimateService service(&catalog);
+  EstimateResponse response =
+      service.SubmitAndWait(MakeRequest("article.author"));
+  EXPECT_EQ(response.status.code(), StatusCode::kUnavailable);
+}
+
+/// Holds the first dequeued request until released, so tests can fill
+/// the queue deterministically behind it.
+class WorkerGate {
+ public:
+  ServiceOptions Options(size_t queue_capacity) {
+    ServiceOptions options;
+    options.num_workers = 1;
+    options.queue_capacity = queue_capacity;
+    options.dequeue_hook = [this] {
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (armed_) {
+        held_ = true;
+        held_cv_.notify_all();
+        release_cv_.wait(lock, [&] { return !armed_; });
+      }
+    };
+    return options;
+  }
+
+  /// Blocks until a worker is parked inside the hook.
+  void AwaitHeld() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    held_cv_.wait(lock, [&] { return held_; });
+  }
+
+  void Release() {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      armed_ = false;
+    }
+    release_cv_.notify_all();
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable held_cv_;
+  std::condition_variable release_cv_;
+  bool armed_ = true;
+  bool held_ = false;
+};
+
+TEST(EstimateServiceTest, FullQueueRejectsWithStructuredOverload) {
+  SnapshotCatalog catalog;
+  catalog.Publish(BuildFigureOneCst(), "v1");
+  WorkerGate gate;
+  EstimateService service(&catalog, gate.Options(/*queue_capacity=*/1));
+
+  // First request parks the only worker; second fills the queue; the
+  // third must be rejected immediately with a structured overload.
+  std::future<EstimateResponse> in_flight =
+      service.Submit(MakeRequest("book.author"));
+  gate.AwaitHeld();
+  std::future<EstimateResponse> queued =
+      service.Submit(MakeRequest("book.author"));
+  EstimateResponse overloaded =
+      service.SubmitAndWait(MakeRequest("book.author"));
+  EXPECT_EQ(overloaded.status.code(), StatusCode::kUnavailable);
+  EXPECT_NE(overloaded.status.message().find("overloaded"),
+            std::string::npos);
+
+  gate.Release();
+  EXPECT_TRUE(in_flight.get().status.ok());
+  EXPECT_TRUE(queued.get().status.ok());
+}
+
+TEST(EstimateServiceTest, ExpiredDeadlineIsAMissNotAnEstimate) {
+  SnapshotCatalog catalog;
+  catalog.Publish(BuildFigureOneCst(), "v1");
+  EstimateService service(&catalog);
+  EstimateRequest request = MakeRequest("book.author");
+  request.deadline = Clock::now() - milliseconds(1);
+  EstimateResponse response = service.SubmitAndWait(std::move(request));
+  EXPECT_EQ(response.status.code(), StatusCode::kDeadlineExceeded);
+
+  // The default deadline applies to requests that carry none.
+  ServiceOptions options;
+  options.num_workers = 1;
+  options.default_deadline = milliseconds(1);
+  options.dequeue_hook = [] {
+    std::this_thread::sleep_for(milliseconds(50));
+  };
+  EstimateService slow(&catalog, options);
+  response = slow.SubmitAndWait(MakeRequest("book.author"));
+  EXPECT_EQ(response.status.code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(EstimateServiceTest, ShutdownWithDrainAnswersEverythingAdmitted) {
+  SnapshotCatalog catalog;
+  catalog.Publish(BuildFigureOneCst(), "v1");
+  WorkerGate gate;
+  EstimateService service(&catalog, gate.Options(/*queue_capacity=*/8));
+
+  std::future<EstimateResponse> first =
+      service.Submit(MakeRequest("book.author"));
+  gate.AwaitHeld();
+  std::vector<std::future<EstimateResponse>> queued;
+  for (int i = 0; i < 3; ++i) {
+    queued.push_back(service.Submit(MakeRequest("book.author")));
+  }
+  std::thread closer([&] { service.Shutdown(/*drain=*/true); });
+  gate.Release();
+  closer.join();
+  EXPECT_TRUE(first.get().status.ok());
+  for (auto& f : queued) EXPECT_TRUE(f.get().status.ok());
+  // After shutdown, new submissions reject without blocking.
+  EstimateResponse late = service.SubmitAndWait(MakeRequest("book.author"));
+  EXPECT_EQ(late.status.code(), StatusCode::kUnavailable);
+}
+
+TEST(EstimateServiceTest, ShutdownWithoutDrainRejectsTheQueuedRemainder) {
+  SnapshotCatalog catalog;
+  catalog.Publish(BuildFigureOneCst(), "v1");
+  WorkerGate gate;
+  EstimateService service(&catalog, gate.Options(/*queue_capacity=*/8));
+
+  std::future<EstimateResponse> first =
+      service.Submit(MakeRequest("book.author"));
+  gate.AwaitHeld();
+  std::vector<std::future<EstimateResponse>> queued;
+  for (int i = 0; i < 3; ++i) {
+    queued.push_back(service.Submit(MakeRequest("book.author")));
+  }
+  std::thread closer([&] { service.Shutdown(/*drain=*/false); });
+  // Shutdown(drop) empties the queue into rejections while the worker
+  // is still parked; release the gate only once that has happened, so
+  // no queued request can sneak through and get served.
+  while (service.queue_depth() != 0) {
+    std::this_thread::sleep_for(milliseconds(1));
+  }
+  gate.Release();
+  closer.join();
+  // The in-flight request completes; the queued remainder is rejected —
+  // but every admitted future resolves either way.
+  EXPECT_TRUE(first.get().status.ok());
+  for (auto& f : queued) {
+    EstimateResponse response = f.get();
+    EXPECT_EQ(response.status.code(), StatusCode::kUnavailable);
+  }
+}
+
+TEST(EstimateServiceTest, StagesFeedTheMetricsRegistry) {
+  auto& registry = obs::MetricsRegistry::Get();
+  const obs::MetricsSnapshot before = registry.Snapshot();
+
+  SnapshotCatalog catalog;
+  catalog.Publish(BuildFigureOneCst(), "v1");
+  EstimateService service(&catalog);
+  ASSERT_TRUE(
+      service.SubmitAndWait(MakeRequest("book(author, year)")).status.ok());
+  EstimateRequest expired = MakeRequest("book.author");
+  expired.deadline = Clock::now() - milliseconds(1);
+  service.SubmitAndWait(std::move(expired));
+  service.Shutdown(/*drain=*/true);
+  service.SubmitAndWait(MakeRequest("book.author"));  // rejected
+
+  const obs::MetricsSnapshot delta = registry.Snapshot().Delta(before);
+  const auto count = [&](obs::Counter c) {
+    return delta.counters[static_cast<size_t>(c)];
+  };
+  EXPECT_GE(count(obs::Counter::kSnapshotPublishes), 1u);
+  EXPECT_GE(count(obs::Counter::kServeEnqueued), 2u);
+  EXPECT_GE(count(obs::Counter::kServeServed), 1u);
+  EXPECT_GE(count(obs::Counter::kServeDeadlineMisses), 1u);
+  EXPECT_GE(count(obs::Counter::kServeRejected), 1u);
+  EXPECT_GE(delta.latency[obs::kServeWaitSeries].count, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Wire protocol
+
+TEST(WireTest, ParseAlgorithmNameCoversAllAlgorithms) {
+  for (core::Algorithm algorithm : core::kAllAlgorithms) {
+    core::Algorithm parsed;
+    ASSERT_TRUE(ParseAlgorithmName(core::AlgorithmName(algorithm), &parsed));
+    EXPECT_EQ(parsed, algorithm);
+  }
+  core::Algorithm parsed;
+  EXPECT_FALSE(ParseAlgorithmName("msh", &parsed));  // case-sensitive
+  EXPECT_FALSE(ParseAlgorithmName("", &parsed));
+}
+
+TEST(WireTest, ParseRequestReadsAllFieldsAndAppliesDefaults) {
+  Result<WireRequest> r = ParseRequest(
+      "{\"op\":\"estimate\",\"id\":7,\"query\":\"a(b, c)\",\"algo\":\"MO\","
+      "\"semantics\":\"presence\",\"deadline_ms\":250.5,\"space\":0.05,"
+      "\"future_field\":[1,2]}");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->op, "estimate");
+  EXPECT_TRUE(r->has_id);
+  EXPECT_EQ(r->id, 7u);
+  EXPECT_EQ(r->query, "a(b, c)");
+  EXPECT_EQ(r->algorithm, core::Algorithm::kMo);
+  EXPECT_EQ(r->semantics, core::CountSemantics::kPresence);
+  EXPECT_DOUBLE_EQ(r->deadline_ms, 250.5);
+  EXPECT_DOUBLE_EQ(r->space, 0.05);
+
+  r = ParseRequest("{\"op\":\"ping\"}");
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->has_id);
+  EXPECT_EQ(r->algorithm, core::Algorithm::kMsh);
+  EXPECT_EQ(r->semantics, core::CountSemantics::kOccurrence);
+  EXPECT_DOUBLE_EQ(r->deadline_ms, 0.0);
+}
+
+TEST(WireTest, ParseRequestRejectsMalformedRequests) {
+  for (const char* bad : {
+           "not json",
+           "[1,2,3]",                               // not an object
+           "{}",                                    // missing op
+           "{\"op\":3}",                            // op not a string
+           "{\"op\":\"ping\",\"id\":-1}",           // negative id
+           "{\"op\":\"ping\",\"id\":\"x\"}",        // id not a number
+           "{\"op\":\"estimate\",\"query\":1}",     // query not a string
+           "{\"op\":\"estimate\",\"algo\":\"nope\"}",
+           "{\"op\":\"estimate\",\"semantics\":\"sometimes\"}",
+           "{\"op\":\"estimate\",\"deadline_ms\":-5}",
+           "{\"op\":\"swap\",\"space\":-0.1}",
+       }) {
+    Result<WireRequest> r = ParseRequest(bad);
+    EXPECT_FALSE(r.ok()) << "accepted: " << bad;
+  }
+}
+
+TEST(WireTest, ResponsesEncodeTheDocumentedSchema) {
+  WireRequest request;
+  request.op = "estimate";
+  request.has_id = true;
+  request.id = 42;
+  request.algorithm = core::Algorithm::kMsh;
+
+  EstimateResponse ok;
+  ok.status = Status::OK();
+  ok.estimate = 17.25;
+  ok.snapshot_version = 3;
+  ok.queue_wait = std::chrono::nanoseconds(1500);
+  ok.exec_time = std::chrono::nanoseconds(2500);
+  Result<obs::JsonValue> parsed =
+      obs::ParseJson(EstimateWireResponse(request, ok));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_DOUBLE_EQ(parsed->GetNumber("id"), 42);
+  EXPECT_TRUE(parsed->GetBool("ok"));
+  EXPECT_EQ(parsed->GetString("op"), "estimate");
+  EXPECT_DOUBLE_EQ(parsed->GetNumber("estimate"), 17.25);
+  EXPECT_EQ(parsed->GetString("algo"), "MSH");
+  EXPECT_DOUBLE_EQ(parsed->GetNumber("version"), 3);
+  EXPECT_DOUBLE_EQ(parsed->GetNumber("wait_us"), 1.5);
+  EXPECT_DOUBLE_EQ(parsed->GetNumber("exec_us"), 2.5);
+
+  EstimateResponse failed;
+  failed.status = Status::Unavailable("overloaded: request queue is full");
+  parsed = obs::ParseJson(EstimateWireResponse(request, failed));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_FALSE(parsed->GetBool("ok", true));
+  const obs::JsonValue* error = parsed->Find("error");
+  ASSERT_NE(error, nullptr);
+  EXPECT_EQ(error->GetString("code"), "Unavailable");
+  EXPECT_EQ(error->GetString("message"), "overloaded: request queue is full");
+
+  // A line that never parsed gets an error response with no id echo.
+  parsed = obs::ParseJson(
+      ErrorResponse(nullptr, Status::ParseError("unrecognized JSON token")));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->Find("id"), nullptr);
+  EXPECT_FALSE(parsed->GetBool("ok", true));
+
+  // Metrics responses embed the registry export as a nested document.
+  WireRequest metrics_request;
+  metrics_request.op = "metrics";
+  parsed = obs::ParseJson(MetricsResponse(
+      metrics_request, obs::MetricsRegistry::Get().Snapshot().ToJson(),
+      /*version=*/1, /*queue_depth=*/0, /*queue_capacity=*/256));
+  ASSERT_TRUE(parsed.ok());
+  const obs::JsonValue* metrics = parsed->Find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  EXPECT_NE(metrics->Find("counters"), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// TCP front-end (loopback)
+
+/// Minimal blocking line-protocol client for the tests.
+class TestClient {
+ public:
+  explicit TestClient(uint16_t port) {
+    fd_ = socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    connected_ = fd_ >= 0 &&
+                 connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                         sizeof(addr)) == 0;
+  }
+
+  ~TestClient() {
+    if (fd_ >= 0) close(fd_);
+  }
+
+  bool connected() const { return connected_; }
+
+  /// Sends one line, returns the one-line response (empty on EOF).
+  std::string RoundTrip(const std::string& request) {
+    std::string line = request + "\n";
+    if (send(fd_, line.data(), line.size(), MSG_NOSIGNAL) < 0) return "";
+    return ReadLine();
+  }
+
+  std::string ReadLine() {
+    for (;;) {
+      const size_t nl = buffer_.find('\n');
+      if (nl != std::string::npos) {
+        std::string line = buffer_.substr(0, nl);
+        buffer_.erase(0, nl + 1);
+        return line;
+      }
+      char chunk[4096];
+      const ssize_t n = recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) return "";
+      buffer_.append(chunk, static_cast<size_t>(n));
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  bool connected_ = false;
+  std::string buffer_;
+};
+
+obs::JsonValue MustParseJson(const std::string& text) {
+  Result<obs::JsonValue> parsed = obs::ParseJson(text);
+  EXPECT_TRUE(parsed.ok()) << text;
+  return parsed.ok() ? std::move(parsed).value() : obs::JsonValue{};
+}
+
+class TcpFrontEndTest : public ::testing::Test {
+ protected:
+  void StartServer(TcpOptions options = {}) {
+    catalog_.Publish(SharedCorpus().BuildCst(0.02), "v1");
+    ServiceOptions sopt;
+    sopt.num_workers = 2;
+    service_.emplace(&catalog_, sopt);
+    options.port = 0;  // ephemeral
+    front_end_.emplace(&catalog_, &*service_, options);
+    ASSERT_TRUE(front_end_->Start().ok());
+  }
+
+  void TearDown() override {
+    if (front_end_.has_value()) front_end_->Stop();
+  }
+
+  SnapshotCatalog catalog_;
+  std::optional<EstimateService> service_;
+  std::optional<TcpFrontEnd> front_end_;
+};
+
+TEST_F(TcpFrontEndTest, AnswersTheCoreOpsOverLoopback) {
+  StartServer();
+  TestClient client(front_end_->port());
+  ASSERT_TRUE(client.connected());
+
+  obs::JsonValue pong =
+      MustParseJson(client.RoundTrip("{\"op\":\"ping\",\"id\":1}"));
+  EXPECT_TRUE(pong.GetBool("ok"));
+  EXPECT_DOUBLE_EQ(pong.GetNumber("id"), 1);
+  EXPECT_DOUBLE_EQ(pong.GetNumber("version"), 1);
+
+  // A served estimate equals the direct estimator call bit for bit.
+  const std::shared_ptr<const CstSnapshot> snapshot = catalog_.Current();
+  const double expected =
+      core::TwigEstimator(&snapshot->summary)
+          .Estimate(MustParse("article(author, year)"),
+                    core::Algorithm::kMsh);
+  obs::JsonValue estimate = MustParseJson(client.RoundTrip(
+      "{\"op\":\"estimate\",\"id\":2,\"query\":\"article(author, year)\","
+      "\"algo\":\"MSH\"}"));
+  EXPECT_TRUE(estimate.GetBool("ok"));
+  EXPECT_EQ(estimate.GetNumber("estimate"), expected);
+  EXPECT_DOUBLE_EQ(estimate.GetNumber("version"), 1);
+
+  obs::JsonValue explain = MustParseJson(client.RoundTrip(
+      "{\"op\":\"explain\",\"id\":3,\"query\":\"article.author\"}"));
+  EXPECT_TRUE(explain.GetBool("ok"));
+  const obs::JsonValue* trace = explain.Find("trace");
+  ASSERT_NE(trace, nullptr);
+  EXPECT_EQ(trace->GetString("query"), "article.author");
+
+  obs::JsonValue metrics =
+      MustParseJson(client.RoundTrip("{\"op\":\"metrics\",\"id\":4}"));
+  EXPECT_TRUE(metrics.GetBool("ok"));
+  ASSERT_NE(metrics.Find("metrics"), nullptr);
+  EXPECT_NE(metrics.Find("metrics")->Find("counters"), nullptr);
+}
+
+TEST_F(TcpFrontEndTest, BadInputGetsStructuredErrorsNotDisconnects) {
+  StartServer();
+  TestClient client(front_end_->port());
+  ASSERT_TRUE(client.connected());
+
+  obs::JsonValue error = MustParseJson(client.RoundTrip("this is not json"));
+  EXPECT_FALSE(error.GetBool("ok", true));
+  EXPECT_EQ(error.Find("error")->GetString("code"), "ParseError");
+
+  error = MustParseJson(client.RoundTrip("{\"op\":\"frobnicate\",\"id\":9}"));
+  EXPECT_FALSE(error.GetBool("ok", true));
+  EXPECT_DOUBLE_EQ(error.GetNumber("id"), 9);  // id echoes on errors too
+  EXPECT_EQ(error.Find("error")->GetString("code"), "InvalidArgument");
+
+  error = MustParseJson(
+      client.RoundTrip("{\"op\":\"estimate\",\"query\":\"((bad\"}"));
+  EXPECT_FALSE(error.GetBool("ok", true));
+
+  // Swap without a configured rebuild source is Unimplemented.
+  error = MustParseJson(client.RoundTrip("{\"op\":\"swap\",\"id\":10}"));
+  EXPECT_EQ(error.Find("error")->GetString("code"), "Unimplemented");
+
+  // The connection survived all of the above.
+  EXPECT_TRUE(
+      MustParseJson(client.RoundTrip("{\"op\":\"ping\"}")).GetBool("ok"));
+}
+
+TEST_F(TcpFrontEndTest, OversizedLinesCloseTheConnectionWithAnError) {
+  TcpOptions options;
+  options.max_line_bytes = 128;
+  StartServer(options);
+  TestClient client(front_end_->port());
+  ASSERT_TRUE(client.connected());
+  const std::string huge(4096, 'x');  // no newline: exceeds the buffer cap
+  obs::JsonValue error = MustParseJson(client.RoundTrip(huge));
+  EXPECT_FALSE(error.GetBool("ok", true));
+  EXPECT_EQ(error.Find("error")->GetString("code"), "InvalidArgument");
+  EXPECT_EQ(client.ReadLine(), "");  // then the server hangs up
+}
+
+TEST_F(TcpFrontEndTest, SwapRebuildsAndPublishesANewVersion) {
+  TcpOptions options;
+  options.rebuild = [](double space) {
+    return Result<cst::Cst>(
+        SharedCorpus().BuildCst(space > 0 ? space : 0.02));
+  };
+  StartServer(options);
+  TestClient client(front_end_->port());
+  ASSERT_TRUE(client.connected());
+
+  obs::JsonValue swapped = MustParseJson(
+      client.RoundTrip("{\"op\":\"swap\",\"id\":1,\"space\":0.05}"));
+  EXPECT_TRUE(swapped.GetBool("ok"));
+  EXPECT_DOUBLE_EQ(swapped.GetNumber("version"), 2);
+  EXPECT_EQ(catalog_.version(), 2u);
+
+  // Estimates now come from the new snapshot.
+  obs::JsonValue estimate = MustParseJson(client.RoundTrip(
+      "{\"op\":\"estimate\",\"id\":2,\"query\":\"article.author\"}"));
+  EXPECT_TRUE(estimate.GetBool("ok"));
+  EXPECT_DOUBLE_EQ(estimate.GetNumber("version"), 2);
+}
+
+TEST_F(TcpFrontEndTest, ShutdownOpStopsWaitForShutdown) {
+  StartServer();
+  std::thread waiter([&] { front_end_->WaitForShutdown(); });
+  {
+    TestClient client(front_end_->port());
+    ASSERT_TRUE(client.connected());
+    obs::JsonValue bye =
+        MustParseJson(client.RoundTrip("{\"op\":\"shutdown\",\"id\":1}"));
+    EXPECT_TRUE(bye.GetBool("ok"));
+    EXPECT_TRUE(bye.GetBool("stopping"));
+  }
+  waiter.join();  // returns only because the op requested the stop
+  front_end_->Stop();  // idempotent after WaitForShutdown's teardown
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: concurrent clients, hot swap mid-run, exact answers
+
+TEST(ServeEndToEndTest, ConcurrentLoadSurvivesAHotSwapWithExactAnswers) {
+  const Corpus& corpus = SharedCorpus();
+  SnapshotCatalog catalog;
+  catalog.Publish(corpus.BuildCst(0.02), "v1");
+  ServiceOptions sopt;
+  sopt.num_workers = 2;
+  EstimateService service(&catalog, sopt);
+  TcpOptions topt;
+  topt.rebuild = [&corpus](double) {
+    return Result<cst::Cst>(corpus.BuildCst(0.05));
+  };
+  TcpFrontEnd front_end(&catalog, &service, topt);
+  ASSERT_TRUE(front_end.Start().ok());
+
+  const obs::MetricsSnapshot before = obs::MetricsRegistry::Get().Snapshot();
+  const query::Twig twig = MustParse("article(author, year)");
+  // Ground truth per version, pinned before and after the swap.
+  const double expected_v1 =
+      core::TwigEstimator(&catalog.Current()->summary)
+          .Estimate(twig, core::Algorithm::kMsh);
+
+  constexpr size_t kClients = 4;
+  constexpr size_t kRequestsPerClient = 100;
+  std::atomic<size_t> transport_errors{0};
+  std::atomic<size_t> served{0};
+  std::atomic<size_t> structured_errors{0};
+  std::mutex mutex;
+  std::map<uint64_t, std::vector<double>> estimates_by_version;
+
+  std::vector<std::thread> clients;
+  for (size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&] {
+      TestClient client(front_end.port());
+      if (!client.connected()) {
+        transport_errors.fetch_add(1);
+        return;
+      }
+      for (size_t i = 0; i < kRequestsPerClient; ++i) {
+        const std::string response = client.RoundTrip(
+            "{\"op\":\"estimate\",\"query\":\"article(author, year)\","
+            "\"algo\":\"MSH\"}");
+        Result<obs::JsonValue> parsed = obs::ParseJson(response);
+        if (!parsed.ok()) {
+          transport_errors.fetch_add(1);
+          continue;
+        }
+        if (parsed->GetBool("ok")) {
+          served.fetch_add(1);
+          std::lock_guard<std::mutex> lock(mutex);
+          estimates_by_version[static_cast<uint64_t>(
+                                   parsed->GetNumber("version"))]
+              .push_back(parsed->GetNumber("estimate"));
+        } else if (parsed->Find("error") != nullptr) {
+          structured_errors.fetch_add(1);  // overloads are answers too
+        } else {
+          transport_errors.fetch_add(1);
+        }
+      }
+    });
+  }
+
+  // Hot swap roughly mid-run, over the wire like any other client.
+  TestClient swapper(front_end.port());
+  ASSERT_TRUE(swapper.connected());
+  obs::JsonValue swapped =
+      MustParseJson(swapper.RoundTrip("{\"op\":\"swap\",\"id\":1}"));
+  EXPECT_TRUE(swapped.GetBool("ok"));
+  const double expected_v2 =
+      core::TwigEstimator(&catalog.Current()->summary)
+          .Estimate(twig, core::Algorithm::kMsh);
+
+  for (std::thread& t : clients) t.join();
+  front_end.Stop();
+  service.Shutdown(/*drain=*/true);
+
+  EXPECT_EQ(transport_errors.load(), 0u);
+  EXPECT_EQ(served.load() + structured_errors.load(),
+            kClients * kRequestsPerClient);
+  EXPECT_GT(served.load(), 0u);
+  // Every served estimate matches the direct estimator on the exact
+  // snapshot version that served it — bit for bit, swap or no swap.
+  for (const auto& [version, estimates] : estimates_by_version) {
+    ASSERT_TRUE(version == 1 || version == 2) << version;
+    const double expected = version == 1 ? expected_v1 : expected_v2;
+    for (double estimate : estimates) EXPECT_EQ(estimate, expected);
+  }
+  const obs::MetricsSnapshot delta =
+      obs::MetricsRegistry::Get().Snapshot().Delta(before);
+  const auto count = [&](obs::Counter c) {
+    return delta.counters[static_cast<size_t>(c)];
+  };
+  EXPECT_GE(count(obs::Counter::kServeEnqueued), served.load());
+  EXPECT_GE(count(obs::Counter::kServeServed), served.load());
+  EXPECT_GE(count(obs::Counter::kSnapshotPublishes), 1u);
+}
+
+}  // namespace
+}  // namespace twig::serve

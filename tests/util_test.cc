@@ -1,9 +1,16 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
 #include <set>
+#include <string>
+#include <string_view>
+#include <thread>
 #include <vector>
 
+#include "util/flags.h"
 #include "util/hash.h"
 #include "util/rng.h"
 #include "util/small_vector.h"
@@ -33,9 +40,19 @@ TEST(StatusTest, AllCodesHaveNames) {
   for (StatusCode code :
        {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kParseError,
         StatusCode::kNotFound, StatusCode::kOutOfRange, StatusCode::kCorruption,
-        StatusCode::kUnimplemented, StatusCode::kInternal}) {
+        StatusCode::kUnimplemented, StatusCode::kInternal,
+        StatusCode::kUnavailable, StatusCode::kDeadlineExceeded}) {
     EXPECT_STRNE(StatusCodeToString(code), "Unknown");
   }
+}
+
+TEST(StatusTest, ServingCodesCarryCodeAndMessage) {
+  Status unavailable = Status::Unavailable("queue full");
+  EXPECT_EQ(unavailable.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(unavailable.ToString(), "Unavailable: queue full");
+  Status expired = Status::DeadlineExceeded("too slow");
+  EXPECT_EQ(expired.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(expired.ToString(), "DeadlineExceeded: too slow");
 }
 
 TEST(ResultTest, HoldsValue) {
@@ -225,6 +242,135 @@ TEST(ThreadPoolTest, ReusableAcrossBatchesAndHandlesEmpty) {
                      [&](size_t item, size_t) { hits[item] += 1; });
     for (int h : hits) EXPECT_EQ(h, 1);
   }
+}
+
+TEST(ThreadPoolTest, ShutdownIsIdempotentAndThenRunsInline) {
+  util::ThreadPool pool(2);
+  pool.Shutdown(/*drain=*/true);
+  pool.Shutdown(/*drain=*/true);  // second call is a no-op
+  EXPECT_EQ(pool.size(), 0u);
+  // After Shutdown, ParallelFor degrades to an inline loop on the
+  // calling thread (worker index 0).
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<int> hits(100, 0);
+  pool.ParallelFor(hits.size(), [&](size_t item, size_t worker) {
+    EXPECT_EQ(worker, 0u);
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    hits[item] += 1;
+  });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPoolTest, ShutdownWithDrainCompletesInFlightBatch) {
+  util::ThreadPool pool(2);
+  std::atomic<size_t> visited{0};
+  std::atomic<bool> batch_started{false};
+  std::thread caller([&] {
+    pool.ParallelFor(2000, [&](size_t, size_t) {
+      batch_started.store(true);
+      visited.fetch_add(1);
+    });
+  });
+  while (!batch_started.load()) std::this_thread::yield();
+  pool.Shutdown(/*drain=*/true);  // must not strand the caller
+  caller.join();
+  EXPECT_EQ(visited.load(), 2000u);
+}
+
+TEST(ThreadPoolTest, ShutdownWithoutDrainAbandonsUnclaimedItems) {
+  util::ThreadPool pool(1);
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool started = false;
+  bool release = false;
+  std::atomic<size_t> visited{0};
+  std::thread caller([&] {
+    pool.ParallelFor(100000, [&](size_t, size_t) {
+      visited.fetch_add(1);
+      std::unique_lock<std::mutex> lock(mutex);
+      started = true;
+      cv.notify_all();
+      cv.wait(lock, [&] { return release; });
+    });
+  });
+  {
+    std::unique_lock<std::mutex> lock(mutex);
+    cv.wait(lock, [&] { return started; });
+  }
+  // The single worker is parked inside item 0; Shutdown(false) abandons
+  // the unclaimed tail, so once the worker is released the batch ends
+  // after only the in-progress items.
+  std::thread shutdown([&] { pool.Shutdown(/*drain=*/false); });
+  {
+    std::unique_lock<std::mutex> lock(mutex);
+    release = true;
+  }
+  cv.notify_all();
+  shutdown.join();
+  caller.join();
+  EXPECT_LT(visited.load(), 100000u);
+  EXPECT_GE(visited.load(), 1u);
+}
+
+TEST(FlagParserTest, ParsesEveryFlagKind) {
+  std::string name = "default";
+  size_t bytes = 0;
+  double space = 0;
+  bool json = false;
+  std::string custom;
+  std::vector<std::string> positional;
+  util::FlagParser flags("prog", "usage: prog\n");
+  flags.String("name", &name);
+  flags.Size("bytes", &bytes);
+  flags.Double("space", &space);
+  flags.Bool("json", &json);
+  flags.Custom("algo", [&](std::string_view v) {
+    custom.assign(v);
+    return !v.empty();
+  });
+  flags.Positional(&positional);
+  const char* argv[] = {"prog",          "--name=x",    "--bytes=42",
+                        "--space=0.25",  "--json",      "--algo=MSH",
+                        "first",         "second"};
+  EXPECT_EQ(flags.Parse(8, const_cast<char**>(argv)), -1);
+  EXPECT_EQ(name, "x");
+  EXPECT_EQ(bytes, 42u);
+  EXPECT_DOUBLE_EQ(space, 0.25);
+  EXPECT_TRUE(json);
+  EXPECT_EQ(custom, "MSH");
+  EXPECT_EQ(positional, (std::vector<std::string>{"first", "second"}));
+}
+
+TEST(FlagParserTest, RejectsUnknownBadAndMisshapenArguments) {
+  const auto parse_one = [](const char* arg, bool with_positional = false) {
+    size_t bytes = 0;
+    bool json = false;
+    std::vector<std::string> positional;
+    util::FlagParser flags("prog", "usage: prog\n");
+    flags.Size("bytes", &bytes);
+    flags.Bool("json", &json);
+    if (with_positional) flags.Positional(&positional);
+    const char* argv[] = {"prog", arg};
+    return flags.Parse(2, const_cast<char**>(argv));
+  };
+  EXPECT_EQ(parse_one("--no-such-flag"), 2);
+  EXPECT_EQ(parse_one("-x"), 2);             // single-dash is never a flag
+  EXPECT_EQ(parse_one("--bytes=12abc"), 2);  // trailing junk in a number
+  EXPECT_EQ(parse_one("--bytes"), 2);        // value flag without a value
+  EXPECT_EQ(parse_one("--json=1"), 2);       // bool flag with a value
+  EXPECT_EQ(parse_one("stray"), 2);          // positional without opt-in
+  EXPECT_EQ(parse_one("stray", /*with_positional=*/true), -1);
+}
+
+TEST(FlagParserTest, HelpReportsExitZeroAndCustomCanReject) {
+  util::FlagParser flags("prog", "usage: prog\n");
+  const char* help_argv[] = {"prog", "--help"};
+  EXPECT_EQ(flags.Parse(2, const_cast<char**>(help_argv)), 0);
+
+  util::FlagParser rejecting("prog", "usage: prog\n");
+  rejecting.Custom("algo", [](std::string_view) { return false; });
+  const char* bad_argv[] = {"prog", "--algo=nope"};
+  EXPECT_EQ(rejecting.Parse(2, const_cast<char**>(bad_argv)), 2);
 }
 
 }  // namespace
