@@ -10,12 +10,20 @@
 //   3. Overload: an open-loop burst far past queue capacity; every
 //      request is answered (estimate or structured rejection), and the
 //      split shows the admission discipline doing its job.
+//
+// --zipf runs the result-cache comparison instead: the same
+// Zipf-skewed request sequence against an uncached and a cached
+// service at equal worker counts, verifying every answer (hit or
+// compute) against the direct estimator and reporting the speedup.
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <future>
 #include <memory>
+#include <random>
 #include <string>
 #include <thread>
 #include <vector>
@@ -23,6 +31,7 @@
 #include "exp/harness.h"
 #include "serve/service.h"
 #include "serve/snapshot.h"
+#include "util/flags.h"
 
 namespace {
 
@@ -33,9 +42,123 @@ double SecondsSince(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
 }
 
+constexpr char kUsage[] =
+    "usage: bench_serve [--zipf] [--count=N] [--workers=N]\n"
+    "  --zipf       run the Zipf-workload result-cache comparison\n"
+    "  --count=N    zipf mode: total requests per run (default 20000)\n"
+    "  --workers=N  zipf mode: estimation workers per service (default 2)\n";
+
+/// One closed-loop run of `sequence` (indices into `wl`) against a
+/// service configured with `cache_entries`. Returns elapsed seconds;
+/// tallies cache hits and answers that differ from `expected`.
+double RunZipfLoop(serve::SnapshotCatalog* catalog,
+                   const workload::Workload& wl,
+                   const std::vector<size_t>& sequence,
+                   const std::vector<double>& expected, size_t workers,
+                   size_t cache_entries, std::atomic<size_t>* hits,
+                   std::atomic<size_t>* mismatches) {
+  serve::ServiceOptions sopt;
+  sopt.num_workers = workers;
+  sopt.cache_entries = cache_entries;
+  serve::EstimateService service(catalog, sopt);
+
+  constexpr size_t kClients = 4;
+  const Clock::time_point start = Clock::now();
+  std::vector<std::thread> clients;
+  for (size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (size_t i = c; i < sequence.size(); i += kClients) {
+        const size_t query = sequence[i];
+        serve::EstimateRequest request;
+        request.twig = wl[query].twig;
+        request.algorithm = core::Algorithm::kMsh;
+        serve::EstimateResponse response =
+            service.SubmitAndWait(std::move(request));
+        if (!response.status.ok()) continue;
+        if (response.cached) hits->fetch_add(1, std::memory_order_relaxed);
+        // Bit-identical, not approximately equal: a cache hit is the
+        // stored double, a compute is deterministic on one snapshot.
+        if (response.estimate != expected[query]) {
+          mismatches->fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  const double seconds = SecondsSince(start);
+  service.Shutdown(/*drain=*/true);
+  return seconds;
+}
+
+int RunZipf(size_t count, size_t workers) {
+  exp::Dataset ds = exp::MakeDataset(exp::DatasetKind::kDblp,
+                                     exp::kDefaultDblpBytes, 20010402);
+  workload::WorkloadOptions wopt;
+  wopt.num_queries = 200;
+  wopt.seed = 1789;
+  const workload::Workload wl = workload::GeneratePositive(ds.tree, wopt);
+
+  serve::SnapshotCatalog catalog;
+  catalog.Publish(exp::BuildCstAtFraction(ds, 0.01), "dblp @ 1%");
+  const auto snapshot = catalog.Current();
+
+  // Ground truth: the direct estimator on the same snapshot.
+  core::TwigEstimator direct(&snapshot->summary);
+  std::vector<double> expected(wl.size());
+  for (size_t i = 0; i < wl.size(); ++i) {
+    expected[i] = direct.Estimate(wl[i].twig, core::Algorithm::kMsh);
+  }
+
+  // A fixed Zipf(s=1.1) sequence over query ranks: a few hot queries
+  // dominate, the tail keeps the cache honest. Both runs replay the
+  // identical sequence.
+  std::vector<double> weights(wl.size());
+  for (size_t rank = 0; rank < wl.size(); ++rank) {
+    weights[rank] = 1.0 / std::pow(static_cast<double>(rank + 1), 1.1);
+  }
+  std::mt19937_64 rng(424242);
+  std::discrete_distribution<size_t> zipf(weights.begin(), weights.end());
+  std::vector<size_t> sequence(count);
+  for (size_t& index : sequence) index = zipf(rng);
+
+  std::printf("== Zipf workload, result cache on vs off (%zu requests, "
+              "%zu workers, 4 clients) ==\n",
+              count, workers);
+  std::atomic<size_t> uncached_hits{0}, uncached_mismatches{0};
+  const double uncached_seconds =
+      RunZipfLoop(&catalog, wl, sequence, expected, workers,
+                  /*cache_entries=*/0, &uncached_hits, &uncached_mismatches);
+  std::atomic<size_t> cached_hits{0}, cached_mismatches{0};
+  const double cached_seconds =
+      RunZipfLoop(&catalog, wl, sequence, expected, workers,
+                  /*cache_entries=*/4096, &cached_hits, &cached_mismatches);
+
+  const double n = static_cast<double>(count);
+  std::printf("  uncached: %8.0f req/s (%zu mismatches)\n",
+              n / uncached_seconds, uncached_mismatches.load());
+  std::printf("  cached:   %8.0f req/s, %zu hits (%zu mismatches)\n",
+              n / cached_seconds, cached_hits.load(),
+              cached_mismatches.load());
+  const double speedup = uncached_seconds / cached_seconds;
+  std::printf("  speedup: %.2fx\n", speedup);
+  const bool ok = uncached_mismatches.load() == 0 &&
+                  cached_mismatches.load() == 0 && cached_hits.load() > 0;
+  if (!ok) std::printf("  FAILED: cache served a wrong or zero answer\n");
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool zipf = false;
+  size_t zipf_count = 20000;
+  size_t zipf_workers = 2;
+  util::FlagParser flags("bench_serve", kUsage);
+  flags.Bool("zipf", &zipf);
+  flags.Size("count", &zipf_count);
+  flags.Size("workers", &zipf_workers);
+  if (int code = flags.Parse(argc, argv); code >= 0) return code;
+  if (zipf) return RunZipf(zipf_count, std::max<size_t>(1, zipf_workers));
   exp::Dataset ds = exp::MakeDataset(exp::DatasetKind::kDblp,
                                      exp::kDefaultDblpBytes, 20010402);
   workload::WorkloadOptions wopt;

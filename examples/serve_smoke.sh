@@ -67,4 +67,62 @@ while kill -0 "$SERVE_PID" 2>/dev/null; do
 done
 wait "$SERVE_PID" 2>/dev/null || fail "server exited nonzero"
 grep -q "stopped" "$LOG" || fail "server log lacks clean-stop line"
+
+# ---------------------------------------------------------------------------
+# Second run: same server with the result cache enabled. The bench
+# repeats one query 1000 times with a swap mid-run, so the cache must
+# take hits, every (version, query) pair must stay bit-identical
+# (twig_client exits nonzero otherwise), and swapping back to the
+# original space fraction must reproduce the pre-swap estimate exactly.
+rm -f "$PORT_FILE"
+LOG="$WORK/serve_cache.log"
+"$SERVE" --port=0 --port-file="$PORT_FILE" --bytes=131072 --workers=2 \
+    --conns=4 --space=0.01 --cache-entries=1024 >"$LOG" 2>&1 &
+SERVE_PID=$!
+
+tries=0
+while [ ! -s "$PORT_FILE" ]; do
+    tries=$((tries + 1))
+    [ "$tries" -le 100 ] || fail "cached server did not start"
+    kill -0 "$SERVE_PID" 2>/dev/null || fail "cached server died during startup"
+    sleep 0.1
+done
+PORT=$(cat "$PORT_FILE")
+echo "serve_smoke: cached server on port $PORT"
+
+# Ground truth at the server's startup snapshot (version 1, space 0.01).
+E1_LINE=$("$CLIENT" --port="$PORT" --op=estimate \
+    --query='article(author, year)') || fail "cached-server estimate failed"
+E1=$(printf '%s' "$E1_LINE" | sed 's/.*"estimate":\([^,}]*\).*/\1/')
+[ -n "$E1" ] || fail "could not extract pre-swap estimate: $E1_LINE"
+
+"$CLIENT" --port="$PORT" --bench --count=1000 --threads=4 --swap-at=300 \
+    --space=0.02 --min-cached=1 \
+    || fail "cached bench with hot swap failed (hits or bit-identity)"
+
+# Swap back to the startup space fraction: the rebuilt snapshot is a
+# new version, but the same data at the same budget, so the estimate
+# must reproduce E1 bit for bit (printed identically).
+"$CLIENT" --port="$PORT" --op=swap --space=0.01 || fail "swap-back failed"
+E2_LINE=$("$CLIENT" --port="$PORT" --op=estimate \
+    --query='article(author, year)') || fail "post-swap estimate failed"
+E2=$(printf '%s' "$E2_LINE" | sed 's/.*"estimate":\([^,}]*\).*/\1/')
+[ "$E1" = "$E2" ] || fail "post-swap estimate $E2 != pre-swap $E1"
+
+# The cache counters must show real hits.
+METRICS=$("$CLIENT" --port="$PORT" --op=metrics) || fail "cached metrics failed"
+case "$METRICS" in
+  *'"serve_cache_hits":0'*) fail "cache took no hits: $METRICS" ;;
+  *serve_cache_hits*) : ;;
+  *) fail "metrics response lacks cache counters: $METRICS" ;;
+esac
+
+"$CLIENT" --port="$PORT" --op=shutdown || fail "cached shutdown op failed"
+tries=0
+while kill -0 "$SERVE_PID" 2>/dev/null; do
+    tries=$((tries + 1))
+    [ "$tries" -le 100 ] || fail "cached server did not stop after shutdown"
+    sleep 0.1
+done
+wait "$SERVE_PID" 2>/dev/null || fail "cached server exited nonzero"
 echo "serve_smoke: OK"

@@ -52,6 +52,7 @@ struct Options {
   size_t count = 1000;
   size_t threads = 4;
   size_t swap_at = 0;
+  size_t min_cached = 0;
 };
 
 constexpr char kUsage[] =
@@ -70,6 +71,7 @@ constexpr char kUsage[] =
     "  --count=N        total requests (default 1000)\n"
     "  --threads=N      client connections (default 4)\n"
     "  --swap-at=N      trigger a snapshot swap after N requests\n"
+    "  --min-cached=N   fail unless at least N responses were cache hits\n"
     "with neither --op nor --bench, stdin lines are sent as requests.\n";
 
 /// A blocking loopback connection speaking one-line-per-request.
@@ -164,9 +166,34 @@ std::string BuildRequest(const Options& options, uint64_t id) {
 struct BenchTally {
   size_t sent = 0;
   size_t ok = 0;
+  size_t cached = 0;
   size_t transport_errors = 0;
   std::map<std::string, size_t> error_codes;
   std::set<uint64_t> versions;
+  /// Every distinct estimate seen per snapshot version. The bench
+  /// sends one query, so any version mapping to more than one value
+  /// means a cache hit and a fresh compute disagreed — corruption.
+  std::map<uint64_t, std::set<double>> version_estimates;
+
+  void RecordOk(const obs::JsonValue& response) {
+    ++ok;
+    if (response.GetBool("cached")) ++cached;
+    const auto version = static_cast<uint64_t>(response.GetNumber("version"));
+    versions.insert(version);
+    version_estimates[version].insert(response.GetNumber("estimate"));
+  }
+
+  void MergeFrom(const BenchTally& other) {
+    sent += other.sent;
+    ok += other.ok;
+    cached += other.cached;
+    transport_errors += other.transport_errors;
+    for (const auto& [code, n] : other.error_codes) error_codes[code] += n;
+    versions.insert(other.versions.begin(), other.versions.end());
+    for (const auto& [version, estimates] : other.version_estimates) {
+      version_estimates[version].insert(estimates.begin(), estimates.end());
+    }
+  }
 };
 
 int RunBench(const Options& options) {
@@ -202,9 +229,7 @@ int RunBench(const Options& options) {
       }
       const obs::JsonValue& response = parsed.value();
       if (response.GetBool("ok")) {
-        ++tally.ok;
-        tally.versions.insert(
-            static_cast<uint64_t>(response.GetNumber("version")));
+        tally.RecordOk(response);
       } else if (const obs::JsonValue* error = response.Find("error")) {
         ++tally.error_codes[std::string(error->GetString("code", "?"))];
       } else {
@@ -212,13 +237,7 @@ int RunBench(const Options& options) {
       }
     }
     std::lock_guard<std::mutex> lock(mutex);
-    total.sent += tally.sent;
-    total.ok += tally.ok;
-    total.transport_errors += tally.transport_errors;
-    for (const auto& [code, n] : tally.error_codes) {
-      total.error_codes[code] += n;
-    }
-    total.versions.insert(tally.versions.begin(), tally.versions.end());
+    total.MergeFrom(tally);
   };
 
   std::vector<std::thread> workers;
@@ -266,16 +285,14 @@ int RunBench(const Options& options) {
         Result<obs::JsonValue> parsed = obs::ParseJson(post.value());
         if (!parsed.ok() || !parsed.value().GetBool("ok")) continue;
         std::lock_guard<std::mutex> lock(mutex);
-        ++total.ok;
-        total.versions.insert(
-            static_cast<uint64_t>(parsed.value().GetNumber("version")));
+        total.RecordOk(parsed.value());
       }
     }
   }
   for (std::thread& t : workers) t.join();
 
-  std::printf("bench: %zu sent, %zu ok, %zu transport errors\n", total.sent,
-              total.ok, total.transport_errors);
+  std::printf("bench: %zu sent, %zu ok (%zu cached), %zu transport errors\n",
+              total.sent, total.ok, total.cached, total.transport_errors);
   for (const auto& [code, n] : total.error_codes) {
     std::printf("bench: %zu x %s\n", n, code.c_str());
   }
@@ -284,9 +301,28 @@ int RunBench(const Options& options) {
     std::printf(" %llu", static_cast<unsigned long long>(v));
   }
   std::printf("\n");
-  // Failure = broken transport or a swap that didn't land; structured
-  // rejections (overload, deadline) are expected under load.
-  return total.transport_errors == 0 && swap_ok && total.ok > 0 ? 0 : 1;
+  // Cached and computed answers for the same (query, version) must be
+  // bit-identical; a version with two distinct estimates is corruption.
+  bool estimates_consistent = true;
+  for (const auto& [version, estimates] : total.version_estimates) {
+    if (estimates.size() > 1) {
+      estimates_consistent = false;
+      std::printf("bench: version %llu served %zu distinct estimates\n",
+                  static_cast<unsigned long long>(version), estimates.size());
+    }
+  }
+  if (options.min_cached > 0 && total.cached < options.min_cached) {
+    std::printf("bench: expected >= %zu cache hits, saw %zu\n",
+                options.min_cached, total.cached);
+    return 1;
+  }
+  // Failure = broken transport, a swap that didn't land, or cache/
+  // compute disagreement; structured rejections (overload, deadline)
+  // are expected under load.
+  return total.transport_errors == 0 && swap_ok && estimates_consistent &&
+                 total.ok > 0
+             ? 0
+             : 1;
 }
 
 int RunRepl(const Options& options) {
@@ -327,6 +363,7 @@ int main(int argc, char** argv) {
   flags.Size("count", &options.count);
   flags.Size("threads", &options.threads);
   flags.Size("swap-at", &options.swap_at);
+  flags.Size("min-cached", &options.min_cached);
   if (int code = flags.Parse(argc, argv); code >= 0) return code;
   if (options.port == 0 || options.port > 65535) {
     std::fprintf(stderr, "twig_client: --port must be a TCP port\n");

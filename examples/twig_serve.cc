@@ -40,12 +40,15 @@ struct Options {
   size_t conns = 4;
   size_t queue = 256;
   size_t deadline_ms = 0;
+  size_t cache_entries = 0;
+  size_t cache_shards = 8;
 };
 
 constexpr char kUsage[] =
     "usage: twig_serve [--port=N] [--port-file=PATH] [--xml=FILE]\n"
     "                  [--bytes=N] [--space=F] [--workers=N] [--conns=N]\n"
-    "                  [--queue=N] [--deadline-ms=N]\n"
+    "                  [--queue=N] [--deadline-ms=N] [--cache-entries=N]\n"
+    "                  [--cache-shards=N]\n"
     "  --port=N         TCP port on 127.0.0.1; 0 = ephemeral (default "
     "7411)\n"
     "  --port-file=PATH write the bound port to PATH (for scripts)\n"
@@ -56,7 +59,9 @@ constexpr char kUsage[] =
     "  --workers=N      estimation worker threads (default 2)\n"
     "  --conns=N        concurrent client connections (default 4)\n"
     "  --queue=N        request queue capacity (default 256)\n"
-    "  --deadline-ms=N  default per-request deadline; 0 = none\n";
+    "  --deadline-ms=N  default per-request deadline; 0 = none\n"
+    "  --cache-entries=N result cache capacity; 0 = cache off (default)\n"
+    "  --cache-shards=N  result cache shards (default 8)\n";
 
 tree::Tree LoadOrGenerate(const Options& options) {
   if (!options.xml_path.empty()) {
@@ -105,6 +110,11 @@ int main(int argc, char** argv) {
   flags.Size("conns", &options.conns);
   flags.Size("queue", &options.queue);
   flags.Size("deadline-ms", &options.deadline_ms);
+  flags.Size("cache-entries", &options.cache_entries);
+  flags.Size("cache-shards", &options.cache_shards);
+  // Underscore spellings, for callers used to other tools' convention.
+  flags.Size("cache_entries", &options.cache_entries);
+  flags.Size("cache_shards", &options.cache_shards);
   if (int code = flags.Parse(argc, argv); code >= 0) return code;
   if (options.port > 65535 || options.space <= 0 || options.bytes == 0) {
     std::fprintf(stderr,
@@ -130,6 +140,8 @@ int main(int argc, char** argv) {
   sopt.num_workers = options.workers;
   sopt.queue_capacity = options.queue;
   sopt.default_deadline = std::chrono::milliseconds(options.deadline_ms);
+  sopt.cache_entries = options.cache_entries;
+  sopt.cache_shards = options.cache_shards;
   serve::EstimateService service(&catalog, sopt);
 
   serve::TcpOptions topt;

@@ -1,0 +1,28 @@
+#include "core/canonical.h"
+
+#include "util/hash.h"
+
+namespace twig::core {
+
+uint64_t CanonicalQueryFingerprint(std::string_view canonical_text,
+                                   Algorithm algorithm,
+                                   CountSemantics semantics) {
+  // Seed the byte hash with the (algorithm, semantics) pair so the
+  // same twig under MSH/occurrence and MO/presence cannot collide by
+  // construction. Both enums are small and stable.
+  const uint64_t seed =
+      (static_cast<uint64_t>(algorithm) << 8) |
+      static_cast<uint64_t>(semantics);
+  return HashBytes(canonical_text, Mix64(seed + 0x7477696763616368ULL));
+}
+
+CanonicalQueryKey CanonicalizeQuery(const query::Twig& twig,
+                                    Algorithm algorithm,
+                                    CountSemantics semantics) {
+  CanonicalQueryKey key;
+  key.text = query::FormatTwig(twig);
+  key.fingerprint = CanonicalQueryFingerprint(key.text, algorithm, semantics);
+  return key;
+}
+
+}  // namespace twig::core

@@ -1,0 +1,55 @@
+// Canonical query keys: a stable identity for "the same question".
+//
+// Syntactically different spellings of a twig query — extra
+// whitespace, redundant escapes in value strings, `a(b)` vs `a.b` for
+// single chains — parse to twigs that print identically under
+// query::FormatTwig, because FormatTwig emits exactly one spelling per
+// twig and ParseTwig(FormatTwig(t)) == t (round-trip stability is
+// pinned by query_test's hostile-value fuzz). That printed form, plus
+// the estimation algorithm and count semantics (which change the
+// answer for the same twig), is the canonical identity of an estimate.
+//
+// CanonicalizeQuery returns the printed form together with a 64-bit
+// fingerprint that is stable across processes and platforms (FNV/
+// SplitMix over bytes — no pointer or locale dependence), so it can
+// key caches, dedupe logs, or label persisted results. The fingerprint
+// alone is not proof of equality; exact callers (the serving layer's
+// result cache) compare `text` on fingerprint collisions.
+
+#ifndef TWIG_CORE_CANONICAL_H_
+#define TWIG_CORE_CANONICAL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/combine.h"
+#include "core/estimator.h"
+#include "query/twig.h"
+
+namespace twig::core {
+
+/// A query's canonical identity: the one spelling FormatTwig emits,
+/// and a stable hash over (text, algorithm, semantics).
+struct CanonicalQueryKey {
+  std::string text;
+  uint64_t fingerprint = 0;
+};
+
+/// Canonicalizes `twig` for `(algorithm, semantics)`. Twigs that are
+/// structurally equal (query::TwigEquals) yield identical keys; twigs
+/// that differ yield different `text` (and, except for 64-bit
+/// collisions, different fingerprints).
+CanonicalQueryKey CanonicalizeQuery(const query::Twig& twig,
+                                    Algorithm algorithm,
+                                    CountSemantics semantics);
+
+/// The fingerprint CanonicalizeQuery would assign to an
+/// already-printed canonical `text` (no re-parse; callers holding the
+/// printed form can fingerprint it directly).
+uint64_t CanonicalQueryFingerprint(std::string_view canonical_text,
+                                   Algorithm algorithm,
+                                   CountSemantics semantics);
+
+}  // namespace twig::core
+
+#endif  // TWIG_CORE_CANONICAL_H_

@@ -35,6 +35,12 @@ const char* CounterName(Counter counter) {
       return "serve_deadline_misses";
     case Counter::kSnapshotPublishes:
       return "snapshot_publishes";
+    case Counter::kServeCacheHits:
+      return "serve_cache_hits";
+    case Counter::kServeCacheMisses:
+      return "serve_cache_misses";
+    case Counter::kServeCacheEvictions:
+      return "serve_cache_evictions";
     case Counter::kCount:
       break;
   }
@@ -42,7 +48,8 @@ const char* CounterName(Counter counter) {
 }
 
 const std::array<const char*, kLatencySeries> kLatencySeriesNames = {
-    "Leaf", "Greedy", "MO", "MOSH", "PMOSH", "MSH", "serve_wait"};
+    "Leaf",  "Greedy", "MO",         "MOSH",
+    "PMOSH", "MSH",    "serve_wait", "serve_cache_hit"};
 
 std::string CountersToJson(const CounterArray& counters) {
   JsonWriter w;

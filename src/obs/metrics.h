@@ -50,6 +50,10 @@ enum class Counter : size_t {
   kServeRejected,         // refused: queue full, shutdown, no snapshot
   kServeDeadlineMisses,   // expired before a worker could run them
   kSnapshotPublishes,     // CST snapshots published to a catalog
+  // Result cache (serve/result_cache.h): admission-time lookups.
+  kServeCacheHits,        // estimates answered from the result cache
+  kServeCacheMisses,      // lookups that fell through to the estimator
+  kServeCacheEvictions,   // entries displaced by the LRU bound
   kCount,
 };
 
@@ -65,15 +69,20 @@ using CounterArray = std::array<uint64_t, kCounterCount>;
 std::string CountersToJson(const CounterArray& counters);
 
 /// One latency series per core::Algorithm, in kAllAlgorithms order
-/// (Leaf, Greedy, MO, MOSH, PMOSH, MSH), plus one serving-layer series
-/// for time spent waiting in the request queue. obs cannot depend on
-/// core, so the correspondence is by index; estimator.cc asserts the
-/// algorithm prefix.
-inline constexpr size_t kLatencySeries = 7;
+/// (Leaf, Greedy, MO, MOSH, PMOSH, MSH), plus serving-layer series for
+/// time spent waiting in the request queue and for answering a request
+/// from the result cache. obs cannot depend on core, so the
+/// correspondence is by index; estimator.cc asserts the algorithm
+/// prefix.
+inline constexpr size_t kLatencySeries = 8;
 extern const std::array<const char*, kLatencySeries> kLatencySeriesNames;
 
 /// Index of the serving layer's enqueue-wait series ("serve_wait").
 inline constexpr size_t kServeWaitSeries = 6;
+
+/// Index of the result cache's hit-path series ("serve_cache_hit"):
+/// admission-to-answer time for requests served from the cache.
+inline constexpr size_t kServeCacheHitSeries = 7;
 
 inline constexpr size_t kLatencyBuckets = 32;
 

@@ -87,7 +87,24 @@ class TwigParser {
     return out;
   }
 
-  // node := name ("." name)* ("=" string)? ("(" node ("," node)* ")")?
+  // child := node | string
+  // A bare quoted string in a child list is a value-predicate leaf;
+  // FormatTwig prints one whenever a node mixes value and element
+  // children (or carries several value children), so the parser must
+  // read the form back for Parse(Format(t)) == t to hold.
+  Status ParseChild(Twig* twig, TwigNodeId parent) {
+    SkipWhitespace();
+    if (pos_ < input_.size() && input_[pos_] == '"') {
+      auto value = ParseQuotedString();
+      if (!value.ok()) return value.status();
+      twig->AddValue(parent, *value);
+      SkipWhitespace();
+      return Status::OK();
+    }
+    return ParseNode(twig, parent);
+  }
+
+  // node := name ("." name)* ("=" string)? ("(" child ("," child)* ")")?
   Status ParseNode(Twig* twig, TwigNodeId parent) {
     auto first = ParseName();
     if (!first.ok()) return first.status();
@@ -112,7 +129,7 @@ class TwigParser {
     if (pos_ < input_.size() && input_[pos_] == '(') {
       ++pos_;
       while (true) {
-        Status s = ParseNode(twig, node);
+        Status s = ParseChild(twig, node);
         if (!s.ok()) return s;
         SkipWhitespace();
         if (pos_ < input_.size() && input_[pos_] == ',') {

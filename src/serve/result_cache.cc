@@ -1,0 +1,123 @@
+#include "serve/result_cache.h"
+
+#include <algorithm>
+#include <bit>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "util/hash.h"
+
+namespace twig::serve {
+
+uint64_t ResultCache::Key::IndexHash() const {
+  // The fingerprint already encodes (text, algorithm, semantics);
+  // folding the version in makes every published snapshot a disjoint
+  // key space, which is the whole invalidation story.
+  return HashCombine(Mix64(snapshot_version), fingerprint);
+}
+
+ResultCache::Key ResultCache::MakeKey(uint64_t snapshot_version,
+                                      core::Algorithm algorithm,
+                                      core::CountSemantics semantics,
+                                      const query::Twig& twig) {
+  return MakeKeyFromCanonical(
+      snapshot_version, algorithm, semantics,
+      core::CanonicalizeQuery(twig, algorithm, semantics));
+}
+
+ResultCache::Key ResultCache::MakeKeyFromCanonical(
+    uint64_t snapshot_version, core::Algorithm algorithm,
+    core::CountSemantics semantics, core::CanonicalQueryKey canonical) {
+  Key key;
+  key.snapshot_version = snapshot_version;
+  key.algorithm = algorithm;
+  key.semantics = semantics;
+  key.fingerprint = canonical.fingerprint;
+  key.canonical_text = std::move(canonical.text);
+  return key;
+}
+
+namespace {
+
+bool SameKey(const ResultCache::Key& a, const ResultCache::Key& b) {
+  return a.snapshot_version == b.snapshot_version &&
+         a.algorithm == b.algorithm && a.semantics == b.semantics &&
+         a.fingerprint == b.fingerprint &&
+         a.canonical_text == b.canonical_text;
+}
+
+}  // namespace
+
+ResultCache::ResultCache(const ResultCacheOptions& options) {
+  const size_t entries = std::max<size_t>(1, options.max_entries);
+  size_t shards = std::bit_ceil(std::max<size_t>(1, options.num_shards));
+  // Never create a shard that cannot hold an entry.
+  while (shards > 1 && entries / shards == 0) shards /= 2;
+  shards_ = std::vector<Shard>(shards);
+  shard_mask_ = shards - 1;
+  per_shard_capacity_ = std::max<size_t>(1, entries / shards);
+  capacity_ = per_shard_capacity_ * shards;
+}
+
+bool ResultCache::Lookup(const Key& key, CachedEstimate* out) {
+  const uint64_t hash = key.IndexHash();
+  Shard& shard = ShardFor(hash);
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.index.find(hash);
+    if (it != shard.index.end() && SameKey(it->second->key, key)) {
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      *out = it->second->value;
+      ++shard.hits;
+      obs::CountEvent(obs::Counter::kServeCacheHits);
+      return true;
+    }
+    ++shard.misses;
+  }
+  obs::CountEvent(obs::Counter::kServeCacheMisses);
+  return false;
+}
+
+void ResultCache::Insert(const Key& key, const CachedEstimate& value) {
+  const uint64_t hash = key.IndexHash();
+  Shard& shard = ShardFor(hash);
+  bool evicted = false;
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.index.find(hash);
+    if (it != shard.index.end()) {
+      // Refresh: concurrent workers that both missed insert the same
+      // answer twice; an index-hash collision overwrites (Lookup's
+      // exact compare makes the overwrite a plain miss, never a wrong
+      // answer).
+      it->second->key = key;
+      it->second->value = value;
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      return;
+    }
+    if (shard.lru.size() >= per_shard_capacity_) {
+      const Entry& victim = shard.lru.back();
+      shard.index.erase(victim.key.IndexHash());
+      shard.lru.pop_back();
+      ++shard.evictions;
+      evicted = true;
+    }
+    shard.lru.push_front(Entry{key, value});
+    shard.index.emplace(hash, shard.lru.begin());
+  }
+  if (evicted) obs::CountEvent(obs::Counter::kServeCacheEvictions);
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  Stats stats;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    stats.hits += shard.hits;
+    stats.misses += shard.misses;
+    stats.evictions += shard.evictions;
+    stats.entries += shard.lru.size();
+  }
+  return stats;
+}
+
+}  // namespace twig::serve

@@ -1,0 +1,153 @@
+// Snapshot-versioned estimate cache for the serving path.
+//
+// Skewed serving workloads recompute the same hot estimates on every
+// request; this cache answers them from memory instead. An entry is
+// keyed by (snapshot version, algorithm, semantics, canonical twig),
+// so the design inherits hot-swap correctness from the RCU snapshot
+// protocol for free:
+//
+//   * The canonical twig key (core::CanonicalizeQuery) is the printed
+//     form FormatTwig emits, so syntactically different spellings of
+//     the same query share one entry.
+//   * Snapshot versions are monotone and a CstSnapshot is immutable,
+//     so a cached value is correct for its version forever. There is
+//     no invalidation: publishing version N+1 simply orphans the
+//     version-N entries — no lookup keyed N+1 can ever see them — and
+//     the LRU bound ages them out as new-version traffic displaces
+//     them.
+//   * Values are the bit-exact estimator output for that version, so
+//     a hit is indistinguishable from a recompute (minus the latency).
+//
+// Fingerprints are 64-bit; a collision between two live queries is
+// astronomically unlikely but not impossible, so entries carry the
+// canonical text and lookups compare it — a collision degrades to a
+// miss, never to a wrong answer.
+//
+// The cache is sharded: each shard owns a mutex, an LRU list, and a
+// hash index, so concurrent admission-path lookups from many
+// connection threads contend only 1/num_shards of the time. Every
+// lookup and eviction feeds obs::MetricsRegistry
+// (serve_cache_hits/misses/evictions) in addition to the cache's own
+// cheap aggregate stats.
+
+#ifndef TWIG_SERVE_RESULT_CACHE_H_
+#define TWIG_SERVE_RESULT_CACHE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/canonical.h"
+#include "core/combine.h"
+#include "core/estimator.h"
+#include "query/twig.h"
+
+namespace twig::serve {
+
+struct ResultCacheOptions {
+  /// Total cached estimates across all shards (the LRU bound). Each
+  /// shard holds max_entries / num_shards, at least one.
+  size_t max_entries = 4096;
+  /// Concurrency shards; rounded up to a power of two, capped so no
+  /// shard is created empty.
+  size_t num_shards = 8;
+};
+
+/// One cached answer: the estimator's bit-exact output for the keyed
+/// snapshot version, plus the execution cost of the original compute
+/// (echoed on hits so wire timings and dashboards stay meaningful —
+/// a hit's own latency is tracked separately in the serve_cache_hit
+/// series).
+struct CachedEstimate {
+  double estimate = 0;
+  uint64_t snapshot_version = 0;
+  std::chrono::nanoseconds exec_time{0};
+};
+
+class ResultCache {
+ public:
+  /// A fully-derived cache key. Build with MakeKey (from a twig) or
+  /// MakeKeyFromCanonical (from an already-canonicalized query, e.g.
+  /// when re-keying the same request under the snapshot version that
+  /// actually served it).
+  struct Key {
+    uint64_t snapshot_version = 0;
+    core::Algorithm algorithm = core::Algorithm::kMsh;
+    core::CountSemantics semantics = core::CountSemantics::kOccurrence;
+    uint64_t fingerprint = 0;  // canonical fingerprint (text+algo+sem)
+    std::string canonical_text;
+
+    /// The shard/index hash: fingerprint mixed with the version.
+    uint64_t IndexHash() const;
+  };
+
+  static Key MakeKey(uint64_t snapshot_version, core::Algorithm algorithm,
+                     core::CountSemantics semantics, const query::Twig& twig);
+  static Key MakeKeyFromCanonical(uint64_t snapshot_version,
+                                  core::Algorithm algorithm,
+                                  core::CountSemantics semantics,
+                                  core::CanonicalQueryKey canonical);
+
+  explicit ResultCache(const ResultCacheOptions& options = {});
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  /// True and fills `*out` when an entry matches `key` exactly
+  /// (version, algorithm, semantics, and canonical text); the entry
+  /// becomes most-recently-used. Counts a hit or a miss either way.
+  bool Lookup(const Key& key, CachedEstimate* out);
+
+  /// Inserts (or refreshes) the entry for `key`, evicting the shard's
+  /// least-recently-used entry when the shard is at capacity.
+  void Insert(const Key& key, const CachedEstimate& value);
+
+  /// Aggregate accounting across shards (consistent per shard, not
+  /// across shards — counters, not a snapshot barrier).
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    size_t entries = 0;
+  };
+  Stats stats() const;
+
+  size_t capacity() const { return capacity_; }
+  size_t num_shards() const { return shards_.size(); }
+
+ private:
+  struct Entry {
+    Key key;
+    CachedEstimate value;
+  };
+
+  struct Shard {
+    mutable std::mutex mutex;
+    /// Front = most recently used.
+    std::list<Entry> lru;
+    /// IndexHash -> LRU position. One slot per index hash: a hash
+    /// collision between distinct keys overwrites (vanishingly rare,
+    /// and Lookup's exact compare keeps it correct).
+    std::unordered_map<uint64_t, std::list<Entry>::iterator> index;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+  };
+
+  Shard& ShardFor(uint64_t index_hash) {
+    return shards_[(index_hash >> 48) & shard_mask_];
+  }
+
+  std::vector<Shard> shards_;
+  uint64_t shard_mask_ = 0;
+  size_t per_shard_capacity_ = 0;
+  size_t capacity_ = 0;
+};
+
+}  // namespace twig::serve
+
+#endif  // TWIG_SERVE_RESULT_CACHE_H_

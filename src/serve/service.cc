@@ -25,6 +25,10 @@ EstimateService::EstimateService(SnapshotCatalog* catalog,
       num_workers_(options.num_workers == 0
                        ? std::max(1u, std::thread::hardware_concurrency())
                        : options.num_workers),
+      cache_(options.cache_entries == 0
+                 ? nullptr
+                 : std::make_unique<ResultCache>(ResultCacheOptions{
+                       options.cache_entries, options.cache_shards})),
       queue_(options.queue_capacity),
       pool_(num_workers_) {
   // The pool's ParallelFor is synchronous, so a dispatcher thread
@@ -57,6 +61,37 @@ std::future<EstimateResponse> EstimateService::Submit(
   if (shut_down_.load(std::memory_order_acquire)) {
     Reject(std::move(item), Status::Unavailable("service is shut down"));
     return future;
+  }
+  if (cache_ != nullptr) {
+    // Admission-time lookup, before the queue: a hit bypasses
+    // backpressure entirely. The key uses the version current *now*;
+    // a hit therefore claims exactly the version it was computed on.
+    const uint64_t version = catalog_->version();
+    if (version != 0) {
+      item.canonical = core::CanonicalizeQuery(
+          item.request.twig, item.request.algorithm, item.request.semantics);
+      CachedEstimate cached;
+      if (cache_->Lookup(
+              ResultCache::MakeKeyFromCanonical(
+                  version, item.request.algorithm, item.request.semantics,
+                  item.canonical),
+              &cached)) {
+        EstimateResponse response;
+        response.status = Status::OK();
+        response.estimate = cached.estimate;
+        response.snapshot_version = cached.snapshot_version;
+        response.exec_time = cached.exec_time;
+        response.queue_wait =
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                Clock::now() - item.enqueued);
+        response.cached = true;
+        obs::MetricsRegistry::Get().RecordLatency(
+            obs::kServeCacheHitSeries, ToNanos(response.queue_wait));
+        obs::CountEvent(obs::Counter::kServeServed);
+        item.promise.set_value(std::move(response));
+        return future;
+      }
+    }
   }
   if (!queue_.TryPush(item)) {
     Reject(std::move(item),
@@ -112,6 +147,18 @@ void EstimateService::ServeLoop() {
         std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed);
     response.snapshot_version = snapshot->version;
     response.status = Status::OK();
+    if (cache_ != nullptr && !item.canonical.text.empty()) {
+      // Key under the version that actually served the request (a hot
+      // swap may have landed since admission), so the entry is correct
+      // by construction and immutable-snapshot semantics make it
+      // correct forever.
+      cache_->Insert(
+          ResultCache::MakeKeyFromCanonical(
+              snapshot->version, item.request.algorithm,
+              item.request.semantics, item.canonical),
+          CachedEstimate{response.estimate, snapshot->version,
+                         response.exec_time});
+    }
     obs::CountEvent(obs::Counter::kServeServed);
     item.promise.set_value(std::move(response));
   }

@@ -2,6 +2,11 @@
 // of estimation workers reading from a SnapshotCatalog.
 //
 // Admission discipline (in the order a request meets it):
+//   0. Result cache (when enabled): a request whose (current snapshot
+//     version, algorithm, semantics, canonical twig) was answered
+//     before resolves immediately with the cached, bit-identical
+//     estimate — it never touches the queue, so a hit cannot be
+//     rejected as overload and costs no worker time.
 //   1. Backpressure: a full queue rejects immediately with Unavailable
 //     ("structured overload"), never buffers without bound and never
 //     blocks the caller.
@@ -38,9 +43,13 @@
 #include <mutex>
 #include <thread>
 
+#include <memory>
+
+#include "core/canonical.h"
 #include "core/estimator.h"
 #include "query/twig.h"
 #include "serve/bounded_queue.h"
+#include "serve/result_cache.h"
 #include "serve/snapshot.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
@@ -54,6 +63,12 @@ struct ServiceOptions {
   size_t queue_capacity = 256;
   /// Deadline applied to requests that carry none; zero = unbounded.
   std::chrono::milliseconds default_deadline{0};
+  /// Result cache entries (serve/result_cache.h); 0 disables the
+  /// cache. Hits are answered at admission, before the queue, so a
+  /// cached request can never be rejected as overload.
+  size_t cache_entries = 0;
+  /// Result cache shards (rounded to a power of two).
+  size_t cache_shards = 8;
   /// Test seam: runs on the worker after dequeuing each request,
   /// before the deadline check. Lets tests hold a worker mid-request
   /// to force deterministic overload / expiry / drain scenarios.
@@ -78,10 +93,16 @@ struct EstimateResponse {
   /// Version of the snapshot that served the request (0 if none did).
   uint64_t snapshot_version = 0;
   /// Admission-to-dequeue wait; zero for requests rejected at
-  /// admission.
+  /// admission, admission-to-answer for cache hits.
   std::chrono::nanoseconds queue_wait{0};
   /// Time inside TwigEstimator::Estimate; zero unless status is OK.
+  /// Cache hits echo the exec_time of the compute that filled the
+  /// entry, not the (near-zero) hit cost — see serve_cache_hit series
+  /// for the latter.
   std::chrono::nanoseconds exec_time{0};
+  /// True when the estimate was answered from the result cache (same
+  /// snapshot version, bit-identical value).
+  bool cached = false;
 };
 
 class EstimateService {
@@ -117,11 +138,19 @@ class EstimateService {
   size_t queue_capacity() const { return queue_.capacity(); }
   size_t num_workers() const { return num_workers_; }
 
+  /// The result cache, nullptr when options.cache_entries was 0.
+  const ResultCache* result_cache() const { return cache_.get(); }
+
  private:
   struct Item {
     EstimateRequest request;
     std::promise<EstimateResponse> promise;
     std::chrono::steady_clock::time_point enqueued;
+    /// Canonical form computed once at admission (for the cache
+    /// lookup) and reused by the worker to insert under the snapshot
+    /// version that actually served the request. Empty text = caching
+    /// disabled for this item.
+    core::CanonicalQueryKey canonical;
   };
 
   /// One worker's serve loop: pop, check deadline, pin snapshot,
@@ -134,6 +163,9 @@ class EstimateService {
   SnapshotCatalog* const catalog_;
   const ServiceOptions options_;
   const size_t num_workers_;
+  /// Created before the workers, destroyed after them; workers insert
+  /// into it and Submit reads it, both through the pointer.
+  std::unique_ptr<ResultCache> cache_;
   BoundedQueue<Item> queue_;
   util::ThreadPool pool_;
   /// Runs the blocking ParallelFor that hosts the serve loops.

@@ -1,5 +1,6 @@
 #include "serve/wire.h"
 
+#include <cmath>
 #include <utility>
 
 #include "obs/json.h"
@@ -30,6 +31,11 @@ void BeginResponse(obs::JsonWriter& writer, const WireRequest* request,
 }
 
 }  // namespace
+
+bool IsFiniteNonNegative(double value, double max) {
+  // Written so NaN fails: NaN >= 0 and NaN <= max are both false.
+  return std::isfinite(value) && value >= 0 && value <= max;
+}
 
 bool ParseAlgorithmName(std::string_view name, core::Algorithm* out) {
   for (core::Algorithm algorithm : core::kAllAlgorithms) {
@@ -95,18 +101,23 @@ Result<WireRequest> ParseRequest(std::string_view line) {
 
   if (const obs::JsonValue* deadline = root.Find("deadline_ms");
       deadline != nullptr) {
-    if (deadline->kind != obs::JsonValue::Kind::kNumber ||
-        deadline->number_value < 0) {
-      return Status::ParseError(
-          "\"deadline_ms\" must be a non-negative number");
+    if (deadline->kind != obs::JsonValue::Kind::kNumber) {
+      return Status::ParseError("\"deadline_ms\" must be a number");
+    }
+    if (!IsFiniteNonNegative(deadline->number_value, kMaxDeadlineMs)) {
+      return Status::InvalidArgument(
+          "\"deadline_ms\" must be a finite number in [0, 1e9]");
     }
     request.deadline_ms = deadline->number_value;
   }
 
   if (const obs::JsonValue* space = root.Find("space"); space != nullptr) {
-    if (space->kind != obs::JsonValue::Kind::kNumber ||
-        space->number_value < 0) {
-      return Status::ParseError("\"space\" must be a non-negative number");
+    if (space->kind != obs::JsonValue::Kind::kNumber) {
+      return Status::ParseError("\"space\" must be a number");
+    }
+    if (!IsFiniteNonNegative(space->number_value, kMaxSpaceFraction)) {
+      return Status::InvalidArgument(
+          "\"space\" must be a finite number in [0, 1e6]");
     }
     request.space = space->number_value;
   }
@@ -135,6 +146,14 @@ std::string EstimateWireResponse(const WireRequest& request,
   BeginResponse(writer, &request, /*ok=*/true);
   writer.Key("estimate");
   writer.Double(response.estimate);
+  if (!std::isfinite(response.estimate)) {
+    // Double() rendered null (NaN/Inf are not JSON); flag it so
+    // clients can tell "no number" from a bug in their parser.
+    writer.Key("estimate_error");
+    writer.String("non-finite estimate");
+  }
+  writer.Key("cached");
+  writer.Bool(response.cached);
   writer.Key("algo");
   writer.String(core::AlgorithmName(request.algorithm));
   writer.Key("version");

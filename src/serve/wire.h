@@ -53,22 +53,44 @@ struct WireRequest {
 /// Parses "MSH" / "MO" / ... (core::AlgorithmName spelling).
 bool ParseAlgorithmName(std::string_view name, core::Algorithm* out);
 
+/// Upper bound on "deadline_ms" (~11.6 days). Bounds the relative
+/// deadline so converting it into a steady_clock time point can never
+/// overflow the clock's integer representation — an unbounded double
+/// from the wire would poison every deadline comparison downstream.
+inline constexpr double kMaxDeadlineMs = 1e9;
+
+/// Upper bound on "space" (a CST space fraction; generous, but keeps
+/// space * data_bytes inside size_t for any real document).
+inline constexpr double kMaxSpaceFraction = 1e6;
+
+/// True iff `value` is a finite number in [0, max]. NaN fails every
+/// comparison with false, so `value < 0` alone would let NaN (and
+/// +Infinity) through — this is the wire's single gate for numeric
+/// range fields.
+bool IsFiniteNonNegative(double value, double max);
+
 /// Decodes and validates one request line: must be a JSON object with
 /// a string "op"; optional fields must have the right types ("algo"
 /// must name an algorithm, "semantics" must be "occurrence" or
-/// "presence", "deadline_ms" and "space" must be non-negative
-/// numbers). Unknown keys are ignored (forward compatibility); unknown
-/// *ops* are left to the dispatcher so it can answer with an error
-/// that echoes the id.
+/// "presence"). Range fields are rejected with InvalidArgument unless
+/// finite and in range: "deadline_ms" in [0, kMaxDeadlineMs], "space"
+/// in [0, kMaxSpaceFraction] — non-finite or overflowing values would
+/// poison the steady-clock deadline arithmetic in the service. Unknown
+/// keys are ignored (forward compatibility); unknown *ops* are left to
+/// the dispatcher so it can answer with an error that echoes the id.
 Result<WireRequest> ParseRequest(std::string_view line);
 
 /// {"id":..,"ok":false,"op":..,"error":{"code":..,"message":..}}.
 /// `request` may be nullptr when the line didn't parse (no id/op).
 std::string ErrorResponse(const WireRequest* request, const Status& status);
 
-/// Encodes a service response: OK → estimate/version/timings, error →
-/// ErrorResponse with the status (overloads and deadline misses are
-/// structured errors, not dropped lines).
+/// Encodes a service response: OK → estimate/cached/version/timings,
+/// error → ErrorResponse with the status (overloads and deadline
+/// misses are structured errors, not dropped lines). "cached" is true
+/// when the result cache answered. A non-finite estimate (e.g. a NaN
+/// from a deadline-skipped batch slot) is encoded as a JSON null plus
+/// an "estimate_error" flag — never as a bare NaN/Inf token, which is
+/// not JSON.
 std::string EstimateWireResponse(const WireRequest& request,
                                  const EstimateResponse& response);
 

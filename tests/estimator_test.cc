@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "core/canonical.h"
 #include "core/estimator.h"
 #include "cst/cst.h"
 #include "match/matcher.h"
@@ -293,6 +294,67 @@ TEST_F(EstimatorTest, BatchIgnoresAttachedTrace) {
   EXPECT_EQ(got, expected);               // estimates unaffected
   EXPECT_EQ(trace.query, "sentinel");     // sink never touched
   EXPECT_TRUE(trace.pieces.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Canonical query keys
+
+TEST(CanonicalQueryTest, DifferentSpellingsShareOneKey) {
+  auto loose = ParseTwig("  book ( author = \"Su\" , year ) ");
+  auto tight = ParseTwig("book(author=\"Su\", year)");
+  ASSERT_TRUE(loose.ok() && tight.ok());
+  const CanonicalQueryKey a = CanonicalizeQuery(
+      *loose, Algorithm::kMsh, CountSemantics::kOccurrence);
+  const CanonicalQueryKey b = CanonicalizeQuery(
+      *tight, Algorithm::kMsh, CountSemantics::kOccurrence);
+  EXPECT_EQ(a.text, "book(author=\"Su\", year)");
+  EXPECT_EQ(a.text, b.text);
+  EXPECT_EQ(a.fingerprint, b.fingerprint);
+  EXPECT_NE(a.fingerprint, 0u);
+}
+
+TEST(CanonicalQueryTest, AlgorithmAndSemanticsChangeTheFingerprint) {
+  auto twig = ParseTwig("book.author");
+  ASSERT_TRUE(twig.ok());
+  const CanonicalQueryKey msh_occ = CanonicalizeQuery(
+      *twig, Algorithm::kMsh, CountSemantics::kOccurrence);
+  const CanonicalQueryKey mo_occ = CanonicalizeQuery(
+      *twig, Algorithm::kMo, CountSemantics::kOccurrence);
+  const CanonicalQueryKey msh_pres = CanonicalizeQuery(
+      *twig, Algorithm::kMsh, CountSemantics::kPresence);
+  // Same question text, but the answer depends on (algorithm,
+  // semantics), so the identities must differ.
+  EXPECT_EQ(msh_occ.text, mo_occ.text);
+  EXPECT_NE(msh_occ.fingerprint, mo_occ.fingerprint);
+  EXPECT_NE(msh_occ.fingerprint, msh_pres.fingerprint);
+  EXPECT_NE(mo_occ.fingerprint, msh_pres.fingerprint);
+}
+
+TEST(CanonicalQueryTest, FingerprintMatchesDirectTextFingerprint) {
+  auto twig = ParseTwig("article(author, year=\"19\")");
+  ASSERT_TRUE(twig.ok());
+  const CanonicalQueryKey key = CanonicalizeQuery(
+      *twig, Algorithm::kGreedy, CountSemantics::kOccurrence);
+  EXPECT_EQ(key.fingerprint,
+            CanonicalQueryFingerprint(key.text, Algorithm::kGreedy,
+                                      CountSemantics::kOccurrence));
+}
+
+TEST(CanonicalQueryTest, DistinctQueriesGetDistinctKeys) {
+  const char* texts[] = {"a.b", "a.c", "a(b, c)", "a(b, c=\"x\")", "b.a"};
+  std::vector<CanonicalQueryKey> keys;
+  for (const char* text : texts) {
+    auto twig = ParseTwig(text);
+    ASSERT_TRUE(twig.ok()) << text;
+    keys.push_back(CanonicalizeQuery(*twig, Algorithm::kMsh,
+                                     CountSemantics::kOccurrence));
+  }
+  for (size_t i = 0; i < keys.size(); ++i) {
+    for (size_t j = i + 1; j < keys.size(); ++j) {
+      EXPECT_NE(keys[i].text, keys[j].text);
+      EXPECT_NE(keys[i].fingerprint, keys[j].fingerprint);
+    }
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(

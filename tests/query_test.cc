@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <random>
+#include <string>
+
 #include "query/twig.h"
 
 namespace twig::query {
@@ -97,6 +100,83 @@ TEST(FormatTwigTest, RoundTripsComplexTwig) {
   auto reparsed = ParseTwig(FormatTwig(*t));
   ASSERT_TRUE(reparsed.ok());
   EXPECT_TRUE(TwigEquals(*t, *reparsed));
+}
+
+// FormatTwig prints a bare quoted string for a value child that cannot
+// take the `=` form — a node with several value children, or value and
+// element children mixed. Before ParseChild learned that form, these
+// twigs printed fine but the print didn't parse back.
+TEST(FormatTwigTest, MixedValueAndElementChildrenRoundTrip) {
+  Twig t;
+  TwigNodeId root = t.AddRoot("a");
+  t.AddValue(root, "v1");
+  t.AddElement(root, "b");
+  t.AddValue(root, "v2");
+  const std::string printed = FormatTwig(t);
+  EXPECT_EQ(printed, "a(\"v1\", b, \"v2\")");
+  auto reparsed = ParseTwig(printed);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  EXPECT_TRUE(TwigEquals(t, *reparsed));
+}
+
+TEST(FormatTwigTest, MultipleValueChildrenRoundTrip) {
+  Twig t;
+  TwigNodeId root = t.AddRoot("author");
+  t.AddValue(root, "Su");
+  t.AddValue(root, "Sto");
+  auto reparsed = ParseTwig(FormatTwig(t));
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  EXPECT_TRUE(TwigEquals(t, *reparsed));
+}
+
+// Fuzz Parse(Format(t)) == t over random twig shapes whose value
+// strings draw from an alphabet of everything the grammar treats as
+// structure: quotes, backslashes, parens, commas, dots, equals,
+// whitespace. Escaping must round-trip all of it.
+TEST(FormatTwigTest, HostileValueFuzzRoundTrip) {
+  const std::string alphabet = "\"\\(),.= \tabz*_-:";
+  std::mt19937 rng(0x7719);
+  std::uniform_int_distribution<size_t> alpha(0, alphabet.size() - 1);
+  std::uniform_int_distribution<int> value_len(0, 12);
+  std::uniform_int_distribution<int> fanout(0, 3);
+  std::uniform_int_distribution<int> choice(0, 99);
+  const char* tags[] = {"a", "b", "cd", "x1", "*"};
+  std::uniform_int_distribution<size_t> tag_pick(0, 4);
+
+  auto random_value = [&] {
+    std::string v;
+    const int n = value_len(rng);
+    for (int i = 0; i < n; ++i) v.push_back(alphabet[alpha(rng)]);
+    return v;
+  };
+
+  for (int iteration = 0; iteration < 300; ++iteration) {
+    Twig t;
+    TwigNodeId root = t.AddRoot(tags[tag_pick(rng)]);
+    // Grow breadth-first up to a small size; values are always leaves.
+    std::vector<TwigNodeId> frontier = {root};
+    while (!frontier.empty() && t.size() < 12) {
+      TwigNodeId node = frontier.back();
+      frontier.pop_back();
+      const int children = fanout(rng);
+      for (int c = 0; c < children && t.size() < 12; ++c) {
+        if (choice(rng) < 40) {
+          t.AddValue(node, random_value());
+        } else {
+          frontier.push_back(t.AddElement(node, tags[tag_pick(rng)]));
+        }
+      }
+    }
+    const std::string printed = FormatTwig(t);
+    auto reparsed = ParseTwig(printed);
+    ASSERT_TRUE(reparsed.ok())
+        << "iteration " << iteration << ": " << printed << " -> "
+        << reparsed.status().ToString();
+    EXPECT_TRUE(TwigEquals(t, *reparsed))
+        << "iteration " << iteration << ": " << printed;
+    // Printing is idempotent: the reparse prints identically.
+    EXPECT_EQ(FormatTwig(*reparsed), printed);
+  }
 }
 
 TEST(TwigEqualsTest, DetectsDifferences) {

@@ -7,16 +7,20 @@
 
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <condition_variable>
 #include <cstring>
 #include <future>
+#include <limits>
 #include <map>
 #include <mutex>
 #include <optional>
+#include <random>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "core/canonical.h"
 #include "core/estimator.h"
 #include "cst/cst.h"
 #include "data/generators.h"
@@ -24,6 +28,7 @@
 #include "obs/metrics.h"
 #include "query/twig.h"
 #include "serve/bounded_queue.h"
+#include "serve/result_cache.h"
 #include "serve/service.h"
 #include "serve/snapshot.h"
 #include "serve/tcp.h"
@@ -273,12 +278,19 @@ TEST(SnapshotCatalogTest, ConcurrentSwapKeepsPinnedReadersBitIdentical) {
   constexpr int kRoundsPerReader = 50;
   std::atomic<bool> mismatch{false};
   std::atomic<size_t> pinned_old{0};
+  std::atomic<size_t> ready{0};
   std::vector<std::thread> readers;
   readers.reserve(kReaders);
   for (size_t r = 0; r < kReaders; ++r) {
     readers.emplace_back([&] {
+      // Pin v1 before the publish is allowed to proceed, so the
+      // "reader holds the old version across the swap" window is
+      // guaranteed, not raced for.
+      std::shared_ptr<const CstSnapshot> held = catalog.Current();
+      ready.fetch_add(1);
       for (int round = 0; round < kRoundsPerReader; ++round) {
-        std::shared_ptr<const CstSnapshot> pinned = catalog.Current();
+        std::shared_ptr<const CstSnapshot> pinned =
+            round == 0 ? held : catalog.Current();
         if (pinned->version == 1) {
           pinned_old.fetch_add(1);
           const double got = core::TwigEstimator(&pinned->summary)
@@ -287,18 +299,199 @@ TEST(SnapshotCatalogTest, ConcurrentSwapKeepsPinnedReadersBitIdentical) {
           // reader must reproduce the pre-swap estimate exactly.
           if (got != expected) mismatch.store(true);
         }
+        if (round == 0) held.reset();
       }
     });
   }
-  // Publish v2 (a different space budget: different CST contents) while
-  // the readers are mid-loop, then drop our own v1 pin so the readers'
-  // pins are the only thing keeping v1 alive.
+  // Publish v2 (a different space budget: different CST contents) only
+  // once every reader holds a v1 pin, then drop our own v1 pin so the
+  // readers' pins are the only thing keeping v1 alive.
+  while (ready.load() < kReaders) std::this_thread::yield();
   catalog.Publish(corpus.BuildCst(0.05), "v2");
   reference.reset();
   for (std::thread& t : readers) t.join();
   EXPECT_FALSE(mismatch.load());
   EXPECT_GT(pinned_old.load(), 0u);  // the race window was real
   EXPECT_EQ(catalog.version(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// ResultCache
+
+ResultCache::Key CacheKey(uint64_t version, const char* text,
+                          core::Algorithm algorithm = core::Algorithm::kMsh) {
+  return ResultCache::MakeKey(version, algorithm,
+                              core::CountSemantics::kOccurrence,
+                              MustParse(text));
+}
+
+CachedEstimate CacheValue(double estimate, uint64_t version) {
+  return CachedEstimate{estimate, version, std::chrono::nanoseconds(1000)};
+}
+
+TEST(ResultCacheTest, MissThenHitWithExactAccounting) {
+  ResultCache cache(ResultCacheOptions{2, 1});
+  CachedEstimate out;
+  EXPECT_FALSE(cache.Lookup(CacheKey(1, "a.b"), &out));
+  cache.Insert(CacheKey(1, "a.b"), CacheValue(41.5, 1));
+  ASSERT_TRUE(cache.Lookup(CacheKey(1, "a.b"), &out));
+  EXPECT_EQ(out.estimate, 41.5);
+  EXPECT_EQ(out.snapshot_version, 1u);
+  EXPECT_EQ(out.exec_time, std::chrono::nanoseconds(1000));
+  const ResultCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.evictions, 0u);
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(ResultCacheTest, EvictsTheLeastRecentlyUsedEntry) {
+  ResultCache cache(ResultCacheOptions{2, 1});
+  cache.Insert(CacheKey(1, "a.b"), CacheValue(1, 1));
+  cache.Insert(CacheKey(1, "a.c"), CacheValue(2, 1));
+  CachedEstimate out;
+  // Touch a.b so a.c becomes the LRU victim.
+  ASSERT_TRUE(cache.Lookup(CacheKey(1, "a.b"), &out));
+  cache.Insert(CacheKey(1, "a.d"), CacheValue(3, 1));
+  EXPECT_FALSE(cache.Lookup(CacheKey(1, "a.c"), &out));
+  EXPECT_TRUE(cache.Lookup(CacheKey(1, "a.b"), &out));
+  EXPECT_TRUE(cache.Lookup(CacheKey(1, "a.d"), &out));
+  const ResultCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.entries, 2u);
+}
+
+TEST(ResultCacheTest, InsertRefreshesAnExistingEntryWithoutEvicting) {
+  ResultCache cache(ResultCacheOptions{2, 1});
+  cache.Insert(CacheKey(1, "a.b"), CacheValue(1, 1));
+  cache.Insert(CacheKey(1, "a.c"), CacheValue(2, 1));
+  // Re-inserting a.b updates in place (and makes it MRU): no eviction.
+  cache.Insert(CacheKey(1, "a.b"), CacheValue(10, 1));
+  EXPECT_EQ(cache.stats().evictions, 0u);
+  EXPECT_EQ(cache.stats().entries, 2u);
+  cache.Insert(CacheKey(1, "a.d"), CacheValue(3, 1));  // evicts a.c
+  CachedEstimate out;
+  EXPECT_FALSE(cache.Lookup(CacheKey(1, "a.c"), &out));
+  ASSERT_TRUE(cache.Lookup(CacheKey(1, "a.b"), &out));
+  EXPECT_EQ(out.estimate, 10);
+}
+
+TEST(ResultCacheTest, VersionsAreIsolated) {
+  ResultCache cache(ResultCacheOptions{8, 1});
+  cache.Insert(CacheKey(1, "a.b"), CacheValue(10, 1));
+  cache.Insert(CacheKey(2, "a.b"), CacheValue(20, 2));
+  CachedEstimate out;
+  ASSERT_TRUE(cache.Lookup(CacheKey(1, "a.b"), &out));
+  EXPECT_EQ(out.estimate, 10);
+  ASSERT_TRUE(cache.Lookup(CacheKey(2, "a.b"), &out));
+  EXPECT_EQ(out.estimate, 20);
+  // A version nobody cached under never hits, same query or not.
+  EXPECT_FALSE(cache.Lookup(CacheKey(3, "a.b"), &out));
+}
+
+TEST(ResultCacheTest, AlgorithmAndSpellingFoldIntoTheKey) {
+  ResultCache cache(ResultCacheOptions{8, 1});
+  cache.Insert(CacheKey(1, "book(author, year)"), CacheValue(7, 1));
+  CachedEstimate out;
+  // A different spelling of the same twig is the same key...
+  EXPECT_TRUE(
+      cache.Lookup(CacheKey(1, "  book ( author , year ) "), &out));
+  EXPECT_EQ(out.estimate, 7);
+  // ...but a different algorithm is a different question.
+  EXPECT_FALSE(cache.Lookup(
+      CacheKey(1, "book(author, year)", core::Algorithm::kMo), &out));
+}
+
+TEST(ResultCacheTest, FingerprintCollisionDegradesToAMiss) {
+  ResultCache cache(ResultCacheOptions{8, 1});
+  // Two hand-built keys that collide on (version, fingerprint) but
+  // are different queries. The exact text compare must refuse to
+  // serve one query's value for the other.
+  ResultCache::Key first;
+  first.snapshot_version = 1;
+  first.fingerprint = 0x1234;
+  first.canonical_text = "a.b";
+  ResultCache::Key second = first;
+  second.canonical_text = "a.c";
+  cache.Insert(first, CacheValue(10, 1));
+  CachedEstimate out;
+  EXPECT_FALSE(cache.Lookup(second, &out));  // collision != hit
+  ASSERT_TRUE(cache.Lookup(first, &out));
+  EXPECT_EQ(out.estimate, 10);
+}
+
+TEST(ResultCacheTest, ShardAndCapacityRounding) {
+  // Shards round up to a power of two.
+  EXPECT_EQ(ResultCache(ResultCacheOptions{4096, 3}).num_shards(), 4u);
+  EXPECT_EQ(ResultCache(ResultCacheOptions{4096, 8}).num_shards(), 8u);
+  // Tiny caches shed shards rather than create empty ones.
+  const ResultCache tiny(ResultCacheOptions{2, 8});
+  EXPECT_LE(tiny.num_shards(), 2u);
+  EXPECT_GE(tiny.capacity(), 2u);
+  // Zero entries still yields a working one-entry cache.
+  ResultCache minimal(ResultCacheOptions{0, 0});
+  EXPECT_GE(minimal.capacity(), 1u);
+  minimal.Insert(CacheKey(1, "a.b"), CacheValue(1, 1));
+  CachedEstimate out;
+  EXPECT_TRUE(minimal.Lookup(CacheKey(1, "a.b"), &out));
+}
+
+// Run under TSan via the verify-tsan workflow: concurrent lookups,
+// inserts, and evictions across versions must stay data-race free and
+// never pay out a value that belongs to a different key.
+TEST(ResultCacheTest, ConcurrentHammerStaysConsistent) {
+  ResultCache cache(ResultCacheOptions{64, 4});
+  // A small key space over two "versions" so threads constantly
+  // collide on shards and force evictions (64 entries, 100 keys).
+  std::vector<ResultCache::Key> keys;
+  for (uint64_t version = 1; version <= 2; ++version) {
+    for (int q = 0; q < 50; ++q) {
+      ResultCache::Key key;
+      key.snapshot_version = version;
+      key.canonical_text = "q" + std::to_string(q);
+      key.fingerprint = core::CanonicalQueryFingerprint(
+          key.canonical_text, key.algorithm, key.semantics);
+      keys.push_back(std::move(key));
+    }
+  }
+  const auto value_for = [](const ResultCache::Key& key) {
+    return static_cast<double>(key.fingerprint ^ key.snapshot_version);
+  };
+
+  constexpr size_t kThreads = 8;
+  constexpr int kOpsPerThread = 4000;
+  std::atomic<size_t> lookups{0};
+  std::atomic<bool> corrupted{false};
+  std::vector<std::thread> threads;
+  for (size_t tid = 0; tid < kThreads; ++tid) {
+    threads.emplace_back([&, tid] {
+      std::mt19937 rng(static_cast<unsigned>(tid) * 7919 + 3);
+      std::uniform_int_distribution<size_t> pick(0, keys.size() - 1);
+      std::uniform_int_distribution<int> coin(0, 1);
+      for (int op = 0; op < kOpsPerThread; ++op) {
+        const ResultCache::Key& key = keys[pick(rng)];
+        if (coin(rng) == 0) {
+          cache.Insert(key, CacheValue(value_for(key),
+                                       key.snapshot_version));
+        } else {
+          lookups.fetch_add(1, std::memory_order_relaxed);
+          CachedEstimate out;
+          if (cache.Lookup(key, &out) &&
+              (out.estimate != value_for(key) ||
+               out.snapshot_version != key.snapshot_version)) {
+            corrupted.store(true);
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_FALSE(corrupted.load());
+  const ResultCache::Stats stats = cache.stats();
+  EXPECT_LE(stats.entries, cache.capacity());
+  EXPECT_EQ(stats.hits + stats.misses, lookups.load());
+  EXPECT_GT(stats.hits, 0u);
+  EXPECT_GT(stats.evictions, 0u);  // 100 keys through 64 entries
 }
 
 // ---------------------------------------------------------------------------
@@ -352,6 +545,16 @@ TEST(EstimateServiceTest, NoSnapshotYieldsUnavailable) {
 /// the queue deterministically behind it.
 class WorkerGate {
  public:
+  /// Starts armed by default; pass false to let requests flow until
+  /// Arm() (e.g. to warm a cache first).
+  explicit WorkerGate(bool armed = true) : armed_(armed) {}
+
+  void Arm() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    armed_ = true;
+    held_ = false;
+  }
+
   ServiceOptions Options(size_t queue_capacity) {
     ServiceOptions options;
     options.num_workers = 1;
@@ -385,7 +588,7 @@ class WorkerGate {
   std::mutex mutex_;
   std::condition_variable held_cv_;
   std::condition_variable release_cv_;
-  bool armed_ = true;
+  bool armed_;
   bool held_ = false;
 };
 
@@ -515,6 +718,113 @@ TEST(EstimateServiceTest, StagesFeedTheMetricsRegistry) {
   EXPECT_GE(delta.latency[obs::kServeWaitSeries].count, 2u);
 }
 
+TEST(EstimateServiceTest, CacheIsOffUnlessConfigured) {
+  SnapshotCatalog catalog;
+  catalog.Publish(BuildFigureOneCst(), "v1");
+  EstimateService service(&catalog);
+  EXPECT_EQ(service.result_cache(), nullptr);
+  EstimateResponse response = service.SubmitAndWait(MakeRequest("book.author"));
+  ASSERT_TRUE(response.status.ok());
+  EXPECT_FALSE(response.cached);
+  response = service.SubmitAndWait(MakeRequest("book.author"));
+  EXPECT_FALSE(response.cached);  // same query, still computed
+}
+
+TEST(EstimateServiceTest, CacheHitIsBitIdenticalAndBypassesAFullQueue) {
+  const Corpus& corpus = SharedCorpus();
+  SnapshotCatalog catalog;
+  catalog.Publish(corpus.BuildCst(0.02), "v1");
+  WorkerGate gate(/*armed=*/false);
+  ServiceOptions options = gate.Options(/*queue_capacity=*/1);
+  options.cache_entries = 64;
+  EstimateService service(&catalog, options);
+  ASSERT_NE(service.result_cache(), nullptr);
+
+  // Warm the cache while the gate lets requests flow.
+  const double expected =
+      core::TwigEstimator(&catalog.Current()->summary)
+          .Estimate(MustParse("article(author, year)"), core::Algorithm::kMsh);
+  EstimateResponse first =
+      service.SubmitAndWait(MakeRequest("article(author, year)"));
+  ASSERT_TRUE(first.status.ok());
+  EXPECT_FALSE(first.cached);
+  EXPECT_EQ(first.estimate, expected);
+
+  // Park the only worker and fill the one-slot queue with misses.
+  gate.Arm();
+  std::future<EstimateResponse> parked =
+      service.Submit(MakeRequest("article.title"));
+  gate.AwaitHeld();
+  std::future<EstimateResponse> queued =
+      service.Submit(MakeRequest("inproceedings(author, pages)"));
+  EstimateResponse overloaded =
+      service.SubmitAndWait(MakeRequest("book.publisher"));
+  EXPECT_EQ(overloaded.status.code(), StatusCode::kUnavailable);
+
+  // The cached query sails past the saturated queue: answered
+  // immediately, bit-identical, flagged, echoing the original compute
+  // cost.
+  EstimateResponse hit =
+      service.SubmitAndWait(MakeRequest("article(author, year)"));
+  ASSERT_TRUE(hit.status.ok());
+  EXPECT_TRUE(hit.cached);
+  EXPECT_EQ(hit.estimate, expected);
+  EXPECT_EQ(hit.snapshot_version, 1u);
+  EXPECT_EQ(hit.exec_time, first.exec_time);
+
+  gate.Release();
+  EXPECT_TRUE(parked.get().status.ok());
+  EXPECT_TRUE(queued.get().status.ok());
+  EXPECT_GE(service.result_cache()->stats().hits, 1u);
+}
+
+TEST(EstimateServiceTest, CacheEntriesAreVersionIsolatedAcrossAHotSwap) {
+  const Corpus& corpus = SharedCorpus();
+  const obs::MetricsSnapshot before = obs::MetricsRegistry::Get().Snapshot();
+  SnapshotCatalog catalog;
+  catalog.Publish(corpus.BuildCst(0.02), "v1");
+  ServiceOptions options;
+  options.num_workers = 1;
+  options.cache_entries = 64;
+  EstimateService service(&catalog, options);
+
+  EstimateRequest request = MakeRequest("article(author, year)");
+  EstimateResponse computed_v1 = service.SubmitAndWait(request);
+  ASSERT_TRUE(computed_v1.status.ok());
+  EXPECT_FALSE(computed_v1.cached);
+  EstimateResponse hit_v1 = service.SubmitAndWait(request);
+  ASSERT_TRUE(hit_v1.status.ok());
+  EXPECT_TRUE(hit_v1.cached);
+  EXPECT_EQ(hit_v1.estimate, computed_v1.estimate);
+  EXPECT_EQ(hit_v1.snapshot_version, 1u);
+
+  // Hot swap to a different CST. The v1 entry must not answer for v2.
+  catalog.Publish(corpus.BuildCst(0.05), "v2");
+  const double expected_v2 =
+      core::TwigEstimator(&catalog.Current()->summary)
+          .Estimate(MustParse("article(author, year)"), core::Algorithm::kMsh);
+  EstimateResponse computed_v2 = service.SubmitAndWait(request);
+  ASSERT_TRUE(computed_v2.status.ok());
+  EXPECT_FALSE(computed_v2.cached);  // fresh version, fresh compute
+  EXPECT_EQ(computed_v2.snapshot_version, 2u);
+  EXPECT_EQ(computed_v2.estimate, expected_v2);
+  EstimateResponse hit_v2 = service.SubmitAndWait(request);
+  ASSERT_TRUE(hit_v2.status.ok());
+  EXPECT_TRUE(hit_v2.cached);
+  EXPECT_EQ(hit_v2.snapshot_version, 2u);
+  EXPECT_EQ(hit_v2.estimate, expected_v2);
+
+  service.Shutdown(/*drain=*/true);
+  const obs::MetricsSnapshot delta =
+      obs::MetricsRegistry::Get().Snapshot().Delta(before);
+  const auto count = [&](obs::Counter c) {
+    return delta.counters[static_cast<size_t>(c)];
+  };
+  EXPECT_GE(count(obs::Counter::kServeCacheHits), 2u);
+  EXPECT_GE(count(obs::Counter::kServeCacheMisses), 2u);
+  EXPECT_GE(delta.latency[obs::kServeCacheHitSeries].count, 2u);
+}
+
 // ---------------------------------------------------------------------------
 // Wire protocol
 
@@ -623,6 +933,99 @@ TEST(WireTest, ResponsesEncodeTheDocumentedSchema) {
   const obs::JsonValue* metrics = parsed->Find("metrics");
   ASSERT_NE(metrics, nullptr);
   EXPECT_NE(metrics->Find("counters"), nullptr);
+}
+
+// Regression: validation used to be `number_value < 0`, which huge
+// finite doubles pass — and 1e308 milliseconds overflows the
+// steady_clock duration conversion in the TCP front-end (signed
+// integer overflow, UB). NaN also passes `< 0` (every comparison with
+// NaN is false); the strict JSON parser keeps NaN/Inf literals off
+// the wire, so the helper is pinned directly too.
+TEST(WireTest, RejectsNonFiniteAndOverflowingRangeFields) {
+  Result<WireRequest> r =
+      ParseRequest("{\"op\":\"estimate\",\"deadline_ms\":1e308}");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+
+  r = ParseRequest("{\"op\":\"swap\",\"space\":1e308}");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+
+  r = ParseRequest("{\"op\":\"estimate\",\"deadline_ms\":-1}");
+  EXPECT_FALSE(r.ok());
+
+  // The documented bounds themselves are accepted.
+  r = ParseRequest("{\"op\":\"estimate\",\"deadline_ms\":1e9}");
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  r = ParseRequest("{\"op\":\"swap\",\"space\":1e6}");
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  r = ParseRequest("{\"op\":\"estimate\",\"deadline_ms\":1.000001e9}");
+  EXPECT_FALSE(r.ok());
+
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(IsFiniteNonNegative(nan, kMaxDeadlineMs));
+  EXPECT_FALSE(IsFiniteNonNegative(inf, kMaxDeadlineMs));
+  EXPECT_FALSE(IsFiniteNonNegative(-inf, kMaxDeadlineMs));
+  EXPECT_FALSE(IsFiniteNonNegative(-1, kMaxDeadlineMs));
+  EXPECT_FALSE(IsFiniteNonNegative(kMaxDeadlineMs * 1.01, kMaxDeadlineMs));
+  EXPECT_TRUE(IsFiniteNonNegative(0, kMaxDeadlineMs));
+  EXPECT_TRUE(IsFiniteNonNegative(-0.0, kMaxDeadlineMs));
+  EXPECT_TRUE(IsFiniteNonNegative(kMaxDeadlineMs, kMaxDeadlineMs));
+}
+
+// Regression: a NaN/Inf estimate pushed through JsonWriter::Double
+// renders as null (bare NaN is not JSON); the response must stay
+// parseable and say what happened instead of silently nulling.
+TEST(WireTest, NonFiniteEstimateEncodesAsNullPlusErrorFlag) {
+  WireRequest request;
+  request.op = "estimate";
+  request.has_id = true;
+  request.id = 5;
+
+  for (double bad : {std::numeric_limits<double>::quiet_NaN(),
+                     std::numeric_limits<double>::infinity(),
+                     -std::numeric_limits<double>::infinity()}) {
+    EstimateResponse response;
+    response.status = Status::OK();
+    response.estimate = bad;
+    response.snapshot_version = 1;
+    const std::string line = EstimateWireResponse(request, response);
+    Result<obs::JsonValue> parsed = obs::ParseJson(line);
+    ASSERT_TRUE(parsed.ok()) << line;  // the whole point: valid JSON
+    const obs::JsonValue* estimate = parsed->Find("estimate");
+    ASSERT_NE(estimate, nullptr);
+    EXPECT_EQ(estimate->kind, obs::JsonValue::Kind::kNull);
+    EXPECT_EQ(parsed->GetString("estimate_error"), "non-finite estimate");
+  }
+
+  // A finite estimate carries no error flag.
+  EstimateResponse good;
+  good.status = Status::OK();
+  good.estimate = 2.5;
+  Result<obs::JsonValue> parsed =
+      obs::ParseJson(EstimateWireResponse(request, good));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->Find("estimate_error"), nullptr);
+  EXPECT_DOUBLE_EQ(parsed->GetNumber("estimate"), 2.5);
+}
+
+TEST(WireTest, CachedFlagRoundTripsThroughTheWire) {
+  WireRequest request;
+  request.op = "estimate";
+  EstimateResponse response;
+  response.status = Status::OK();
+  response.estimate = 3.5;
+  response.cached = true;
+  Result<obs::JsonValue> parsed =
+      obs::ParseJson(EstimateWireResponse(request, response));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->GetBool("cached"));
+
+  response.cached = false;
+  parsed = obs::ParseJson(EstimateWireResponse(request, response));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_FALSE(parsed->GetBool("cached", true));
 }
 
 // ---------------------------------------------------------------------------
