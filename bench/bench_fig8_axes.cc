@@ -1,0 +1,89 @@
+// Figure 8 (extension): estimation accuracy once the query language is
+// opened to wildcard (`*`) and descendant (`//`) axes — not in the
+// paper, whose workloads are child-edge twigs with concrete tags.
+//
+// Axes workloads generalize positive queries (GenerateAxes), so every
+// query still matches and has an exact occurrence truth. Each panel
+// fixes a (wildcard, descendant) rewrite mix and sweeps summary space;
+// rows are log10(avg relative squared error) per algorithm, as in
+// Figure 4. Queries whose frontier aggregation exceeds the walker's
+// budget fail with a structured error and are reported as failures —
+// never averaged in as silent zeros.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "exp/harness.h"
+
+namespace {
+
+using namespace twig;
+
+struct AxisMix {
+  const char* title;
+  double wildcard;
+  double descendant;
+};
+
+void RunPanel(const exp::Dataset& ds, const AxisMix& mix,
+              const std::vector<double>& fractions) {
+  workload::WorkloadOptions wopt;
+  wopt.num_queries = 400;
+  wopt.seed = 1789;
+  wopt.wildcard_probability = mix.wildcard;
+  wopt.descendant_probability = mix.descendant;
+  workload::Workload wl = workload::GenerateAxes(ds.tree, wopt);
+
+  std::printf("\n%s — wildcard p=%.1f, descendant p=%.1f, %zu queries\n",
+              mix.title, mix.wildcard, mix.descendant, wl.size());
+  std::vector<std::string> names;
+  for (core::Algorithm a : core::kAllAlgorithms) {
+    names.push_back(core::AlgorithmName(a));
+  }
+  exp::PrintSeriesHeader("space", names);
+  for (double fraction : fractions) {
+    cst::Cst summary = exp::BuildCstAtFraction(ds, fraction);
+    std::vector<double> row;
+    for (const auto& eval : exp::EvaluateAll(summary, wl)) {
+      row.push_back(stats::ErrorAccumulator::Log10(
+          eval.errors.AvgRelativeSquaredError()));
+    }
+    char label[32];
+    std::snprintf(label, sizeof(label), "%.2f%%", fraction * 100);
+    exp::PrintSeriesRow(label, row);
+  }
+
+  cst::Cst summary = exp::BuildCstAtFraction(ds, fractions.back());
+  std::printf("avg relative error at %.1f%% space:\n",
+              fractions.back() * 100);
+  for (core::Algorithm algorithm : core::kAllAlgorithms) {
+    stats::BatchStats stats;
+    const exp::AlgorithmEval eval =
+        exp::EvaluateOne(summary, wl, algorithm, /*num_threads=*/1, &stats);
+    std::printf("  %-8s %6.1f%%  (%zu estimated, %zu failed)\n",
+                core::AlgorithmName(algorithm),
+                100 * eval.errors.AvgRelativeError(), eval.errors.count(),
+                stats.queries_failed);
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Figure 8: wildcard / descendant axes, log10(avg relative "
+              "squared error) vs space ==\n");
+  exp::Dataset ds = exp::MakeDataset(exp::DatasetKind::kDblp,
+                                     exp::kDefaultDblpBytes,
+                                     /*seed=*/20010402);
+  std::printf("%s data, %zu nodes\n", ds.name.c_str(), ds.tree.size());
+  const std::vector<double> fractions = {0.002, 0.005, 0.01};
+  const AxisMix mixes[] = {
+      {"(baseline) child edges only", 0.0, 0.0},
+      {"(a) wildcards", 0.3, 0.0},
+      {"(b) descendant edges", 0.0, 0.3},
+      {"(c) both axes", 0.3, 0.3},
+  };
+  for (const AxisMix& mix : mixes) RunPanel(ds, mix, fractions);
+  return 0;
+}

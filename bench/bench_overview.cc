@@ -66,7 +66,8 @@ int main() {
   cst::Cst summary = cst::Cst::Build(data, pst, copt);
 
   auto twig = query::ParseTwig("book(author, year=\"Y1\")");
-  const match::TwigCounts truth = match::CountTwigMatches(data, *twig);
+  const match::TwigCounts truth =
+      match::CountTwigMatches(data, *twig).value();
   std::printf("query %s: true presence=%.0f, true occurrence=%.0f\n",
               query::FormatTwig(*twig).c_str(), truth.presence,
               truth.occurrence);

@@ -164,7 +164,8 @@ void BM_ExactMatchCount(benchmark::State& state) {
   const auto& wl = SharedWorkload();
   size_t i = 0;
   for (auto _ : state) {
-    const auto counts = match::CountTwigMatches(data, wl[i % wl.size()].twig);
+    const auto counts =
+        match::CountTwigMatches(data, wl[i % wl.size()].twig).value();
     benchmark::DoNotOptimize(counts.occurrence);
     ++i;
   }

@@ -85,7 +85,7 @@ int main(int argc, char** argv) {
       Branch b;
       b.text = query::FormatTwig(branch);
       b.estimated = estimator.Estimate(branch, core::Algorithm::kMsh);
-      b.true_count = match::CountTwigMatches(data, branch).occurrence;
+      b.true_count = match::CountTwigMatches(data, branch).value().occurrence;
       branches.push_back(std::move(b));
     }
     for (const auto& b : branches) {

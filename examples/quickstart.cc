@@ -86,7 +86,8 @@ int main(int argc, char** argv) {
                    twig_query.status().ToString().c_str());
       continue;
     }
-    const match::TwigCounts truth = match::CountTwigMatches(data, *twig_query);
+    const match::TwigCounts truth =
+        match::CountTwigMatches(data, *twig_query).value();
     const double msh =
         estimator.Estimate(*twig_query, core::Algorithm::kMsh);
     const double mo = estimator.Estimate(*twig_query, core::Algorithm::kMo);

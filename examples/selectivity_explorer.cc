@@ -102,7 +102,8 @@ int main(int argc, char** argv) {
                      twig.status().ToString().c_str());
         continue;
       }
-      const match::TwigCounts truth = match::CountTwigMatches(data, *twig);
+      const match::TwigCounts truth =
+          match::CountTwigMatches(data, *twig).value();
       std::printf("%-44s %10.0f", text.c_str(), truth.occurrence);
       for (core::Algorithm a : core::kAllAlgorithms) {
         std::printf(" %9.1f", estimator.Estimate(*twig, a));

@@ -148,7 +148,8 @@ int main(int argc, char** argv) {
                 HumanBytes(summary.size_bytes()).c_str(),
                 100.0 * summary.size_bytes() / xml_bytes,
                 summary.prune_threshold());
-    const match::TwigCounts truth = match::CountTwigMatches(data, *twig);
+    const match::TwigCounts truth =
+        match::CountTwigMatches(data, *twig).value();
     std::printf("query %s: true presence %.0f, true occurrence %.0f\n",
                 query::FormatTwig(*twig).c_str(), truth.presence,
                 truth.occurrence);

@@ -54,17 +54,62 @@ cst::CstNodeId Combiner::LookupAtoms(const AtomSeq& seq) const {
   return node;
 }
 
-void Combiner::TraceSubpath(const AtomSeq& seq, cst::CstNodeId node,
+SubpathLookup Combiner::LookupSubpath(const AtomSeq& seq) const {
+  SubpathLookup out;
+  if (!NeedsFrontier(eq_, seq.data(), seq.size())) {
+    const cst::CstNodeId node = LookupAtoms(seq);
+    if (node == cst::kNoCstNode) return out;
+    out.matched = true;
+    out.node = node;
+    out.agg_nodes = 1;
+    out.presence = cst_.PresenceCount(node);
+    out.occurrence = cst_.OccurrenceCount(node);
+    return out;
+  }
+  ++tally_lookups_;
+  const FrontierMatch fm =
+      ResolveAtomFrontier(eq_, cst_, seq.data(), seq.size());
+  if (fm.truncated) {
+    ++tally_misses_;
+    Fail(Status::InvalidArgument(
+        "wildcard/descendant aggregation budget exceeded for subpath " +
+        RenderAtomSeq(eq_, cst_.labels(), seq)));
+    return out;
+  }
+  if (fm.matched < seq.size() || fm.nodes.empty()) {
+    ++tally_misses_;
+    return out;
+  }
+  ++tally_hits_;
+  out.matched = true;
+  out.agg_nodes = static_cast<uint32_t>(fm.nodes.size());
+  if (out.agg_nodes == 1) out.node = fm.nodes.front();
+  // Each frontier node is a distinct label path, so the instance sets
+  // are disjoint and occurrence sums are exact; the presence sum is an
+  // upper bound (one data node can root several of the paths).
+  for (const cst::CstNodeId node : fm.nodes) {
+    out.presence += cst_.PresenceCount(node);
+    out.occurrence += cst_.OccurrenceCount(node);
+  }
+  return out;
+}
+
+void Combiner::TraceSubpath(const AtomSeq& seq, const SubpathLookup& lookup,
                             double count_used) const {
   if (current_piece_ == nullptr) return;
   obs::SubpathTrace sp;
-  if (node == cst::kNoCstNode) {
+  if (!lookup.matched) {
     sp.subpath = RenderAtomSeq(eq_, cst_.labels(), seq);
   } else {
-    sp.subpath = cst_.DescribeSubpath(node);
+    // Aggregated lookups have no single CST subpath to describe;
+    // render the query side instead.
+    sp.subpath = lookup.agg_nodes == 1
+                     ? cst_.DescribeSubpath(lookup.node)
+                     : RenderAtomSeq(eq_, cst_.labels(), seq);
     sp.hit = true;
-    sp.presence = cst_.PresenceCount(node);
-    sp.occurrence = cst_.OccurrenceCount(node);
+    sp.presence = lookup.presence;
+    sp.occurrence = lookup.occurrence;
+    sp.aggregated = lookup.agg_nodes;
   }
   sp.count = count_used;
   current_piece_->subpaths.push_back(std::move(sp));
@@ -73,13 +118,13 @@ void Combiner::TraceSubpath(const AtomSeq& seq, cst::CstNodeId node,
 double Combiner::SubpathsCount(const SubpathList& subpaths) const {
   assert(!subpaths.empty());
   if (subpaths.size() == 1) {
-    const cst::CstNodeId node = LookupAtoms(subpaths[0]);
-    if (node == cst::kNoCstNode) {
-      TraceSubpath(subpaths[0], node, options_.missing_count);
+    const SubpathLookup lookup = LookupSubpath(subpaths[0]);
+    if (!lookup.matched) {
+      TraceSubpath(subpaths[0], lookup, options_.missing_count);
       return options_.missing_count;
     }
-    const double count = CountOf(node);
-    TraceSubpath(subpaths[0], node, count);
+    const double count = CountOfLookup(lookup);
+    TraceSubpath(subpaths[0], lookup, count);
     return count;
   }
 
@@ -99,6 +144,7 @@ double Combiner::SubpathsCount(const SubpathList& subpaths) const {
   //      scaling per group.
   struct Group {
     AtomSeq prefix;              // root .. LCP node (CST-resolvable)
+    SubpathLookup lookup;        // resolved prefix (counts, node)
     double multiplicity = 1.0;   // expected instances per rooting node
     double presence_factor = 1.0;  // presence-mode damping (<= 1)
   };
@@ -119,7 +165,10 @@ double Combiner::SubpathsCount(const SubpathList& subpaths) const {
       }
       parts[p].push_back(&sp);
     }
-    if (parts.empty()) return CountOf(LookupAtoms(subpaths[0]));
+    if (parts.empty()) {
+      const SubpathLookup lookup = LookupSubpath(subpaths[0]);
+      return lookup.matched ? CountOfLookup(lookup) : options_.missing_count;
+    }
 
     for (const auto& part : parts) {
       Group group;
@@ -137,13 +186,13 @@ double Combiner::SubpathsCount(const SubpathList& subpaths) const {
         ++lcp;
       }
       group.prefix.assign(part[0]->begin(), part[0]->begin() + lcp);
-      const cst::CstNodeId prefix_node = LookupAtoms(group.prefix);
-      if (prefix_node == cst::kNoCstNode) {
-        TraceSubpath(group.prefix, prefix_node, options_.missing_count);
+      group.lookup = LookupSubpath(group.prefix);
+      if (!group.lookup.matched) {
+        TraceSubpath(group.prefix, group.lookup, options_.missing_count);
         return options_.missing_count;
       }
-      const double prefix_cp = std::max(cst_.PresenceCount(prefix_node), 1.0);
-      const double prefix_co = cst_.OccurrenceCount(prefix_node);
+      const double prefix_cp = std::max(group.lookup.presence, 1.0);
+      const double prefix_co = group.lookup.occurrence;
       group.multiplicity = prefix_co / prefix_cp;
       if (part.size() >= 2) {
         // Joint branch structure below the LCP node w.
@@ -152,11 +201,11 @@ double Combiner::SubpathsCount(const SubpathList& subpaths) const {
           branches.emplace_back(sp->begin() + (lcp - 1), sp->end());
         }
         const double branch_count = SubpathsCount(branches);
-        const cst::CstNodeId w_node = LookupAtoms({(*part[0])[lcp - 1]});
+        AtomSeq w_seq;
+        w_seq.push_back((*part[0])[lcp - 1]);
+        const SubpathLookup w_lookup = LookupSubpath(w_seq);
         const double w_count =
-            w_node == cst::kNoCstNode
-                ? 1.0
-                : std::max(cst_.PresenceCount(w_node), 1.0);
+            w_lookup.matched ? std::max(w_lookup.presence, 1.0) : 1.0;
         group.multiplicity *= branch_count / w_count;
         group.presence_factor = std::min(1.0, group.multiplicity);
       }
@@ -167,9 +216,8 @@ double Combiner::SubpathsCount(const SubpathList& subpaths) const {
   if (groups.size() == 1) {
     // All subpaths share their first edge: pure prefix extension.
     const Group& g = groups[0];
-    const cst::CstNodeId node = LookupAtoms(g.prefix);
-    const double cp = cst_.PresenceCount(node);
-    TraceSubpath(g.prefix, node, CountOf(node));
+    const double cp = g.lookup.presence;
+    TraceSubpath(g.prefix, g.lookup, CountOfLookup(g.lookup));
     if (options_.semantics == CountSemantics::kOccurrence) {
       return cp * g.multiplicity;
     }
@@ -188,20 +236,26 @@ double Combiner::SubpathsCount(const SubpathList& subpaths) const {
     ix = &current_piece_->intersections.back();
   }
   for (const Group& group : groups) {
-    const cst::CstNodeId node = LookupAtoms(group.prefix);
-    const double cp = cst_.PresenceCount(node);
+    const double cp = group.lookup.presence;
     if (cp <= 0) return 0.0;
-    const sethash::Signature* sig = cst_.GetSignature(node);
+    // Aggregated prefixes have no single rooting-set signature; they
+    // join the signature-less fallback path (min of presences).
+    const sethash::Signature* sig = group.lookup.agg_nodes == 1
+                                        ? cst_.GetSignature(group.lookup.node)
+                                        : nullptr;
     if (sig == nullptr) {
       fallback_min = fallback_min < 0 ? cp : std::min(fallback_min, cp);
     } else {
       sized.push_back({sig, cp});
     }
     if (ix != nullptr) {
-      ix->inputs.push_back(cst_.DescribeSubpath(node));
+      ix->inputs.push_back(group.lookup.agg_nodes == 1
+                               ? cst_.DescribeSubpath(group.lookup.node)
+                               : RenderAtomSeq(eq_, cst_.labels(),
+                                               group.prefix));
       ix->input_sizes.push_back(cp);
     }
-    TraceSubpath(group.prefix, node, CountOf(node));
+    TraceSubpath(group.prefix, group.lookup, CountOfLookup(group.lookup));
     representatives.push_back(group.prefix);
     multiplicities.push_back(group.multiplicity);
     presence_damp *= group.presence_factor;
@@ -262,11 +316,19 @@ double Combiner::OccurrenceScale(
   std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
     return subpaths[a].size() > subpaths[b].size();
   });
+  // True when every child satisfying `longer` also satisfies
+  // `shorter`: position-wise, the shorter atom must generalize the
+  // longer one — same symbol, or a wildcard, and (positionally) a
+  // descendant edge generalizes a child edge.
   auto symbols_prefix_of = [&](const AtomSeq& shorter,
                                const AtomSeq& longer) {
     if (shorter.size() > longer.size()) return false;
     for (size_t i = 0; i < shorter.size(); ++i) {
-      if (eq_.atoms[shorter[i]].symbol != eq_.atoms[longer[i]].symbol) {
+      const ExpandedQuery::Atom& s = eq_.atoms[shorter[i]];
+      const ExpandedQuery::Atom& l = eq_.atoms[longer[i]];
+      if (!s.wildcard && (l.wildcard || s.symbol != l.symbol)) return false;
+      if (i > 0 && s.edge != l.edge &&
+          s.edge != query::EdgeKind::kDescendant) {
         return false;
       }
     }
@@ -302,7 +364,7 @@ double Combiner::TwigletMoFallback(const SubpathList& subpaths) const {
 double Combiner::PieceCount(const EstimandPiece& piece) const {
   if (piece.missing) {
     if (!piece.subpaths.empty()) {
-      TraceSubpath(piece.subpaths[0], cst::kNoCstNode,
+      TraceSubpath(piece.subpaths[0], SubpathLookup{},
                    options_.missing_count);
     }
     return options_.missing_count;

@@ -24,6 +24,7 @@
 #include "core/pieces.h"
 #include "cst/cst.h"
 #include "obs/trace.h"
+#include "util/status.h"
 
 namespace twig::core {
 
@@ -57,6 +58,22 @@ struct CombineOptions {
 /// (<= 0 selects the automatic half-threshold default).
 double ResolveMissingCount(const cst::Cst& cst, double requested);
 
+/// One subpath resolved against the CST — possibly by aggregating over
+/// a frontier of CST nodes (wildcard / descendant expansion).
+struct SubpathLookup {
+  /// True if the whole sequence resolved (counts below are valid).
+  bool matched = false;
+  /// Summed presence / occurrence counts over the frontier.
+  double presence = 0;
+  double occurrence = 0;
+  /// The matching CST node when agg_nodes == 1 — signatures and
+  /// subpath descriptions are only meaningful for a single node;
+  /// kNoCstNode when the lookup aggregated several.
+  cst::CstNodeId node = cst::kNoCstNode;
+  /// Number of CST nodes aggregated (1 for plain lookups).
+  uint32_t agg_nodes = 0;
+};
+
 /// Minimum matching signature components for a set-hash twiglet
 /// estimate to be trusted; below this the twiglet degrades to pure-MO
 /// conditioning (the intersection is under the signatures' resolution).
@@ -88,9 +105,32 @@ class Combiner {
   /// components are estimated independently and multiplied.
   double AtomSetProb(const AtomSeq& atoms) const;
 
+  /// OK unless a lookup blew the frontier aggregation budget
+  /// (kMaxFrontierNodes / kMaxFrontierVisits). Sticky: once set, every
+  /// estimate produced by this combiner is untrustworthy and callers
+  /// must surface the error instead of the number (the no-silent-zero
+  /// contract).
+  const Status& status() const { return status_; }
+
  private:
   /// CST node for an explicit atom sequence, or kNoCstNode.
   cst::CstNodeId LookupAtoms(const AtomSeq& seq) const;
+
+  /// Resolves a subpath, dispatching between the plain walk and
+  /// frontier aggregation; sets status() on budget exhaustion.
+  SubpathLookup LookupSubpath(const AtomSeq& seq) const;
+
+  /// The requested-semantics count of a resolved lookup.
+  double CountOfLookup(const SubpathLookup& lookup) const {
+    return options_.semantics == CountSemantics::kOccurrence
+               ? lookup.occurrence
+               : lookup.presence;
+  }
+
+  /// Records the first budget failure (later ones keep the original).
+  void Fail(Status failure) const {
+    if (status_.ok()) status_ = std::move(failure);
+  }
 
   /// Count of a root-anchored group of subpaths (1 => CST read, >= 2 =>
   /// set-hash twiglet estimate).
@@ -114,13 +154,15 @@ class Combiner {
 
   /// Records one resolved subpath under the piece being traced (no-op
   /// unless a trace is attached and a piece is in flight).
-  void TraceSubpath(const AtomSeq& seq, cst::CstNodeId node,
+  void TraceSubpath(const AtomSeq& seq, const SubpathLookup& lookup,
                     double count_used) const;
 
   const ExpandedQuery& eq_;
   const cst::Cst& cst_;
   CombineOptions options_;
   double n_;  // data node count (the paper's normalizer)
+  /// First frontier-budget failure, if any (see status()).
+  mutable Status status_;
 
   // -- Observability (write-only on the estimation path) ------------------
   /// Piece currently being estimated, when tracing; subpath and

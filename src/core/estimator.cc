@@ -82,7 +82,7 @@ std::vector<EstimandPiece> Decompose(const ExpandedQuery& eq,
 }  // namespace
 
 double TwigEstimator::EstimateLeaf(const ExpandedQuery& eq,
-                                   const CombineOptions& options) const {
+                                   const Combiner& combiner) const {
   // Estimate each leaf string individually with MO parsing and
   // combination, ignoring all path (tag) context — a single-leaf (path)
   // query is estimated purely by its leaf string (Section 6: "the
@@ -92,7 +92,6 @@ double TwigEstimator::EstimateLeaf(const ExpandedQuery& eq,
   // underestimate most multi-path queries while occasionally blowing
   // up on unselective leaf strings — the baseline's characteristic
   // failure mode.
-  Combiner combiner(eq, *cst_, options);
   const double n = std::max<double>(1.0, cst_->data_node_count());
   double estimate = n;
   for (int pi = 0; pi < static_cast<int>(eq.paths.size()); ++pi) {
@@ -110,8 +109,10 @@ double TwigEstimator::EstimateLeaf(const ExpandedQuery& eq,
   return std::max(estimate, 0.0);
 }
 
-double TwigEstimator::Estimate(const query::Twig& twig, Algorithm algorithm,
-                               const EstimateOptions& options) const {
+Result<double> TwigEstimator::TryEstimate(const query::Twig& twig,
+                                          Algorithm algorithm,
+                                          const EstimateOptions& options)
+    const {
   obs::CountEvent(obs::Counter::kEstimates);
   obs::Trace* const trace = options.trace;
   if (trace != nullptr) {
@@ -132,24 +133,36 @@ double TwigEstimator::Estimate(const query::Twig& twig, Algorithm algorithm,
     obs::CountEvent(obs::Counter::kTracesRecorded);
   }
   const ExpandedQuery eq = ExpandQuery(twig, *cst_);
-  if (eq.atoms.empty()) return 0.0;
+  if (eq.atoms.empty()) {
+    return Status::InvalidArgument("cannot estimate an empty twig");
+  }
   CombineOptions copt;
   copt.semantics = options.semantics;
   copt.missing_count = options.missing_count;
   copt.trace = trace;
 
+  Combiner combiner(eq, *cst_, copt);
   double estimate;
   if (algorithm == Algorithm::kLeaf) {
-    estimate = EstimateLeaf(eq, copt);
+    estimate = EstimateLeaf(eq, combiner);
   } else {
-    Combiner combiner(eq, *cst_, copt);
     std::vector<EstimandPiece> pieces = Decompose(eq, *cst_, algorithm);
     estimate = algorithm == Algorithm::kGreedy
                    ? combiner.IndependenceCombine(pieces)
                    : combiner.MoCombine(std::move(pieces));
   }
+  // A blown frontier budget poisons every count it touched; surface
+  // the error, not the number (the no-silent-zero contract).
+  if (!combiner.status().ok()) return combiner.status();
   if (trace != nullptr) trace->estimate = estimate;
   return estimate;
+}
+
+double TwigEstimator::Estimate(const query::Twig& twig, Algorithm algorithm,
+                               const EstimateOptions& options) const {
+  const Result<double> estimate = TryEstimate(twig, algorithm, options);
+  return estimate.ok() ? *estimate
+                       : std::numeric_limits<double>::quiet_NaN();
 }
 
 std::vector<double> TwigEstimator::EstimateBatch(
@@ -179,6 +192,7 @@ std::vector<double> TwigEstimator::EstimateBatch(
   const auto wall_start = Clock::now();
   const size_t latency_series = static_cast<size_t>(algorithm);
   std::atomic<size_t> skipped{0};
+  std::atomic<size_t> failed{0};
   auto run_one = [&](size_t item, size_t worker) {
     const auto t0 = Clock::now();
     if (t0 >= options.deadline) {
@@ -186,8 +200,14 @@ std::vector<double> TwigEstimator::EstimateBatch(
       skipped.fetch_add(1, std::memory_order_relaxed);
       return;
     }
-    estimates[item] =
-        Estimate(workload[item].twig, algorithm, estimate_options);
+    const Result<double> estimate =
+        TryEstimate(workload[item].twig, algorithm, estimate_options);
+    if (estimate.ok()) {
+      estimates[item] = *estimate;
+    } else {
+      estimates[item] = std::numeric_limits<double>::quiet_NaN();
+      failed.fetch_add(1, std::memory_order_relaxed);
+    }
     const auto elapsed = Clock::now() - t0;
     obs::MetricsRegistry::Get().RecordLatency(
         latency_series,
@@ -207,6 +227,7 @@ std::vector<double> TwigEstimator::EstimateBatch(
   local.wall_seconds =
       std::chrono::duration<double>(Clock::now() - wall_start).count();
   local.queries_skipped = skipped.load(std::memory_order_relaxed);
+  local.queries_failed = failed.load(std::memory_order_relaxed);
   local.counter_deltas =
       obs::MetricsRegistry::Get().Snapshot().Delta(before).counters;
 

@@ -93,7 +93,18 @@ class TwigEstimator {
   /// `summary` must outlive the estimator.
   explicit TwigEstimator(const cst::Cst* summary) : cst_(summary) {}
 
+  /// Estimation with the full error contract: every twig either
+  /// produces an estimate or a structured error — never a silent zero.
+  /// Returns InvalidArgument for the empty twig and for wildcard /
+  /// descendant frontier aggregations that exceed the walker's budget
+  /// (expanded_query.h kMaxFrontier* caps).
+  Result<double> TryEstimate(const query::Twig& twig, Algorithm algorithm,
+                             const EstimateOptions& options = {}) const;
+
   /// Estimated number of matches of `twig` in the summarized data.
+  /// Convenience wrapper over TryEstimate: failures surface as a quiet
+  /// NaN (never a fabricated 0), so error-aware callers should prefer
+  /// TryEstimate.
   double Estimate(const query::Twig& twig, Algorithm algorithm,
                   const EstimateOptions& options = {}) const;
 
@@ -103,7 +114,9 @@ class TwigEstimator {
   /// thread count: queries never share mutable state — the only shared
   /// structure is the immutable CST — and each result is written to its
   /// own slot. Queries not started before options.deadline are skipped
-  /// (quiet NaN slots; see BatchOptions::deadline). If `stats` is
+  /// (quiet NaN slots; see BatchOptions::deadline), and queries whose
+  /// TryEstimate fails (e.g. frontier budget exhaustion) hold NaN too,
+  /// counted in stats->queries_failed. If `stats` is
   /// non-null it receives per-thread query and
   /// busy-time counters, the batch wall time, and the batch's global
   /// obs counter deltas. Per-query latencies feed the algorithm's
@@ -123,8 +136,7 @@ class TwigEstimator {
   const cst::Cst& summary() const { return *cst_; }
 
  private:
-  double EstimateLeaf(const ExpandedQuery& eq,
-                      const CombineOptions& options) const;
+  double EstimateLeaf(const ExpandedQuery& eq, const Combiner& combiner) const;
 
   const cst::Cst* cst_;
 };

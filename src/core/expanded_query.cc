@@ -36,8 +36,18 @@ ExpandedQuery ExpandQuery(const Twig& twig, const cst::Cst& cst) {
       }
       return;
     }
-    AtomId atom =
-        add_atom(cst.TagSymbolFor(twig.Tag(n)), parent, /*is_tag=*/true);
+    // A wildcard tag has no single CST symbol; keep the never-matching
+    // sentinel and set the flag so lookups go through the frontier
+    // walker instead of reporting a spurious miss.
+    const bool wildcard = twig.IsWildcard(n);
+    AtomId atom = add_atom(
+        wildcard ? cst::Cst::kUnknownSymbol : cst.TagSymbolFor(twig.Tag(n)),
+        parent, /*is_tag=*/true);
+    eq.atoms[atom].wildcard = wildcard;
+    eq.atoms[atom].edge = twig.EdgeFromParent(n);
+    if (wildcard || eq.atoms[atom].edge == query::EdgeKind::kDescendant) {
+      eq.has_special = true;
+    }
     for (TwigNodeId c : twig.Children(n)) self(self, c, atom);
   };
   expand(expand, twig.root(), -1);
@@ -66,7 +76,9 @@ namespace {
 void AppendAtomSymbol(const ExpandedQuery& eq, const tree::LabelTable& labels,
                       AtomId a, std::string& out) {
   const suffix::Symbol s = eq.atoms[a].symbol;
-  if (s == cst::Cst::kUnknownSymbol) {
+  if (eq.atoms[a].wildcard) {
+    out.push_back('*');
+  } else if (s == cst::Cst::kUnknownSymbol) {
     out.push_back('?');
   } else if (suffix::IsTagSymbol(s)) {
     out += labels.Name(suffix::SymbolLabel(s));
@@ -84,9 +96,95 @@ std::string RenderAtomSeq(const ExpandedQuery& eq,
   bool prev_was_char = false;
   for (AtomId a : seq) {
     const bool is_char = !eq.atoms[a].is_tag;
-    if (!out.empty() && !(prev_was_char && is_char)) out.push_back('.');
+    if (!out.empty()) {
+      if (eq.atoms[a].is_tag &&
+          eq.atoms[a].edge == query::EdgeKind::kDescendant) {
+        out += "//";
+      } else if (!(prev_was_char && is_char)) {
+        out.push_back('.');
+      }
+    }
     AppendAtomSymbol(eq, labels, a, out);
     prev_was_char = is_char;
+  }
+  return out;
+}
+
+bool NeedsFrontier(const ExpandedQuery& eq, const AtomId* atoms,
+                   size_t count) {
+  for (size_t i = 0; i < count; ++i) {
+    const ExpandedQuery::Atom& atom = eq.atoms[atoms[i]];
+    if (atom.wildcard) return true;
+    if (i > 0 && atom.edge == query::EdgeKind::kDescendant) return true;
+  }
+  return false;
+}
+
+FrontierMatch ResolveAtomFrontier(const ExpandedQuery& eq, const cst::Cst& cst,
+                                  const AtomId* atoms, size_t count) {
+  FrontierMatch out;
+  out.nodes.push_back(cst.root());
+  size_t visits = 0;
+  std::vector<cst::CstNodeId> next;
+  std::vector<cst::CstNodeId> dfs;
+  for (size_t i = 0; i < count; ++i) {
+    const ExpandedQuery::Atom& atom = eq.atoms[atoms[i]];
+    const bool descend =
+        i > 0 && atom.edge == query::EdgeKind::kDescendant;
+    if (!atom.wildcard && atom.symbol == cst::Cst::kUnknownSymbol) {
+      // Tag absent from the data: nothing can match past this point;
+      // `nodes` stays the frontier of the matched prefix.
+      return out;
+    }
+    next.clear();
+    for (cst::CstNodeId from : out.nodes) {
+      if (!descend) {
+        if (!atom.wildcard) {
+          ++visits;
+          const cst::CstNodeId to = cst.Step(from, atom.symbol);
+          if (to != cst::kNoCstNode) next.push_back(to);
+        } else {
+          for (const auto& edge : cst.ChildrenOf(from)) {
+            ++visits;
+            if (suffix::IsTagSymbol(edge.symbol)) next.push_back(edge.child);
+          }
+        }
+      } else {
+        // Descendant step: every strict tag-descendant of `from`
+        // reachable through tag edges, matching the symbol (wildcards
+        // match any tag).
+        dfs.clear();
+        dfs.push_back(from);
+        while (!dfs.empty() && !out.truncated) {
+          const cst::CstNodeId at = dfs.back();
+          dfs.pop_back();
+          for (const auto& edge : cst.ChildrenOf(at)) {
+            if (!suffix::IsTagSymbol(edge.symbol)) continue;
+            if (++visits > kMaxFrontierVisits) {
+              out.truncated = true;
+              break;
+            }
+            if (atom.wildcard || edge.symbol == atom.symbol) {
+              next.push_back(edge.child);
+            }
+            dfs.push_back(edge.child);
+          }
+        }
+      }
+      if (visits > kMaxFrontierVisits) out.truncated = true;
+      if (out.truncated) return out;
+    }
+    // Distinct sources can reach the same node through descendant
+    // steps; each CST node is one label path, so count it once.
+    std::sort(next.begin(), next.end());
+    next.erase(std::unique(next.begin(), next.end()), next.end());
+    if (next.size() > kMaxFrontierNodes) {
+      out.truncated = true;
+      return out;
+    }
+    if (next.empty()) return out;  // frontier of the matched prefix stays
+    out.nodes.swap(next);
+    out.matched = i + 1;
   }
   return out;
 }

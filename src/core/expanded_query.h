@@ -6,6 +6,16 @@
 // becomes a chain of character atoms. Root-to-leaf query paths become
 // atom-index sequences, which is what the parsing strategies operate
 // on, and pieces/twiglets/overlaps are all sets of atoms.
+//
+// Wildcard atoms (`*`) and descendant edges (`//`) have no single CST
+// symbol; they are carried as flags on the atom and resolved against
+// the CST by *frontier aggregation* (ResolveAtomFrontier): the set of
+// CST nodes reachable from the root through the atom sequence, where a
+// wildcard step fans out over all tag children and a descendant step
+// fans out over all strict tag descendants. Counts are then summed
+// over the frontier — exact for occurrence counts of a single special
+// atom on a single path (distinct CST nodes are distinct label paths,
+// so their instance sets are disjoint), an upper bound for presence.
 
 #ifndef TWIG_CORE_EXPANDED_QUERY_H_
 #define TWIG_CORE_EXPANDED_QUERY_H_
@@ -33,7 +43,7 @@ using AtomSeq = util::SmallVector<AtomId, 12>;
 struct ExpandedQuery {
   struct Atom {
     /// CST symbol; Cst::kUnknownSymbol if the tag never occurs in the
-    /// data (no CST node can match).
+    /// data (no CST node can match) or the atom is a wildcard.
     suffix::Symbol symbol = 0;
     /// Parent atom, -1 for the root atom.
     AtomId parent = -1;
@@ -44,6 +54,11 @@ struct ExpandedQuery {
     /// True for element atoms (tag symbols); branch points can only be
     /// element atoms.
     bool is_tag = false;
+    /// True for `*` atoms: matches any tag symbol.
+    bool wildcard = false;
+    /// Edge from the parent twig node (kChild for the root atom and
+    /// for value-character atoms).
+    query::EdgeKind edge = query::EdgeKind::kChild;
   };
 
   std::vector<Atom> atoms;  // preorder; atoms[0] is the root atom
@@ -51,6 +66,8 @@ struct ExpandedQuery {
   std::vector<AtomSeq> paths;
   /// Atoms with >= 2 children (the twig's branch nodes).
   std::vector<AtomId> branch_atoms;
+  /// True if any atom is a wildcard or hangs on a descendant edge.
+  bool has_special = false;
 
   bool IsBranch(AtomId a) const { return atoms[a].children.size() >= 2; }
 };
@@ -58,6 +75,39 @@ struct ExpandedQuery {
 /// Expands `twig` against `cst` (which supplies the tag-symbol mapping
 /// and the value-character cap).
 ExpandedQuery ExpandQuery(const query::Twig& twig, const cst::Cst& cst);
+
+/// True if resolving the contiguous atom sequence needs frontier
+/// aggregation: any wildcard atom, or a descendant edge at a
+/// non-initial position. The first atom's edge is ignored because
+/// subpath lookups start anywhere in the data tree.
+bool NeedsFrontier(const ExpandedQuery& eq, const AtomId* atoms, size_t count);
+
+/// Frontier-size cap: an aggregation that would track more CST nodes
+/// than this is refused (budget exhaustion, not silently truncated).
+inline constexpr size_t kMaxFrontierNodes = 4096;
+/// Cap on CST edges examined per ResolveAtomFrontier call.
+inline constexpr size_t kMaxFrontierVisits = size_t{1} << 18;
+
+/// Result of resolving an atom sequence with wildcard / descendant
+/// steps against the CST.
+struct FrontierMatch {
+  /// CST nodes whose subpaths match the first `matched` atoms, sorted
+  /// and deduplicated. Starts as {root} for matched == 0.
+  std::vector<cst::CstNodeId> nodes;
+  /// Longest prefix of the sequence with a nonempty frontier.
+  size_t matched = 0;
+  /// True if a budget cap fired; `nodes`/`matched` reflect the last
+  /// fully-resolved step and must not be treated as a complete answer.
+  bool truncated = false;
+};
+
+/// Walks `count` atoms starting at `atoms[0]` from the CST root,
+/// expanding wildcard and descendant steps over the CST's tag
+/// children. The first atom's edge is ignored (subpaths start
+/// anywhere); a leading atom with Cst::kUnknownSymbol and no wildcard
+/// flag yields an empty frontier.
+FrontierMatch ResolveAtomFrontier(const ExpandedQuery& eq, const cst::Cst& cst,
+                                  const AtomId* atoms, size_t count);
 
 /// Renders an atom sequence for diagnostics and explain traces, in the
 /// same form as Cst::DescribeSubpath ("book.author.Su"); atoms whose

@@ -11,10 +11,23 @@ namespace {
 using cst::Cst;
 
 /// Longest CST match for path atoms [s, hi) of path `path_index`.
+/// Intervals containing wildcards or interior descendant edges go
+/// through the frontier walker; the representative node is the first
+/// frontier node (deterministic — the frontier is sorted), good enough
+/// for piece identity. The combiner re-resolves the full frontier when
+/// it reads counts.
 Cst::Match MatchAt(const ExpandedQuery& eq, const Cst& cst, int path_index,
                    int s, int hi) {
   const auto& path = eq.paths[path_index];
   Cst::Match match;
+  if (NeedsFrontier(eq, path.data() + s, static_cast<size_t>(hi - s))) {
+    FrontierMatch fm =
+        ResolveAtomFrontier(eq, cst, path.data() + s,
+                            static_cast<size_t>(hi - s));
+    match.length = fm.matched;
+    if (fm.matched > 0 && !fm.nodes.empty()) match.node = fm.nodes.front();
+    return match;
+  }
   cst::CstNodeId node = cst.root();
   for (int i = s; i < hi; ++i) {
     const suffix::Symbol symbol = eq.atoms[path[i]].symbol;

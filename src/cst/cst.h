@@ -98,6 +98,13 @@ class Cst {
   Match LongestMatch(std::span<const suffix::Symbol> symbols,
                      size_t start) const;
 
+  /// All child edges of `node`, sorted by symbol. Used by the
+  /// estimator's wildcard / descendant frontier expansion, which fans
+  /// out over every tag child instead of stepping along one symbol.
+  std::span<const suffix::ChildIndex::Entry> ChildrenOf(CstNodeId node) const {
+    return child_index_.Children(node);
+  }
+
   // -- Per-node statistics ------------------------------------------------
 
   /// Presence count C_p of the node's subpath.

@@ -92,6 +92,10 @@ void PrintBatchObservability(const stats::BatchStats& stats) {
     std::printf("obs: %zu queries skipped at the batch deadline\n",
                 stats.queries_skipped);
   }
+  if (stats.queries_failed > 0) {
+    std::printf("obs: %zu queries failed to estimate\n",
+                stats.queries_failed);
+  }
 }
 
 void PrintRule(size_t width) {

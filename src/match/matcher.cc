@@ -1,6 +1,7 @@
 #include "match/matcher.h"
 
-#include <cassert>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "util/strings.h"
@@ -9,6 +10,7 @@ namespace twig::match {
 
 namespace {
 
+using query::EdgeKind;
 using query::Twig;
 using query::TwigNodeId;
 using tree::NodeId;
@@ -18,14 +20,29 @@ using tree::Tree;
 /// twig subtree rooted here). Sparse — only nonzero entries are kept.
 using ResultList = std::vector<std::pair<TwigNodeId, double>>;
 
+void AddEntry(ResultList* list, TwigNodeId q, double value) {
+  for (auto& [tq, tv] : *list) {
+    if (tq == q) {
+      tv += value;
+      return;
+    }
+  }
+  list->emplace_back(q, value);
+}
+
 class Counter {
  public:
   Counter(const Tree& data, const Twig& twig, const MatchOptions& options)
       : data_(data), twig_(twig), options_(options) {
     // Index element twig nodes by data LabelId; wildcards separately.
     by_label_.resize(data.labels().size());
+    desc_target_.assign(twig.size(), 0);
     for (TwigNodeId q = 0; q < twig.size(); ++q) {
       if (twig.IsValue(q)) continue;
+      if (twig.EdgeFromParent(q) == EdgeKind::kDescendant) {
+        desc_target_[q] = 1;
+        has_descendants_ = true;
+      }
       if (twig.IsWildcard(q)) {
         wildcards_.push_back(q);
         continue;
@@ -38,7 +55,7 @@ class Counter {
   TwigCounts Count() {
     TwigCounts counts;
     if (data_.empty() || twig_.empty()) return counts;
-    Walk(data_.root(), &counts);
+    Walk(&counts);
     return counts;
   }
 
@@ -52,19 +69,21 @@ class Counter {
   }
 
   /// Number of embeddings of twig subtree `q` rooted at data node `d`,
-  /// given the already-computed result lists of d's children.
+  /// given the already-computed result lists (rooted embeddings) and
+  /// subtree totals (descendant embeddings) of d's children.
   double EmbeddingsAt(TwigNodeId q, NodeId d,
-                      const std::vector<ResultList>& child_results) const {
+                      const std::vector<ResultList>& child_results,
+                      const std::vector<ResultList>& child_totals) const {
     const auto& qchildren = twig_.Children(q);
     if (qchildren.empty()) return 1.0;
     const size_t k = qchildren.size();
-    assert(k <= 20 && "twig fan-out exceeds subset-DP width");
     const auto& dchildren = data_.Children(d);
     if (dchildren.size() < k) return 0.0;
 
-    // emb[j][i]: embeddings of twig child i at data child j (0 if the
-    // pair is incompatible). Value-predicate twig children are resolved
-    // directly against data value children.
+    // emb[i]: embeddings of twig child i routed through the current
+    // data child (0 if the pair is incompatible). Value-predicate twig
+    // children are resolved directly against data value children;
+    // descendant-edge children read the child's whole-subtree total.
     // Assembled per data child from its ResultList.
     std::vector<double> emb(k);
     if (!options_.ordered) {
@@ -74,7 +93,10 @@ class Counter {
       std::vector<double> g(size_t{1} << k, 0.0);
       g[0] = 1.0;
       for (size_t j = 0; j < dchildren.size(); ++j) {
-        if (!ChildEmbeddings(qchildren, dchildren[j], child_results[j], &emb)) {
+        if (!ChildEmbeddings(qchildren, dchildren[j], child_results[j],
+                             child_totals.empty() ? nullptr
+                                                  : &child_totals[j],
+                             &emb)) {
           continue;
         }
         for (size_t s = (size_t{1} << k) - 1; s + 1 > 0; --s) {
@@ -94,7 +116,9 @@ class Counter {
     std::vector<double> f(k + 1, 0.0);
     f[0] = 1.0;
     for (size_t j = 0; j < dchildren.size(); ++j) {
-      if (!ChildEmbeddings(qchildren, dchildren[j], child_results[j], &emb)) {
+      if (!ChildEmbeddings(qchildren, dchildren[j], child_results[j],
+                           child_totals.empty() ? nullptr : &child_totals[j],
+                           &emb)) {
         continue;
       }
       for (size_t i = k; i >= 1; --i) {
@@ -104,10 +128,10 @@ class Counter {
     return f[k];
   }
 
-  /// Fills emb[i] = embeddings of twig child i at this data child.
-  /// Returns false if all zero (child contributes nothing).
+  /// Fills emb[i] = embeddings of twig child i routed through this data
+  /// child. Returns false if all zero (child contributes nothing).
   bool ChildEmbeddings(const std::vector<TwigNodeId>& qchildren, NodeId dchild,
-                       const ResultList& results,
+                       const ResultList& results, const ResultList* totals,
                        std::vector<double>* emb) const {
     bool any = false;
     for (size_t i = 0; i < qchildren.size(); ++i) {
@@ -119,7 +143,9 @@ class Counter {
           value = 1.0;
         }
       } else if (!data_.IsValue(dchild)) {
-        for (const auto& [q, v] : results) {
+        const ResultList& source =
+            (desc_target_[qc] && totals != nullptr) ? *totals : results;
+        for (const auto& [q, v] : source) {
           if (q == qc) {
             value = v;
             break;
@@ -132,30 +158,77 @@ class Counter {
     return any;
   }
 
-  /// Post-order walk; returns the result list for `d` and accumulates
-  /// whole-twig counts.
-  ResultList Walk(NodeId d, TwigCounts* counts) {
-    ResultList mine;
-    if (data_.IsValue(d)) return mine;
-
-    const auto& children = data_.Children(d);
-    std::vector<ResultList> child_results(children.size());
-    for (size_t j = 0; j < children.size(); ++j) {
-      child_results[j] = Walk(children[j], counts);
-    }
-
+  /// Explicit-stack post-order walk over the data tree. Each frame
+  /// holds its element node, the next child to visit, and the
+  /// accumulated per-child DP lists; completing a frame computes its
+  /// own result list (plus, when the twig has descendant edges, its
+  /// inclusive-subtree totals for the descendant-target twig nodes)
+  /// and delivers both into the parent frame's slot.
+  void Walk(TwigCounts* counts) {
+    struct Frame {
+      NodeId node;
+      size_t parent_slot;
+      size_t next_child = 0;
+      std::vector<ResultList> child_results;
+      std::vector<ResultList> child_totals;
+    };
+    if (data_.IsValue(data_.root())) return;
+    std::vector<Frame> stack;
+    auto push = [&](NodeId n, size_t slot) {
+      Frame frame;
+      frame.node = n;
+      frame.parent_slot = slot;
+      const size_t fanout = data_.Children(n).size();
+      frame.child_results.resize(fanout);
+      if (has_descendants_) frame.child_totals.resize(fanout);
+      stack.push_back(std::move(frame));
+    };
+    push(data_.root(), 0);
     std::vector<TwigNodeId> compatible;
-    CompatibleTwigNodes(d, &compatible);
-    for (TwigNodeId q : compatible) {
-      const double occ = EmbeddingsAt(q, d, child_results);
-      if (occ == 0.0) continue;
-      mine.emplace_back(q, occ);
-      if (q == twig_.root()) {
-        counts->presence += 1;
-        counts->occurrence += occ;
+    while (!stack.empty()) {
+      Frame& frame = stack.back();
+      const auto& children = data_.Children(frame.node);
+      if (frame.next_child < children.size()) {
+        const NodeId c = children[frame.next_child];
+        const size_t slot = frame.next_child;
+        ++frame.next_child;
+        // Value children keep their (empty) slot lists; only element
+        // children get frames.
+        if (!data_.IsValue(c)) push(c, slot);
+        continue;
       }
+      // All children done: run the DP at this node.
+      ResultList mine;
+      CompatibleTwigNodes(frame.node, &compatible);
+      for (TwigNodeId q : compatible) {
+        const double occ =
+            EmbeddingsAt(q, frame.node, frame.child_results,
+                         frame.child_totals);
+        if (occ == 0.0) continue;
+        mine.emplace_back(q, occ);
+        if (q == twig_.root()) {
+          counts->presence += 1;
+          counts->occurrence += occ;
+        }
+      }
+      ResultList totals;
+      if (has_descendants_) {
+        // Inclusive subtree totals, kept sparse over the descendant
+        // targets only so chains carry O(twig) state per level.
+        for (const auto& [q, v] : mine) {
+          if (desc_target_[q]) AddEntry(&totals, q, v);
+        }
+        for (const ResultList& ct : frame.child_totals) {
+          for (const auto& [q, v] : ct) AddEntry(&totals, q, v);
+        }
+      }
+      const size_t slot = frame.parent_slot;
+      stack.pop_back();
+      if (stack.empty()) break;
+      Frame& parent = stack.back();
+      parent.child_results[slot] = std::move(mine);
+      if (has_descendants_) parent.child_totals[slot] = std::move(totals);
     }
-    return mine;
   }
 
   const Tree& data_;
@@ -163,12 +236,24 @@ class Counter {
   const MatchOptions& options_;
   std::vector<std::vector<TwigNodeId>> by_label_;
   std::vector<TwigNodeId> wildcards_;
+  std::vector<unsigned char> desc_target_;
+  bool has_descendants_ = false;
 };
 
 }  // namespace
 
-TwigCounts CountTwigMatches(const Tree& data, const Twig& twig,
-                            const MatchOptions& options) {
+Result<TwigCounts> CountTwigMatches(const Tree& data, const Twig& twig,
+                                    const MatchOptions& options) {
+  for (TwigNodeId q = 0; q < twig.size(); ++q) {
+    if (twig.IsValue(q)) continue;
+    const size_t fanout = twig.Children(q).size();
+    if (fanout > kMaxTwigFanOut) {
+      return Status::InvalidArgument(
+          "twig node fan-out " + std::to_string(fanout) +
+          " exceeds the subset-DP width (" + std::to_string(kMaxTwigFanOut) +
+          ")");
+    }
+  }
   Counter counter(data, twig, options);
   return counter.Count();
 }

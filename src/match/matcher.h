@@ -20,12 +20,27 @@
 // ordered-matching mode (document-order-preserving sibling mapping,
 // the Section 2 example) is provided for the ordered/unordered gap
 // ablation.
+//
+// Descendant edges (query::EdgeKind::kDescendant, the `a//b` syntax)
+// use disjoint-subtree routing semantics: every child of a twig node q
+// — child-edge or descendant-edge — is routed through a *distinct*
+// data child of q's image, and a descendant-edge child may map to any
+// node of its routed child's subtree (the routed child included).
+// Routing through distinct children keeps sibling-level injectivity
+// sufficient for global injectivity (the routed subtrees are
+// disjoint), and for child-only twigs it reduces exactly to the
+// paper's semantics, so all existing counts are unchanged.
+//
+// The data-tree walk is an explicit-stack post-order traversal, so
+// arbitrarily deep data trees (chains of hundreds of thousands of
+// nodes) cannot overflow the call stack.
 
 #ifndef TWIG_MATCH_MATCHER_H_
 #define TWIG_MATCH_MATCHER_H_
 
 #include "query/twig.h"
 #include "tree/tree.h"
+#include "util/status.h"
 
 namespace twig::match {
 
@@ -44,12 +59,19 @@ struct MatchOptions {
   bool ordered = false;
 };
 
+/// Maximum children per twig node the subset DP supports. The DP
+/// allocates 2^fan-out state, so this is a hard width limit, checked
+/// up front in all build modes (it used to be a debug-only assert,
+/// leaving release builds open to shift UB at fan-out >= 64).
+inline constexpr size_t kMaxTwigFanOut = 20;
+
 /// Counts matches of `twig` in `data` exactly. Counts are exact as long
 /// as they stay within double precision (< 2^53), which covers any
-/// realistic data set. Twig nodes may have at most 20 children each
-/// (subset-DP width); realistic twigs have <= 5.
-TwigCounts CountTwigMatches(const tree::Tree& data, const query::Twig& twig,
-                            const MatchOptions& options = {});
+/// realistic data set. Returns InvalidArgument if any twig node has
+/// more than kMaxTwigFanOut children (realistic twigs have <= 5).
+Result<TwigCounts> CountTwigMatches(const tree::Tree& data,
+                                    const query::Twig& twig,
+                                    const MatchOptions& options = {});
 
 }  // namespace twig::match
 

@@ -53,7 +53,13 @@ std::string Trace::ToText() const {
                       : (p.num_subpaths >= 2 ? "twiglet" : "subpath"),
             p.num_subpaths, p.count);
     for (const SubpathTrace& sp : p.subpaths) {
-      if (sp.hit) {
+      if (sp.hit && sp.aggregated > 1) {
+        AppendF(out,
+                "    subpath %-32s hit   Cp=%g Co=%g count=%g "
+                "(sum of %zu label paths)\n",
+                sp.subpath.c_str(), sp.presence, sp.occurrence, sp.count,
+                sp.aggregated);
+      } else if (sp.hit) {
         AppendF(out, "    subpath %-32s hit   Cp=%g Co=%g count=%g\n",
                 sp.subpath.c_str(), sp.presence, sp.occurrence, sp.count);
       } else {
@@ -136,6 +142,8 @@ std::string Trace::ToJson() const {
       w.Double(sp.presence);
       w.Key("occurrence");
       w.Double(sp.occurrence);
+      w.Key("aggregated");
+      w.Uint(sp.aggregated);
       w.Key("count");
       w.Double(sp.count);
       w.EndObject();

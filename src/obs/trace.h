@@ -37,6 +37,10 @@ struct SubpathTrace {
   bool hit = false;
   double presence = 0;    // C_p (hits only)
   double occurrence = 0;  // C_o (hits only)
+  /// Number of CST nodes aggregated to resolve the subpath: 1 for a
+  /// plain lookup, > 1 when a wildcard or descendant step summed
+  /// counts over a frontier of label paths (0 for misses).
+  size_t aggregated = 0;
   /// The count actually used under the active semantics (the
   /// missing_count for misses).
   double count = 0;

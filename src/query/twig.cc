@@ -87,13 +87,24 @@ class TwigParser {
     return out;
   }
 
-  // child := node | string
+  // child := "//"? node | string
   // A bare quoted string in a child list is a value-predicate leaf;
   // FormatTwig prints one whenever a node mixes value and element
   // children (or carries several value children), so the parser must
-  // read the form back for Parse(Format(t)) == t to hold.
+  // read the form back for Parse(Format(t)) == t to hold. A "//"
+  // prefix puts the child on a descendant edge; value predicates only
+  // bind to child edges, so "//" before a quoted string is an error.
   Status ParseChild(Twig* twig, TwigNodeId parent) {
     SkipWhitespace();
+    EdgeKind edge = EdgeKind::kChild;
+    if (input_.substr(pos_, 2) == "//") {
+      pos_ += 2;
+      edge = EdgeKind::kDescendant;
+      SkipWhitespace();
+      if (pos_ < input_.size() && input_[pos_] == '"') {
+        return Error("value predicates cannot hang on a '//' edge");
+      }
+    }
     if (pos_ < input_.size() && input_[pos_] == '"') {
       auto value = ParseQuotedString();
       if (!value.ok()) return value.status();
@@ -101,21 +112,48 @@ class TwigParser {
       SkipWhitespace();
       return Status::OK();
     }
-    return ParseNode(twig, parent);
+    return ParseNode(twig, parent, edge);
   }
 
-  // node := name ("." name)* ("=" string)? ("(" child ("," child)* ")")?
-  Status ParseNode(Twig* twig, TwigNodeId parent) {
+  // Chain separator after a name: "." and "/" are child edges, "//" is
+  // a descendant edge. Returns false when no separator follows.
+  bool ParseSeparator(EdgeKind* edge) {
+    if (pos_ >= input_.size()) return false;
+    if (input_.substr(pos_, 2) == "//") {
+      pos_ += 2;
+      *edge = EdgeKind::kDescendant;
+      return true;
+    }
+    if (input_[pos_] == '.' || input_[pos_] == '/') {
+      ++pos_;
+      *edge = EdgeKind::kChild;
+      return true;
+    }
+    return false;
+  }
+
+  // node := name (("." | "/" | "//") name)* ("=" string)?
+  //              ("(" child ("," child)* ")")?
+  Status ParseNode(Twig* twig, TwigNodeId parent,
+                   EdgeKind edge = EdgeKind::kChild) {
     auto first = ParseName();
     if (!first.ok()) return first.status();
-    TwigNodeId node = (parent == kNullTwigNode) ? twig->AddRoot(*first)
-                                                : twig->AddElement(parent, *first);
+    TwigNodeId node = (parent == kNullTwigNode)
+                          ? twig->AddRoot(*first)
+                          : twig->AddElement(parent, *first, edge);
     SkipWhitespace();
-    while (pos_ < input_.size() && input_[pos_] == '.') {
-      ++pos_;
+    EdgeKind next_edge = EdgeKind::kChild;
+    while (ParseSeparator(&next_edge)) {
+      if (next_edge == EdgeKind::kDescendant) {
+        SkipWhitespace();
+        if (pos_ < input_.size() &&
+            (input_[pos_] == '"' || input_[pos_] == '=')) {
+          return Error("value predicates cannot hang on a '//' edge");
+        }
+      }
       auto name = ParseName();
       if (!name.ok()) return name.status();
-      node = twig->AddElement(node, *name);
+      node = twig->AddElement(node, *name, next_edge);
       SkipWhitespace();
     }
     if (pos_ < input_.size() && input_[pos_] == '=') {
@@ -163,19 +201,29 @@ void FormatNode(const Twig& twig, TwigNodeId n, std::string* out) {
   out->append(twig.Tag(n));
   const auto& children = twig.Children(n);
   if (children.empty()) return;
+  // Canonical edge spellings: '.' for child chains ('/' parses as an
+  // alias but is never printed), "//" for descendant edges.
   if (children.size() == 1 && twig.IsValue(children[0])) {
     out->push_back('=');
     FormatNode(twig, children[0], out);
     return;
   }
   if (children.size() == 1 && !twig.IsValue(children[0])) {
-    out->push_back('.');
+    if (twig.EdgeFromParent(children[0]) == EdgeKind::kDescendant) {
+      out->append("//");
+    } else {
+      out->push_back('.');
+    }
     FormatNode(twig, children[0], out);
     return;
   }
   out->push_back('(');
   for (size_t i = 0; i < children.size(); ++i) {
     if (i > 0) out->append(", ");
+    if (!twig.IsValue(children[i]) &&
+        twig.EdgeFromParent(children[i]) == EdgeKind::kDescendant) {
+      out->append("//");
+    }
     FormatNode(twig, children[i], out);
   }
   out->push_back(')');
@@ -189,6 +237,7 @@ bool NodeEquals(const Twig& a, TwigNodeId na, const Twig& b, TwigNodeId nb) {
   const auto& cb = b.Children(nb);
   if (ca.size() != cb.size()) return false;
   for (size_t i = 0; i < ca.size(); ++i) {
+    if (a.EdgeFromParent(ca[i]) != b.EdgeFromParent(cb[i])) return false;
     if (!NodeEquals(a, ca[i], b, cb[i])) return false;
   }
   return true;

@@ -11,9 +11,16 @@
 // A textual syntax is provided for examples and tools:
 //   book(author="Su", year="199")
 //   dblp.book(title="Data", author)
-// where `a.b.c` is shorthand for a chain and `(x, y)` lists children.
-// The wildcard tag "*" matches any element label (paper Section 7
-// extension); it is supported by the exact matcher.
+//   dblp//book(author, //year="199")
+// where `a.b.c` is shorthand for a child chain (`a/b` is an accepted
+// alias for `a.b`), `(x, y)` lists children, and `//` marks an
+// ancestor-descendant edge: `a//b` asks for a `b` anywhere strictly
+// below the matched `a`; inside a child list, a `//` prefix marks that
+// child's edge (`a(//b, c)`). Value predicates always hang on a child
+// edge — `//"v"` and `a//="v"` are syntax errors. The wildcard tag "*"
+// matches any element label (paper Section 7 extension). Both edge
+// kinds and wildcards are supported by the exact matcher and the
+// estimator.
 
 #ifndef TWIG_QUERY_TWIG_H_
 #define TWIG_QUERY_TWIG_H_
@@ -33,6 +40,15 @@ using TwigNodeId = uint32_t;
 
 inline constexpr TwigNodeId kNullTwigNode = 0xffffffffu;
 
+/// Kind of the edge connecting a twig node to its parent. Child is the
+/// paper's parent-child edge; Descendant is the XPath-style
+/// ancestor-descendant axis (`a//b`: b strictly below a). The root has
+/// no incoming edge and reports kChild.
+enum class EdgeKind : uint8_t {
+  kChild,
+  kDescendant,
+};
+
 /// A twig query.
 class Twig {
  public:
@@ -44,10 +60,13 @@ class Twig {
     return AddNode(kNullTwigNode, tag, /*is_value=*/false);
   }
 
-  /// Adds an element node under `parent`. Tag "*" is the wildcard.
-  TwigNodeId AddElement(TwigNodeId parent, std::string_view tag) {
+  /// Adds an element node under `parent`. Tag "*" is the wildcard;
+  /// `edge` selects the parent-child (default) or ancestor-descendant
+  /// axis for the new node's incoming edge.
+  TwigNodeId AddElement(TwigNodeId parent, std::string_view tag,
+                        EdgeKind edge = EdgeKind::kChild) {
     assert(parent != kNullTwigNode);
-    return AddNode(parent, tag, /*is_value=*/false);
+    return AddNode(parent, tag, /*is_value=*/false, edge);
   }
 
   /// Adds a leaf value-predicate node under `parent`.
@@ -67,6 +86,19 @@ class Twig {
   bool IsValue(TwigNodeId n) const { return nodes_[n].is_value; }
   bool IsWildcard(TwigNodeId n) const {
     return !nodes_[n].is_value && nodes_[n].text == "*";
+  }
+
+  /// Kind of the edge from n's parent to n (kChild for the root and
+  /// for value leaves, whose predicates always bind to the parent).
+  EdgeKind EdgeFromParent(TwigNodeId n) const { return nodes_[n].edge; }
+
+  /// True if any node hangs on a descendant edge or is a wildcard.
+  bool HasSpecialEdgesOrWildcards() const {
+    for (TwigNodeId n = 0; n < size(); ++n) {
+      if (nodes_[n].edge == EdgeKind::kDescendant) return true;
+      if (IsWildcard(n)) return true;
+    }
+    return false;
   }
 
   /// Tag of an element node.
@@ -114,15 +146,18 @@ class Twig {
   struct Node {
     std::string text;  // tag or value predicate
     bool is_value = false;
+    EdgeKind edge = EdgeKind::kChild;  // edge from parent
     TwigNodeId parent = kNullTwigNode;
     std::vector<TwigNodeId> children;
   };
 
-  TwigNodeId AddNode(TwigNodeId parent, std::string_view text, bool is_value) {
+  TwigNodeId AddNode(TwigNodeId parent, std::string_view text, bool is_value,
+                     EdgeKind edge = EdgeKind::kChild) {
     TwigNodeId id = static_cast<TwigNodeId>(nodes_.size());
     Node node;
     node.text = std::string(text);
     node.is_value = is_value;
+    node.edge = edge;
     node.parent = parent;
     nodes_.push_back(std::move(node));
     if (parent != kNullTwigNode) {
@@ -142,7 +177,7 @@ Result<Twig> ParseTwig(std::string_view text);
 std::string FormatTwig(const Twig& twig);
 
 /// True if the two twigs are structurally identical (same shape, tags,
-/// values, and child order).
+/// values, edge kinds, and child order).
 bool TwigEquals(const Twig& a, const Twig& b);
 
 }  // namespace twig::query

@@ -138,14 +138,25 @@ void EstimateService::ServeLoop() {
     core::EstimateOptions eopt;
     eopt.semantics = item.request.semantics;
     const auto t0 = Clock::now();
-    response.estimate =
-        estimator.Estimate(item.request.twig, item.request.algorithm, eopt);
+    const Result<double> estimate =
+        estimator.TryEstimate(item.request.twig, item.request.algorithm,
+                              eopt);
     const auto elapsed = Clock::now() - t0;
     registry.RecordLatency(static_cast<size_t>(item.request.algorithm),
                            ToNanos(elapsed));
     response.exec_time =
         std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed);
     response.snapshot_version = snapshot->version;
+    if (!estimate.ok()) {
+      // The estimator could not produce a trustworthy number (e.g. a
+      // wildcard aggregation over budget): surface the error and keep
+      // the result cache free of poisoned entries.
+      response.status = estimate.status();
+      obs::CountEvent(obs::Counter::kServeServed);
+      item.promise.set_value(std::move(response));
+      continue;
+    }
+    response.estimate = *estimate;
     response.status = Status::OK();
     if (cache_ != nullptr && !item.canonical.text.empty()) {
       // Key under the version that actually served the request (a hot

@@ -213,7 +213,9 @@ std::string TcpFrontEnd::HandleExplain(const WireRequest& request) {
   eopt.semantics = request.semantics;
   eopt.trace = &trace;
   const core::TwigEstimator estimator(&snapshot->summary);
-  estimator.Estimate(twig.value(), request.algorithm, eopt);
+  const Result<double> estimate =
+      estimator.TryEstimate(twig.value(), request.algorithm, eopt);
+  if (!estimate.ok()) return ErrorResponse(&request, estimate.status());
   return ExplainResponse(request, trace.ToJson(), snapshot->version);
 }
 

@@ -6,6 +6,7 @@
 namespace twig::stats {
 
 void ErrorAccumulator::Add(double truth, double estimate) {
+  if (!std::isfinite(estimate)) return;  // skipped / failed batch slot
   ++count_;
   const double diff = truth - estimate;
   sum_sq_ += diff * diff;
@@ -44,7 +45,8 @@ RatioHistogram::Labels() {
 }
 
 void RatioHistogram::Add(double truth, double estimate) {
-  if (truth <= 0) return;  // ratio undefined for negative queries
+  if (truth <= 0) return;           // ratio undefined for negative queries
+  if (!std::isfinite(estimate)) return;  // skipped / failed batch slot
   const double ratio = estimate / truth;
   size_t bucket;
   if (ratio < 0.1) {

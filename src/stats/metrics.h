@@ -29,6 +29,9 @@ struct BatchStats {
   /// Queries abandoned because BatchOptions::deadline passed before
   /// they started (their estimate slots hold quiet NaN).
   size_t queries_skipped = 0;
+  /// Queries whose TryEstimate returned an error (e.g. a blown
+  /// wildcard/descendant aggregation budget); NaN slots too.
+  size_t queries_failed = 0;
   double wall_seconds = 0;
   /// Global obs counter deltas across the batch (registry snapshot
   /// after minus before): CST subpath hit/miss mix, set-hash
@@ -68,6 +71,10 @@ struct BatchStats {
 };
 
 /// Accumulates (truth, estimate) pairs and reports the paper's metrics.
+/// Non-finite estimates (the NaN slots EstimateBatch leaves for
+/// deadline-skipped or failed queries) are ignored, so error averages
+/// cover exactly the queries that produced an estimate; `count()`
+/// against the workload size reveals how many were dropped.
 class ErrorAccumulator {
  public:
   void Add(double truth, double estimate);
@@ -103,7 +110,8 @@ class ErrorAccumulator {
 /// 10.0 — so a ratio exactly on an edge lands in the bucket *above* it
 /// (1.0 is "<1.5", i.e. an exact estimate counts as not
 /// underestimated; 10.0 is ">=10"). Pairs with truth <= 0 are skipped
-/// (the ratio is undefined; negative workloads report RMSE instead).
+/// (the ratio is undefined; negative workloads report RMSE instead),
+/// as are non-finite estimates (skipped / failed batch slots).
 class RatioHistogram {
  public:
   static constexpr size_t kBuckets = 6;

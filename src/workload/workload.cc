@@ -4,6 +4,7 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -244,7 +245,9 @@ Workload GenerateFromSampler(const Tree& data, const WorkloadOptions& options,
     WorkloadQuery wq;
     wq.twig = std::move(*twig);
     if (options.compute_true_counts) {
-      wq.truth = match::CountTwigMatches(data, wq.twig);
+      // Sampled twigs have <= max_paths children per node, far under
+      // the matcher's fan-out limit.
+      wq.truth = match::CountTwigMatches(data, wq.twig).value();
     }
     workload.push_back(std::move(wq));
   }
@@ -262,6 +265,46 @@ Workload GenerateTrivial(const Tree& data, const WorkloadOptions& options) {
   return GenerateFromSampler(data, options, 1, 1);
 }
 
+Workload GenerateAxes(const Tree& data, const WorkloadOptions& options) {
+  WorkloadOptions base = options;
+  base.compute_true_counts = false;  // truth belongs to the rewritten twig
+  const Workload seeds = GeneratePositive(data, base);
+  // Twigs are append-only, so generalization builds a rewritten clone.
+  Rng rng(options.seed * 0x9e3779b97f4a7c15ULL + 1);
+  Workload workload;
+  for (const WorkloadQuery& seed : seeds) {
+    const Twig& from = seed.twig;
+    Twig twig;
+    auto clone = [&](auto&& self, TwigNodeId n, TwigNodeId parent) -> void {
+      if (from.IsValue(n)) {
+        twig.AddValue(parent, from.Value(n));
+        return;
+      }
+      const bool wild = rng.Bernoulli(options.wildcard_probability);
+      const std::string_view tag = wild ? "*" : from.Tag(n);
+      TwigNodeId t;
+      if (parent == query::kNullTwigNode) {
+        t = twig.AddRoot(tag);
+      } else {
+        const query::EdgeKind edge =
+            rng.Bernoulli(options.descendant_probability)
+                ? query::EdgeKind::kDescendant
+                : query::EdgeKind::kChild;
+        t = twig.AddElement(parent, tag, edge);
+      }
+      for (TwigNodeId c : from.Children(n)) self(self, c, t);
+    };
+    clone(clone, from.root(), query::kNullTwigNode);
+    WorkloadQuery wq;
+    wq.twig = std::move(twig);
+    if (options.compute_true_counts) {
+      wq.truth = match::CountTwigMatches(data, wq.twig).value();
+    }
+    workload.push_back(std::move(wq));
+  }
+  return workload;
+}
+
 Workload GenerateNegative(const Tree& data, const WorkloadOptions& options) {
   Sampler sampler(data, options);
   Workload workload;
@@ -273,7 +316,8 @@ Workload GenerateNegative(const Tree& data, const WorkloadOptions& options) {
       ++failures;
       continue;
     }
-    const match::TwigCounts truth = match::CountTwigMatches(data, *twig);
+    const match::TwigCounts truth =
+        match::CountTwigMatches(data, *twig).value();
     if (truth.occurrence != 0) {
       ++failures;  // accidentally satisfiable — resample
       continue;

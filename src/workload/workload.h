@@ -41,6 +41,12 @@ struct WorkloadOptions {
   /// node. Mixing the two covers the paper's "2 to 4 internal nodes
   /// per path" range.
   double root_at_top_probability = 0.25;
+  /// GenerateAxes only: probability that a sampled element node's tag
+  /// is rewritten to the wildcard `*`, and that a non-root element's
+  /// edge is relaxed to a descendant (`//`) edge. Both rewrites only
+  /// generalize, so axes queries stay positive by construction.
+  double wildcard_probability = 0.0;
+  double descendant_probability = 0.0;
   uint64_t seed = 7;
   /// Attach exact counts (always true for negative workloads, where
   /// verification needs them anyway).
@@ -66,6 +72,14 @@ Workload GenerateTrivial(const tree::Tree& data,
 /// Negative queries: glued from real subpaths, verified true count 0.
 Workload GenerateNegative(const tree::Tree& data,
                           const WorkloadOptions& options);
+
+/// Positive queries with wildcard (`*`) and descendant (`//`) axes:
+/// sampled like GeneratePositive, then tags / edges are generalized
+/// with the options' wildcard_probability / descendant_probability.
+/// Every query still matches the data (generalizing a matching twig
+/// cannot lose its witness embedding); exact counts are recomputed on
+/// the rewritten twig.
+Workload GenerateAxes(const tree::Tree& data, const WorkloadOptions& options);
 
 }  // namespace twig::workload
 

@@ -59,12 +59,23 @@ class Parser {
         size_t end = input_.find("?>", pos_ + 2);
         pos_ = (end == std::string_view::npos) ? input_.size() : end + 2;
       } else if (Lookahead("<!DOCTYPE")) {
-        // Skip to the matching '>' (bracket counting covers internal
-        // subsets and nested markup declarations).
+        // Skip to the matching '>'. Bracket counting covers internal
+        // subsets and nested markup declarations; quoted literals
+        // (system identifiers, entity values) may contain '<', '>',
+        // '[' and ']' and must not disturb the depth.
         pos_ += 9;
         int depth = 0;
+        char quote = 0;
         while (!AtEnd()) {
           char c = input_[pos_++];
+          if (quote != 0) {
+            if (c == quote) quote = 0;
+            continue;
+          }
+          if (c == '"' || c == '\'') {
+            quote = c;
+            continue;
+          }
           if (c == '<' || c == '[') ++depth;
           if (c == ']') --depth;
           if (c == '>') {

@@ -1,0 +1,175 @@
+// Differential tests: the estimator against the exact matcher over the
+// extended query language (`*` wildcards and `//` descendant edges).
+//
+// Three tiers:
+//   1. Exactness — on an unpruned CST, element-only single-path twigs
+//      with wildcard / descendant specials aggregate occurrence counts
+//      over the frontier of matching label paths, and distinct label
+//      paths denote disjoint instance sets, so the estimate must equal
+//      the exact matcher's occurrence count.
+//   2. Validity — random GenerateAxes workloads (which are positive by
+//      construction): every estimate resolves via TryEstimate with no
+//      error, is finite and non-negative, and — for MO on an unpruned
+//      CST, where every piece count is a real subpath count >= 1 —
+//      strictly positive. This is the regression tier for the original
+//      bug: wildcard twigs the matcher counts silently estimated 0.
+//   3. Identity — canonical query keys must distinguish edge kinds and
+//      wildcards (`a.b` vs `a//b` vs `a.*`) so the serving-layer result
+//      cache can never conflate them.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/canonical.h"
+#include "core/estimator.h"
+#include "cst/cst.h"
+#include "data/generators.h"
+#include "match/matcher.h"
+#include "query/twig.h"
+#include "suffix/path_suffix_tree.h"
+#include "workload/workload.h"
+
+namespace twig {
+namespace {
+
+using core::Algorithm;
+using core::CountSemantics;
+using core::TwigEstimator;
+
+class DifferentialTest : public ::testing::Test {
+ protected:
+  DifferentialTest() {
+    data::DblpOptions options;
+    options.target_bytes = 32 * 1024;
+    data_ = data::GenerateDblp(options);
+    auto pst = suffix::PathSuffixTree::Build(data_);
+    cst::CstOptions copt;
+    copt.prune_threshold = 1;  // unpruned: aggregation should be sharp
+    cst_ = cst::Cst::Build(data_, pst, copt);
+  }
+
+  double Truth(const query::Twig& twig) {
+    return match::CountTwigMatches(data_, twig).value().occurrence;
+  }
+
+  tree::Tree data_;
+  cst::Cst cst_;
+};
+
+// The bug this PR fixes, as a one-liner: a descendant twig the exact
+// matcher counts must not estimate 0.
+TEST_F(DifferentialTest, WildcardTwigsNoLongerEstimateZero) {
+  auto twig = query::ParseTwig("dblp//author");
+  ASSERT_TRUE(twig.ok());
+  ASSERT_GT(Truth(*twig), 0.0);
+  TwigEstimator estimator(&cst_);
+  for (Algorithm algorithm : core::kAllAlgorithms) {
+    const double est = estimator.Estimate(*twig, algorithm);
+    EXPECT_TRUE(std::isfinite(est)) << core::AlgorithmName(algorithm);
+    EXPECT_GT(est, 0.0) << core::AlgorithmName(algorithm);
+  }
+}
+
+TEST_F(DifferentialTest, SinglePathSpecialsExactOnUnprunedCst) {
+  // Element-only single-path twigs; `dblp//title` exercises frontier
+  // nodes at several depths (record titles and cite titles).
+  const char* queries[] = {
+      "dblp//author", "dblp//title", "dblp//year", "dblp.*",
+      "*.author",     "dblp.*.author", "article//title", "dblp.*.cite",
+  };
+  TwigEstimator estimator(&cst_);
+  for (const char* text : queries) {
+    auto twig = query::ParseTwig(text);
+    ASSERT_TRUE(twig.ok()) << text;
+    const double truth = Truth(*twig);
+    ASSERT_GT(truth, 0.0) << text;
+    for (Algorithm algorithm : {Algorithm::kMo, Algorithm::kMsh}) {
+      const auto est = estimator.TryEstimate(*twig, algorithm);
+      ASSERT_TRUE(est.ok()) << text << ": " << est.status().ToString();
+      EXPECT_NEAR(*est, truth, 1e-6 * truth)
+          << text << " via " << core::AlgorithmName(algorithm);
+    }
+  }
+}
+
+TEST_F(DifferentialTest, PresenceIsAnUpperBoundOnSpecialPaths) {
+  // Presence sums per-label-path presence counts; a data node can head
+  // matches of several label paths, so the sum can only overcount.
+  core::EstimateOptions options;
+  options.semantics = CountSemantics::kPresence;
+  TwigEstimator estimator(&cst_);
+  for (const char* text : {"dblp//title", "dblp//year", "*.author"}) {
+    auto twig = query::ParseTwig(text);
+    ASSERT_TRUE(twig.ok()) << text;
+    const double truth =
+        match::CountTwigMatches(data_, *twig).value().presence;
+    const auto est = estimator.TryEstimate(*twig, Algorithm::kMo, options);
+    ASSERT_TRUE(est.ok()) << text << ": " << est.status().ToString();
+    EXPECT_GE(*est, truth - 1e-9) << text;
+  }
+}
+
+TEST_F(DifferentialTest, AxesWorkloadsEstimateValidly) {
+  const struct {
+    double wildcard;
+    double descendant;
+  } mixes[] = {{0.3, 0.0}, {0.0, 0.3}, {0.3, 0.3}};
+  TwigEstimator estimator(&cst_);
+  for (const auto& mix : mixes) {
+    workload::WorkloadOptions wopt;
+    wopt.num_queries = 20;
+    wopt.seed = 11;
+    wopt.wildcard_probability = mix.wildcard;
+    wopt.descendant_probability = mix.descendant;
+    workload::Workload wl = workload::GenerateAxes(data_, wopt);
+    ASSERT_EQ(wl.size(), 20u);
+    for (const auto& wq : wl) {
+      const std::string text = query::FormatTwig(wq.twig);
+      ASSERT_GT(wq.truth.occurrence, 0.0) << text;  // positive workload
+      for (Algorithm algorithm :
+           {Algorithm::kMo, Algorithm::kMosh, Algorithm::kMsh}) {
+        const auto est = estimator.TryEstimate(wq.twig, algorithm);
+        ASSERT_TRUE(est.ok())
+            << text << " via " << core::AlgorithmName(algorithm) << ": "
+            << est.status().ToString();
+        EXPECT_TRUE(std::isfinite(*est)) << text;
+        EXPECT_GE(*est, 0.0) << text;
+      }
+      // MO multiplies real subpath counts and containment ratios, all
+      // >= 1 resp. > 0 on an unpruned CST, so a matching twig cannot
+      // estimate to zero.
+      EXPECT_GT(estimator.Estimate(wq.twig, Algorithm::kMo), 0.0) << text;
+    }
+  }
+}
+
+TEST(CanonicalKeyTest, EdgeKindsAndWildcardsKeyDistinctly) {
+  auto parse = [](const char* text) {
+    auto twig = query::ParseTwig(text);
+    EXPECT_TRUE(twig.ok()) << text;
+    return *twig;
+  };
+  const auto key = [&](const char* text) {
+    return core::CanonicalizeQuery(parse(text), Algorithm::kMsh,
+                                   CountSemantics::kOccurrence);
+  };
+  const auto child = key("a/b");
+  const auto desc = key("a//b");
+  const auto wild = key("a/*");
+  EXPECT_NE(child.text, desc.text);
+  EXPECT_NE(child.text, wild.text);
+  EXPECT_NE(desc.text, wild.text);
+  EXPECT_NE(child.fingerprint, desc.fingerprint);
+  EXPECT_NE(child.fingerprint, wild.fingerprint);
+  EXPECT_NE(desc.fingerprint, wild.fingerprint);
+
+  // `/` is an alias spelling of the child edge, so it canonicalizes to
+  // the same key as `.` — the cache must merge these.
+  const auto dot = key("a.b");
+  EXPECT_EQ(child.text, dot.text);
+  EXPECT_EQ(child.fingerprint, dot.fingerprint);
+}
+
+}  // namespace
+}  // namespace twig

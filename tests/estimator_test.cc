@@ -37,7 +37,7 @@ class EstimatorTest : public ::testing::Test {
   double Truth(const char* twig_text) {
     auto twig = ParseTwig(twig_text);
     EXPECT_TRUE(twig.ok());
-    return match::CountTwigMatches(data_, *twig).occurrence;
+    return match::CountTwigMatches(data_, *twig).value().occurrence;
   }
 
   Tree data_;
@@ -138,7 +138,8 @@ TEST_P(TrivialExactness, MatchesTruth) {
   TwigEstimator estimator(&cst);
   auto twig = ParseTwig(GetParam().query);
   ASSERT_TRUE(twig.ok());
-  const match::TwigCounts truth = match::CountTwigMatches(data, *twig);
+  const match::TwigCounts truth =
+      match::CountTwigMatches(data, *twig).value();
   EXPECT_DOUBLE_EQ(truth.presence, GetParam().presence);
   EXPECT_DOUBLE_EQ(truth.occurrence, GetParam().occurrence);
   for (Algorithm a : {Algorithm::kMo, Algorithm::kMosh, Algorithm::kMsh}) {

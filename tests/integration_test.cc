@@ -25,8 +25,8 @@ TEST(IntegrationTest, XmlRoundTripPreservesCounts) {
   ASSERT_EQ(reparsed->size(), original.size());
   auto twig = query::ParseTwig("article(author, year)");
   ASSERT_TRUE(twig.ok());
-  const auto a = match::CountTwigMatches(original, *twig);
-  const auto b = match::CountTwigMatches(*reparsed, *twig);
+  const auto a = match::CountTwigMatches(original, *twig).value();
+  const auto b = match::CountTwigMatches(*reparsed, *twig).value();
   EXPECT_DOUBLE_EQ(a.occurrence, b.occurrence);
   EXPECT_DOUBLE_EQ(a.presence, b.presence);
 }

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "match/matcher.h"
 #include "query/twig.h"
 #include "test_trees.h"
@@ -14,7 +16,9 @@ TwigCounts Count(const Tree& data, const char* twig_text,
                  const MatchOptions& options = {}) {
   auto twig = ParseTwig(twig_text);
   EXPECT_TRUE(twig.ok()) << twig.status().ToString();
-  return CountTwigMatches(data, *twig, options);
+  auto counts = CountTwigMatches(data, *twig, options);
+  EXPECT_TRUE(counts.ok()) << counts.status().ToString();
+  return *counts;
 }
 
 TEST(MatcherTest, PaperQueryOne) {
@@ -127,11 +131,117 @@ TEST(MatcherTest, FigureTwoPattern) {
   EXPECT_DOUBLE_EQ(Count(data, "c(e, f)").occurrence, 0.0);
 }
 
+TEST(MatcherTest, DescendantEdgeBasics) {
+  // a(x(b), b): a//b reaches the nested b through child x and the
+  // direct b child.
+  Tree data;
+  auto a = data.AddRoot("a");
+  auto x = data.AddElement(a, "x");
+  data.AddElement(x, "b");
+  data.AddElement(a, "b");
+  EXPECT_DOUBLE_EQ(Count(data, "a//b").occurrence, 2.0);
+  EXPECT_DOUBLE_EQ(Count(data, "a//b").presence, 1.0);
+  // Child-edge semantics are untouched.
+  EXPECT_DOUBLE_EQ(Count(data, "a.b").occurrence, 1.0);
+  // Deep chain: only the descendant edge crosses levels.
+  EXPECT_DOUBLE_EQ(Count(data, "a.x.b").occurrence, 1.0);
+  EXPECT_DOUBLE_EQ(Count(data, "a//x").occurrence, 1.0);
+}
+
+TEST(MatcherTest, DescendantEdgeSkipsLevels) {
+  // a -> x -> y -> b: a//b finds b three levels down.
+  Tree data;
+  auto a = data.AddRoot("a");
+  auto x = data.AddElement(a, "x");
+  auto y = data.AddElement(x, "y");
+  data.AddElement(y, "b");
+  EXPECT_DOUBLE_EQ(Count(data, "a//b").occurrence, 1.0);
+  EXPECT_DOUBLE_EQ(Count(data, "a.b").occurrence, 0.0);
+  // Chained descendant edges compose.
+  EXPECT_DOUBLE_EQ(Count(data, "a//y//b").occurrence, 1.0);
+  EXPECT_DOUBLE_EQ(Count(data, "a//b//y").occurrence, 0.0);
+}
+
+TEST(MatcherTest, DescendantChildrenRouteThroughDistinctSubtrees) {
+  // a(x(b), b): the two //b twig children must route through distinct
+  // children of a — the nested b and the direct b, in both
+  // assignments.
+  Tree data;
+  auto a = data.AddRoot("a");
+  auto x = data.AddElement(a, "x");
+  data.AddElement(x, "b");
+  data.AddElement(a, "b");
+  EXPECT_DOUBLE_EQ(Count(data, "a(//b, //b)").occurrence, 2.0);
+  // Both b's under one child of a: no disjoint routing exists.
+  Tree nested;
+  auto r = nested.AddRoot("a");
+  auto mid = nested.AddElement(r, "x");
+  nested.AddElement(mid, "b");
+  nested.AddElement(mid, "b");
+  EXPECT_DOUBLE_EQ(Count(nested, "a(//b, //b)").occurrence, 0.0);
+  EXPECT_DOUBLE_EQ(Count(nested, "x(//b, //b)").occurrence, 2.0);
+}
+
+TEST(MatcherTest, DescendantMixesWithValuesAndWildcards) {
+  Tree data = testutil::FigureOneTree();
+  // dblp//author="A1": authors live two levels below dblp.
+  EXPECT_DOUBLE_EQ(Count(data, "dblp//author=\"A1\"").occurrence, 3.0);
+  // *//author: dblp (6 authors below) + 3 books (their own authors).
+  EXPECT_DOUBLE_EQ(Count(data, "*//author").occurrence, 12.0);
+}
+
+// Regression: Walk used to recurse per data-tree level, so a deep
+// chain overflowed the native stack. 200k levels must count fine, for
+// child and descendant edges alike.
+TEST(MatcherTest, DeepChainDoesNotOverflowStack) {
+  constexpr int kDepth = 200000;
+  Tree data;
+  auto node = data.AddRoot("a");
+  for (int i = 1; i < kDepth; ++i) node = data.AddElement(node, "a");
+  TwigCounts child = Count(data, "a.a");
+  EXPECT_DOUBLE_EQ(child.presence, kDepth - 1);
+  EXPECT_DOUBLE_EQ(child.occurrence, kDepth - 1);
+  // a//a pairs every node with each strict descendant: n*(n-1)/2.
+  TwigCounts desc = Count(data, "a//a");
+  EXPECT_DOUBLE_EQ(desc.occurrence,
+                   static_cast<double>(kDepth) * (kDepth - 1) / 2.0);
+}
+
+// Regression: the fan-out bound was a debug-only assert, so release
+// builds hit shift UB (fan-out >= 64) or multi-GB allocations (~30).
+// It must be a structured error in every build mode.
+TEST(MatcherTest, FanOutBeyondDpWidthIsAnError) {
+  Tree data;
+  auto root = data.AddRoot("r");
+  for (int i = 0; i < 25; ++i) data.AddElement(root, "c");
+  std::string wide = "r(c";
+  for (int i = 1; i < 25; ++i) wide += ", c";
+  wide += ")";
+  auto twig = ParseTwig(wide);
+  ASSERT_TRUE(twig.ok());
+  auto counts = CountTwigMatches(data, *twig);
+  ASSERT_FALSE(counts.ok());
+  EXPECT_EQ(counts.status().code(), StatusCode::kInvalidArgument);
+  // At the limit the DP still runs (on a small tree so the 2^20-state
+  // DP table is touched only briefly).
+  Tree narrow;
+  auto nroot = narrow.AddRoot("r");
+  for (int i = 0; i < 4; ++i) narrow.AddElement(nroot, "c");
+  std::string at_limit = "r(c";
+  for (size_t i = 1; i < kMaxTwigFanOut; ++i) at_limit += ", c";
+  at_limit += ")";
+  auto ok_twig = ParseTwig(at_limit);
+  ASSERT_TRUE(ok_twig.ok());
+  auto ok_counts = CountTwigMatches(narrow, *ok_twig);
+  ASSERT_TRUE(ok_counts.ok());
+  EXPECT_DOUBLE_EQ(ok_counts->occurrence, 0.0);  // 4 children < 20 asked
+}
+
 TEST(MatcherTest, EmptyInputs) {
   Tree empty;
   auto twig = ParseTwig("a");
   ASSERT_TRUE(twig.ok());
-  TwigCounts counts = CountTwigMatches(empty, *twig);
+  TwigCounts counts = CountTwigMatches(empty, *twig).value();
   EXPECT_DOUBLE_EQ(counts.occurrence, 0.0);
 }
 

@@ -93,6 +93,73 @@ TEST(ParseTwigTest, Errors) {
   EXPECT_FALSE(ParseTwig("a=\"unterminated").ok());
 }
 
+TEST(ParseTwigTest, DescendantEdges) {
+  auto t = ParseTwig("a//b");
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  ASSERT_EQ(t->size(), 2u);
+  TwigNodeId b = t->Children(t->root())[0];
+  EXPECT_EQ(t->EdgeFromParent(b), EdgeKind::kDescendant);
+  EXPECT_EQ(t->EdgeFromParent(t->root()), EdgeKind::kChild);
+  EXPECT_TRUE(t->HasSpecialEdgesOrWildcards());
+  EXPECT_EQ(FormatTwig(*t), "a//b");
+
+  auto mixed = ParseTwig("a(//b.c, d//e)");
+  ASSERT_TRUE(mixed.ok()) << mixed.status().ToString();
+  EXPECT_EQ(FormatTwig(*mixed), "a(//b.c, d//e)");
+}
+
+TEST(ParseTwigTest, SlashIsChildEdgeAlias) {
+  auto slash = ParseTwig("a/b/c");
+  auto dot = ParseTwig("a.b.c");
+  ASSERT_TRUE(slash.ok() && dot.ok());
+  EXPECT_TRUE(TwigEquals(*slash, *dot));
+  // '.' is the canonical spelling; '/' never round-trips verbatim.
+  EXPECT_EQ(FormatTwig(*slash), "a.b.c");
+}
+
+TEST(ParseTwigTest, DescendantEdgeErrors) {
+  // No root edge, and value predicates cannot hang on '//'.
+  EXPECT_FALSE(ParseTwig("//a").ok());
+  EXPECT_FALSE(ParseTwig("a//\"v\"").ok());
+  EXPECT_FALSE(ParseTwig("a(//\"v\")").ok());
+  EXPECT_FALSE(ParseTwig("a//=\"v\"").ok());
+  EXPECT_FALSE(ParseTwig("a//").ok());
+}
+
+TEST(TwigTest, HasSpecialEdgesOrWildcards) {
+  auto plain = ParseTwig("a(b=\"x\", c)");
+  auto wild = ParseTwig("a(*, c)");
+  auto desc = ParseTwig("a(b//d, c)");
+  ASSERT_TRUE(plain.ok() && wild.ok() && desc.ok());
+  EXPECT_FALSE(plain->HasSpecialEdgesOrWildcards());
+  EXPECT_TRUE(wild->HasSpecialEdgesOrWildcards());
+  EXPECT_TRUE(desc->HasSpecialEdgesOrWildcards());
+}
+
+TEST(TwigEqualsTest, EdgeKindsDistinguish) {
+  auto child = ParseTwig("a.b");
+  auto desc = ParseTwig("a//b");
+  ASSERT_TRUE(child.ok() && desc.ok());
+  EXPECT_FALSE(TwigEquals(*child, *desc));
+  auto desc2 = ParseTwig("a//b");
+  ASSERT_TRUE(desc2.ok());
+  EXPECT_TRUE(TwigEquals(*desc, *desc2));
+}
+
+TEST(FormatTwigTest, DescendantRoundTrips) {
+  for (const char* text :
+       {"a//b", "a//b//c", "a.b//c.d", "a(//b, c//d=\"x\")",
+        "*//b(c, //*)"}) {
+    auto t = ParseTwig(text);
+    ASSERT_TRUE(t.ok()) << text << ": " << t.status().ToString();
+    const std::string printed = FormatTwig(*t);
+    auto reparsed = ParseTwig(printed);
+    ASSERT_TRUE(reparsed.ok()) << printed;
+    EXPECT_TRUE(TwigEquals(*t, *reparsed)) << text << " -> " << printed;
+    EXPECT_EQ(FormatTwig(*reparsed), printed);
+  }
+}
+
 TEST(FormatTwigTest, RoundTripsComplexTwig) {
   const char* text = "dblp.article(author=\"Sto\", year=\"1993\", title)";
   auto t = ParseTwig(text);
@@ -163,7 +230,9 @@ TEST(FormatTwigTest, HostileValueFuzzRoundTrip) {
         if (choice(rng) < 40) {
           t.AddValue(node, random_value());
         } else {
-          frontier.push_back(t.AddElement(node, tags[tag_pick(rng)]));
+          const EdgeKind edge = choice(rng) < 30 ? EdgeKind::kDescendant
+                                                 : EdgeKind::kChild;
+          frontier.push_back(t.AddElement(node, tags[tag_pick(rng)], edge));
         }
       }
     }

@@ -85,7 +85,8 @@ TEST(WorkloadTest, NegativeQueriesHaveZeroCount) {
   for (const auto& wq : wl) {
     EXPECT_DOUBLE_EQ(wq.truth.occurrence, 0.0);
     // Verified against the matcher, not just recorded.
-    EXPECT_DOUBLE_EQ(match::CountTwigMatches(data, wq.twig).occurrence, 0.0);
+    EXPECT_DOUBLE_EQ(match::CountTwigMatches(data, wq.twig).value().occurrence,
+                     0.0);
     EXPECT_GE(wq.twig.RootToLeafPaths().size(), 2u);
   }
 }

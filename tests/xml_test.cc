@@ -136,5 +136,38 @@ TEST(XmlWriteTest, PrettyPrintNests) {
 
 TEST(XmlParseTest, EmptyInputIsError) { EXPECT_FALSE(ParseXml("").ok()); }
 
+// Regression: the DOCTYPE skip counted brackets without tracking
+// quotes, so a '>' inside a quoted system identifier ended the
+// declaration early and corrupted the parse position.
+TEST(XmlParseTest, DoctypeQuotedLiteralsWithMarkupCharacters) {
+  auto gt = ParseXml("<!DOCTYPE r SYSTEM \"a>b\"><r/>");
+  ASSERT_TRUE(gt.ok()) << gt.status().ToString();
+  EXPECT_EQ(gt->LabelName(gt->root()), "r");
+
+  auto lt = ParseXml("<!DOCTYPE r SYSTEM 'x<y>z'><r><c/></r>");
+  ASSERT_TRUE(lt.ok()) << lt.status().ToString();
+  EXPECT_EQ(lt->Children(lt->root()).size(), 1u);
+
+  auto brackets = ParseXml("<!DOCTYPE r SYSTEM \"a]b[c\"><r/>");
+  ASSERT_TRUE(brackets.ok()) << brackets.status().ToString();
+}
+
+TEST(XmlParseTest, DoctypeInternalSubsetWithQuotedMarkup) {
+  // The entity value contains a full element; the quote tracking must
+  // keep it from unbalancing the subset's bracket depth.
+  auto result = ParseXml(
+      "<!DOCTYPE r [ <!ENTITY e \"<x>v</x>\"> <!ELEMENT r ANY> ]>"
+      "<r>t</r>");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->LabelName(result->root()), "r");
+}
+
+TEST(XmlParseTest, DoctypeUnterminatedQuoteDoesNotHang) {
+  // Hostile input: the quote never closes, so the skip runs to EOF and
+  // the parse fails cleanly instead of misreading markup.
+  auto result = ParseXml("<!DOCTYPE r SYSTEM \"never closed><r/>");
+  EXPECT_FALSE(result.ok());
+}
+
 }  // namespace
 }  // namespace twig::xml
