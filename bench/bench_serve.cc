@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "exp/harness.h"
+#include "obs/metrics.h"
 #include "serve/service.h"
 #include "serve/snapshot.h"
 #include "util/flags.h"
@@ -40,6 +41,23 @@ using Clock = std::chrono::steady_clock;
 
 double SecondsSince(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+uint64_t NanosSince(Clock::time_point start) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           start)
+          .count());
+}
+
+/// One "  <label>: p50 ... us" line from a request-latency histogram
+/// (log2 buckets, so percentiles are within a factor of 2).
+void PrintLatencyLine(const char* label, const obs::HistogramSnapshot& h) {
+  const obs::LatencyPercentiles p = obs::SummarizeLatency(h);
+  std::printf("  %-9s p50 %8.1f us | p95 %8.1f us | p99 %8.1f us "
+              "(mean %.1f us over %llu)\n",
+              label, p.p50_us, p.p95_us, p.p99_us, p.mean_us,
+              static_cast<unsigned long long>(p.count));
 }
 
 constexpr char kUsage[] =
@@ -56,13 +74,15 @@ double RunZipfLoop(serve::SnapshotCatalog* catalog,
                    const std::vector<size_t>& sequence,
                    const std::vector<double>& expected, size_t workers,
                    size_t cache_entries, std::atomic<size_t>* hits,
-                   std::atomic<size_t>* mismatches) {
+                   std::atomic<size_t>* mismatches,
+                   obs::HistogramSnapshot* latency) {
   serve::ServiceOptions sopt;
   sopt.num_workers = workers;
   sopt.cache_entries = cache_entries;
   serve::EstimateService service(catalog, sopt);
 
   constexpr size_t kClients = 4;
+  std::vector<obs::HistogramSnapshot> client_latency(kClients);
   const Clock::time_point start = Clock::now();
   std::vector<std::thread> clients;
   for (size_t c = 0; c < kClients; ++c) {
@@ -72,8 +92,10 @@ double RunZipfLoop(serve::SnapshotCatalog* catalog,
         serve::EstimateRequest request;
         request.twig = wl[query].twig;
         request.algorithm = core::Algorithm::kMsh;
+        const Clock::time_point sent = Clock::now();
         serve::EstimateResponse response =
             service.SubmitAndWait(std::move(request));
+        client_latency[c].Record(NanosSince(sent));
         if (!response.status.ok()) continue;
         if (response.cached) hits->fetch_add(1, std::memory_order_relaxed);
         // Bit-identical, not approximately equal: a cache hit is the
@@ -87,6 +109,7 @@ double RunZipfLoop(serve::SnapshotCatalog* catalog,
   for (std::thread& t : clients) t.join();
   const double seconds = SecondsSince(start);
   service.Shutdown(/*drain=*/true);
+  for (const obs::HistogramSnapshot& h : client_latency) latency->Merge(h);
   return seconds;
 }
 
@@ -125,13 +148,17 @@ int RunZipf(size_t count, size_t workers) {
               "%zu workers, 4 clients) ==\n",
               count, workers);
   std::atomic<size_t> uncached_hits{0}, uncached_mismatches{0};
+  obs::HistogramSnapshot uncached_latency;
   const double uncached_seconds =
       RunZipfLoop(&catalog, wl, sequence, expected, workers,
-                  /*cache_entries=*/0, &uncached_hits, &uncached_mismatches);
+                  /*cache_entries=*/0, &uncached_hits, &uncached_mismatches,
+                  &uncached_latency);
   std::atomic<size_t> cached_hits{0}, cached_mismatches{0};
+  obs::HistogramSnapshot cached_latency;
   const double cached_seconds =
       RunZipfLoop(&catalog, wl, sequence, expected, workers,
-                  /*cache_entries=*/4096, &cached_hits, &cached_mismatches);
+                  /*cache_entries=*/4096, &cached_hits, &cached_mismatches,
+                  &cached_latency);
 
   const double n = static_cast<double>(count);
   std::printf("  uncached: %8.0f req/s (%zu mismatches)\n",
@@ -139,6 +166,8 @@ int RunZipf(size_t count, size_t workers) {
   std::printf("  cached:   %8.0f req/s, %zu hits (%zu mismatches)\n",
               n / cached_seconds, cached_hits.load(),
               cached_mismatches.load());
+  PrintLatencyLine("uncached", uncached_latency);
+  PrintLatencyLine("cached", cached_latency);
   const double speedup = uncached_seconds / cached_seconds;
   std::printf("  speedup: %.2fx\n", speedup);
   const bool ok = uncached_mismatches.load() == 0 &&
@@ -174,44 +203,50 @@ int main(int argc, char** argv) {
 
   // -- 1. Baseline: the estimator with no serving machinery around it.
   core::TwigEstimator direct(&snapshot->summary);
+  obs::HistogramSnapshot direct_latency;
   Clock::time_point start = Clock::now();
   for (size_t round = 0; round < kRounds; ++round) {
     for (const auto& wq : wl) {
+      const Clock::time_point sent = Clock::now();
       direct.Estimate(wq.twig, core::Algorithm::kMsh);
+      direct_latency.Record(NanosSince(sent));
     }
   }
   const double direct_seconds = SecondsSince(start);
   const size_t total = kRounds * wl.size();
   std::printf("== Direct estimator baseline (MSH, 1%% space) ==\n");
-  std::printf("  %zu estimates in %.3f s: %.0f/s, %.1f us each\n\n", total,
+  std::printf("  %zu estimates in %.3f s: %.0f/s, %.1f us each\n", total,
               direct_seconds, static_cast<double>(total) / direct_seconds,
               1e6 * direct_seconds / static_cast<double>(total));
+  PrintLatencyLine("direct", direct_latency);
+  std::printf("\n");
 
-  // -- 2. Served, closed loop: sweep the worker count.
+  // -- 2. Served, closed loop: sweep the worker count. Request latency
+  // is the client-observed submit-to-response time (queue wait +
+  // execution + hand-off), per-client histograms merged after the run.
   std::printf("== Served throughput (closed loop, 4 client threads) ==\n");
-  std::printf("  %-8s %10s %12s %12s %12s\n", "workers", "req/s", "vs direct",
-              "wait p50 us", "wait p99 us");
+  std::printf("  %-8s %10s %12s %12s %12s %12s\n", "workers", "req/s",
+              "vs direct", "p50 us", "p95 us", "p99 us");
   for (size_t workers : {1, 2, 4}) {
     serve::ServiceOptions sopt;
     sopt.num_workers = workers;
     serve::EstimateService service(&catalog, sopt);
 
     constexpr size_t kClients = 4;
-    std::vector<std::vector<double>> waits(kClients);
+    std::vector<obs::HistogramSnapshot> client_latency(kClients);
     start = Clock::now();
     std::vector<std::thread> clients;
     for (size_t c = 0; c < kClients; ++c) {
       clients.emplace_back([&, c] {
-        waits[c].reserve(kRounds * wl.size() / kClients);
         for (size_t i = c; i < kRounds * wl.size(); i += kClients) {
           serve::EstimateRequest request;
           request.twig = wl[i % wl.size()].twig;
           request.algorithm = core::Algorithm::kMsh;
+          const Clock::time_point sent = Clock::now();
           serve::EstimateResponse response =
               service.SubmitAndWait(std::move(request));
           if (response.status.ok()) {
-            waits[c].push_back(1e-3 *
-                               static_cast<double>(response.queue_wait.count()));
+            client_latency[c].Record(NanosSince(sent));
           }
         }
       });
@@ -220,19 +255,13 @@ int main(int argc, char** argv) {
     const double served_seconds = SecondsSince(start);
     service.Shutdown(/*drain=*/true);
 
-    std::vector<double> all_waits;
-    for (const auto& w : waits) all_waits.insert(all_waits.end(), w.begin(),
-                                                 w.end());
-    std::sort(all_waits.begin(), all_waits.end());
-    const auto quantile = [&](double q) {
-      if (all_waits.empty()) return 0.0;
-      return all_waits[static_cast<size_t>(
-          q * static_cast<double>(all_waits.size() - 1))];
-    };
-    std::printf("  %-8zu %10.0f %11.2fx %12.1f %12.1f\n", workers,
+    obs::HistogramSnapshot latency;
+    for (const obs::HistogramSnapshot& h : client_latency) latency.Merge(h);
+    const obs::LatencyPercentiles p = obs::SummarizeLatency(latency);
+    std::printf("  %-8zu %10.0f %11.2fx %12.1f %12.1f %12.1f\n", workers,
                 static_cast<double>(total) / served_seconds,
-                served_seconds / direct_seconds, quantile(0.5),
-                quantile(0.99));
+                served_seconds / direct_seconds, p.p50_us, p.p95_us,
+                p.p99_us);
   }
 
   // -- 3. Overload: open-loop burst past the queue, count the split.

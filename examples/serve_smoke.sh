@@ -1,8 +1,10 @@
 #!/bin/sh
 # End-to-end smoke for the serving subsystem: start twig_serve on an
 # ephemeral port, drive it with twig_client (ping, explain, metrics, a
-# multi-threaded estimate bench with a snapshot hot-swap mid-run), then
-# shut it down over the wire and check it exits cleanly.
+# multi-threaded estimate bench with a snapshot hot-swap mid-run),
+# check the observability verbs (stats percentiles, the accuracy
+# window, the flight recorder's recent/slow spans), then shut it down
+# over the wire and check it exits cleanly.
 #
 #   serve_smoke.sh <twig_serve> <twig_client> <workdir>
 set -eu
@@ -16,8 +18,13 @@ PORT_FILE="$WORK/port"
 LOG="$WORK/serve.log"
 rm -f "$PORT_FILE"
 
+# Observability cranked up: every estimate is re-executed exactly
+# (--accuracy-sample=1) and a 1 us slow threshold pushes essentially
+# every span into the slow log, so the stats/recent checks below see
+# a populated accuracy window and slow ring.
 "$SERVE" --port=0 --port-file="$PORT_FILE" --bytes=131072 --workers=2 \
-    --conns=4 >"$LOG" 2>&1 &
+    --conns=4 --recorder-entries=256 --slow-us=1 --accuracy-sample=1 \
+    >"$LOG" 2>&1 &
 SERVE_PID=$!
 
 fail() {
@@ -54,6 +61,45 @@ METRICS=$("$CLIENT" --port="$PORT" --op=metrics) || fail "metrics failed"
 case "$METRICS" in
   *serve_served*) : ;;
   *) fail "metrics response lacks serve counters: $METRICS" ;;
+esac
+
+# stats: latency percentiles for the worked series, and — at sampling
+# rate 1 — an accuracy window covering every served estimate.
+STATS=$("$CLIENT" --port="$PORT" --op=stats) || fail "stats failed"
+case "$STATS" in
+  *'"p99_us"'*) : ;;
+  *) fail "stats response lacks latency percentiles: $STATS" ;;
+esac
+case "$STATS" in
+  *'"accuracy":{"recorded":0'*) fail "accuracy window is empty: $STATS" ;;
+  *'"accuracy":{"recorded":'*) : ;;
+  *) fail "stats response lacks the accuracy window: $STATS" ;;
+esac
+case "$STATS" in
+  *'"recorder":{"enabled":true'*) : ;;
+  *) fail "stats response lacks recorder occupancy: $STATS" ;;
+esac
+
+# recent: the flight recorder retained spans, and the 1 us slow
+# threshold forced well-formed slow-log entries (a slow entry carries
+# the same keys as a recent span: outcome and per-stage offsets).
+RECENT=$("$CLIENT" --port="$PORT" --op=recent) || fail "recent failed"
+case "$RECENT" in
+  *'"spans":[]'*) fail "flight recorder retained no spans: $RECENT" ;;
+  *'"spans":[{"id":'*) : ;;
+  *) fail "recent response lacks spans: $RECENT" ;;
+esac
+case "$RECENT" in
+  *'"slow":[{"id":'*) : ;;
+  *) fail "slow log is empty despite --slow-us=1: $RECENT" ;;
+esac
+case "$RECENT" in
+  *'"outcome":"served"'*) : ;;
+  *) fail "no served span in the recorder: $RECENT" ;;
+esac
+case "$RECENT" in
+  *'"stages_us":{"admitted":'*) : ;;
+  *) fail "spans lack per-stage offsets: $RECENT" ;;
 esac
 
 "$CLIENT" --port="$PORT" --op=shutdown || fail "shutdown op failed"

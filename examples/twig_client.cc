@@ -59,8 +59,9 @@ constexpr char kUsage[] =
     "usage: twig_client --port=N [--op=NAME ...] [--bench ...]\n"
     "  --port=N         server port on 127.0.0.1 (default 7411)\n"
     "single-shot (one request, prints the response line):\n"
-    "  --op=NAME        ping | estimate | explain | metrics | swap |\n"
-    "                   shutdown\n"
+    "  --op=NAME        ping | estimate | explain | metrics | stats |\n"
+    "                   recent | swap | shutdown\n"
+    "                   (stats and recent also pretty-print)\n"
     "  --query=TWIG     estimate/explain query\n"
     "  --algo=NAME      Leaf | Greedy | MO | MOSH | PMOSH | MSH\n"
     "  --semantics=S    occurrence | presence\n"
@@ -325,6 +326,80 @@ int RunBench(const Options& options) {
              : 1;
 }
 
+/// Renders the `stats` verb as a table: one latency row per active
+/// series, then the accuracy window and the recorder occupancy.
+void PrettyPrintStats(const obs::JsonValue& response) {
+  std::printf("snapshot v%.0f | queue %.0f/%.0f | schema v%.0f\n",
+              response.GetNumber("version"),
+              response.GetNumber("queue_depth"),
+              response.GetNumber("queue_capacity"),
+              response.GetNumber("schema_version"));
+  if (const obs::JsonValue* latency = response.Find("latency")) {
+    std::printf("%-16s %10s %10s %10s %10s %10s %10s\n", "series", "count",
+                "mean_us", "p50_us", "p90_us", "p95_us", "p99_us");
+    for (const auto& [name, series] : latency->members) {
+      if (series.GetNumber("count") == 0) continue;
+      std::printf("%-16s %10.0f %10.1f %10.1f %10.1f %10.1f %10.1f\n",
+                  name.c_str(), series.GetNumber("count"),
+                  series.GetNumber("mean_us"), series.GetNumber("p50_us"),
+                  series.GetNumber("p90_us"), series.GetNumber("p95_us"),
+                  series.GetNumber("p99_us"));
+    }
+  }
+  if (const obs::JsonValue* accuracy = response.Find("accuracy")) {
+    std::printf("accuracy: %.0f sampled, window %.0f | mean %+.4g | "
+                "mean|e| %.4g | p50|e| %.4g | p99|e| %.4g\n",
+                accuracy->GetNumber("recorded"),
+                accuracy->GetNumber("window"), accuracy->GetNumber("mean"),
+                accuracy->GetNumber("mean_abs"),
+                accuracy->GetNumber("p50_abs"),
+                accuracy->GetNumber("p99_abs"));
+  }
+  if (const obs::JsonValue* recorder = response.Find("recorder")) {
+    if (recorder->GetBool("enabled")) {
+      std::printf("recorder: %.0f spans (%.0f dropped) in %.0f slots | "
+                  "slow log %.0f/%.0f at >= %.0f us\n",
+                  recorder->GetNumber("recorded"),
+                  recorder->GetNumber("dropped"),
+                  recorder->GetNumber("capacity"),
+                  recorder->GetNumber("slow_recorded"),
+                  recorder->GetNumber("slow_capacity"),
+                  recorder->GetNumber("slow_threshold_us"));
+    } else {
+      std::printf("recorder: disabled\n");
+    }
+  }
+}
+
+/// One flight-recorder span per line: identity, outcome, timing, and
+/// the sampled accuracy error when present.
+void PrettyPrintSpans(const char* label, const obs::JsonValue& spans) {
+  for (const obs::JsonValue& span : spans.elements) {
+    std::printf("%s #%.0f %-13s %-6s v%.0f %9.1f us  %s", label,
+                span.GetNumber("id"), span.GetString("outcome", "?").data(),
+                span.GetString("algo", "?").data(),
+                span.GetNumber("version"), span.GetNumber("total_us"),
+                std::string(span.GetString("query")).c_str());
+    if (const obs::JsonValue* err = span.Find("relative_error")) {
+      std::printf("  (rel err %+.4g)", err->number_value);
+    }
+    std::printf("\n");
+  }
+}
+
+void PrettyPrintRecent(const obs::JsonValue& response) {
+  std::printf("recorder: %.0f recorded, %.0f dropped\n",
+              response.GetNumber("recorded"), response.GetNumber("dropped"));
+  if (const obs::JsonValue* spans = response.Find("spans")) {
+    PrettyPrintSpans("span", *spans);
+  }
+  if (const obs::JsonValue* slow = response.Find("slow")) {
+    if (!slow->elements.empty()) {
+      PrettyPrintSpans("slow", *slow);
+    }
+  }
+}
+
 int RunRepl(const Options& options) {
   Connection conn;
   if (Status status = conn.Open(static_cast<uint16_t>(options.port));
@@ -397,5 +472,10 @@ int main(int argc, char** argv) {
   std::printf("%s\n", response.value().c_str());
   // Exit 0 only for an ok response, so scripts can gate on the result.
   Result<obs::JsonValue> parsed = obs::ParseJson(response.value());
-  return parsed.ok() && parsed.value().GetBool("ok") ? 0 : 1;
+  const bool ok = parsed.ok() && parsed.value().GetBool("ok");
+  // The raw line above keeps scripts greppable; the observability
+  // verbs additionally render human-readable.
+  if (ok && options.op == "stats") PrettyPrintStats(parsed.value());
+  if (ok && options.op == "recent") PrettyPrintRecent(parsed.value());
+  return ok ? 0 : 1;
 }

@@ -32,6 +32,7 @@
 #include "cst/cst.h"
 #include "data/generators.h"
 #include "match/matcher.h"
+#include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "query/twig.h"
@@ -163,10 +164,50 @@ int main(int argc, char** argv) {
   bool first = true;
   for (core::Algorithm algorithm : options.algorithms) {
     estimator.Estimate(*twig, algorithm, eopt);
+    // Frontier aggregation (wildcard / descendant steps summing counts
+    // over several label paths) is easy to miss inside the per-piece
+    // dump, so surface it per algorithm: one entry per aggregated
+    // subpath with the frontier width.
+    struct Aggregation {
+      std::string subpath;
+      size_t width;
+      double count;
+    };
+    std::vector<Aggregation> aggregations;
+    for (const obs::PieceTrace& piece : trace.pieces) {
+      for (const obs::SubpathTrace& sp : piece.subpaths) {
+        if (sp.aggregated > 1) {
+          aggregations.push_back({sp.subpath, sp.aggregated, sp.count});
+        }
+      }
+    }
     if (options.json) {
-      std::printf("%s%s", first ? "" : ",\n", trace.ToJson().c_str());
+      obs::JsonWriter w;
+      w.BeginObject();
+      w.Key("trace");
+      w.RawValue(trace.ToJson());
+      w.Key("aggregation");
+      w.BeginArray();
+      for (const Aggregation& a : aggregations) {
+        w.BeginObject();
+        w.Key("subpath");
+        w.String(a.subpath);
+        w.Key("width");
+        w.Uint(a.width);
+        w.Key("count");
+        w.Double(a.count);
+        w.EndObject();
+      }
+      w.EndArray();
+      w.EndObject();
+      std::printf("%s%s", first ? "" : ",\n", std::move(w).str().c_str());
     } else {
       std::printf("\n%s", trace.ToText().c_str());
+      for (const Aggregation& a : aggregations) {
+        std::printf("  aggregation: %s summed %zu label paths "
+                    "(count %.0f)\n",
+                    a.subpath.c_str(), a.width, a.count);
+      }
     }
     first = false;
   }

@@ -11,6 +11,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <utility>
@@ -42,13 +43,17 @@ struct Options {
   size_t deadline_ms = 0;
   size_t cache_entries = 0;
   size_t cache_shards = 8;
+  size_t recorder_entries = 256;
+  size_t slow_us = 50000;
+  size_t accuracy_sample = 256;
 };
 
 constexpr char kUsage[] =
     "usage: twig_serve [--port=N] [--port-file=PATH] [--xml=FILE]\n"
     "                  [--bytes=N] [--space=F] [--workers=N] [--conns=N]\n"
     "                  [--queue=N] [--deadline-ms=N] [--cache-entries=N]\n"
-    "                  [--cache-shards=N]\n"
+    "                  [--cache-shards=N] [--recorder-entries=N]\n"
+    "                  [--slow-us=N] [--accuracy-sample=N]\n"
     "  --port=N         TCP port on 127.0.0.1; 0 = ephemeral (default "
     "7411)\n"
     "  --port-file=PATH write the bound port to PATH (for scripts)\n"
@@ -61,7 +66,13 @@ constexpr char kUsage[] =
     "  --queue=N        request queue capacity (default 256)\n"
     "  --deadline-ms=N  default per-request deadline; 0 = none\n"
     "  --cache-entries=N result cache capacity; 0 = cache off (default)\n"
-    "  --cache-shards=N  result cache shards (default 8)\n";
+    "  --cache-shards=N  result cache shards (default 8)\n"
+    "  --recorder-entries=N flight recorder span slots; 0 = tracing off\n"
+    "                   (default 256)\n"
+    "  --slow-us=N      retain spans at least this slow in the slow log;\n"
+    "                   0 = slow log off (default 50000)\n"
+    "  --accuracy-sample=N re-execute every Nth estimate exactly and\n"
+    "                   record its relative error; 0 = off (default 256)\n";
 
 tree::Tree LoadOrGenerate(const Options& options) {
   if (!options.xml_path.empty()) {
@@ -112,9 +123,15 @@ int main(int argc, char** argv) {
   flags.Size("deadline-ms", &options.deadline_ms);
   flags.Size("cache-entries", &options.cache_entries);
   flags.Size("cache-shards", &options.cache_shards);
+  flags.Size("recorder-entries", &options.recorder_entries);
+  flags.Size("slow-us", &options.slow_us);
+  flags.Size("accuracy-sample", &options.accuracy_sample);
   // Underscore spellings, for callers used to other tools' convention.
   flags.Size("cache_entries", &options.cache_entries);
   flags.Size("cache_shards", &options.cache_shards);
+  flags.Size("recorder_entries", &options.recorder_entries);
+  flags.Size("slow_us", &options.slow_us);
+  flags.Size("accuracy_sample", &options.accuracy_sample);
   if (int code = flags.Parse(argc, argv); code >= 0) return code;
   if (options.port > 65535 || options.space <= 0 || options.bytes == 0) {
     std::fprintf(stderr,
@@ -124,17 +141,20 @@ int main(int argc, char** argv) {
   }
 
   // The data tree and its path suffix tree stay resident so the swap op
-  // can rebuild CSTs at other space fractions without re-parsing.
-  const tree::Tree data = LoadOrGenerate(options);
-  const size_t xml_bytes = xml::XmlByteSize(data);
-  const auto pst = suffix::PathSuffixTree::Build(data);
+  // can rebuild CSTs at other space fractions without re-parsing; the
+  // tree is shared into each snapshot for the accuracy sampler.
+  const auto data =
+      std::make_shared<const tree::Tree>(LoadOrGenerate(options));
+  const size_t xml_bytes = xml::XmlByteSize(*data);
+  const auto pst = suffix::PathSuffixTree::Build(*data);
 
   serve::SnapshotCatalog catalog;
   const std::string source = options.xml_path.empty()
                                  ? "generated dblp"
                                  : options.xml_path;
-  catalog.Publish(BuildSummary(data, pst, xml_bytes, options.space),
-                  source + " @ " + std::to_string(options.space));
+  catalog.Publish(BuildSummary(*data, pst, xml_bytes, options.space),
+                  source + " @ " + std::to_string(options.space),
+                  /*build_seconds=*/0, data);
 
   serve::ServiceOptions sopt;
   sopt.num_workers = options.workers;
@@ -142,16 +162,21 @@ int main(int argc, char** argv) {
   sopt.default_deadline = std::chrono::milliseconds(options.deadline_ms);
   sopt.cache_entries = options.cache_entries;
   sopt.cache_shards = options.cache_shards;
+  sopt.recorder_entries = options.recorder_entries;
+  sopt.slow_threshold = std::chrono::microseconds(options.slow_us);
+  sopt.accuracy_sample_every =
+      static_cast<uint32_t>(options.accuracy_sample);
   serve::EstimateService service(&catalog, sopt);
 
   serve::TcpOptions topt;
   topt.port = static_cast<uint16_t>(options.port);
   topt.num_connection_threads = options.conns;
-  topt.rebuild = [&data, &pst, xml_bytes,
+  topt.rebuild = [data, &pst, xml_bytes,
                   default_space = options.space](double space) {
     return Result<cst::Cst>(BuildSummary(
-        data, pst, xml_bytes, space > 0 ? space : default_space));
+        *data, pst, xml_bytes, space > 0 ? space : default_space));
   };
+  topt.rebuild_data = data;
   serve::TcpFrontEnd front_end(&catalog, &service, topt);
   if (Status status = front_end.Start(); !status.ok()) {
     std::fprintf(stderr, "twig_serve: %s\n", status.ToString().c_str());
@@ -170,7 +195,7 @@ int main(int argc, char** argv) {
   }
   std::printf("twig_serve: %s | data %zu nodes, %s | snapshot v%llu | "
               "listening on 127.0.0.1:%u\n",
-              source.c_str(), data.size(), HumanBytes(xml_bytes).c_str(),
+              source.c_str(), data->size(), HumanBytes(xml_bytes).c_str(),
               static_cast<unsigned long long>(catalog.version()),
               front_end.port());
   std::fflush(stdout);

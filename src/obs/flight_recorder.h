@@ -1,0 +1,158 @@
+// The flight recorder: a lock-free, fixed-size ring of the most recent
+// completed request spans, plus a second retained ring for slow
+// outliers (the "slow log").
+//
+// Writers never block and never wait for readers: a writer claims a
+// slot by bumping a monotone head counter, takes exclusive ownership
+// of the slot with a single CAS on the slot's generation-tagged
+// sequence word, fills the payload, and releases the slot by storing
+// the next generation's sequence. Readers (Snapshot) validate each
+// slot's sequence before *and* after copying the payload and skip
+// slots that were mid-write or were lapped meanwhile, so a snapshot
+// taken while writers race contains only whole records — never a torn
+// one. Every payload field is an atomic accessed with relaxed
+// ordering (publication ordering comes from the sequence word's
+// acquire/release pair), so the protocol is data-race-free under the
+// C++ memory model and runs clean under TSan.
+//
+// If the ring wraps around faster than a slow writer finishes (a lap:
+// head advanced a full capacity within one Record call), the colliding
+// writer drops its record and counts it instead of spinning — the
+// recorder prefers losing one record to ever stalling the serving
+// path. With capacities of tens of entries and microsecond writes this
+// does not happen in practice; `dropped()` makes it visible if it
+// does.
+//
+// The slow log reuses the same ring: a completed span whose total
+// duration reaches the configured threshold is recorded a second time
+// into the smaller slow ring, so rare outliers survive long after the
+// main ring has churned past them.
+
+#ifndef TWIG_OBS_FLIGHT_RECORDER_H_
+#define TWIG_OBS_FLIGHT_RECORDER_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/span.h"
+
+namespace twig::obs {
+
+/// Query-text bytes retained per ring slot (longer queries truncate).
+inline constexpr size_t kSpanQueryBytes = 48;
+
+/// A lock-free MPMC overwrite ring of SpanRecords. See the file
+/// comment for the protocol.
+class SpanRing {
+ public:
+  /// `entries` is rounded up to a power of two, minimum 8.
+  explicit SpanRing(size_t entries);
+
+  SpanRing(const SpanRing&) = delete;
+  SpanRing& operator=(const SpanRing&) = delete;
+
+  /// Records `span`, overwriting the oldest entry once full. Returns
+  /// false (and counts a drop) on a writer collision — the ring lapped
+  /// this writer mid-record.
+  bool Record(const SpanRecord& span);
+
+  /// The retained records, oldest first. Only whole records: slots
+  /// being written (or lapped) while the snapshot runs are skipped.
+  std::vector<SpanRecord> Snapshot() const;
+
+  size_t capacity() const { return capacity_; }
+  /// Total records ever accepted / dropped on collision.
+  uint64_t recorded() const;
+  uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+
+ private:
+  /// One slot: a generation-tagged sequence word plus an all-atomic
+  /// payload. For the slot of ring index i, generation g runs over
+  /// i, i+N, i+2N, ...; seq == 2*g means "stable, last written at
+  /// generation g-N" (the initial value 2*i reads as "empty"),
+  /// seq == 2*g+1 means "generation g's writer is inside".
+  struct Slot {
+    std::atomic<uint64_t> seq{0};
+    std::atomic<uint64_t> request_id{0};
+    std::array<std::atomic<char>, kSpanQueryBytes> query{};
+    std::atomic<uint8_t> query_len{0};
+    std::atomic<uint8_t> series{0};
+    std::atomic<uint8_t> outcome{0};
+    std::array<std::atomic<uint64_t>, kSpanStageCount> offset_ns{};
+    std::atomic<double> estimate{0};
+    std::atomic<uint64_t> snapshot_version{0};
+    std::atomic<bool> accuracy_sampled{false};
+    std::atomic<double> relative_error{0};
+  };
+
+  size_t capacity_;
+  uint64_t mask_;
+  std::unique_ptr<Slot[]> slots_;
+  /// Total slots ever claimed (claims that collide become drops).
+  std::atomic<uint64_t> head_{0};
+  std::atomic<uint64_t> dropped_{0};
+};
+
+struct FlightRecorderOptions {
+  /// Main ring entries (rounded up to a power of two).
+  size_t entries = 256;
+  /// Slow-log ring entries.
+  size_t slow_entries = 64;
+  /// A span whose total duration reaches this is also retained in the
+  /// slow log; 0 disables the slow log.
+  uint64_t slow_threshold_ns = 0;
+};
+
+/// The recorder the serving layer feeds: every completed span lands in
+/// the main ring, slow outliers additionally in the slow ring. All
+/// methods are thread-safe.
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(const FlightRecorderOptions& options = {});
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  void Record(const SpanRecord& span);
+
+  std::vector<SpanRecord> RecentSpans() const { return spans_.Snapshot(); }
+  std::vector<SpanRecord> SlowSpans() const { return slow_.Snapshot(); }
+
+  /// JSON array of the retained spans / slow spans (schema: DESIGN.md
+  /// §13), oldest first.
+  std::string SpansJson() const { return ToJsonArray(RecentSpans()); }
+  std::string SlowJson() const { return ToJsonArray(SlowSpans()); }
+
+  struct Stats {
+    uint64_t recorded = 0;
+    uint64_t dropped = 0;
+    uint64_t slow_recorded = 0;
+    size_t capacity = 0;
+    size_t slow_capacity = 0;
+    uint64_t slow_threshold_ns = 0;
+  };
+  Stats stats() const;
+
+  uint64_t slow_threshold_ns() const { return slow_threshold_ns_; }
+
+ private:
+  static std::string ToJsonArray(const std::vector<SpanRecord>& records);
+
+  const uint64_t slow_threshold_ns_;
+  SpanRing spans_;
+  SpanRing slow_;
+};
+
+/// One span record as a JSON object (the `recent` verb's element
+/// schema): id, query, algo, outcome, version, estimate, total_us, the
+/// reached stages as stages_us, and relative_error when the accuracy
+/// sampler covered the request.
+std::string SpanRecordToJson(const SpanRecord& record);
+
+}  // namespace twig::obs
+
+#endif  // TWIG_OBS_FLIGHT_RECORDER_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cmath>
 
 #include "obs/json.h"
 
@@ -41,6 +42,10 @@ const char* CounterName(Counter counter) {
       return "serve_cache_misses";
     case Counter::kServeCacheEvictions:
       return "serve_cache_evictions";
+    case Counter::kServeAccuracySamples:
+      return "serve_accuracy_samples";
+    case Counter::kServeAccuracyFailures:
+      return "serve_accuracy_failures";
     case Counter::kCount:
       break;
   }
@@ -62,6 +67,28 @@ std::string CountersToJson(const CounterArray& counters) {
   return std::move(w).str();
 }
 
+namespace {
+
+size_t LatencyBucket(uint64_t nanos) {
+  return std::min<size_t>(
+      nanos == 0 ? 0 : static_cast<size_t>(std::bit_width(nanos)),
+      kLatencyBuckets - 1);
+}
+
+}  // namespace
+
+void HistogramSnapshot::Record(uint64_t nanos) {
+  buckets[LatencyBucket(nanos)] += 1;
+  count += 1;
+  sum_nanos += nanos;
+}
+
+void HistogramSnapshot::Merge(const HistogramSnapshot& other) {
+  for (size_t b = 0; b < kLatencyBuckets; ++b) buckets[b] += other.buckets[b];
+  count += other.count;
+  sum_nanos += other.sum_nanos;
+}
+
 double HistogramSnapshot::QuantileNanos(double q) const {
   if (count == 0) return 0.0;
   q = std::clamp(q, 0.0, 1.0);
@@ -74,6 +101,44 @@ double HistogramSnapshot::QuantileNanos(double q) const {
     }
   }
   return static_cast<double>(uint64_t{1} << (kLatencyBuckets - 1));
+}
+
+LatencyPercentiles SummarizeLatency(const HistogramSnapshot& histogram) {
+  LatencyPercentiles p;
+  p.count = histogram.count;
+  p.mean_us = histogram.MeanNanos() / 1e3;
+  p.p50_us = histogram.QuantileNanos(0.5) / 1e3;
+  p.p90_us = histogram.QuantileNanos(0.9) / 1e3;
+  p.p95_us = histogram.QuantileNanos(0.95) / 1e3;
+  p.p99_us = histogram.QuantileNanos(0.99) / 1e3;
+  return p;
+}
+
+double AccuracySnapshot::Mean() const {
+  if (window.empty()) return 0.0;
+  double sum = 0;
+  for (double e : window) sum += e;
+  return sum / static_cast<double>(window.size());
+}
+
+double AccuracySnapshot::MeanAbs() const {
+  if (window.empty()) return 0.0;
+  double sum = 0;
+  for (double e : window) sum += std::abs(e);
+  return sum / static_cast<double>(window.size());
+}
+
+double AccuracySnapshot::QuantileAbs(double q) const {
+  if (window.empty()) return 0.0;
+  std::vector<double> abs_errors;
+  abs_errors.reserve(window.size());
+  for (double e : window) abs_errors.push_back(std::abs(e));
+  std::sort(abs_errors.begin(), abs_errors.end());
+  q = std::clamp(q, 0.0, 1.0);
+  const auto idx = std::min(
+      abs_errors.size() - 1,
+      static_cast<size_t>(q * static_cast<double>(abs_errors.size())));
+  return abs_errors[idx];
 }
 
 MetricsSnapshot MetricsSnapshot::Delta(const MetricsSnapshot& earlier) const {
@@ -91,12 +156,16 @@ MetricsSnapshot MetricsSnapshot::Delta(const MetricsSnapshot& earlier) const {
           minus(latency[s].buckets[b], earlier.latency[s].buckets[b]);
     }
   }
+  out.accuracy.recorded = minus(accuracy.recorded, earlier.accuracy.recorded);
+  out.accuracy.window = accuracy.window;
   return out;
 }
 
 std::string MetricsSnapshot::ToJson() const {
   JsonWriter w;
   w.BeginObject();
+  w.Key("schema_version");
+  w.Uint(kMetricsSchemaVersion);
   w.Key("counters");
   w.BeginObject();
   for (size_t i = 0; i < kCounterCount; ++i) {
@@ -114,18 +183,38 @@ std::string MetricsSnapshot::ToJson() const {
     w.Uint(h.count);
     w.Key("sum_nanos");
     w.Uint(h.sum_nanos);
+    const LatencyPercentiles p = SummarizeLatency(h);
     w.Key("mean_us");
-    w.Double(h.MeanNanos() / 1e3);
+    w.Double(p.mean_us);
     w.Key("p50_us");
-    w.Double(h.QuantileNanos(0.5) / 1e3);
+    w.Double(p.p50_us);
+    w.Key("p90_us");
+    w.Double(p.p90_us);
+    w.Key("p95_us");
+    w.Double(p.p95_us);
     w.Key("p99_us");
-    w.Double(h.QuantileNanos(0.99) / 1e3);
+    w.Double(p.p99_us);
     w.Key("buckets");
     w.BeginArray();
     for (uint64_t b : h.buckets) w.Uint(b);
     w.EndArray();
     w.EndObject();
   }
+  w.EndObject();
+  w.Key("accuracy");
+  w.BeginObject();
+  w.Key("recorded");
+  w.Uint(accuracy.recorded);
+  w.Key("window");
+  w.Uint(accuracy.window.size());
+  w.Key("mean");
+  w.Double(accuracy.Mean());
+  w.Key("mean_abs");
+  w.Double(accuracy.MeanAbs());
+  w.Key("p50_abs");
+  w.Double(accuracy.QuantileAbs(0.5));
+  w.Key("p99_abs");
+  w.Double(accuracy.QuantileAbs(0.99));
   w.EndObject();
   w.EndObject();
   return std::move(w).str();
@@ -176,15 +265,19 @@ void MetricsRegistry::ReleaseSlot(ThreadSlot* slot) {
 
 void MetricsRegistry::RecordLatency(size_t series, uint64_t nanos) {
   ThreadSlot& slot = LocalSlot();
-  const size_t bucket = std::min<size_t>(
-      nanos == 0 ? 0 : static_cast<size_t>(std::bit_width(nanos)),
-      kLatencyBuckets - 1);
+  const size_t bucket = LatencyBucket(nanos);
   auto bump = [](std::atomic<uint64_t>& a, uint64_t d) {
     a.store(a.load(std::memory_order_relaxed) + d,
             std::memory_order_relaxed);
   };
   bump(slot.latency_buckets[series][bucket], 1);
   bump(slot.latency_sum_nanos[series], nanos);
+}
+
+void MetricsRegistry::RecordAccuracySample(double relative_error) {
+  const uint64_t i = accuracy_count_.fetch_add(1, std::memory_order_relaxed);
+  accuracy_window_[i % kAccuracyWindow].store(relative_error,
+                                              std::memory_order_relaxed);
 }
 
 MetricsSnapshot MetricsRegistry::Snapshot() const {
@@ -204,6 +297,15 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
         out.latency[s].count += c;
       }
     }
+  }
+  const uint64_t samples = accuracy_count_.load(std::memory_order_relaxed);
+  out.accuracy.recorded = samples;
+  const size_t filled =
+      static_cast<size_t>(std::min<uint64_t>(samples, kAccuracyWindow));
+  out.accuracy.window.reserve(filled);
+  for (size_t i = 0; i < filled; ++i) {
+    out.accuracy.window.push_back(
+        accuracy_window_[i].load(std::memory_order_relaxed));
   }
   return out;
 }

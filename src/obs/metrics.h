@@ -54,6 +54,10 @@ enum class Counter : size_t {
   kServeCacheHits,        // estimates answered from the result cache
   kServeCacheMisses,      // lookups that fell through to the estimator
   kServeCacheEvictions,   // entries displaced by the LRU bound
+  // Accuracy sampler (serve/service.cc): requests re-executed against
+  // the exact matcher to measure live estimation error.
+  kServeAccuracySamples,  // sampled requests with a ground-truth count
+  kServeAccuracyFailures, //   ... where the exact matcher errored
   kCount,
 };
 
@@ -86,11 +90,22 @@ inline constexpr size_t kServeCacheHitSeries = 7;
 
 inline constexpr size_t kLatencyBuckets = 32;
 
+/// Version of the metrics JSON export schema (the "schema_version"
+/// field of MetricsSnapshot::ToJson). Bump on any key change so
+/// downstream scrapers can detect format drift.
+inline constexpr uint64_t kMetricsSchemaVersion = 2;
+
 /// Aggregated view of one latency series.
 struct HistogramSnapshot {
   std::array<uint64_t, kLatencyBuckets> buckets{};
   uint64_t count = 0;
   uint64_t sum_nanos = 0;
+
+  /// Adds one observation (same log2 bucketing as the registry). Lets
+  /// callers build standalone histograms (bench harnesses, tests).
+  void Record(uint64_t nanos);
+  /// Component-wise this += other.
+  void Merge(const HistogramSnapshot& other);
 
   double MeanNanos() const {
     return count == 0 ? 0.0
@@ -102,20 +117,60 @@ struct HistogramSnapshot {
   double QuantileNanos(double q) const;
 };
 
+/// The standard percentile summary of one latency series, in
+/// microseconds (log-bucket resolution: each percentile is the upper
+/// edge of its bucket, within a factor of 2).
+struct LatencyPercentiles {
+  uint64_t count = 0;
+  double mean_us = 0;
+  double p50_us = 0;
+  double p90_us = 0;
+  double p95_us = 0;
+  double p99_us = 0;
+};
+
+LatencyPercentiles SummarizeLatency(const HistogramSnapshot& histogram);
+
+/// Entries retained in the accuracy sampler's sliding window.
+inline constexpr size_t kAccuracyWindow = 512;
+
+/// The accuracy sampler's state at one instant: how many samples were
+/// ever recorded and the most recent window of signed relative errors
+/// (oldest-to-newest order is not preserved; the window is a ring).
+struct AccuracySnapshot {
+  uint64_t recorded = 0;
+  std::vector<double> window;
+
+  /// Mean signed relative error over the window (~0 when the estimator
+  /// is unbiased); 0 when empty.
+  double Mean() const;
+  /// Mean absolute relative error over the window; 0 when empty.
+  double MeanAbs() const;
+  /// Quantile of |relative error| over the window, q in [0, 1].
+  double QuantileAbs(double q) const;
+};
+
 /// Aggregated view of the whole registry at one instant.
 struct MetricsSnapshot {
   CounterArray counters{};
   std::array<HistogramSnapshot, kLatencySeries> latency{};
+  AccuracySnapshot accuracy;
 
   /// Component-wise this - earlier (both from the same registry;
-  /// `earlier` taken first). Negative differences clamp to 0.
+  /// `earlier` taken first). Negative differences clamp to 0. The
+  /// accuracy window is not differenced (it is already a sliding
+  /// window); the delta keeps this snapshot's window and subtracts
+  /// recorded counts.
   MetricsSnapshot Delta(const MetricsSnapshot& earlier) const;
 
-  /// Stable-schema JSON export:
-  ///   {"counters": {"estimates": 12, ...},
+  /// Stable-schema JSON export (schema_version kMetricsSchemaVersion):
+  ///   {"schema_version": 2,
+  ///    "counters": {"estimates": 12, ...},
   ///    "estimate_latency": {"MSH": {"count": n, "sum_nanos": s,
-  ///        "mean_us": m, "p50_us": a, "p99_us": b,
-  ///        "buckets": [..32 counts..]}, ...}}
+  ///        "mean_us": m, "p50_us": a, "p90_us": ..., "p95_us": ...,
+  ///        "p99_us": b, "buckets": [..32 counts..]}, ...},
+  ///    "accuracy": {"recorded": r, "window": w, "mean": ...,
+  ///        "mean_abs": ..., "p50_abs": ..., "p99_abs": ...}}
   /// Series with count 0 are still emitted (all-zero) so consumers can
   /// rely on the keys.
   std::string ToJson() const;
@@ -134,6 +189,11 @@ class MetricsRegistry {
   /// Records one estimate latency into series `series`
   /// (< kLatencySeries, core::Algorithm order).
   void RecordLatency(size_t series, uint64_t nanos);
+
+  /// Records one accuracy-sampler observation (signed relative error)
+  /// into the sliding window. Thread-safe; lock-free (one fetch_add +
+  /// one relaxed store).
+  void RecordAccuracySample(double relative_error);
 
   /// Aggregates all thread slots.
   MetricsSnapshot Snapshot() const;
@@ -166,6 +226,13 @@ class MetricsRegistry {
   mutable std::mutex mutex_;
   std::vector<std::unique_ptr<ThreadSlot>> slots_;
   std::vector<ThreadSlot*> free_slots_;
+
+  /// The accuracy sampler's window: a simple overwrite ring. Samples
+  /// are rare (1 in N requests) and a torn double is impossible
+  /// (atomic), so a plain fetch_add index is enough; the snapshot
+  /// reads whatever mix of old and new samples is present.
+  std::atomic<uint64_t> accuracy_count_{0};
+  std::array<std::atomic<double>, kAccuracyWindow> accuracy_window_{};
 };
 
 /// Convenience for instrumentation sites.

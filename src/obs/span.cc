@@ -1,0 +1,74 @@
+#include "obs/span.h"
+
+#include <utility>
+
+namespace twig::obs {
+
+const char* SpanStageName(SpanStage stage) {
+  switch (stage) {
+    case SpanStage::kAdmitted:
+      return "admitted";
+    case SpanStage::kCacheLookup:
+      return "cache_lookup";
+    case SpanStage::kEnqueued:
+      return "enqueued";
+    case SpanStage::kDequeued:
+      return "dequeued";
+    case SpanStage::kPinned:
+      return "pinned";
+    case SpanStage::kEstimated:
+      return "estimated";
+    case SpanStage::kReplied:
+      return "replied";
+    case SpanStage::kCount:
+      break;
+  }
+  return "?";
+}
+
+const char* SpanOutcomeName(SpanOutcome outcome) {
+  switch (outcome) {
+    case SpanOutcome::kServed:
+      return "served";
+    case SpanOutcome::kCacheHit:
+      return "cache_hit";
+    case SpanOutcome::kFailed:
+      return "failed";
+    case SpanOutcome::kDeadlineMiss:
+      return "deadline_miss";
+    case SpanOutcome::kRejected:
+      return "rejected";
+    case SpanOutcome::kCount:
+      break;
+  }
+  return "?";
+}
+
+uint64_t SpanRecord::total_ns() const {
+  uint64_t total = 0;
+  for (uint64_t offset : offset_ns) {
+    if (offset != kSpanStageUnset && offset > total) total = offset;
+  }
+  return total;
+}
+
+void RequestSpan::Begin(uint64_t request_id, std::string query,
+                        uint8_t series,
+                        std::chrono::steady_clock::time_point admitted) {
+  active = true;
+  start = admitted;
+  record = SpanRecord();
+  record.request_id = request_id;
+  record.query = std::move(query);
+  record.series = series;
+  record.offset_ns[static_cast<size_t>(SpanStage::kAdmitted)] = 0;
+}
+
+void RequestSpan::Mark(SpanStage stage) {
+  if (!active) return;
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  record.offset_ns[static_cast<size_t>(stage)] = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count());
+}
+
+}  // namespace twig::obs

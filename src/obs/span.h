@@ -1,0 +1,110 @@
+// Per-request spans: the timeline of one serving-layer request.
+//
+// A RequestSpan rides inside the service's queue item and collects a
+// timestamp at every stage the request passes — admission, the result
+// cache lookup, queue entry, worker dequeue, snapshot pin, estimator
+// return, and the reply — as nanosecond offsets from admission, so a
+// finished span is a compact, allocation-light record of where the
+// request's time went. Completed spans are handed to the
+// FlightRecorder (flight_recorder.h), which retains the most recent
+// ones in a lock-free ring for the wire's `recent` verb.
+//
+// obs cannot depend on core or query, so the span stores the
+// algorithm as its latency-series index (kLatencySeriesNames order,
+// which the estimator pins to core::Algorithm) and the query as the
+// text the serving layer formatted.
+
+#ifndef TWIG_OBS_SPAN_H_
+#define TWIG_OBS_SPAN_H_
+
+#include <array>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace twig::obs {
+
+/// The stages of a request's lifetime, in the order it meets them. Not
+/// every request reaches every stage: a cache hit replies straight
+/// after the lookup, a rejection straight after admission.
+enum class SpanStage : size_t {
+  kAdmitted,     // Submit entered (offset 0 by definition)
+  kCacheLookup,  // result-cache lookup finished (hit or miss)
+  kEnqueued,     // accepted into the bounded queue
+  kDequeued,     // a worker picked the request up
+  kPinned,       // the snapshot was pinned for this request
+  kEstimated,    // the estimator returned
+  kReplied,      // the response was delivered
+  kCount,
+};
+
+inline constexpr size_t kSpanStageCount = static_cast<size_t>(SpanStage::kCount);
+
+/// Stable snake_case stage name ("cache_lookup"), used as the JSON key.
+const char* SpanStageName(SpanStage stage);
+
+/// How the request ended.
+enum class SpanOutcome : uint8_t {
+  kServed,        // answered with a freshly computed estimate
+  kCacheHit,      // answered bit-identically from the result cache
+  kFailed,        // the estimator returned a structured error
+  kDeadlineMiss,  // expired while queued
+  kRejected,      // refused at admission or flushed at shutdown
+  kCount,
+};
+
+/// Stable snake_case outcome name ("deadline_miss").
+const char* SpanOutcomeName(SpanOutcome outcome);
+
+/// Offset value for a stage the request never reached.
+inline constexpr uint64_t kSpanStageUnset = ~uint64_t{0};
+
+/// One finished request timeline — what the flight recorder stores and
+/// the `recent` verb serves. Plain data, copyable.
+struct SpanRecord {
+  uint64_t request_id = 0;
+  /// Query text (possibly truncated to the recorder's slot width).
+  std::string query;
+  /// Latency-series index of the algorithm (kLatencySeriesNames order).
+  uint8_t series = 0;
+  SpanOutcome outcome = SpanOutcome::kRejected;
+  /// Nanoseconds from admission to each stage; kSpanStageUnset for
+  /// stages the request never reached. offset_ns[kAdmitted] == 0.
+  std::array<uint64_t, kSpanStageCount> offset_ns{};
+  double estimate = 0;
+  uint64_t snapshot_version = 0;
+  /// True when this request was re-executed against the exact matcher
+  /// by the accuracy sampler; relative_error then holds the signed
+  /// relative error of the estimate.
+  bool accuracy_sampled = false;
+  double relative_error = 0;
+
+  SpanRecord() { offset_ns.fill(kSpanStageUnset); }
+
+  /// Admission-to-latest-stage nanoseconds (the request's total time).
+  uint64_t total_ns() const;
+};
+
+/// The live span a request carries while in flight. Begin once at
+/// admission, Mark stages as they happen; the embedded record is what
+/// the recorder keeps. Not thread-safe — a span belongs to exactly one
+/// request, and the queue hand-off orders writer threads.
+struct RequestSpan {
+  bool active = false;
+  std::chrono::steady_clock::time_point start{};
+  SpanRecord record;
+
+  /// Arms the span: stamps the admission stage at `admitted` and
+  /// records identity. `series` is the algorithm's latency-series
+  /// index.
+  void Begin(uint64_t request_id, std::string query, uint8_t series,
+             std::chrono::steady_clock::time_point admitted);
+
+  /// Stamps `stage` at now(). No-op on an inactive span.
+  void Mark(SpanStage stage);
+};
+
+}  // namespace twig::obs
+
+#endif  // TWIG_OBS_SPAN_H_

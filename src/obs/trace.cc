@@ -104,6 +104,8 @@ std::string Trace::ToText() const {
 std::string Trace::ToJson() const {
   JsonWriter w;
   w.BeginObject();
+  w.Key("schema_version");
+  w.Uint(kTraceSchemaVersion);
   w.Key("query");
   w.String(query);
   w.Key("algorithm");

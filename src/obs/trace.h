@@ -20,6 +20,7 @@
 #define TWIG_OBS_TRACE_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -78,6 +79,10 @@ struct CombineTermTrace {
   bool skipped = false;    // piece fully covered: contributed nothing
   double running_estimate = 0;
 };
+
+/// Version of the trace JSON schema (the "schema_version" field of
+/// Trace::ToJson). Bump on any key change.
+inline constexpr uint64_t kTraceSchemaVersion = 2;
 
 /// The full explain record for one Estimate call.
 struct Trace {

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <utility>
 
+#include "match/matcher.h"
 #include "obs/metrics.h"
+#include "stats/metrics.h"
 
 namespace twig::serve {
 
@@ -29,6 +31,17 @@ EstimateService::EstimateService(SnapshotCatalog* catalog,
                  ? nullptr
                  : std::make_unique<ResultCache>(ResultCacheOptions{
                        options.cache_entries, options.cache_shards})),
+      recorder_(options.recorder_entries == 0
+                    ? nullptr
+                    : std::make_unique<obs::FlightRecorder>(
+                          obs::FlightRecorderOptions{
+                              options.recorder_entries,
+                              options.recorder_slow_entries,
+                              static_cast<uint64_t>(
+                                  std::chrono::duration_cast<
+                                      std::chrono::nanoseconds>(
+                                      options.slow_threshold)
+                                      .count())})),
       queue_(options.queue_capacity),
       pool_(num_workers_) {
   // The pool's ParallelFor is synchronous, so a dispatcher thread
@@ -41,8 +54,17 @@ EstimateService::EstimateService(SnapshotCatalog* catalog,
 
 EstimateService::~EstimateService() { Shutdown(/*drain=*/true); }
 
+void EstimateService::FinishSpan(Item& item, obs::SpanOutcome outcome) {
+  if (!item.span.active) return;
+  item.span.record.outcome = outcome;
+  item.span.Mark(obs::SpanStage::kReplied);
+  item.span.active = false;
+  recorder_->Record(item.span.record);
+}
+
 void EstimateService::Reject(Item item, Status status) {
   obs::CountEvent(obs::Counter::kServeRejected);
+  FinishSpan(item, obs::SpanOutcome::kRejected);
   EstimateResponse response;
   response.status = std::move(status);
   item.promise.set_value(std::move(response));
@@ -56,6 +78,13 @@ std::future<EstimateResponse> EstimateService::Submit(
   if (item.request.deadline == Clock::time_point::max() &&
       options_.default_deadline.count() > 0) {
     item.request.deadline = item.enqueued + options_.default_deadline;
+  }
+  if (recorder_ != nullptr) {
+    // Every Submit gets exactly one span, armed before any exit path.
+    item.span.Begin(next_request_id_.fetch_add(1, std::memory_order_relaxed),
+                    query::FormatTwig(item.request.twig),
+                    static_cast<uint8_t>(item.request.algorithm),
+                    item.enqueued);
   }
   std::future<EstimateResponse> future = item.promise.get_future();
   if (shut_down_.load(std::memory_order_acquire)) {
@@ -71,11 +100,13 @@ std::future<EstimateResponse> EstimateService::Submit(
       item.canonical = core::CanonicalizeQuery(
           item.request.twig, item.request.algorithm, item.request.semantics);
       CachedEstimate cached;
-      if (cache_->Lookup(
-              ResultCache::MakeKeyFromCanonical(
-                  version, item.request.algorithm, item.request.semantics,
-                  item.canonical),
-              &cached)) {
+      const bool hit = cache_->Lookup(
+          ResultCache::MakeKeyFromCanonical(version, item.request.algorithm,
+                                            item.request.semantics,
+                                            item.canonical),
+          &cached);
+      item.span.Mark(obs::SpanStage::kCacheLookup);
+      if (hit) {
         EstimateResponse response;
         response.status = Status::OK();
         response.estimate = cached.estimate;
@@ -88,12 +119,19 @@ std::future<EstimateResponse> EstimateService::Submit(
         obs::MetricsRegistry::Get().RecordLatency(
             obs::kServeCacheHitSeries, ToNanos(response.queue_wait));
         obs::CountEvent(obs::Counter::kServeServed);
+        item.span.record.estimate = cached.estimate;
+        item.span.record.snapshot_version = cached.snapshot_version;
+        FinishSpan(item, obs::SpanOutcome::kCacheHit);
         item.promise.set_value(std::move(response));
         return future;
       }
     }
   }
+  item.span.Mark(obs::SpanStage::kEnqueued);
   if (!queue_.TryPush(item)) {
+    // The queue refused: the span never actually entered it.
+    item.span.record.offset_ns[static_cast<size_t>(
+        obs::SpanStage::kEnqueued)] = obs::kSpanStageUnset;
     Reject(std::move(item),
            queue_.closed()
                ? Status::Unavailable("service is shutting down")
@@ -114,6 +152,7 @@ void EstimateService::ServeLoop() {
     Item item = std::move(*popped);
     if (options_.dequeue_hook) options_.dequeue_hook();
     const auto dequeued = Clock::now();
+    item.span.Mark(obs::SpanStage::kDequeued);
     EstimateResponse response;
     response.queue_wait =
         std::chrono::duration_cast<std::chrono::nanoseconds>(dequeued -
@@ -124,6 +163,7 @@ void EstimateService::ServeLoop() {
       obs::CountEvent(obs::Counter::kServeDeadlineMisses);
       response.status =
           Status::DeadlineExceeded("deadline passed while queued");
+      FinishSpan(item, obs::SpanOutcome::kDeadlineMiss);
       item.promise.set_value(std::move(response));
       continue;
     }
@@ -131,9 +171,12 @@ void EstimateService::ServeLoop() {
     if (snapshot == nullptr) {
       obs::CountEvent(obs::Counter::kServeRejected);
       response.status = Status::Unavailable("no snapshot published yet");
+      FinishSpan(item, obs::SpanOutcome::kRejected);
       item.promise.set_value(std::move(response));
       continue;
     }
+    item.span.Mark(obs::SpanStage::kPinned);
+    item.span.record.snapshot_version = snapshot->version;
     const core::TwigEstimator estimator(&snapshot->summary);
     core::EstimateOptions eopt;
     eopt.semantics = item.request.semantics;
@@ -144,6 +187,7 @@ void EstimateService::ServeLoop() {
     const auto elapsed = Clock::now() - t0;
     registry.RecordLatency(static_cast<size_t>(item.request.algorithm),
                            ToNanos(elapsed));
+    item.span.Mark(obs::SpanStage::kEstimated);
     response.exec_time =
         std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed);
     response.snapshot_version = snapshot->version;
@@ -153,11 +197,36 @@ void EstimateService::ServeLoop() {
       // the result cache free of poisoned entries.
       response.status = estimate.status();
       obs::CountEvent(obs::Counter::kServeServed);
+      FinishSpan(item, obs::SpanOutcome::kFailed);
       item.promise.set_value(std::move(response));
       continue;
     }
     response.estimate = *estimate;
     response.status = Status::OK();
+    item.span.record.estimate = *estimate;
+    if (options_.accuracy_sample_every > 0 && snapshot->data != nullptr &&
+        accuracy_tick_.fetch_add(1, std::memory_order_relaxed) %
+                options_.accuracy_sample_every ==
+            0) {
+      // Live accuracy feedback: re-execute this request against the
+      // exact matcher on the same pinned snapshot's tree and record
+      // how wrong the estimate was.
+      const Result<match::TwigCounts> exact =
+          match::CountTwigMatches(*snapshot->data, item.request.twig);
+      if (exact.ok()) {
+        const double truth =
+            item.request.semantics == core::CountSemantics::kPresence
+                ? exact->presence
+                : exact->occurrence;
+        const double err = stats::SignedRelativeError(truth, *estimate);
+        registry.RecordAccuracySample(err);
+        obs::CountEvent(obs::Counter::kServeAccuracySamples);
+        item.span.record.accuracy_sampled = true;
+        item.span.record.relative_error = err;
+      } else {
+        obs::CountEvent(obs::Counter::kServeAccuracyFailures);
+      }
+    }
     if (cache_ != nullptr && !item.canonical.text.empty()) {
       // Key under the version that actually served the request (a hot
       // swap may have landed since admission), so the entry is correct
@@ -171,6 +240,7 @@ void EstimateService::ServeLoop() {
                          response.exec_time});
     }
     obs::CountEvent(obs::Counter::kServeServed);
+    FinishSpan(item, obs::SpanOutcome::kServed);
     item.promise.set_value(std::move(response));
   }
 }

@@ -47,6 +47,8 @@
 
 #include "core/canonical.h"
 #include "core/estimator.h"
+#include "obs/flight_recorder.h"
+#include "obs/span.h"
 #include "query/twig.h"
 #include "serve/bounded_queue.h"
 #include "serve/result_cache.h"
@@ -69,6 +71,19 @@ struct ServiceOptions {
   size_t cache_entries = 0;
   /// Result cache shards (rounded to a power of two).
   size_t cache_shards = 8;
+  /// Flight recorder entries (rounded to a power of two); 0 disables
+  /// span tracing and the recorder entirely.
+  size_t recorder_entries = 256;
+  /// Slow-log ring entries.
+  size_t recorder_slow_entries = 64;
+  /// A request whose admission-to-reply time reaches this is retained
+  /// in the slow log; zero disables the slow log.
+  std::chrono::microseconds slow_threshold{50000};
+  /// Accuracy sampling rate: every Nth successful estimate is
+  /// re-executed against the exact matcher on the pinned snapshot's
+  /// tree (when the snapshot carries one) and the signed relative
+  /// error recorded. 0 disables sampling.
+  uint32_t accuracy_sample_every = 0;
   /// Test seam: runs on the worker after dequeuing each request,
   /// before the deadline check. Lets tests hold a worker mid-request
   /// to force deterministic overload / expiry / drain scenarios.
@@ -141,6 +156,9 @@ class EstimateService {
   /// The result cache, nullptr when options.cache_entries was 0.
   const ResultCache* result_cache() const { return cache_.get(); }
 
+  /// The flight recorder, nullptr when options.recorder_entries was 0.
+  const obs::FlightRecorder* recorder() const { return recorder_.get(); }
+
  private:
   struct Item {
     EstimateRequest request;
@@ -151,14 +169,20 @@ class EstimateService {
     /// version that actually served the request. Empty text = caching
     /// disabled for this item.
     core::CanonicalQueryKey canonical;
+    /// The request's timeline; inactive when the recorder is disabled.
+    obs::RequestSpan span;
   };
 
   /// One worker's serve loop: pop, check deadline, pin snapshot,
   /// estimate, respond. Returns when the queue closes.
   void ServeLoop();
 
-  /// Completes `item` with a rejection and counts it.
-  static void Reject(Item item, Status status);
+  /// Completes `item` with a rejection, counts it, and lands its span.
+  void Reject(Item item, Status status);
+
+  /// Marks the reply stage, stamps the outcome, and hands the finished
+  /// span to the recorder. No-op on an inactive span.
+  void FinishSpan(Item& item, obs::SpanOutcome outcome);
 
   SnapshotCatalog* const catalog_;
   const ServiceOptions options_;
@@ -166,12 +190,19 @@ class EstimateService {
   /// Created before the workers, destroyed after them; workers insert
   /// into it and Submit reads it, both through the pointer.
   std::unique_ptr<ResultCache> cache_;
+  /// Created before the workers, destroyed after them (lock-free; any
+  /// thread records). nullptr disables span tracing.
+  std::unique_ptr<obs::FlightRecorder> recorder_;
   BoundedQueue<Item> queue_;
   util::ThreadPool pool_;
   /// Runs the blocking ParallelFor that hosts the serve loops.
   std::thread dispatcher_;
   std::atomic<bool> shut_down_{false};
   std::mutex shutdown_mutex_;
+  /// Request ids for spans, monotone from 1.
+  std::atomic<uint64_t> next_request_id_{1};
+  /// Accuracy sampler tick: every Nth successful estimate is checked.
+  std::atomic<uint64_t> accuracy_tick_{0};
 };
 
 }  // namespace twig::serve

@@ -19,13 +19,15 @@ uint64_t SnapshotCatalog::version() const {
 }
 
 uint64_t SnapshotCatalog::Publish(cst::Cst summary, std::string source,
-                                  double build_seconds) {
+                                  double build_seconds,
+                                  std::shared_ptr<const tree::Tree> data) {
   // Assemble the snapshot outside the lock; the swap itself is two
   // pointer writes.
   auto snapshot = std::make_shared<CstSnapshot>();
   snapshot->source = std::move(source);
   snapshot->build_seconds = build_seconds;
   snapshot->summary = std::move(summary);
+  snapshot->data = std::move(data);
   uint64_t version;
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -37,14 +39,16 @@ uint64_t SnapshotCatalog::Publish(cst::Cst summary, std::string source,
   return version;
 }
 
-void SnapshotCatalog::RebuildMain(Builder builder, std::string source) {
+void SnapshotCatalog::RebuildMain(Builder builder, std::string source,
+                                  std::shared_ptr<const tree::Tree> data) {
   const auto t0 = std::chrono::steady_clock::now();
   Result<cst::Cst> built = builder();
   const double seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
   if (built.ok()) {
-    Publish(std::move(built).value(), std::move(source), seconds);
+    Publish(std::move(built).value(), std::move(source), seconds,
+            std::move(data));
   }
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -54,7 +58,8 @@ void SnapshotCatalog::RebuildMain(Builder builder, std::string source) {
   rebuild_done_.notify_all();
 }
 
-bool SnapshotCatalog::BeginRebuild(Builder builder, std::string source) {
+bool SnapshotCatalog::BeginRebuild(Builder builder, std::string source,
+                                   std::shared_ptr<const tree::Tree> data) {
   std::lock_guard<std::mutex> lock(mutex_);
   if (rebuild_in_flight_) return false;
   // A previous rebuild has finished: its thread is past any use of
@@ -63,8 +68,9 @@ bool SnapshotCatalog::BeginRebuild(Builder builder, std::string source) {
   if (rebuild_thread_.joinable()) rebuild_thread_.join();
   rebuild_in_flight_ = true;
   rebuild_thread_ = std::thread([this, builder = std::move(builder),
-                                 source = std::move(source)]() mutable {
-    RebuildMain(std::move(builder), std::move(source));
+                                 source = std::move(source),
+                                 data = std::move(data)]() mutable {
+    RebuildMain(std::move(builder), std::move(source), std::move(data));
   });
   return true;
 }

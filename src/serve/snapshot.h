@@ -31,6 +31,7 @@
 #include <utility>
 
 #include "cst/cst.h"
+#include "tree/tree.h"
 #include "util/status.h"
 
 namespace twig::serve {
@@ -47,6 +48,11 @@ struct CstSnapshot {
   /// the catalog).
   double build_seconds = 0;
   cst::Cst summary;
+  /// The data tree the summary was built from, when the publisher
+  /// still has it (nullptr for blob-deserialized snapshots). The
+  /// accuracy sampler re-executes requests against it; absent, the
+  /// sampler skips the request.
+  std::shared_ptr<const tree::Tree> data;
 };
 
 class SnapshotCatalog {
@@ -69,9 +75,12 @@ class SnapshotCatalog {
   /// Publishes `summary` as the new current snapshot and returns its
   /// version. In-flight readers holding an older snapshot are
   /// unaffected. Thread-safe (builders may publish concurrently; each
-  /// gets a distinct version, last one wins as "current").
+  /// gets a distinct version, last one wins as "current"). `data`,
+  /// when provided, is the tree the summary was built from — it
+  /// enables the accuracy sampler on this snapshot.
   uint64_t Publish(cst::Cst summary, std::string source,
-                   double build_seconds = 0);
+                   double build_seconds = 0,
+                   std::shared_ptr<const tree::Tree> data = nullptr);
 
   /// Builds a CST; the Result carries why a rebuild failed (e.g. a
   /// corrupt blob).
@@ -79,8 +88,11 @@ class SnapshotCatalog {
 
   /// Starts an off-thread rebuild that runs `builder` and publishes on
   /// success. Returns false (and does nothing) if a rebuild is already
-  /// in flight. `source` labels the resulting snapshot.
-  bool BeginRebuild(Builder builder, std::string source);
+  /// in flight. `source` labels the resulting snapshot; `data`, when
+  /// provided, is attached to it on publish (the tree the builder
+  /// summarizes, for the accuracy sampler).
+  bool BeginRebuild(Builder builder, std::string source,
+                    std::shared_ptr<const tree::Tree> data = nullptr);
 
   /// Blocks until no rebuild is in flight and returns the status of
   /// the most recent one (OK if none ever ran).
@@ -89,7 +101,8 @@ class SnapshotCatalog {
   bool rebuild_in_flight() const;
 
  private:
-  void RebuildMain(Builder builder, std::string source);
+  void RebuildMain(Builder builder, std::string source,
+                   std::shared_ptr<const tree::Tree> data);
 
   mutable std::mutex mutex_;
   std::condition_variable rebuild_done_;

@@ -163,6 +163,8 @@ std::string TcpFrontEnd::HandleLine(std::string_view line,
   if (request.op == "estimate") return HandleEstimate(request);
   if (request.op == "explain") return HandleExplain(request);
   if (request.op == "metrics") return HandleMetrics(request);
+  if (request.op == "stats") return HandleStats(request);
+  if (request.op == "recent") return HandleRecent(request);
   if (request.op == "swap") return HandleSwap(request);
   if (request.op == "shutdown") {
     *stop_after_reply = true;
@@ -226,6 +228,16 @@ std::string TcpFrontEnd::HandleMetrics(const WireRequest& request) {
                          service_->queue_capacity());
 }
 
+std::string TcpFrontEnd::HandleStats(const WireRequest& request) {
+  return StatsResponse(request, obs::MetricsRegistry::Get().Snapshot(),
+                       service_->recorder(), catalog_->version(),
+                       service_->queue_depth(), service_->queue_capacity());
+}
+
+std::string TcpFrontEnd::HandleRecent(const WireRequest& request) {
+  return RecentResponse(request, service_->recorder(), catalog_->version());
+}
+
 std::string TcpFrontEnd::HandleSwap(const WireRequest& request) {
   if (!options_.rebuild) {
     return ErrorResponse(
@@ -234,7 +246,7 @@ std::string TcpFrontEnd::HandleSwap(const WireRequest& request) {
   const double space = request.space;
   const bool begun = catalog_->BeginRebuild(
       [rebuild = options_.rebuild, space] { return rebuild(space); },
-      "swap request");
+      "swap request", options_.rebuild_data);
   if (!begun) {
     return ErrorResponse(&request,
                          Status::Unavailable("rebuild already in flight"));

@@ -51,6 +51,9 @@ struct TcpOptions {
   /// client-requested space fraction (0 = builder's default). Unset =
   /// swap answers Unimplemented.
   std::function<Result<cst::Cst>(double space)> rebuild;
+  /// The data tree the rebuild summarizes, attached to each swapped-in
+  /// snapshot so the accuracy sampler keeps working after a swap.
+  std::shared_ptr<const tree::Tree> rebuild_data;
 };
 
 class TcpFrontEnd {
@@ -98,6 +101,8 @@ class TcpFrontEnd {
   std::string HandleEstimate(const WireRequest& request);
   std::string HandleExplain(const WireRequest& request);
   std::string HandleMetrics(const WireRequest& request);
+  std::string HandleStats(const WireRequest& request);
+  std::string HandleRecent(const WireRequest& request);
   std::string HandleSwap(const WireRequest& request);
 
   /// Flags the stop and wakes WaitForShutdown.

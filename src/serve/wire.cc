@@ -216,6 +216,107 @@ std::string ExplainResponse(const WireRequest& request,
   return std::move(writer).str();
 }
 
+std::string StatsResponse(const WireRequest& request,
+                          const obs::MetricsSnapshot& snapshot,
+                          const obs::FlightRecorder* recorder,
+                          uint64_t version, size_t queue_depth,
+                          size_t queue_capacity) {
+  obs::JsonWriter writer;
+  BeginResponse(writer, &request, /*ok=*/true);
+  writer.Key("version");
+  writer.Uint(version);
+  writer.Key("schema_version");
+  writer.Uint(obs::kMetricsSchemaVersion);
+  writer.Key("queue_depth");
+  writer.Uint(queue_depth);
+  writer.Key("queue_capacity");
+  writer.Uint(queue_capacity);
+  writer.Key("latency");
+  writer.BeginObject();
+  for (size_t s = 0; s < obs::kLatencySeries; ++s) {
+    const obs::LatencyPercentiles p =
+        obs::SummarizeLatency(snapshot.latency[s]);
+    writer.Key(obs::kLatencySeriesNames[s]);
+    writer.BeginObject();
+    writer.Key("count");
+    writer.Uint(p.count);
+    writer.Key("mean_us");
+    writer.Double(p.mean_us);
+    writer.Key("p50_us");
+    writer.Double(p.p50_us);
+    writer.Key("p90_us");
+    writer.Double(p.p90_us);
+    writer.Key("p95_us");
+    writer.Double(p.p95_us);
+    writer.Key("p99_us");
+    writer.Double(p.p99_us);
+    writer.EndObject();
+  }
+  writer.EndObject();
+  writer.Key("accuracy");
+  writer.BeginObject();
+  writer.Key("recorded");
+  writer.Uint(snapshot.accuracy.recorded);
+  writer.Key("window");
+  writer.Uint(snapshot.accuracy.window.size());
+  writer.Key("mean");
+  writer.Double(snapshot.accuracy.Mean());
+  writer.Key("mean_abs");
+  writer.Double(snapshot.accuracy.MeanAbs());
+  writer.Key("p50_abs");
+  writer.Double(snapshot.accuracy.QuantileAbs(0.5));
+  writer.Key("p99_abs");
+  writer.Double(snapshot.accuracy.QuantileAbs(0.99));
+  writer.EndObject();
+  writer.Key("recorder");
+  writer.BeginObject();
+  writer.Key("enabled");
+  writer.Bool(recorder != nullptr);
+  if (recorder != nullptr) {
+    const obs::FlightRecorder::Stats stats = recorder->stats();
+    writer.Key("capacity");
+    writer.Uint(stats.capacity);
+    writer.Key("recorded");
+    writer.Uint(stats.recorded);
+    writer.Key("dropped");
+    writer.Uint(stats.dropped);
+    writer.Key("slow_capacity");
+    writer.Uint(stats.slow_capacity);
+    writer.Key("slow_recorded");
+    writer.Uint(stats.slow_recorded);
+    writer.Key("slow_threshold_us");
+    writer.Double(static_cast<double>(stats.slow_threshold_ns) / 1e3);
+  }
+  writer.EndObject();
+  writer.EndObject();
+  return std::move(writer).str();
+}
+
+std::string RecentResponse(const WireRequest& request,
+                           const obs::FlightRecorder* recorder,
+                           uint64_t version) {
+  if (recorder == nullptr) {
+    return ErrorResponse(
+        &request, Status::Unavailable("span tracing is disabled "
+                                      "(--recorder-entries=0)"));
+  }
+  const obs::FlightRecorder::Stats stats = recorder->stats();
+  obs::JsonWriter writer;
+  BeginResponse(writer, &request, /*ok=*/true);
+  writer.Key("version");
+  writer.Uint(version);
+  writer.Key("recorded");
+  writer.Uint(stats.recorded);
+  writer.Key("dropped");
+  writer.Uint(stats.dropped);
+  writer.Key("spans");
+  writer.RawValue(recorder->SpansJson());
+  writer.Key("slow");
+  writer.RawValue(recorder->SlowJson());
+  writer.EndObject();
+  return std::move(writer).str();
+}
+
 std::string ShutdownResponse(const WireRequest& request) {
   obs::JsonWriter writer;
   BeginResponse(writer, &request, /*ok=*/true);

@@ -9,6 +9,8 @@
 //   {"op":"metrics", "id":4}
 //   {"op":"swap", "id":5, "space":0.02}
 //   {"op":"shutdown", "id":6}
+//   {"op":"stats", "id":7}    — latency percentiles + accuracy window
+//   {"op":"recent", "id":8}   — flight recorder + slow-log dump
 //
 // Responses always carry "ok" and echo "op" and "id" (when sent):
 //   {"id":2,"ok":true,"op":"estimate","estimate":41.5,"version":1,
@@ -29,6 +31,8 @@
 #include <string_view>
 
 #include "core/estimator.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
 #include "serve/service.h"
 #include "util/status.h"
 
@@ -107,6 +111,33 @@ std::string SwapResponse(const WireRequest& request, uint64_t version);
 /// Embeds a pre-rendered obs::Trace::ToJson document.
 std::string ExplainResponse(const WireRequest& request,
                             std::string_view trace_json, uint64_t version);
+
+/// The `stats` verb: percentile summaries of every latency series plus
+/// the accuracy sampler's window, from `snapshot`, and the recorder's
+/// occupancy (`recorder` may be nullptr = tracing disabled):
+///   {"id":..,"ok":true,"op":"stats","version":v,"schema_version":2,
+///    "queue_depth":d,"queue_capacity":c,
+///    "latency":{"MSH":{"count":n,"mean_us":..,"p50_us":..,"p90_us":..,
+///        "p95_us":..,"p99_us":..}, ...},
+///    "accuracy":{"recorded":r,"window":w,"mean":..,"mean_abs":..,
+///        "p50_abs":..,"p99_abs":..},
+///    "recorder":{"enabled":..,"capacity":..,"recorded":..,"dropped":..,
+///        "slow_capacity":..,"slow_recorded":..,"slow_threshold_us":..}}
+std::string StatsResponse(const WireRequest& request,
+                          const obs::MetricsSnapshot& snapshot,
+                          const obs::FlightRecorder* recorder,
+                          uint64_t version, size_t queue_depth,
+                          size_t queue_capacity);
+
+/// The `recent` verb: the flight recorder's retained spans and slow
+/// log as JSON arrays (SpanRecordToJson elements, oldest first):
+///   {"id":..,"ok":true,"op":"recent","version":v,"recorded":..,
+///    "dropped":..,"spans":[...],"slow":[...]}
+/// A nullptr `recorder` (tracing disabled) renders an Unavailable
+/// error instead.
+std::string RecentResponse(const WireRequest& request,
+                           const obs::FlightRecorder* recorder,
+                           uint64_t version);
 
 std::string ShutdownResponse(const WireRequest& request);
 

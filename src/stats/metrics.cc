@@ -5,6 +5,10 @@
 
 namespace twig::stats {
 
+double SignedRelativeError(double truth, double estimate) {
+  return (estimate - truth) / std::max(truth, 1.0);
+}
+
 void ErrorAccumulator::Add(double truth, double estimate) {
   if (!std::isfinite(estimate)) return;  // skipped / failed batch slot
   ++count_;

@@ -70,6 +70,13 @@ struct BatchStats {
   }
 };
 
+/// Signed relative error of `estimate` against `truth`:
+/// (estimate - truth) / max(truth, 1). Positive = overestimate. The
+/// max(truth, 1) denominator keeps zero-truth queries finite (absolute
+/// error is then reported relative to 1 match), which is what the
+/// serving layer's live accuracy sampler wants for a windowed mean.
+double SignedRelativeError(double truth, double estimate);
+
 /// Accumulates (truth, estimate) pairs and reports the paper's metrics.
 /// Non-finite estimates (the NaN slots EstimateBatch leaves for
 /// deadline-skipped or failed queries) are ignored, so error averages

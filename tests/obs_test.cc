@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
 #include <cctype>
+#include <chrono>
 #include <cmath>
 #include <string>
 #include <thread>
@@ -8,8 +11,10 @@
 
 #include "core/estimator.h"
 #include "cst/cst.h"
+#include "obs/flight_recorder.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
 #include "obs/trace.h"
 #include "query/twig.h"
 #include "test_trees.h"
@@ -602,6 +607,304 @@ TEST_F(TraceTest, TextAndJsonRenderings) {
           << core::AlgorithmName(a) << " missing " << key;
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Schema versions, percentile helper, accuracy window (PR 6)
+
+TEST(MetricsTest, SchemaVersionIsPinnedAndRoundTrips) {
+  // Downstream scrapers key on this; bumping it is a deliberate act.
+  EXPECT_EQ(kMetricsSchemaVersion, 2u);
+  const Result<JsonValue> parsed =
+      ParseJson(MetricsRegistry::Get().Snapshot().ToJson());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().GetNumber("schema_version"),
+            static_cast<double>(kMetricsSchemaVersion));
+}
+
+TEST(TraceSchemaTest, SchemaVersionIsPinnedAndRoundTrips) {
+  EXPECT_EQ(kTraceSchemaVersion, 2u);
+  const Trace trace;
+  const Result<JsonValue> parsed = ParseJson(trace.ToJson());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().GetNumber("schema_version"),
+            static_cast<double>(kTraceSchemaVersion));
+}
+
+TEST(MetricsTest, HistogramRecordMatchesRegistryBucketing) {
+  HistogramSnapshot h;
+  for (int i = 0; i < 100; ++i) h.Record(1000);
+  h.Record(1u << 20);
+  EXPECT_EQ(h.count, 101u);
+  EXPECT_EQ(h.buckets[10], 100u);  // bit_width(1000) = 10
+  EXPECT_EQ(h.buckets[21], 1u);
+  HistogramSnapshot other;
+  other.Record(1000);
+  h.Merge(other);
+  EXPECT_EQ(h.count, 102u);
+  EXPECT_EQ(h.buckets[10], 101u);
+}
+
+TEST(MetricsTest, SummarizeLatencyReportsOrderedPercentiles) {
+  HistogramSnapshot h;
+  for (int i = 0; i < 99; ++i) h.Record(1000);   // ~1 us
+  h.Record(1u << 20);                            // ~1 ms tail
+  const LatencyPercentiles p = SummarizeLatency(h);
+  EXPECT_EQ(p.count, 100u);
+  EXPECT_LE(p.p50_us, 1.024);
+  EXPECT_LE(p.p50_us, p.p90_us);
+  EXPECT_LE(p.p90_us, p.p95_us);
+  EXPECT_LE(p.p95_us, p.p99_us);
+  EXPECT_GE(p.p99_us, 1000.0);  // the tail bucket, in microseconds
+  EXPECT_EQ(SummarizeLatency(HistogramSnapshot{}).count, 0u);
+}
+
+TEST(MetricsTest, AccuracyWindowStatistics) {
+  AccuracySnapshot accuracy;
+  EXPECT_DOUBLE_EQ(accuracy.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(accuracy.MeanAbs(), 0.0);
+  EXPECT_DOUBLE_EQ(accuracy.QuantileAbs(0.5), 0.0);
+  accuracy.window = {0.5, -0.5, 0.0, 0.25};
+  accuracy.recorded = 4;
+  EXPECT_NEAR(accuracy.Mean(), 0.0625, 1e-12);
+  EXPECT_NEAR(accuracy.MeanAbs(), 0.3125, 1e-12);
+  EXPECT_LE(accuracy.QuantileAbs(0.0), accuracy.QuantileAbs(1.0));
+  EXPECT_DOUBLE_EQ(accuracy.QuantileAbs(1.0), 0.5);
+}
+
+TEST(MetricsTest, RecordAccuracySampleFillsTheSnapshotWindow) {
+  auto& registry = MetricsRegistry::Get();
+  const MetricsSnapshot before = registry.Snapshot();
+  registry.RecordAccuracySample(0.125);
+  registry.RecordAccuracySample(-0.125);
+  const MetricsSnapshot after = registry.Snapshot();
+  EXPECT_EQ(after.accuracy.recorded, before.accuracy.recorded + 2);
+  EXPECT_GE(after.accuracy.window.size(), 2u);
+  EXPECT_LE(after.accuracy.window.size(), kAccuracyWindow);
+  const std::string json = after.ToJson();
+  EXPECT_TRUE(IsValidJson(json));
+  EXPECT_NE(json.find("\"accuracy\""), std::string::npos);
+  EXPECT_NE(json.find("\"mean_abs\""), std::string::npos);
+  EXPECT_NE(json.find("\"p90_us\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Spans and the flight recorder
+
+SpanRecord MakeSpan(uint64_t id, uint64_t total_ns = 1000) {
+  SpanRecord span;
+  span.request_id = id;
+  span.query = "article(author, year)";
+  span.series = 5;  // MSH
+  span.outcome = SpanOutcome::kServed;
+  span.offset_ns[static_cast<size_t>(SpanStage::kAdmitted)] = 0;
+  span.offset_ns[static_cast<size_t>(SpanStage::kReplied)] = total_ns;
+  span.estimate = 41.5;
+  span.snapshot_version = 3;
+  return span;
+}
+
+TEST(SpanTest, StageAndOutcomeNamesAreStable) {
+  EXPECT_STREQ(SpanStageName(SpanStage::kAdmitted), "admitted");
+  EXPECT_STREQ(SpanStageName(SpanStage::kCacheLookup), "cache_lookup");
+  EXPECT_STREQ(SpanStageName(SpanStage::kReplied), "replied");
+  EXPECT_STREQ(SpanOutcomeName(SpanOutcome::kServed), "served");
+  EXPECT_STREQ(SpanOutcomeName(SpanOutcome::kDeadlineMiss),
+               "deadline_miss");
+}
+
+TEST(SpanTest, TotalIsTheLatestReachedStage) {
+  SpanRecord span;
+  EXPECT_EQ(span.total_ns(), 0u);  // nothing reached
+  span.offset_ns[static_cast<size_t>(SpanStage::kAdmitted)] = 0;
+  span.offset_ns[static_cast<size_t>(SpanStage::kEstimated)] = 500;
+  span.offset_ns[static_cast<size_t>(SpanStage::kReplied)] = 700;
+  EXPECT_EQ(span.total_ns(), 700u);
+}
+
+TEST(SpanTest, MarkStampsMonotoneOffsets) {
+  RequestSpan span;
+  span.Mark(SpanStage::kEstimated);  // inactive: no-op
+  EXPECT_EQ(span.record.offset_ns[static_cast<size_t>(
+                SpanStage::kEstimated)],
+            kSpanStageUnset);
+  span.Begin(7, "a.b", 5, std::chrono::steady_clock::now());
+  span.Mark(SpanStage::kDequeued);
+  span.Mark(SpanStage::kReplied);
+  const auto& offsets = span.record.offset_ns;
+  EXPECT_EQ(offsets[static_cast<size_t>(SpanStage::kAdmitted)], 0u);
+  EXPECT_NE(offsets[static_cast<size_t>(SpanStage::kDequeued)],
+            kSpanStageUnset);
+  EXPECT_LE(offsets[static_cast<size_t>(SpanStage::kDequeued)],
+            offsets[static_cast<size_t>(SpanStage::kReplied)]);
+  EXPECT_EQ(span.record.request_id, 7u);
+}
+
+TEST(SpanTest, JsonRenderingHasTheDocumentedKeys) {
+  SpanRecord span = MakeSpan(11);
+  span.accuracy_sampled = true;
+  span.relative_error = -0.25;
+  const std::string json = SpanRecordToJson(span);
+  EXPECT_TRUE(IsValidJson(json)) << json;
+  const Result<JsonValue> parsed = ParseJson(json);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().GetNumber("id"), 11.0);
+  EXPECT_EQ(parsed.value().GetString("algo"), "MSH");
+  EXPECT_EQ(parsed.value().GetString("outcome"), "served");
+  EXPECT_EQ(parsed.value().GetNumber("relative_error"), -0.25);
+  const JsonValue* stages = parsed.value().Find("stages_us");
+  ASSERT_NE(stages, nullptr);
+  EXPECT_NE(stages->Find("admitted"), nullptr);
+  EXPECT_NE(stages->Find("replied"), nullptr);
+  EXPECT_EQ(stages->Find("pinned"), nullptr);  // unreached: omitted
+}
+
+TEST(FlightRecorderTest, RecordsAndSnapshotsInOrder) {
+  SpanRing ring(8);
+  EXPECT_EQ(ring.capacity(), 8u);
+  for (uint64_t id = 1; id <= 5; ++id) {
+    EXPECT_TRUE(ring.Record(MakeSpan(id)));
+  }
+  const std::vector<SpanRecord> spans = ring.Snapshot();
+  ASSERT_EQ(spans.size(), 5u);
+  for (size_t i = 0; i < spans.size(); ++i) {
+    EXPECT_EQ(spans[i].request_id, i + 1);
+    EXPECT_EQ(spans[i].query, "article(author, year)");
+    EXPECT_EQ(spans[i].snapshot_version, 3u);
+  }
+  EXPECT_EQ(ring.recorded(), 5u);
+  EXPECT_EQ(ring.dropped(), 0u);
+}
+
+TEST(FlightRecorderTest, CapacityRoundsUpToAPowerOfTwo) {
+  EXPECT_EQ(SpanRing(0).capacity(), 8u);
+  EXPECT_EQ(SpanRing(7).capacity(), 8u);
+  EXPECT_EQ(SpanRing(9).capacity(), 16u);
+  EXPECT_EQ(SpanRing(256).capacity(), 256u);
+}
+
+TEST(FlightRecorderTest, WrapAroundKeepsTheNewestRecords) {
+  SpanRing ring(8);
+  for (uint64_t id = 1; id <= 20; ++id) ring.Record(MakeSpan(id));
+  const std::vector<SpanRecord> spans = ring.Snapshot();
+  ASSERT_EQ(spans.size(), 8u);
+  for (size_t i = 0; i < spans.size(); ++i) {
+    EXPECT_EQ(spans[i].request_id, 13 + i);  // 13..20, oldest first
+  }
+}
+
+TEST(FlightRecorderTest, QueryTextTruncatesToTheSlotWidth) {
+  SpanRing ring(8);
+  SpanRecord span = MakeSpan(1);
+  span.query.assign(200, 'q');
+  ring.Record(span);
+  const std::vector<SpanRecord> spans = ring.Snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].query, std::string(kSpanQueryBytes, 'q'));
+}
+
+TEST(FlightRecorderTest, SlowSpansArePromotedToTheSlowLog) {
+  FlightRecorderOptions options;
+  options.entries = 8;
+  options.slow_entries = 8;
+  options.slow_threshold_ns = 1000000;  // 1 ms
+  FlightRecorder recorder(options);
+  recorder.Record(MakeSpan(1, /*total_ns=*/1000));     // fast
+  recorder.Record(MakeSpan(2, /*total_ns=*/2000000));  // slow
+  EXPECT_EQ(recorder.RecentSpans().size(), 2u);
+  const std::vector<SpanRecord> slow = recorder.SlowSpans();
+  ASSERT_EQ(slow.size(), 1u);
+  EXPECT_EQ(slow[0].request_id, 2u);
+  const FlightRecorder::Stats stats = recorder.stats();
+  EXPECT_EQ(stats.recorded, 2u);
+  EXPECT_EQ(stats.slow_recorded, 1u);
+  EXPECT_EQ(stats.slow_threshold_ns, 1000000u);
+}
+
+TEST(FlightRecorderTest, ZeroThresholdDisablesTheSlowLog) {
+  FlightRecorder recorder(FlightRecorderOptions{8, 8, 0});
+  recorder.Record(MakeSpan(1, /*total_ns=*/~uint64_t{0} >> 1));
+  EXPECT_TRUE(recorder.SlowSpans().empty());
+}
+
+TEST(FlightRecorderTest, SpansJsonIsAValidArray) {
+  FlightRecorder recorder(FlightRecorderOptions{8, 8, 0});
+  recorder.Record(MakeSpan(1));
+  recorder.Record(MakeSpan(2));
+  const std::string json = recorder.SpansJson();
+  EXPECT_TRUE(IsValidJson(json)) << json;
+  const Result<JsonValue> parsed = ParseJson(json);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().elements.size(), 2u);
+}
+
+// Writers race a reader across wrap-arounds; every snapshotted record
+// must be internally consistent (all fields from the same generation),
+// never a torn mix. Patterned payloads make tearing detectable: for
+// request id k, every field is a fixed function of k.
+TEST(FlightRecorderTest, SnapshotIsTornReadFreeWhileWritersRace) {
+  SpanRing ring(16);
+  constexpr int kWriters = 4;
+  constexpr uint64_t kPerWriter = 2000;
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> next_id{1};
+
+  auto patterned = [](uint64_t id) {
+    SpanRecord span;
+    span.request_id = id;
+    span.query = "q" + std::to_string(id);
+    span.series = static_cast<uint8_t>(id % 6);
+    span.outcome = static_cast<SpanOutcome>(id % 5);
+    span.offset_ns[static_cast<size_t>(SpanStage::kAdmitted)] = 0;
+    span.offset_ns[static_cast<size_t>(SpanStage::kReplied)] = id * 17;
+    span.estimate = static_cast<double>(id) * 0.5;
+    span.snapshot_version = id * 3;
+    span.accuracy_sampled = (id % 2) == 0;
+    span.relative_error = static_cast<double>(id) * 0.25;
+    return span;
+  };
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&] {
+      for (uint64_t i = 0; i < kPerWriter; ++i) {
+        ring.Record(patterned(next_id.fetch_add(1)));
+      }
+    });
+  }
+  std::thread reader([&] {
+    uint64_t snapshots = 0;
+    while (!stop.load(std::memory_order_acquire) || snapshots == 0) {
+      for (const SpanRecord& span : ring.Snapshot()) {
+        const uint64_t id = span.request_id;
+        EXPECT_EQ(span.query, "q" + std::to_string(id));
+        EXPECT_EQ(span.series, static_cast<uint8_t>(id % 6));
+        EXPECT_EQ(span.outcome, static_cast<SpanOutcome>(id % 5));
+        EXPECT_EQ(span.offset_ns[static_cast<size_t>(SpanStage::kReplied)],
+                  id * 17);
+        EXPECT_EQ(span.estimate, static_cast<double>(id) * 0.5);
+        EXPECT_EQ(span.snapshot_version, id * 3);
+        EXPECT_EQ(span.accuracy_sampled, (id % 2) == 0);
+        EXPECT_EQ(span.relative_error, static_cast<double>(id) * 0.25);
+      }
+      ++snapshots;
+    }
+  });
+  for (std::thread& t : writers) t.join();
+  stop.store(true, std::memory_order_release);
+  reader.join();
+
+  // Every claim either landed or was counted as a drop.
+  EXPECT_EQ(ring.recorded() + ring.dropped(), kWriters * kPerWriter);
+  // The final quiescent snapshot holds whole records only. A slot whose
+  // latest claim was dropped (writer lapped mid-record) stays at its
+  // older generation and is correctly skipped, so drops bound the gap
+  // to a full ring.
+  const uint64_t dropped = ring.dropped();
+  const size_t quiescent = ring.Snapshot().size();
+  EXPECT_LE(quiescent, ring.capacity());
+  EXPECT_GE(quiescent + std::min<uint64_t>(dropped, ring.capacity()),
+            ring.capacity());
 }
 
 TEST_F(TraceTest, EstimateCountsTraceEvents) {

@@ -13,9 +13,11 @@
 #include <future>
 #include <limits>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <random>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -24,8 +26,10 @@
 #include "core/estimator.h"
 #include "cst/cst.h"
 #include "data/generators.h"
+#include "obs/flight_recorder.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
 #include "query/twig.h"
 #include "serve/bounded_queue.h"
 #include "serve/result_cache.h"
@@ -826,6 +830,188 @@ TEST(EstimateServiceTest, CacheEntriesAreVersionIsolatedAcrossAHotSwap) {
 }
 
 // ---------------------------------------------------------------------------
+// Spans, the flight recorder, and the accuracy sampler in the service
+
+TEST(EstimateServiceTest, TracingIsOffWhenRecorderEntriesIsZero) {
+  SnapshotCatalog catalog;
+  catalog.Publish(BuildFigureOneCst(), "v1");
+  ServiceOptions options;
+  options.recorder_entries = 0;
+  EstimateService service(&catalog, options);
+  EXPECT_EQ(service.recorder(), nullptr);
+  EXPECT_TRUE(service.SubmitAndWait(MakeRequest("book.author")).status.ok());
+}
+
+TEST(EstimateServiceTest, SpansRecordEveryOutcome) {
+  const Corpus& corpus = SharedCorpus();
+  SnapshotCatalog catalog;
+  catalog.Publish(corpus.BuildCst(0.02), "v1");
+  ServiceOptions options;
+  options.num_workers = 1;
+  options.cache_entries = 16;
+  EstimateService service(&catalog, options);
+  ASSERT_NE(service.recorder(), nullptr);
+
+  ASSERT_TRUE(
+      service.SubmitAndWait(MakeRequest("article.author")).status.ok());
+  EstimateResponse hit = service.SubmitAndWait(MakeRequest("article.author"));
+  ASSERT_TRUE(hit.status.ok());
+  EXPECT_TRUE(hit.cached);
+  EstimateRequest expired = MakeRequest("book.author");
+  expired.deadline = Clock::now() - milliseconds(1);
+  service.SubmitAndWait(std::move(expired));
+  service.Shutdown(/*drain=*/true);
+  service.SubmitAndWait(MakeRequest("book.author"));  // rejected at admission
+
+  const std::vector<obs::SpanRecord> spans =
+      service.recorder()->RecentSpans();
+  ASSERT_EQ(spans.size(), 4u);
+  const auto with = [&](obs::SpanOutcome outcome) {
+    const obs::SpanRecord* found = nullptr;
+    for (const obs::SpanRecord& span : spans) {
+      if (span.outcome == outcome) found = &span;
+    }
+    return found;
+  };
+  const auto offset = [](const obs::SpanRecord& span, obs::SpanStage stage) {
+    return span.offset_ns[static_cast<size_t>(stage)];
+  };
+
+  // The served span walked the full pipeline, in order.
+  const obs::SpanRecord* served = with(obs::SpanOutcome::kServed);
+  ASSERT_NE(served, nullptr);
+  for (size_t stage = 0; stage < obs::kSpanStageCount; ++stage) {
+    ASSERT_NE(served->offset_ns[stage], obs::kSpanStageUnset)
+        << obs::SpanStageName(static_cast<obs::SpanStage>(stage));
+  }
+  EXPECT_LE(offset(*served, obs::SpanStage::kEnqueued),
+            offset(*served, obs::SpanStage::kDequeued));
+  EXPECT_LE(offset(*served, obs::SpanStage::kEstimated),
+            offset(*served, obs::SpanStage::kReplied));
+  EXPECT_EQ(served->snapshot_version, 1u);
+  EXPECT_EQ(served->query, query::FormatTwig(MustParse("article.author")));
+  EXPECT_EQ(served->total_ns(), offset(*served, obs::SpanStage::kReplied));
+
+  // A cache hit replies straight after the lookup: never enqueued.
+  const obs::SpanRecord* cache_hit = with(obs::SpanOutcome::kCacheHit);
+  ASSERT_NE(cache_hit, nullptr);
+  EXPECT_NE(offset(*cache_hit, obs::SpanStage::kCacheLookup),
+            obs::kSpanStageUnset);
+  EXPECT_EQ(offset(*cache_hit, obs::SpanStage::kEnqueued),
+            obs::kSpanStageUnset);
+  EXPECT_EQ(cache_hit->estimate, served->estimate);
+
+  // The expired request was dequeued, then replied without estimating.
+  const obs::SpanRecord* missed = with(obs::SpanOutcome::kDeadlineMiss);
+  ASSERT_NE(missed, nullptr);
+  EXPECT_NE(offset(*missed, obs::SpanStage::kDequeued), obs::kSpanStageUnset);
+  EXPECT_EQ(offset(*missed, obs::SpanStage::kEstimated), obs::kSpanStageUnset);
+
+  // Refused at admission after shutdown: no queue stages at all.
+  const obs::SpanRecord* rejected = with(obs::SpanOutcome::kRejected);
+  ASSERT_NE(rejected, nullptr);
+  EXPECT_EQ(offset(*rejected, obs::SpanStage::kEnqueued), obs::kSpanStageUnset);
+  EXPECT_NE(offset(*rejected, obs::SpanStage::kReplied), obs::kSpanStageUnset);
+}
+
+TEST(EstimateServiceTest, ShutdownFlushesInFlightSpansExactlyOnce) {
+  SnapshotCatalog catalog;
+  catalog.Publish(BuildFigureOneCst(), "v1");
+  WorkerGate gate;
+  EstimateService service(&catalog, gate.Options(/*queue_capacity=*/8));
+  ASSERT_NE(service.recorder(), nullptr);
+
+  // One request parked in the worker, three queued behind it; a
+  // drop-mode shutdown flushes the queued remainder into rejections
+  // while the first completes normally.
+  std::future<EstimateResponse> first =
+      service.Submit(MakeRequest("book.author"));
+  gate.AwaitHeld();
+  std::vector<std::future<EstimateResponse>> queued;
+  for (int i = 0; i < 3; ++i) {
+    queued.push_back(service.Submit(MakeRequest("book.author")));
+  }
+  std::thread closer([&] { service.Shutdown(/*drain=*/false); });
+  while (service.queue_depth() != 0) {
+    std::this_thread::sleep_for(milliseconds(1));
+  }
+  gate.Release();
+  closer.join();
+  EXPECT_TRUE(first.get().status.ok());
+  for (auto& f : queued) f.get();
+
+  // Every admitted request left exactly one span — the flushed ones as
+  // rejections, the in-flight one as served — with distinct ids.
+  const std::vector<obs::SpanRecord> spans =
+      service.recorder()->RecentSpans();
+  ASSERT_EQ(spans.size(), 4u);
+  std::set<uint64_t> ids;
+  size_t served = 0, rejected = 0;
+  for (const obs::SpanRecord& span : spans) {
+    EXPECT_TRUE(ids.insert(span.request_id).second)
+        << "request " << span.request_id << " recorded twice";
+    served += span.outcome == obs::SpanOutcome::kServed;
+    rejected += span.outcome == obs::SpanOutcome::kRejected;
+  }
+  EXPECT_EQ(served, 1u);
+  EXPECT_EQ(rejected, 3u);
+  EXPECT_EQ(service.recorder()->stats().dropped, 0u);
+}
+
+TEST(EstimateServiceTest, AccuracySamplerIsExactOnAnUnprunedCst) {
+  const Corpus& corpus = SharedCorpus();
+  const obs::MetricsSnapshot before = obs::MetricsRegistry::Get().Snapshot();
+  cst::CstOptions copt;
+  copt.prune_threshold = 1;  // unpruned: estimates are sharp (tier-1
+                             // exactness, see differential_test.cc)
+  SnapshotCatalog catalog;
+  // The corpus outlives every test; a non-owning alias is safe.
+  catalog.Publish(
+      cst::Cst::Build(corpus.data, corpus.pst, copt), "v1",
+      /*build_seconds=*/0,
+      std::shared_ptr<const tree::Tree>(std::shared_ptr<const tree::Tree>(),
+                                        &corpus.data));
+  ServiceOptions options;
+  options.num_workers = 1;
+  options.accuracy_sample_every = 1;  // re-execute every request
+  EstimateService service(&catalog, options);
+
+  const char* queries[] = {"dblp//author", "dblp//title", "article//title",
+                           "dblp.*"};
+  for (const char* text : queries) {
+    ASSERT_TRUE(service.SubmitAndWait(MakeRequest(text)).status.ok()) << text;
+  }
+  service.Shutdown(/*drain=*/true);
+
+  const std::vector<obs::SpanRecord> spans =
+      service.recorder()->RecentSpans();
+  ASSERT_EQ(spans.size(), std::size(queries));
+  for (const obs::SpanRecord& span : spans) {
+    EXPECT_TRUE(span.accuracy_sampled) << span.query;
+    EXPECT_NEAR(span.relative_error, 0.0, 1e-9) << span.query;
+  }
+  const obs::MetricsSnapshot after = obs::MetricsRegistry::Get().Snapshot();
+  const obs::MetricsSnapshot delta = after.Delta(before);
+  EXPECT_GE(delta.counters[static_cast<size_t>(
+                obs::Counter::kServeAccuracySamples)],
+            std::size(queries));
+  EXPECT_NEAR(after.accuracy.MeanAbs(), 0.0, 1e-9);
+}
+
+TEST(EstimateServiceTest, AccuracySamplerSkipsSnapshotsWithoutATree) {
+  SnapshotCatalog catalog;
+  catalog.Publish(BuildFigureOneCst(), "v1");  // no data tree attached
+  ServiceOptions options;
+  options.accuracy_sample_every = 1;
+  EstimateService service(&catalog, options);
+  ASSERT_TRUE(service.SubmitAndWait(MakeRequest("book.author")).status.ok());
+  service.Shutdown(/*drain=*/true);
+  for (const obs::SpanRecord& span : service.recorder()->RecentSpans()) {
+    EXPECT_FALSE(span.accuracy_sampled);
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Wire protocol
 
 TEST(WireTest, ParseAlgorithmNameCoversAllAlgorithms) {
@@ -1028,6 +1214,99 @@ TEST(WireTest, CachedFlagRoundTripsThroughTheWire) {
   EXPECT_FALSE(parsed->GetBool("cached", true));
 }
 
+TEST(WireTest, StatsAndRecentResponsesEncodeTheDocumentedSchema) {
+  WireRequest request;
+  request.op = "stats";
+  request.has_id = true;
+  request.id = 7;
+
+  // Hand-built snapshot: no global-registry noise in the assertions.
+  const size_t msh_series =
+      static_cast<size_t>(core::Algorithm::kMsh);  // pins series<->algorithm
+  obs::MetricsSnapshot snapshot;
+  for (int i = 0; i < 8; ++i) {
+    snapshot.latency[msh_series].Record(1024);
+  }
+  snapshot.accuracy.recorded = 2;
+  snapshot.accuracy.window = {0.5, -0.5};
+
+  obs::FlightRecorder recorder(
+      obs::FlightRecorderOptions{8, 8, /*slow_threshold_ns=*/1000});
+  obs::SpanRecord span;
+  span.request_id = 1;
+  span.query = "book.author";
+  span.series = static_cast<uint8_t>(msh_series);
+  span.outcome = obs::SpanOutcome::kServed;
+  span.offset_ns[static_cast<size_t>(obs::SpanStage::kAdmitted)] = 0;
+  span.offset_ns[static_cast<size_t>(obs::SpanStage::kReplied)] = 500;
+  recorder.Record(span);
+  span.request_id = 2;
+  span.offset_ns[static_cast<size_t>(obs::SpanStage::kReplied)] = 2000;
+  recorder.Record(span);  // over the threshold: also in the slow log
+
+  Result<obs::JsonValue> parsed = obs::ParseJson(
+      StatsResponse(request, snapshot, &recorder, /*version=*/3,
+                    /*queue_depth=*/1, /*queue_capacity=*/256));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->GetBool("ok"));
+  EXPECT_EQ(parsed->GetString("op"), "stats");
+  EXPECT_DOUBLE_EQ(parsed->GetNumber("id"), 7);
+  EXPECT_DOUBLE_EQ(parsed->GetNumber("version"), 3);
+  EXPECT_DOUBLE_EQ(parsed->GetNumber("schema_version"),
+                   static_cast<double>(obs::kMetricsSchemaVersion));
+  EXPECT_DOUBLE_EQ(parsed->GetNumber("queue_capacity"), 256);
+  const obs::JsonValue* latency = parsed->Find("latency");
+  ASSERT_NE(latency, nullptr);
+  const obs::JsonValue* msh = latency->Find("MSH");
+  ASSERT_NE(msh, nullptr);
+  EXPECT_DOUBLE_EQ(msh->GetNumber("count"), 8);
+  EXPECT_GT(msh->GetNumber("p50_us"), 0.0);
+  EXPECT_LE(msh->GetNumber("p50_us"), msh->GetNumber("p99_us"));
+  const obs::JsonValue* accuracy = parsed->Find("accuracy");
+  ASSERT_NE(accuracy, nullptr);
+  EXPECT_DOUBLE_EQ(accuracy->GetNumber("recorded"), 2);
+  EXPECT_DOUBLE_EQ(accuracy->GetNumber("mean"), 0.0);
+  EXPECT_DOUBLE_EQ(accuracy->GetNumber("mean_abs"), 0.5);
+  const obs::JsonValue* rec = parsed->Find("recorder");
+  ASSERT_NE(rec, nullptr);
+  EXPECT_TRUE(rec->GetBool("enabled"));
+  EXPECT_DOUBLE_EQ(rec->GetNumber("recorded"), 2);
+  EXPECT_DOUBLE_EQ(rec->GetNumber("slow_recorded"), 1);
+  EXPECT_DOUBLE_EQ(rec->GetNumber("slow_threshold_us"), 1.0);
+
+  // Tracing disabled: stats still answers, the recorder is marked off.
+  parsed = obs::ParseJson(
+      StatsResponse(request, snapshot, nullptr, 3, 0, 256));
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_NE(parsed->Find("recorder"), nullptr);
+  EXPECT_FALSE(parsed->Find("recorder")->GetBool("enabled", true));
+
+  request.op = "recent";
+  parsed = obs::ParseJson(RecentResponse(request, &recorder, /*version=*/3));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->GetBool("ok"));
+  EXPECT_EQ(parsed->GetString("op"), "recent");
+  EXPECT_DOUBLE_EQ(parsed->GetNumber("recorded"), 2);
+  EXPECT_DOUBLE_EQ(parsed->GetNumber("dropped"), 0);
+  const obs::JsonValue* spans = parsed->Find("spans");
+  ASSERT_NE(spans, nullptr);
+  ASSERT_EQ(spans->elements.size(), 2u);
+  EXPECT_DOUBLE_EQ(spans->elements[0].GetNumber("id"), 1);
+  EXPECT_EQ(spans->elements[0].GetString("outcome"), "served");
+  EXPECT_EQ(spans->elements[0].GetString("algo"), "MSH");
+  const obs::JsonValue* slow = parsed->Find("slow");
+  ASSERT_NE(slow, nullptr);
+  ASSERT_EQ(slow->elements.size(), 1u);
+  EXPECT_DOUBLE_EQ(slow->elements[0].GetNumber("id"), 2);
+
+  // `recent` with tracing off is a structured error, not a disconnect.
+  parsed = obs::ParseJson(RecentResponse(request, nullptr, /*version=*/3));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_FALSE(parsed->GetBool("ok", true));
+  ASSERT_NE(parsed->Find("error"), nullptr);
+  EXPECT_EQ(parsed->Find("error")->GetString("code"), "Unavailable");
+}
+
 // ---------------------------------------------------------------------------
 // TCP front-end (loopback)
 
@@ -1142,6 +1421,40 @@ TEST_F(TcpFrontEndTest, AnswersTheCoreOpsOverLoopback) {
   EXPECT_TRUE(metrics.GetBool("ok"));
   ASSERT_NE(metrics.Find("metrics"), nullptr);
   EXPECT_NE(metrics.Find("metrics")->Find("counters"), nullptr);
+}
+
+TEST_F(TcpFrontEndTest, StatsAndRecentVerbsReflectServedTraffic) {
+  StartServer();
+  TestClient client(front_end_->port());
+  ASSERT_TRUE(client.connected());
+
+  ASSERT_TRUE(MustParseJson(client.RoundTrip(
+                  "{\"op\":\"estimate\",\"id\":1,"
+                  "\"query\":\"article.author\"}"))
+                  .GetBool("ok"));
+
+  obs::JsonValue stats =
+      MustParseJson(client.RoundTrip("{\"op\":\"stats\",\"id\":2}"));
+  EXPECT_TRUE(stats.GetBool("ok"));
+  EXPECT_DOUBLE_EQ(stats.GetNumber("schema_version"),
+                   static_cast<double>(obs::kMetricsSchemaVersion));
+  ASSERT_NE(stats.Find("latency"), nullptr);
+  ASSERT_NE(stats.Find("latency")->Find("MSH"), nullptr);
+  ASSERT_NE(stats.Find("accuracy"), nullptr);
+  ASSERT_NE(stats.Find("recorder"), nullptr);
+  EXPECT_TRUE(stats.Find("recorder")->GetBool("enabled"));
+  EXPECT_GE(stats.Find("recorder")->GetNumber("recorded"), 1.0);
+
+  obs::JsonValue recent =
+      MustParseJson(client.RoundTrip("{\"op\":\"recent\",\"id\":3}"));
+  EXPECT_TRUE(recent.GetBool("ok"));
+  const obs::JsonValue* spans = recent.Find("spans");
+  ASSERT_NE(spans, nullptr);
+  ASSERT_GE(spans->elements.size(), 1u);
+  const obs::JsonValue& last = spans->elements.back();
+  EXPECT_EQ(last.GetString("query"), "article.author");
+  EXPECT_EQ(last.GetString("outcome"), "served");
+  EXPECT_NE(last.Find("stages_us"), nullptr);
 }
 
 TEST_F(TcpFrontEndTest, BadInputGetsStructuredErrorsNotDisconnects) {
