@@ -23,6 +23,7 @@
 #include <cstdio>
 #include <future>
 #include <memory>
+#include <optional>
 #include <random>
 #include <string>
 #include <thread>
@@ -30,8 +31,10 @@
 
 #include "exp/harness.h"
 #include "obs/metrics.h"
+#include "serve/retry.h"
 #include "serve/service.h"
 #include "serve/snapshot.h"
+#include "util/failpoint.h"
 #include "util/flags.h"
 
 namespace {
@@ -61,10 +64,15 @@ void PrintLatencyLine(const char* label, const obs::HistogramSnapshot& h) {
 }
 
 constexpr char kUsage[] =
-    "usage: bench_serve [--zipf] [--count=N] [--workers=N]\n"
+    "usage: bench_serve [--zipf | --faults=P] [--count=N] [--workers=N]\n"
+    "                   [--retries=N]\n"
     "  --zipf       run the Zipf-workload result-cache comparison\n"
-    "  --count=N    zipf mode: total requests per run (default 20000)\n"
-    "  --workers=N  zipf mode: estimation workers per service (default 2)\n";
+    "  --faults=P   run the goodput-under-faults comparison: inject\n"
+    "               estimate faults with probability P (e.g. 0.1) and\n"
+    "               measure goodput with and without client retry\n"
+    "  --count=N    zipf/faults: total requests per run (default 20000)\n"
+    "  --workers=N  zipf/faults: estimation workers (default 2)\n"
+    "  --retries=N  faults: retry attempts per request (default 3)\n";
 
 /// One closed-loop run of `sequence` (indices into `wl`) against a
 /// service configured with `cache_entries`. Returns elapsed seconds;
@@ -176,18 +184,159 @@ int RunZipf(size_t count, size_t workers) {
   return ok ? 0 : 1;
 }
 
+/// Tallies for one goodput run (4 closed-loop clients, merged).
+struct FaultTally {
+  std::atomic<size_t> ok{0};
+  std::atomic<size_t> failed{0};
+  std::atomic<size_t> retried{0};
+  std::atomic<size_t> mismatches{0};
+};
+
+/// One closed-loop run of `count` requests against `catalog` with the
+/// serve/estimate failpoint armed; `policy` nullptr = no retry.
+double RunFaultLoop(serve::SnapshotCatalog* catalog,
+                    const workload::Workload& wl,
+                    const std::vector<double>& expected, size_t count,
+                    size_t workers, serve::RetryPolicy* policy,
+                    FaultTally* tally) {
+  serve::ServiceOptions sopt;
+  sopt.num_workers = workers;
+  serve::EstimateService service(catalog, sopt);
+
+  constexpr size_t kClients = 4;
+  const Clock::time_point start = Clock::now();
+  std::vector<std::thread> clients;
+  for (size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (size_t i = c; i < count; i += kClients) {
+        const size_t query = i % wl.size();
+        for (int attempt = 1;; ++attempt) {
+          serve::EstimateRequest request;
+          request.twig = wl[query].twig;
+          request.algorithm = core::Algorithm::kMsh;
+          serve::EstimateResponse response =
+              service.SubmitAndWait(std::move(request));
+          if (response.status.ok()) {
+            tally->ok.fetch_add(1, std::memory_order_relaxed);
+            if (response.estimate != expected[query]) {
+              tally->mismatches.fetch_add(1, std::memory_order_relaxed);
+            }
+            if (policy != nullptr) policy->RecordSuccess();
+            break;
+          }
+          const std::optional<std::chrono::milliseconds> backoff =
+              policy == nullptr
+                  ? std::nullopt
+                  : policy->NextBackoff(response.status, attempt,
+                                        Clock::time_point::max(),
+                                        response.retry_after);
+          if (!backoff.has_value()) {
+            tally->failed.fetch_add(1, std::memory_order_relaxed);
+            break;
+          }
+          tally->retried.fetch_add(1, std::memory_order_relaxed);
+          std::this_thread::sleep_for(*backoff);
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  const double seconds = SecondsSince(start);
+  service.Shutdown(/*drain=*/true);
+  return seconds;
+}
+
+int RunFaults(size_t count, size_t workers, double fault_rate,
+              size_t retries) {
+  exp::Dataset ds = exp::MakeDataset(exp::DatasetKind::kDblp,
+                                     exp::kDefaultDblpBytes, 20010402);
+  workload::WorkloadOptions wopt;
+  wopt.num_queries = 200;
+  wopt.seed = 1789;
+  const workload::Workload wl = workload::GeneratePositive(ds.tree, wopt);
+
+  serve::SnapshotCatalog catalog;
+  catalog.Publish(exp::BuildCstAtFraction(ds, 0.01), "dblp @ 1%");
+  const auto snapshot = catalog.Current();
+  core::TwigEstimator direct(&snapshot->summary);
+  std::vector<double> expected(wl.size());
+  for (size_t i = 0; i < wl.size(); ++i) {
+    expected[i] = direct.Estimate(wl[i].twig, core::Algorithm::kMsh);
+  }
+
+  char spec[64];
+  std::snprintf(spec, sizeof(spec), "error:%g", fault_rate);
+  if (Status status =
+          util::FailpointRegistry::Get().Configure("serve/estimate", spec);
+      !status.ok()) {
+    std::fprintf(stderr, "bench_serve: --faults: %s\n",
+                 status.ToString().c_str());
+    return 2;
+  }
+
+  std::printf("== Goodput under injected faults (serve/estimate=error:%g, "
+              "%zu requests, %zu workers, 4 clients) ==\n",
+              fault_rate, count, workers);
+  FaultTally bare;
+  const double bare_seconds = RunFaultLoop(&catalog, wl, expected, count,
+                                           workers, nullptr, &bare);
+  serve::RetryOptions ropt;
+  ropt.max_attempts = static_cast<int>(retries) + 1;
+  serve::RetryPolicy policy(ropt);
+  FaultTally retried;
+  const double retry_seconds = RunFaultLoop(&catalog, wl, expected, count,
+                                            workers, &policy, &retried);
+  util::FailpointRegistry::Get().Reset();
+
+  const double n = static_cast<double>(count);
+  const double bare_goodput = static_cast<double>(bare.ok.load()) / n;
+  const double retry_goodput = static_cast<double>(retried.ok.load()) / n;
+  std::printf("  no retry:  %8.0f req/s | goodput %6.2f%% (%zu failed)\n",
+              n / bare_seconds, 100 * bare_goodput, bare.failed.load());
+  std::printf("  retry x%zu:  %8.0f req/s | goodput %6.2f%% (%zu failed, "
+              "%zu retries)\n",
+              retries, n / retry_seconds, 100 * retry_goodput,
+              retried.failed.load(), retried.retried.load());
+  const size_t mismatches = bare.mismatches.load() + retried.mismatches.load();
+  if (mismatches > 0) {
+    std::printf("  FAILED: %zu served answers differed from direct\n",
+                mismatches);
+    return 1;
+  }
+  // The acceptance bar: with retry enabled, a 10%% fault rate must not
+  // cost more than 10%% goodput. Higher injected rates are exploratory.
+  if (fault_rate <= 0.1 && retry_goodput < 0.9) {
+    std::printf("  FAILED: goodput %.2f%% < 90%% with retry enabled\n",
+                100 * retry_goodput);
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool zipf = false;
+  double faults = 0;
   size_t zipf_count = 20000;
   size_t zipf_workers = 2;
+  size_t retries = 3;
   util::FlagParser flags("bench_serve", kUsage);
   flags.Bool("zipf", &zipf);
+  flags.Double("faults", &faults);
   flags.Size("count", &zipf_count);
   flags.Size("workers", &zipf_workers);
+  flags.Size("retries", &retries);
   if (int code = flags.Parse(argc, argv); code >= 0) return code;
+  if (faults < 0 || faults > 1) {
+    std::fprintf(stderr, "bench_serve: --faults must be in [0, 1]\n");
+    return 2;
+  }
   if (zipf) return RunZipf(zipf_count, std::max<size_t>(1, zipf_workers));
+  if (faults > 0) {
+    return RunFaults(zipf_count, std::max<size_t>(1, zipf_workers), faults,
+                     retries);
+  }
   exp::Dataset ds = exp::MakeDataset(exp::DatasetKind::kDblp,
                                      exp::kDefaultDblpBytes, 20010402);
   workload::WorkloadOptions wopt;

@@ -171,4 +171,82 @@ while kill -0 "$SERVE_PID" 2>/dev/null; do
     sleep 0.1
 done
 wait "$SERVE_PID" 2>/dev/null || fail "cached server exited nonzero"
+
+# ---------------------------------------------------------------------------
+# Third run: the fault path. Arm the snapshot/rebuild failpoint over
+# the wire, force a swap to fail, and check that the server keeps
+# serving from the last good snapshot, reports itself degraded on the
+# health verb, and recovers to ok once a disarmed swap lands.
+rm -f "$PORT_FILE"
+LOG="$WORK/serve_faults.log"
+"$SERVE" --port=0 --port-file="$PORT_FILE" --bytes=131072 --workers=2 \
+    --conns=4 --space=0.01 >"$LOG" 2>&1 &
+SERVE_PID=$!
+
+tries=0
+while [ ! -s "$PORT_FILE" ]; do
+    tries=$((tries + 1))
+    [ "$tries" -le 100 ] || fail "fault server did not start"
+    kill -0 "$SERVE_PID" 2>/dev/null || fail "fault server died during startup"
+    sleep 0.1
+done
+PORT=$(cat "$PORT_FILE")
+echo "serve_smoke: fault server on port $PORT"
+
+HEALTH=$("$CLIENT" --port="$PORT" --op=health) || fail "health verb failed"
+case "$HEALTH" in
+  *'"state":"ok"'*) : ;;
+  *) fail "fresh server is not healthy: $HEALTH" ;;
+esac
+
+"$CLIENT" --port="$PORT" --op=failpoint --spec='snapshot/rebuild=error' \
+    || fail "failpoint arm failed"
+# The armed failpoint makes the rebuild fail: swap must report the
+# injected error (client exits nonzero on the error response)...
+"$CLIENT" --port="$PORT" --op=swap --space=0.02 >/dev/null 2>&1 \
+    && fail "swap unexpectedly succeeded with snapshot/rebuild armed"
+# ...the last good snapshot keeps serving...
+"$CLIENT" --port="$PORT" --op=estimate --query='article(author, year)' \
+    || fail "estimate failed during degradation"
+# ...and health reports degraded with the rebuild failure as reason.
+HEALTH=$("$CLIENT" --port="$PORT" --op=health) || fail "health verb failed"
+case "$HEALTH" in
+  *'"state":"degraded"'*'rebuild failed'*) : ;;
+  *) fail "health is not degraded after a failed rebuild: $HEALTH" ;;
+esac
+
+# Disarm over the wire; the failpoint stats must show the trigger.
+FP=$("$CLIENT" --port="$PORT" --op=failpoint --spec='snapshot/rebuild=off') \
+    || fail "failpoint disarm failed"
+case "$FP" in
+  *'"triggers":0'*) fail "armed failpoint never fired: $FP" ;;
+  *'"triggers":'*) : ;;
+  *) fail "failpoint list lacks trigger stats: $FP" ;;
+esac
+
+# A clean swap lands and clears the degradation.
+"$CLIENT" --port="$PORT" --op=swap --space=0.02 || fail "recovery swap failed"
+HEALTH=$("$CLIENT" --port="$PORT" --op=health) || fail "health verb failed"
+case "$HEALTH" in
+  *'"state":"ok"'*) : ;;
+  *) fail "health did not recover after a clean swap: $HEALTH" ;;
+esac
+
+# Injected estimate faults: shed requests are structured Unavailable
+# errors, and --retries rides them out (exit 0 = final answer was ok).
+"$CLIENT" --port="$PORT" --op=failpoint --spec='serve/estimate=error:0.5' \
+    || fail "failpoint arm (estimate) failed"
+"$CLIENT" --port="$PORT" --op=estimate --query='article(author, year)' \
+    --retries=10 || fail "retried estimate failed at 50% fault rate"
+"$CLIENT" --port="$PORT" --op=failpoint --spec='serve/estimate=off' \
+    || fail "failpoint disarm (estimate) failed"
+
+"$CLIENT" --port="$PORT" --op=shutdown || fail "fault shutdown op failed"
+tries=0
+while kill -0 "$SERVE_PID" 2>/dev/null; do
+    tries=$((tries + 1))
+    [ "$tries" -le 100 ] || fail "fault server did not stop after shutdown"
+    sleep 0.1
+done
+wait "$SERVE_PID" 2>/dev/null || fail "fault server exited nonzero"
 echo "serve_smoke: OK"

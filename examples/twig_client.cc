@@ -22,17 +22,21 @@
 #include <algorithm>
 #include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <mutex>
+#include <optional>
 #include <set>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "obs/json.h"
+#include "serve/retry.h"
 #include "util/flags.h"
 #include "util/status.h"
 
@@ -48,31 +52,54 @@ struct Options {
   std::string semantics;
   double deadline_ms = 0;
   double space = 0;
+  std::string spec;
   bool bench = false;
   size_t count = 1000;
   size_t threads = 4;
   size_t swap_at = 0;
   size_t min_cached = 0;
+  size_t retries = 0;
+  double retry_base_ms = 2;
+  double retry_max_ms = 250;
 };
+
+/// nullptr when --retries=0: requests are sent exactly once.
+std::unique_ptr<serve::RetryPolicy> MakeRetryPolicy(const Options& options) {
+  if (options.retries == 0) return nullptr;
+  serve::RetryOptions ropt;
+  ropt.max_attempts = static_cast<int>(options.retries) + 1;
+  ropt.base_backoff = std::chrono::milliseconds(
+      static_cast<long long>(std::max(1.0, options.retry_base_ms)));
+  ropt.max_backoff = std::chrono::milliseconds(
+      static_cast<long long>(std::max(1.0, options.retry_max_ms)));
+  return std::make_unique<serve::RetryPolicy>(ropt);
+}
 
 constexpr char kUsage[] =
     "usage: twig_client --port=N [--op=NAME ...] [--bench ...]\n"
     "  --port=N         server port on 127.0.0.1 (default 7411)\n"
     "single-shot (one request, prints the response line):\n"
     "  --op=NAME        ping | estimate | explain | metrics | stats |\n"
-    "                   recent | swap | shutdown\n"
+    "                   recent | swap | health | failpoint | shutdown\n"
     "                   (stats and recent also pretty-print)\n"
     "  --query=TWIG     estimate/explain query\n"
     "  --algo=NAME      Leaf | Greedy | MO | MOSH | PMOSH | MSH\n"
     "  --semantics=S    occurrence | presence\n"
     "  --deadline-ms=F  per-request deadline\n"
     "  --space=F        swap: CST space fraction (0 = server default)\n"
+    "  --spec=LIST      failpoint: name=action[:arg] entries to apply;\n"
+    "                   empty lists the server's failpoints\n"
     "bench (estimate load across connections):\n"
     "  --bench          enable bench mode\n"
     "  --count=N        total requests (default 1000)\n"
     "  --threads=N      client connections (default 4)\n"
     "  --swap-at=N      trigger a snapshot swap after N requests\n"
     "  --min-cached=N   fail unless at least N responses were cache hits\n"
+    "retry (single-shot and bench; transient failures only):\n"
+    "  --retries=N      retry Unavailable errors and dropped connections\n"
+    "                   up to N times with jittered backoff (default 0)\n"
+    "  --retry-base-ms=F first backoff / jitter floor (default 2)\n"
+    "  --retry-max-ms=F  backoff ceiling (default 250)\n"
     "with neither --op nor --bench, stdin lines are sent as requests.\n";
 
 /// A blocking loopback connection speaking one-line-per-request.
@@ -97,6 +124,15 @@ class Connection {
                                  std::strerror(errno));
     }
     return Status::OK();
+  }
+
+  /// Closes and reconnects, dropping any half-read reply — the retry
+  /// path after a transport failure.
+  Status Reopen(uint16_t port) {
+    if (fd_ >= 0) close(fd_);
+    fd_ = -1;
+    buffer_.clear();
+    return Open(port);
   }
 
   /// Sends `request` (plus newline) and reads one response line.
@@ -159,8 +195,72 @@ std::string BuildRequest(const Options& options, uint64_t id) {
     w.Key("space");
     w.Double(options.space);
   }
+  if (options.op == "failpoint" && !options.spec.empty()) {
+    w.Key("spec");
+    w.String(options.spec);
+  }
   w.EndObject();
   return std::move(w).str();
+}
+
+/// Sends `request`, retrying transient failures under `policy`
+/// (nullptr = exactly one attempt). A dropped connection reopens and
+/// resends; a structured Unavailable error backs off (flooring by the
+/// server's retry_after_ms hint) and resends. Definitive answers —
+/// ok responses and non-Unavailable errors — return immediately; so
+/// does the last failure once the policy stops granting retries.
+/// Never sleeps past `deadline`. Granted retries bump `retries_used`.
+Result<std::string> RoundTripWithRetry(
+    Connection* conn, uint16_t port, const std::string& request,
+    serve::RetryPolicy* policy,
+    std::chrono::steady_clock::time_point deadline,
+    std::atomic<size_t>* retries_used) {
+  for (int attempt = 1;; ++attempt) {
+    Result<std::string> line = conn->RoundTrip(request);
+    Status failure = Status::OK();
+    std::chrono::milliseconds hint{0};
+    bool transport = false;
+    if (line.ok()) {
+      Result<obs::JsonValue> parsed = obs::ParseJson(line.value());
+      if (!parsed.ok()) return line;  // not a protocol line; don't resend
+      if (parsed.value().GetBool("ok")) {
+        if (policy != nullptr) policy->RecordSuccess();
+        return line;
+      }
+      const obs::JsonValue* error = parsed.value().Find("error");
+      if (error == nullptr || error->GetString("code") != "Unavailable") {
+        return line;  // a definitive answer (bad query, corruption, ...)
+      }
+      failure = Status::Unavailable(std::string(error->GetString("message")));
+      hint = std::chrono::milliseconds(
+          static_cast<long long>(error->GetNumber("retry_after_ms")));
+    } else {
+      transport = true;
+      failure = line.status();
+    }
+    if (policy == nullptr) return line;
+    const std::optional<std::chrono::milliseconds> backoff =
+        policy->NextBackoff(failure, attempt, deadline, hint);
+    if (!backoff.has_value()) return line;
+    if (retries_used != nullptr) retries_used->fetch_add(1);
+    std::this_thread::sleep_for(*backoff);
+    if (transport) {
+      if (Status status = conn->Reopen(port); !status.ok()) {
+        return status;
+      }
+    }
+  }
+}
+
+/// The retry deadline: --deadline-ms bounds the whole retry sequence
+/// client-side, matching the server-side per-attempt deadline.
+std::chrono::steady_clock::time_point RetryDeadline(const Options& options) {
+  if (options.deadline_ms <= 0) {
+    return std::chrono::steady_clock::time_point::max();
+  }
+  return std::chrono::steady_clock::now() +
+         std::chrono::milliseconds(
+             static_cast<long long>(options.deadline_ms));
 }
 
 /// Bench tallies, merged across worker threads.
@@ -200,8 +300,12 @@ struct BenchTally {
 int RunBench(const Options& options) {
   std::atomic<size_t> next_request{0};
   std::atomic<size_t> completed{0};
+  std::atomic<size_t> retries_used{0};
   std::mutex mutex;
   BenchTally total;
+  // One policy across all workers: the retry budget is per-process, so
+  // a failing server sees bounded amplification from this client.
+  const std::unique_ptr<serve::RetryPolicy> policy = MakeRetryPolicy(options);
 
   auto worker = [&] {
     Connection conn;
@@ -216,8 +320,10 @@ int RunBench(const Options& options) {
     for (size_t id = next_request.fetch_add(1); id < options.count;
          id = next_request.fetch_add(1)) {
       ++tally.sent;
-      Result<std::string> line =
-          conn.RoundTrip(BuildRequest(request_options, id));
+      Result<std::string> line = RoundTripWithRetry(
+          &conn, static_cast<uint16_t>(options.port),
+          BuildRequest(request_options, id), policy.get(),
+          RetryDeadline(options), &retries_used);
       completed.fetch_add(1);
       if (!line.ok()) {
         ++tally.transport_errors;
@@ -292,8 +398,10 @@ int RunBench(const Options& options) {
   }
   for (std::thread& t : workers) t.join();
 
-  std::printf("bench: %zu sent, %zu ok (%zu cached), %zu transport errors\n",
-              total.sent, total.ok, total.cached, total.transport_errors);
+  std::printf("bench: %zu sent, %zu ok (%zu cached), %zu transport errors, "
+              "%zu retries\n",
+              total.sent, total.ok, total.cached, total.transport_errors,
+              retries_used.load());
   for (const auto& [code, n] : total.error_codes) {
     std::printf("bench: %zu x %s\n", n, code.c_str());
   }
@@ -434,11 +542,15 @@ int main(int argc, char** argv) {
   flags.String("semantics", &options.semantics);
   flags.Double("deadline-ms", &options.deadline_ms);
   flags.Double("space", &options.space);
+  flags.String("spec", &options.spec);
   flags.Bool("bench", &options.bench);
   flags.Size("count", &options.count);
   flags.Size("threads", &options.threads);
   flags.Size("swap-at", &options.swap_at);
   flags.Size("min-cached", &options.min_cached);
+  flags.Size("retries", &options.retries);
+  flags.Double("retry-base-ms", &options.retry_base_ms);
+  flags.Double("retry-max-ms", &options.retry_max_ms);
   if (int code = flags.Parse(argc, argv); code >= 0) return code;
   if (options.port == 0 || options.port > 65535) {
     std::fprintf(stderr, "twig_client: --port must be a TCP port\n");
@@ -463,7 +575,10 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "twig_client: %s\n", status.ToString().c_str());
     return 1;
   }
-  Result<std::string> response = conn.RoundTrip(BuildRequest(options, 1));
+  const std::unique_ptr<serve::RetryPolicy> policy = MakeRetryPolicy(options);
+  Result<std::string> response = RoundTripWithRetry(
+      &conn, static_cast<uint16_t>(options.port), BuildRequest(options, 1),
+      policy.get(), RetryDeadline(options), nullptr);
   if (!response.ok()) {
     std::fprintf(stderr, "twig_client: %s\n",
                  response.status().ToString().c_str());

@@ -23,6 +23,7 @@
 #include "serve/tcp.h"
 #include "suffix/path_suffix_tree.h"
 #include "tree/tree.h"
+#include "util/failpoint.h"
 #include "util/flags.h"
 #include "util/strings.h"
 #include "xml/xml.h"
@@ -46,6 +47,8 @@ struct Options {
   size_t recorder_entries = 256;
   size_t slow_us = 50000;
   size_t accuracy_sample = 256;
+  std::string failpoints;
+  size_t failpoint_seed = 0;
 };
 
 constexpr char kUsage[] =
@@ -72,7 +75,11 @@ constexpr char kUsage[] =
     "  --slow-us=N      retain spans at least this slow in the slow log;\n"
     "                   0 = slow log off (default 50000)\n"
     "  --accuracy-sample=N re-execute every Nth estimate exactly and\n"
-    "                   record its relative error; 0 = off (default 256)\n";
+    "                   record its relative error; 0 = off (default 256)\n"
+    "  --failpoints=LIST arm failpoints at startup, e.g.\n"
+    "                   serve/estimate=error:0.1,tcp/write=error:0.05\n"
+    "                   (also settable at runtime via the failpoint verb)\n"
+    "  --failpoint-seed=N seed probabilistic failpoint draws; 0 = default\n";
 
 tree::Tree LoadOrGenerate(const Options& options) {
   if (!options.xml_path.empty()) {
@@ -126,6 +133,8 @@ int main(int argc, char** argv) {
   flags.Size("recorder-entries", &options.recorder_entries);
   flags.Size("slow-us", &options.slow_us);
   flags.Size("accuracy-sample", &options.accuracy_sample);
+  flags.String("failpoints", &options.failpoints);
+  flags.Size("failpoint-seed", &options.failpoint_seed);
   // Underscore spellings, for callers used to other tools' convention.
   flags.Size("cache_entries", &options.cache_entries);
   flags.Size("cache_shards", &options.cache_shards);
@@ -138,6 +147,18 @@ int main(int argc, char** argv) {
                  "twig_serve: --port must fit a TCP port, --bytes and "
                  "--space must be > 0\n");
     return 2;
+  }
+  if (options.failpoint_seed != 0) {
+    util::FailpointRegistry::Get().Seed(options.failpoint_seed);
+  }
+  if (!options.failpoints.empty()) {
+    if (Status status = util::FailpointRegistry::Get().ConfigureList(
+            options.failpoints);
+        !status.ok()) {
+      std::fprintf(stderr, "twig_serve: --failpoints: %s\n",
+                   status.ToString().c_str());
+      return 2;
+    }
   }
 
   // The data tree and its path suffix tree stay resident so the swap op

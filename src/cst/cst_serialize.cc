@@ -19,12 +19,25 @@
 #include <type_traits>
 
 #include "cst/cst.h"
+#include "util/failpoint.h"
+#include "util/hash.h"
 
 namespace twig::cst {
 
 namespace {
 
 constexpr char kMagic[8] = {'T', 'W', 'C', 'S', 'T', '0', '2', '\0'};
+
+// Checksum footer appended after the payload: a 4-byte footer magic
+// plus an FNV-1a hash (util::HashBytes) of every byte before the
+// footer. Blobs written before the footer existed lack it and still
+// load; a blob that ends in the footer magic but whose hash disagrees
+// is rejected. The footer is detected *after* the payload parses — the
+// payload grammar is self-delimiting, so the last 12 bytes are only
+// footer if the payload did not consume them.
+constexpr char kChecksumMagic[4] = {'T', 'W', 'C', 'K'};
+constexpr size_t kChecksumFooterBytes =
+    sizeof(kChecksumMagic) + sizeof(uint64_t);
 
 /// Bytes of the fixed-width fields of one serialized node record.
 constexpr size_t kNodeRecordBytes = 4 * sizeof(uint32_t) + 2 * sizeof(double) +
@@ -126,10 +139,21 @@ std::string Cst::Serialize() const {
   for (const sethash::Signature& sig : signatures_) {
     for (uint32_t component : sig) w.U32(component);
   }
+
+  const uint64_t checksum = HashBytes(out);
+  out.append(kChecksumMagic, sizeof(kChecksumMagic));
+  w.U64(checksum);
   return out;
 }
 
 Result<Cst> Cst::Deserialize(std::string_view blob) {
+  // Fault-injection seam: a fired "cst/deserialize" failpoint behaves
+  // exactly like a corrupt blob would, so rebuild/publish error paths
+  // are drivable without crafting hostile bytes.
+  if (Status injected = util::FailpointCheck("cst/deserialize");
+      !injected.ok()) {
+    return Status::Corruption(injected.message());
+  }
   if (blob.size() < sizeof(kMagic) ||
       std::memcmp(blob.data(), kMagic, sizeof(kMagic)) != 0) {
     return Status::Corruption("not a CST blob (bad magic)");
@@ -260,7 +284,27 @@ Result<Cst> Cst::Deserialize(std::string_view blob) {
       return Status::Corruption("signature index out of range");
     }
   }
-  if (!r.AtEnd()) return Status::Corruption("trailing bytes in CST blob");
+  // Footer: legacy blobs end exactly here; current blobs leave the
+  // 12-byte checksum footer, which must verify over everything before
+  // it. Any other remainder is trailing garbage, footer or not.
+  if (r.Remaining() == kChecksumFooterBytes) {
+    char footer_magic[sizeof(kChecksumMagic)];
+    uint64_t stored = 0;
+    if (!r.Pod(&footer_magic) || !r.U64(&stored)) {
+      return Status::Corruption("truncated CST checksum footer");
+    }
+    if (std::memcmp(footer_magic, kChecksumMagic, sizeof(kChecksumMagic)) !=
+        0) {
+      return Status::Corruption("trailing bytes in CST blob");
+    }
+    const uint64_t computed =
+        HashBytes(blob.substr(0, blob.size() - kChecksumFooterBytes));
+    if (stored != computed) {
+      return Status::Corruption("CST checksum mismatch");
+    }
+  } else if (!r.AtEnd()) {
+    return Status::Corruption("trailing bytes in CST blob");
+  }
   return cst;
 }
 

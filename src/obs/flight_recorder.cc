@@ -61,6 +61,7 @@ bool SpanRing::Record(const SpanRecord& span) {
   slot.accuracy_sampled.store(span.accuracy_sampled,
                               std::memory_order_relaxed);
   slot.relative_error.store(span.relative_error, std::memory_order_relaxed);
+  slot.fault_injected.store(span.fault_injected, std::memory_order_relaxed);
   // Release: the payload is visible to any reader that sees this
   // sequence value. 2*(pos + capacity) is both "stable" for readers of
   // generation pos and the expected value for the slot's next writer.
@@ -100,6 +101,8 @@ std::vector<SpanRecord> SpanRing::Snapshot() const {
         slot.accuracy_sampled.load(std::memory_order_relaxed);
     record.relative_error =
         slot.relative_error.load(std::memory_order_relaxed);
+    record.fault_injected =
+        slot.fault_injected.load(std::memory_order_relaxed);
     // Re-validate: if a writer claimed the slot while we copied, the
     // sequence moved off the stable value and the copy may be torn.
     std::atomic_thread_fence(std::memory_order_acquire);
@@ -176,6 +179,10 @@ std::string SpanRecordToJson(const SpanRecord& record) {
   if (record.accuracy_sampled) {
     w.Key("relative_error");
     w.Double(record.relative_error);
+  }
+  if (record.fault_injected) {
+    w.Key("fault_injected");
+    w.Bool(true);
   }
   w.EndObject();
   return std::move(w).str();

@@ -87,6 +87,7 @@ class SpanRing {
     std::atomic<uint64_t> snapshot_version{0};
     std::atomic<bool> accuracy_sampled{false};
     std::atomic<double> relative_error{0};
+    std::atomic<bool> fault_injected{false};
   };
 
   size_t capacity_;

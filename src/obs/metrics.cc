@@ -46,6 +46,14 @@ const char* CounterName(Counter counter) {
       return "serve_accuracy_samples";
     case Counter::kServeAccuracyFailures:
       return "serve_accuracy_failures";
+    case Counter::kFaultInjected:
+      return "fault_injected";
+    case Counter::kRetries:
+      return "retries";
+    case Counter::kBrownoutSheds:
+      return "brownout_sheds";
+    case Counter::kRebuildFailures:
+      return "rebuild_failures";
     case Counter::kCount:
       break;
   }

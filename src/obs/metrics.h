@@ -58,6 +58,13 @@ enum class Counter : size_t {
   // the exact matcher to measure live estimation error.
   kServeAccuracySamples,  // sampled requests with a ground-truth count
   kServeAccuracyFailures, //   ... where the exact matcher errored
+  // Fault model (util/failpoint.h + serve/health.h): injected faults,
+  // client retry grants, brown-out load shedding, and rebuilds that
+  // failed leaving the previous snapshot published.
+  kFaultInjected,         // failpoint actions that fired on a serve seam
+  kRetries,               // retry attempts granted by a RetryPolicy
+  kBrownoutSheds,         // uncached requests shed while browning out
+  kRebuildFailures,       // snapshot rebuilds that returned an error
   kCount,
 };
 
@@ -93,7 +100,7 @@ inline constexpr size_t kLatencyBuckets = 32;
 /// Version of the metrics JSON export schema (the "schema_version"
 /// field of MetricsSnapshot::ToJson). Bump on any key change so
 /// downstream scrapers can detect format drift.
-inline constexpr uint64_t kMetricsSchemaVersion = 2;
+inline constexpr uint64_t kMetricsSchemaVersion = 3;
 
 /// Aggregated view of one latency series.
 struct HistogramSnapshot {

@@ -79,6 +79,10 @@ struct SpanRecord {
   /// relative error of the estimate.
   bool accuracy_sampled = false;
   double relative_error = 0;
+  /// True when a failpoint action fired anywhere on this request's
+  /// path (admission, estimate execution, ...), so injected faults are
+  /// distinguishable from organic failures in the flight recorder.
+  bool fault_injected = false;
 
   SpanRecord() { offset_ns.fill(kSpanStageUnset); }
 

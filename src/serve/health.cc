@@ -1,0 +1,115 @@
+#include "serve/health.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace twig::serve {
+
+const char* HealthStateName(HealthState state) {
+  switch (state) {
+    case HealthState::kOk:
+      return "ok";
+    case HealthState::kDegraded:
+      return "degraded";
+    case HealthState::kBrownout:
+      return "browning-out";
+  }
+  return "ok";
+}
+
+HealthMonitor::HealthMonitor(const HealthOptions& options)
+    : options_(options), window_(std::max<size_t>(options.window, 1), 0) {}
+
+void HealthMonitor::ObserveOutcome(bool deadline_miss) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  window_misses_ -= window_[window_pos_];
+  window_[window_pos_] = deadline_miss ? 1 : 0;
+  window_misses_ += window_[window_pos_];
+  window_pos_ = (window_pos_ + 1) % window_.size();
+  window_filled_ = std::min(window_filled_ + 1, window_.size());
+  last_outcome_ = Clock::now();
+}
+
+double HealthMonitor::MissRateLocked() const {
+  if (window_filled_ < std::max<size_t>(options_.min_window, 1)) return -1.0;
+  return static_cast<double>(window_misses_) /
+         static_cast<double>(window_filled_);
+}
+
+void HealthMonitor::ResetWindowLocked() {
+  std::fill(window_.begin(), window_.end(), 0);
+  window_pos_ = 0;
+  window_filled_ = 0;
+  window_misses_ = 0;
+}
+
+HealthState HealthMonitor::Assess(size_t queue_depth, size_t queue_capacity) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const double depth_fraction =
+      queue_capacity == 0 ? 0.0
+                          : static_cast<double>(queue_depth) /
+                                static_cast<double>(queue_capacity);
+  const double miss_rate = MissRateLocked();
+  if (!browning_out_) {
+    if (depth_fraction >= options_.brownout_queue_fraction) {
+      browning_out_ = true;
+      brownout_reason_ = "queue at " + std::to_string(queue_depth) + "/" +
+                         std::to_string(queue_capacity);
+    } else if (miss_rate >= options_.brownout_miss_rate) {
+      browning_out_ = true;
+      brownout_reason_ =
+          "deadline-miss rate " +
+          std::to_string(static_cast<int>(miss_rate * 100)) + "%";
+    }
+    if (browning_out_) {
+      // Recovery judges what happens *after* entry, not the burst that
+      // caused it.
+      ResetWindowLocked();
+      last_outcome_ = Clock::now();
+    }
+  } else {
+    const bool queue_recovered =
+        depth_fraction <= options_.recover_queue_fraction;
+    const bool rate_recovered =
+        miss_rate >= 0.0 ? miss_rate <= options_.recover_miss_rate
+                         // Too few post-entry outcomes to judge: only a
+                         // quiet period (the pressure stopped) counts.
+                         : Clock::now() - last_outcome_ >=
+                               options_.quiet_period;
+    if (queue_recovered && rate_recovered) {
+      browning_out_ = false;
+      brownout_reason_.clear();
+      ResetWindowLocked();
+    }
+  }
+  if (browning_out_) return HealthState::kBrownout;
+  return degraded_ ? HealthState::kDegraded : HealthState::kOk;
+}
+
+void HealthMonitor::SetDegraded(std::string reason) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  degraded_ = true;
+  degraded_reason_ = std::move(reason);
+}
+
+void HealthMonitor::ClearDegraded() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  degraded_ = false;
+  degraded_reason_.clear();
+}
+
+HealthReport HealthMonitor::Report() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  HealthReport report;
+  if (browning_out_) {
+    report.state = HealthState::kBrownout;
+    report.reason = brownout_reason_;
+    report.retry_after = options_.retry_after;
+  } else if (degraded_) {
+    report.state = HealthState::kDegraded;
+    report.reason = degraded_reason_;
+  }
+  return report;
+}
+
+}  // namespace twig::serve

@@ -6,6 +6,7 @@
 #include "match/matcher.h"
 #include "obs/metrics.h"
 #include "stats/metrics.h"
+#include "util/failpoint.h"
 
 namespace twig::serve {
 
@@ -27,6 +28,7 @@ EstimateService::EstimateService(SnapshotCatalog* catalog,
       num_workers_(options.num_workers == 0
                        ? std::max(1u, std::thread::hardware_concurrency())
                        : options.num_workers),
+      health_(options.health),
       cache_(options.cache_entries == 0
                  ? nullptr
                  : std::make_unique<ResultCache>(ResultCacheOptions{
@@ -50,6 +52,17 @@ EstimateService::EstimateService(SnapshotCatalog* catalog,
   dispatcher_ = std::thread([this] {
     pool_.ParallelFor(num_workers_, [this](size_t, size_t) { ServeLoop(); });
   });
+  // A failed rebuild leaves the last good snapshot answering but the
+  // operator should know: flip health to degraded with the builder's
+  // error as the reason; the next successful rebuild clears it.
+  // Shutdown unregisters before this service dies.
+  catalog_->SetRebuildListener([this](const Status& status) {
+    if (status.ok()) {
+      health_.ClearDegraded();
+    } else {
+      health_.SetDegraded("rebuild failed: " + status.message());
+    }
+  });
 }
 
 EstimateService::~EstimateService() { Shutdown(/*drain=*/true); }
@@ -62,11 +75,13 @@ void EstimateService::FinishSpan(Item& item, obs::SpanOutcome outcome) {
   recorder_->Record(item.span.record);
 }
 
-void EstimateService::Reject(Item item, Status status) {
+void EstimateService::Reject(Item item, Status status,
+                             std::chrono::milliseconds retry_after) {
   obs::CountEvent(obs::Counter::kServeRejected);
   FinishSpan(item, obs::SpanOutcome::kRejected);
   EstimateResponse response;
   response.status = std::move(status);
+  response.retry_after = retry_after;
   item.promise.set_value(std::move(response));
 }
 
@@ -127,6 +142,26 @@ std::future<EstimateResponse> EstimateService::Submit(
       }
     }
   }
+  // Brown-out: the cache path above still answers (hits cost no worker
+  // time), but uncached work is shed with a Retry-After hint until the
+  // queue drains and the deadline-miss rate subsides.
+  if (health_.Assess(queue_.size(), queue_.capacity()) ==
+      HealthState::kBrownout) {
+    obs::CountEvent(obs::Counter::kBrownoutSheds);
+    Reject(std::move(item),
+           Status::Unavailable("browning out: uncached work is shed"),
+           health_.retry_after());
+    return future;
+  }
+  // Fault-injection seam covering BoundedQueue admission: a fired
+  // "serve/admission" failpoint rejects exactly as a full queue would.
+  if (Status injected = util::FailpointCheck("serve/admission");
+      !injected.ok()) {
+    obs::CountEvent(obs::Counter::kFaultInjected);
+    item.span.record.fault_injected = true;
+    Reject(std::move(item), std::move(injected));
+    return future;
+  }
   item.span.Mark(obs::SpanStage::kEnqueued);
   if (!queue_.TryPush(item)) {
     // The queue refused: the span never actually entered it.
@@ -161,6 +196,7 @@ void EstimateService::ServeLoop() {
                            ToNanos(dequeued - item.enqueued));
     if (dequeued >= item.request.deadline) {
       obs::CountEvent(obs::Counter::kServeDeadlineMisses);
+      health_.ObserveOutcome(/*deadline_miss=*/true);
       response.status =
           Status::DeadlineExceeded("deadline passed while queued");
       FinishSpan(item, obs::SpanOutcome::kDeadlineMiss);
@@ -177,6 +213,22 @@ void EstimateService::ServeLoop() {
     }
     item.span.Mark(obs::SpanStage::kPinned);
     item.span.record.snapshot_version = snapshot->version;
+    // Worker-execution seam: an error action fails this request like
+    // an estimator error; a delay action stalls the worker (FailpointCheck
+    // sleeps inline), which is how chaos schedules force queue backlog
+    // and deadline misses.
+    if (Status injected = util::FailpointCheck("serve/estimate");
+        !injected.ok()) {
+      obs::CountEvent(obs::Counter::kFaultInjected);
+      item.span.record.fault_injected = true;
+      health_.ObserveOutcome(/*deadline_miss=*/false);
+      response.status = std::move(injected);
+      response.snapshot_version = snapshot->version;
+      obs::CountEvent(obs::Counter::kServeServed);
+      FinishSpan(item, obs::SpanOutcome::kFailed);
+      item.promise.set_value(std::move(response));
+      continue;
+    }
     const core::TwigEstimator estimator(&snapshot->summary);
     core::EstimateOptions eopt;
     eopt.semantics = item.request.semantics;
@@ -196,6 +248,7 @@ void EstimateService::ServeLoop() {
       // wildcard aggregation over budget): surface the error and keep
       // the result cache free of poisoned entries.
       response.status = estimate.status();
+      health_.ObserveOutcome(/*deadline_miss=*/false);
       obs::CountEvent(obs::Counter::kServeServed);
       FinishSpan(item, obs::SpanOutcome::kFailed);
       item.promise.set_value(std::move(response));
@@ -239,6 +292,7 @@ void EstimateService::ServeLoop() {
           CachedEstimate{response.estimate, snapshot->version,
                          response.exec_time});
     }
+    health_.ObserveOutcome(/*deadline_miss=*/false);
     obs::CountEvent(obs::Counter::kServeServed);
     FinishSpan(item, obs::SpanOutcome::kServed);
     item.promise.set_value(std::move(response));
@@ -248,6 +302,10 @@ void EstimateService::ServeLoop() {
 void EstimateService::Shutdown(bool drain) {
   std::lock_guard<std::mutex> lock(shutdown_mutex_);
   if (shut_down_.load(std::memory_order_acquire)) return;
+  // Unregister the rebuild listener first: it captures `this`, and
+  // SetRebuildListener blocks until any in-progress invocation
+  // returns, so no rebuild thread can touch health_ past this line.
+  catalog_->SetRebuildListener(nullptr);
   // Close first so workers see end-of-stream; only then mark the
   // service down for Submit (requests racing the close are rejected by
   // TryPush on the closed queue).

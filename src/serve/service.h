@@ -51,6 +51,7 @@
 #include "obs/span.h"
 #include "query/twig.h"
 #include "serve/bounded_queue.h"
+#include "serve/health.h"
 #include "serve/result_cache.h"
 #include "serve/snapshot.h"
 #include "util/status.h"
@@ -84,6 +85,9 @@ struct ServiceOptions {
   /// tree (when the snapshot carries one) and the signed relative
   /// error recorded. 0 disables sampling.
   uint32_t accuracy_sample_every = 0;
+  /// Health state machine thresholds (serve/health.h): when brown-out
+  /// begins and ends, and the Retry-After hint shed responses carry.
+  HealthOptions health;
   /// Test seam: runs on the worker after dequeuing each request,
   /// before the deadline check. Lets tests hold a worker mid-request
   /// to force deterministic overload / expiry / drain scenarios.
@@ -118,6 +122,10 @@ struct EstimateResponse {
   /// True when the estimate was answered from the result cache (same
   /// snapshot version, bit-identical value).
   bool cached = false;
+  /// Server backoff hint for rejected requests (nonzero only on
+  /// brown-out sheds): "come back after this long". Rendered on the
+  /// wire as retry_after_ms inside the error object.
+  std::chrono::milliseconds retry_after{0};
 };
 
 class EstimateService {
@@ -159,6 +167,11 @@ class EstimateService {
   /// The flight recorder, nullptr when options.recorder_entries was 0.
   const obs::FlightRecorder* recorder() const { return recorder_.get(); }
 
+  /// The health state machine. Report() for the `health` verb; tests
+  /// may SetDegraded/ClearDegraded directly.
+  HealthMonitor& health() { return health_; }
+  const HealthMonitor& health() const { return health_; }
+
  private:
   struct Item {
     EstimateRequest request;
@@ -178,7 +191,10 @@ class EstimateService {
   void ServeLoop();
 
   /// Completes `item` with a rejection, counts it, and lands its span.
-  void Reject(Item item, Status status);
+  /// `retry_after` is the server backoff hint (zero = none).
+  void Reject(Item item, Status status,
+              std::chrono::milliseconds retry_after =
+                  std::chrono::milliseconds{0});
 
   /// Marks the reply stage, stamps the outcome, and hands the finished
   /// span to the recorder. No-op on an inactive span.
@@ -187,6 +203,10 @@ class EstimateService {
   SnapshotCatalog* const catalog_;
   const ServiceOptions options_;
   const size_t num_workers_;
+  /// Health state machine; fed by admission (Assess) and the workers
+  /// (ObserveOutcome), flipped degraded by the catalog's rebuild
+  /// listener.
+  HealthMonitor health_;
   /// Created before the workers, destroyed after them; workers insert
   /// into it and Submit reads it, both through the pointer.
   std::unique_ptr<ResultCache> cache_;

@@ -1,8 +1,10 @@
 #include "serve/snapshot.h"
 
 #include <chrono>
+#include <utility>
 
 #include "obs/metrics.h"
+#include "util/failpoint.h"
 
 namespace twig::serve {
 
@@ -23,6 +25,11 @@ uint64_t SnapshotCatalog::Publish(cst::Cst summary, std::string source,
                                   std::shared_ptr<const tree::Tree> data) {
   // Assemble the snapshot outside the lock; the swap itself is two
   // pointer writes.
+  // "snapshot/publish" is a delay-only chaos seam: Publish cannot fail
+  // (the CST is already built), but stalling here widens the window in
+  // which readers race the pointer swap. A fired error action is
+  // counted by the registry but cannot veto the publish.
+  (void)util::FailpointCheck("snapshot/publish");
   auto snapshot = std::make_shared<CstSnapshot>();
   snapshot->source = std::move(source);
   snapshot->build_seconds = build_seconds;
@@ -42,20 +49,42 @@ uint64_t SnapshotCatalog::Publish(cst::Cst summary, std::string source,
 void SnapshotCatalog::RebuildMain(Builder builder, std::string source,
                                   std::shared_ptr<const tree::Tree> data) {
   const auto t0 = std::chrono::steady_clock::now();
-  Result<cst::Cst> built = builder();
+  // "snapshot/rebuild": an injected error fails the whole rebuild
+  // exactly as a corrupt blob would — the builder never runs, the
+  // published snapshot stays untouched.
+  Status injected = util::FailpointCheck("snapshot/rebuild");
+  if (!injected.ok()) obs::CountEvent(obs::Counter::kFaultInjected);
+  Result<cst::Cst> built =
+      injected.ok() ? builder() : Result<cst::Cst>(std::move(injected));
   const double seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
   if (built.ok()) {
     Publish(std::move(built).value(), std::move(source), seconds,
             std::move(data));
+  } else {
+    obs::CountEvent(obs::Counter::kRebuildFailures);
+  }
+  const Status outcome = built.ok() ? Status::OK() : built.status();
+  {
+    // The listener runs before the rebuild is marked done, so a caller
+    // returning from WaitForRebuild observes its effects (e.g. health
+    // already flipped to degraded).
+    std::lock_guard<std::mutex> listener_lock(listener_mutex_);
+    if (rebuild_listener_) rebuild_listener_(outcome);
   }
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    last_rebuild_status_ = built.ok() ? Status::OK() : built.status();
+    last_rebuild_status_ = outcome;
     rebuild_in_flight_ = false;
   }
   rebuild_done_.notify_all();
+}
+
+void SnapshotCatalog::SetRebuildListener(
+    std::function<void(const Status&)> listener) {
+  std::lock_guard<std::mutex> lock(listener_mutex_);
+  rebuild_listener_ = std::move(listener);
 }
 
 bool SnapshotCatalog::BeginRebuild(Builder builder, std::string source,

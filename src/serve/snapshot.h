@@ -100,6 +100,17 @@ class SnapshotCatalog {
 
   bool rebuild_in_flight() const;
 
+  /// Observes every rebuild's outcome (OK or the builder's error),
+  /// invoked on the rebuild thread after the publish (on success) but
+  /// before the rebuild is marked finished — so once WaitForRebuild
+  /// returns, the listener has already run for that rebuild. At most
+  /// one listener; nullptr unregisters. Setting blocks until any
+  /// in-progress invocation of the previous listener returns, so after
+  /// SetRebuildListener(nullptr) the old listener's captures are safe
+  /// to destroy. The serving layer uses this to flip health to
+  /// degraded on failure and back on the next success.
+  void SetRebuildListener(std::function<void(const Status&)> listener);
+
  private:
   void RebuildMain(Builder builder, std::string source,
                    std::shared_ptr<const tree::Tree> data);
@@ -111,6 +122,12 @@ class SnapshotCatalog {
   std::thread rebuild_thread_;
   bool rebuild_in_flight_ = false;
   Status last_rebuild_status_;
+  /// Separate from mutex_ so a listener may call back into the catalog
+  /// (version(), Current()) without deadlocking, and so holding it
+  /// through the invocation gives SetRebuildListener its drain
+  /// guarantee.
+  std::mutex listener_mutex_;
+  std::function<void(const Status&)> rebuild_listener_;
 };
 
 }  // namespace twig::serve

@@ -13,19 +13,39 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "query/twig.h"
+#include "util/failpoint.h"
 
 namespace twig::serve {
 
 namespace {
 
-/// Sends the whole buffer plus the protocol's line terminator.
-/// MSG_NOSIGNAL: a peer that hung up yields EPIPE, not SIGPIPE.
+/// Sends the whole buffer plus the protocol's line terminator, riding
+/// out EINTR and partial writes. MSG_NOSIGNAL: a peer that hung up
+/// yields EPIPE, not SIGPIPE — a client closing mid-reply must never
+/// kill the server.
 bool SendLine(int fd, std::string line) {
   line.push_back('\n');
+  // "tcp/write": a fired error tears this reply — a prefix goes out,
+  // then the connection drops, exactly what a mid-reply network
+  // failure looks like to the client.
+  if (!util::FailpointCheck("tcp/write").ok()) {
+    obs::CountEvent(obs::Counter::kFaultInjected);
+    size_t sent = 0;
+    const size_t torn = line.size() / 2;
+    while (sent < torn) {
+      const ssize_t n = send(fd, line.data() + sent, torn - sent,
+                             MSG_NOSIGNAL);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) break;
+      sent += static_cast<size_t>(n);
+    }
+    return false;
+  }
   size_t sent = 0;
   while (sent < line.size()) {
     const ssize_t n =
         send(fd, line.data() + sent, line.size() - sent, MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) continue;  // signal mid-write: resume
     if (n <= 0) return false;
     sent += static_cast<size_t>(n);
   }
@@ -121,7 +141,14 @@ void TcpFrontEnd::ServeConnection(int fd) {
   char chunk[4096];
   for (;;) {
     const ssize_t n = recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;  // signal mid-read: resume
     if (n <= 0) return;  // EOF, error, or Stop's shutdown()
+    // "tcp/read": a fired error drops the connection as if the read
+    // side failed; whatever the client already sent is discarded.
+    if (!util::FailpointCheck("tcp/read").ok()) {
+      obs::CountEvent(obs::Counter::kFaultInjected);
+      return;
+    }
     buffer.append(chunk, static_cast<size_t>(n));
     size_t start = 0;
     for (size_t nl = buffer.find('\n', start); nl != std::string::npos;
@@ -166,6 +193,8 @@ std::string TcpFrontEnd::HandleLine(std::string_view line,
   if (request.op == "stats") return HandleStats(request);
   if (request.op == "recent") return HandleRecent(request);
   if (request.op == "swap") return HandleSwap(request);
+  if (request.op == "health") return HandleHealth(request);
+  if (request.op == "failpoint") return HandleFailpoint(request);
   if (request.op == "shutdown") {
     *stop_after_reply = true;
     return ShutdownResponse(request);
@@ -254,6 +283,25 @@ std::string TcpFrontEnd::HandleSwap(const WireRequest& request) {
   const Status status = catalog_->WaitForRebuild();
   if (!status.ok()) return ErrorResponse(&request, status);
   return SwapResponse(request, catalog_->version());
+}
+
+std::string TcpFrontEnd::HandleHealth(const WireRequest& request) {
+  // Re-run the brown-out transition against the live queue so the verb
+  // reports (and advances) the same state admission would see.
+  service_->health().Assess(service_->queue_depth(),
+                            service_->queue_capacity());
+  return HealthResponse(request, service_->health().Report(),
+                        catalog_->version());
+}
+
+std::string TcpFrontEnd::HandleFailpoint(const WireRequest& request) {
+  if (!request.spec.empty()) {
+    const Status status =
+        util::FailpointRegistry::Get().ConfigureList(request.spec);
+    if (!status.ok()) return ErrorResponse(&request, status);
+  }
+  return FailpointResponse(request,
+                           util::FailpointRegistry::Get().Snapshot());
 }
 
 void TcpFrontEnd::RequestStop() {

@@ -104,6 +104,8 @@ class TcpFrontEnd {
   std::string HandleStats(const WireRequest& request);
   std::string HandleRecent(const WireRequest& request);
   std::string HandleSwap(const WireRequest& request);
+  std::string HandleHealth(const WireRequest& request);
+  std::string HandleFailpoint(const WireRequest& request);
 
   /// Flags the stop and wakes WaitForShutdown.
   void RequestStop();

@@ -122,10 +122,18 @@ Result<WireRequest> ParseRequest(std::string_view line) {
     request.space = space->number_value;
   }
 
+  if (const obs::JsonValue* spec = root.Find("spec"); spec != nullptr) {
+    if (spec->kind != obs::JsonValue::Kind::kString) {
+      return Status::ParseError("\"spec\" must be a string");
+    }
+    request.spec = spec->string_value;
+  }
+
   return request;
 }
 
-std::string ErrorResponse(const WireRequest* request, const Status& status) {
+std::string ErrorResponse(const WireRequest* request, const Status& status,
+                          std::chrono::milliseconds retry_after) {
   obs::JsonWriter writer;
   BeginResponse(writer, request, /*ok=*/false);
   writer.Key("error");
@@ -134,6 +142,10 @@ std::string ErrorResponse(const WireRequest* request, const Status& status) {
   writer.String(StatusCodeToString(status.code()));
   writer.Key("message");
   writer.String(status.message());
+  if (retry_after.count() > 0) {
+    writer.Key("retry_after_ms");
+    writer.Uint(static_cast<uint64_t>(retry_after.count()));
+  }
   writer.EndObject();
   writer.EndObject();
   return std::move(writer).str();
@@ -141,7 +153,9 @@ std::string ErrorResponse(const WireRequest* request, const Status& status) {
 
 std::string EstimateWireResponse(const WireRequest& request,
                                  const EstimateResponse& response) {
-  if (!response.status.ok()) return ErrorResponse(&request, response.status);
+  if (!response.status.ok()) {
+    return ErrorResponse(&request, response.status, response.retry_after);
+  }
   obs::JsonWriter writer;
   BeginResponse(writer, &request, /*ok=*/true);
   writer.Key("estimate");
@@ -322,6 +336,53 @@ std::string ShutdownResponse(const WireRequest& request) {
   BeginResponse(writer, &request, /*ok=*/true);
   writer.Key("stopping");
   writer.Bool(true);
+  writer.EndObject();
+  return std::move(writer).str();
+}
+
+std::string HealthResponse(const WireRequest& request,
+                           const HealthReport& report, uint64_t version) {
+  obs::JsonWriter writer;
+  BeginResponse(writer, &request, /*ok=*/true);
+  writer.Key("version");
+  writer.Uint(version);
+  writer.Key("state");
+  writer.String(HealthStateName(report.state));
+  if (!report.reason.empty()) {
+    writer.Key("reason");
+    writer.String(report.reason);
+  }
+  if (report.retry_after.count() > 0) {
+    writer.Key("retry_after_ms");
+    writer.Uint(static_cast<uint64_t>(report.retry_after.count()));
+  }
+  writer.EndObject();
+  return std::move(writer).str();
+}
+
+std::string FailpointResponse(const WireRequest& request,
+                              const std::vector<util::FailpointInfo>& infos) {
+  obs::JsonWriter writer;
+  BeginResponse(writer, &request, /*ok=*/true);
+  writer.Key("failpoints");
+  writer.BeginArray();
+  for (const util::FailpointInfo& info : infos) {
+    writer.BeginObject();
+    writer.Key("name");
+    writer.String(info.name);
+    writer.Key("action");
+    writer.String(util::FailpointActionName(info.action));
+    writer.Key("probability");
+    writer.Double(info.probability);
+    writer.Key("delay_ms");
+    writer.Uint(info.delay_ms);
+    writer.Key("hits");
+    writer.Uint(info.hits);
+    writer.Key("triggers");
+    writer.Uint(info.triggers);
+    writer.EndObject();
+  }
+  writer.EndArray();
   writer.EndObject();
   return std::move(writer).str();
 }

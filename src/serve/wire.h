@@ -11,6 +11,11 @@
 //   {"op":"shutdown", "id":6}
 //   {"op":"stats", "id":7}    — latency percentiles + accuracy window
 //   {"op":"recent", "id":8}   — flight recorder + slow-log dump
+//   {"op":"health", "id":9}   — health state machine (ok / degraded /
+//                               browning-out) + reason + retry hint
+//   {"op":"failpoint", "id":10, "spec":"serve/estimate=error:0.1"}
+//                             — arm/disarm failpoints mid-run; empty
+//                               spec lists them with hit/trigger stats
 //
 // Responses always carry "ok" and echo "op" and "id" (when sent):
 //   {"id":2,"ok":true,"op":"estimate","estimate":41.5,"version":1,
@@ -30,10 +35,14 @@
 #include <string>
 #include <string_view>
 
+#include <vector>
+
 #include "core/estimator.h"
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "serve/health.h"
 #include "serve/service.h"
+#include "util/failpoint.h"
 #include "util/status.h"
 
 namespace twig::serve {
@@ -52,6 +61,9 @@ struct WireRequest {
   double deadline_ms = 0;
   /// swap: CST space fraction to rebuild at; 0 = server default.
   double space = 0;
+  /// failpoint: the "name=action[:arg],..." list to apply; empty =
+  /// list the configured failpoints with their stats.
+  std::string spec;
 };
 
 /// Parses "MSH" / "MO" / ... (core::AlgorithmName spelling).
@@ -86,7 +98,11 @@ Result<WireRequest> ParseRequest(std::string_view line);
 
 /// {"id":..,"ok":false,"op":..,"error":{"code":..,"message":..}}.
 /// `request` may be nullptr when the line didn't parse (no id/op).
-std::string ErrorResponse(const WireRequest* request, const Status& status);
+/// A nonzero `retry_after` (a brown-out shed's hint) adds
+/// "retry_after_ms" inside the error object.
+std::string ErrorResponse(const WireRequest* request, const Status& status,
+                          std::chrono::milliseconds retry_after =
+                              std::chrono::milliseconds{0});
 
 /// Encodes a service response: OK → estimate/cached/version/timings,
 /// error → ErrorResponse with the status (overloads and deadline
@@ -140,6 +156,21 @@ std::string RecentResponse(const WireRequest& request,
                            uint64_t version);
 
 std::string ShutdownResponse(const WireRequest& request);
+
+/// The `health` verb:
+///   {"id":..,"ok":true,"op":"health","version":v,"state":"ok",
+///    "reason":"...","retry_after_ms":50}
+/// "reason" only when nonempty, "retry_after_ms" only when nonzero.
+std::string HealthResponse(const WireRequest& request,
+                           const HealthReport& report, uint64_t version);
+
+/// The `failpoint` verb's success response: the configured failpoints
+/// with their lifetime stats:
+///   {"id":..,"ok":true,"op":"failpoint","failpoints":[
+///     {"name":"serve/estimate","action":"error","probability":0.1,
+///      "delay_ms":0,"hits":12,"triggers":2}, ...]}
+std::string FailpointResponse(const WireRequest& request,
+                              const std::vector<util::FailpointInfo>& infos);
 
 }  // namespace twig::serve
 

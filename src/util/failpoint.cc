@@ -1,0 +1,311 @@
+#include "util/failpoint.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "util/rng.h"
+
+namespace twig::util {
+
+namespace failpoint_internal {
+std::atomic<int> g_armed_count{0};
+}  // namespace failpoint_internal
+
+namespace {
+
+constexpr uint64_t kDefaultSeed = 0xfa11fa11ULL;
+constexpr uint32_t kMaxDelayMs = 60'000;
+
+bool IsValidName(std::string_view name) {
+  if (name.empty() || name.size() > 128) return false;
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '.' ||
+                    c == '/' || c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+// Strict decimal parse into [0, 1]; no strtod so "1e3"/"nan" are
+// rejected uniformly across locales.
+bool ParseProbability(std::string_view s, double* out) {
+  if (s.empty() || s.size() > 32) return false;
+  double value = 0.0;
+  size_t i = 0;
+  bool any_digit = false;
+  for (; i < s.size() && s[i] >= '0' && s[i] <= '9'; ++i) {
+    value = value * 10.0 + (s[i] - '0');
+    any_digit = true;
+  }
+  if (i < s.size()) {
+    if (s[i] != '.') return false;
+    ++i;
+    double scale = 0.1;
+    for (; i < s.size(); ++i, scale *= 0.1) {
+      if (s[i] < '0' || s[i] > '9') return false;
+      value += (s[i] - '0') * scale;
+      any_digit = true;
+    }
+  }
+  if (!any_digit || value > 1.0) return false;
+  *out = value;
+  return true;
+}
+
+bool ParseDelayMs(std::string_view s, uint32_t* out) {
+  if (s.empty() || s.size() > 8) return false;
+  uint64_t value = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + (c - '0');
+  }
+  if (value > kMaxDelayMs) return false;
+  *out = static_cast<uint32_t>(value);
+  return true;
+}
+
+struct Entry {
+  FailpointAction action = FailpointAction::kOff;
+  double probability = 1.0;
+  uint32_t delay_ms = 0;
+  uint64_t hits = 0;
+  uint64_t triggers = 0;
+};
+
+}  // namespace
+
+const char* FailpointActionName(FailpointAction action) {
+  switch (action) {
+    case FailpointAction::kOff:
+      return "off";
+    case FailpointAction::kError:
+      return "error";
+    case FailpointAction::kDelay:
+      return "delay";
+    case FailpointAction::kCrashOnce:
+      return "crash-once";
+  }
+  return "off";
+}
+
+struct FailpointRegistry::Impl {
+  mutable std::mutex mutex;
+  // std::map: Snapshot() comes back in name order for free, and the
+  // table holds a handful of entries at most.
+  std::map<std::string, Entry, std::less<>> entries;
+  Rng rng{kDefaultSeed};
+  std::function<void()> crash_handler;
+};
+
+FailpointRegistry& FailpointRegistry::Get() {
+  static FailpointRegistry registry;
+  return registry;
+}
+
+FailpointRegistry::FailpointRegistry() : impl_(new Impl) {}
+
+Status FailpointRegistry::Configure(std::string_view name,
+                                    std::string_view spec) {
+  if (!IsValidName(name)) {
+    return Status::InvalidArgument("bad failpoint name: '" +
+                                   std::string(name) + "'");
+  }
+  Entry parsed;
+  std::string_view action = spec;
+  std::string_view rest;
+  if (size_t colon = spec.find(':'); colon != std::string_view::npos) {
+    action = spec.substr(0, colon);
+    rest = spec.substr(colon + 1);
+  }
+  if (action == "off") {
+    if (!rest.empty()) {
+      return Status::InvalidArgument("failpoint 'off' takes no argument");
+    }
+  } else if (action == "error") {
+    parsed.action = FailpointAction::kError;
+    if (!rest.empty() && !ParseProbability(rest, &parsed.probability)) {
+      return Status::InvalidArgument(
+          "bad failpoint probability (want [0,1]): '" + std::string(rest) +
+          "'");
+    }
+  } else if (action == "delay") {
+    parsed.action = FailpointAction::kDelay;
+    std::string_view ms = rest;
+    if (size_t colon = rest.find(':'); colon != std::string_view::npos) {
+      ms = rest.substr(0, colon);
+      if (!ParseProbability(rest.substr(colon + 1), &parsed.probability)) {
+        return Status::InvalidArgument(
+            "bad failpoint probability (want [0,1]): '" +
+            std::string(rest.substr(colon + 1)) + "'");
+      }
+    }
+    if (!ParseDelayMs(ms, &parsed.delay_ms)) {
+      return Status::InvalidArgument(
+          "bad failpoint delay (want integer ms <= 60000): '" +
+          std::string(ms) + "'");
+    }
+  } else if (action == "crash-once") {
+    parsed.action = FailpointAction::kCrashOnce;
+    if (!rest.empty()) {
+      return Status::InvalidArgument(
+          "failpoint 'crash-once' takes no argument");
+    }
+  } else {
+    return Status::InvalidArgument("unknown failpoint action: '" +
+                                   std::string(action) + "'");
+  }
+
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  auto it = impl_->entries.find(name);
+  if (it == impl_->entries.end()) {
+    it = impl_->entries.emplace(std::string(name), Entry{}).first;
+  }
+  const bool was_armed = it->second.action != FailpointAction::kOff;
+  const bool now_armed = parsed.action != FailpointAction::kOff;
+  parsed.hits = it->second.hits;
+  parsed.triggers = it->second.triggers;
+  it->second = parsed;
+  if (was_armed != now_armed) {
+    failpoint_internal::g_armed_count.fetch_add(now_armed ? 1 : -1,
+                                                std::memory_order_relaxed);
+  }
+  return Status::OK();
+}
+
+Status FailpointRegistry::ConfigureList(std::string_view list) {
+  size_t pos = 0;
+  while (pos <= list.size()) {
+    size_t comma = list.find(',', pos);
+    if (comma == std::string_view::npos) comma = list.size();
+    const std::string_view item = list.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (item.empty()) continue;
+    const size_t eq = item.find('=');
+    if (eq == std::string_view::npos) {
+      return Status::InvalidArgument(
+          "failpoint entry lacks '=' (want name=action[:arg]): '" +
+          std::string(item) + "'");
+    }
+    Status s = Configure(item.substr(0, eq), item.substr(eq + 1));
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
+
+void FailpointRegistry::Seed(uint64_t seed) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  impl_->rng = Rng(seed);
+}
+
+void FailpointRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  for (const auto& [name, entry] : impl_->entries) {
+    if (entry.action != FailpointAction::kOff) {
+      failpoint_internal::g_armed_count.fetch_sub(1,
+                                                  std::memory_order_relaxed);
+    }
+  }
+  impl_->entries.clear();
+  impl_->rng = Rng(kDefaultSeed);
+}
+
+Status FailpointRegistry::Evaluate(std::string_view name) {
+  uint32_t sleep_ms = 0;
+  bool crashing = false;
+  std::function<void()> crash;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    auto it = impl_->entries.find(name);
+    if (it == impl_->entries.end() ||
+        it->second.action == FailpointAction::kOff) {
+      return Status::OK();
+    }
+    Entry& entry = it->second;
+    ++entry.hits;
+    switch (entry.action) {
+      case FailpointAction::kOff:
+        return Status::OK();
+      case FailpointAction::kError:
+        if (entry.probability < 1.0 &&
+            !impl_->rng.Bernoulli(entry.probability)) {
+          return Status::OK();
+        }
+        ++entry.triggers;
+        return Status::Unavailable("injected fault at " + std::string(name));
+      case FailpointAction::kDelay:
+        if (entry.probability < 1.0 &&
+            !impl_->rng.Bernoulli(entry.probability)) {
+          return Status::OK();
+        }
+        ++entry.triggers;
+        sleep_ms = entry.delay_ms;
+        break;
+      case FailpointAction::kCrashOnce:
+        ++entry.triggers;
+        entry.action = FailpointAction::kOff;
+        failpoint_internal::g_armed_count.fetch_sub(
+            1, std::memory_order_relaxed);
+        crashing = true;
+        crash = impl_->crash_handler;
+        break;
+    }
+  }
+  // Side effects run outside the lock so a stalled or crashing site
+  // cannot wedge Configure/Snapshot on other threads.
+  if (crashing) {
+    if (crash) {
+      crash();
+      return Status::OK();
+    }
+    std::abort();
+  }
+  if (sleep_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+  }
+  return Status::OK();
+}
+
+std::vector<FailpointInfo> FailpointRegistry::Snapshot() const {
+  std::vector<FailpointInfo> out;
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  out.reserve(impl_->entries.size());
+  for (const auto& [name, entry] : impl_->entries) {
+    FailpointInfo info;
+    info.name = name;
+    info.action = entry.action;
+    info.probability = entry.probability;
+    info.delay_ms = entry.delay_ms;
+    info.hits = entry.hits;
+    info.triggers = entry.triggers;
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+FailpointInfo FailpointRegistry::Info(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  FailpointInfo info;
+  info.name = std::string(name);
+  auto it = impl_->entries.find(name);
+  if (it != impl_->entries.end()) {
+    info.action = it->second.action;
+    info.probability = it->second.probability;
+    info.delay_ms = it->second.delay_ms;
+    info.hits = it->second.hits;
+    info.triggers = it->second.triggers;
+  }
+  return info;
+}
+
+void FailpointRegistry::SetCrashHandlerForTest(
+    std::function<void()> handler) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  impl_->crash_handler = std::move(handler);
+}
+
+}  // namespace twig::util

@@ -5,6 +5,7 @@
 
 #include "cst/cst.h"
 #include "test_trees.h"
+#include "util/failpoint.h"
 
 namespace twig::cst {
 namespace {
@@ -266,7 +267,9 @@ TEST(CstSerializeTest, RejectsDuplicateLabelNames) {
 TEST(CstSerializeTest, TruncationSweepAlwaysRejects) {
   // Every section's extent is implied by earlier content, so any strict
   // prefix must end inside some section and fail cleanly — no crash, no
-  // blob-controlled allocation.
+  // blob-controlled allocation. The one exception is by design: a
+  // prefix that strips exactly the 12-byte checksum footer is a valid
+  // legacy (pre-footer) blob and must still load.
   Tree data = testutil::FigureOneTree();
   auto pst = PathSuffixTree::Build(data);
   CstOptions options;
@@ -275,10 +278,84 @@ TEST(CstSerializeTest, TruncationSweepAlwaysRejects) {
   Cst original = Cst::Build(data, pst, options);
   const std::string blob = original.Serialize();
   ASSERT_TRUE(Cst::Deserialize(blob).ok());
+  const size_t legacy_len = blob.size() - 12;
   for (size_t len = 0; len < blob.size(); ++len) {
     auto result = Cst::Deserialize(blob.substr(0, len));
-    EXPECT_FALSE(result.ok()) << "truncated at " << len;
+    if (len == legacy_len) {
+      EXPECT_TRUE(result.ok()) << "footer-stripped legacy blob rejected";
+    } else {
+      EXPECT_FALSE(result.ok()) << "truncated at " << len;
+    }
   }
+}
+
+TEST(CstSerializeTest, ChecksumFooterVerifiesAndLegacyBlobsLoad) {
+  Tree data = testutil::FigureOneTree();
+  Cst original = BuildFullCst(data);
+  const std::string blob = original.Serialize();
+  ASSERT_GT(blob.size(), 12u);
+  // The footer is present and self-identifying.
+  EXPECT_EQ(blob.substr(blob.size() - 12, 4), "TWCK");
+  ASSERT_TRUE(Cst::Deserialize(blob).ok());
+
+  // A legacy blob (everything before the footer) still loads, and
+  // restores the same summary.
+  const std::string legacy = blob.substr(0, blob.size() - 12);
+  auto restored = Cst::Deserialize(legacy);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->node_count(), original.node_count());
+
+  // A corrupted stored checksum is rejected with the structured error.
+  std::string bad_sum = blob;
+  bad_sum[blob.size() - 1] ^= 0x01;
+  auto result = Cst::Deserialize(bad_sum);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+  EXPECT_NE(result.status().message().find("checksum mismatch"),
+            std::string::npos);
+
+  // Garbage where the footer magic should be reads as trailing bytes.
+  std::string bad_magic = blob;
+  bad_magic[blob.size() - 12] = 'X';
+  result = Cst::Deserialize(bad_magic);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+}
+
+TEST(CstSerializeTest, ChecksumCatchesPayloadBitFlips) {
+  // Sampled single-bit flips across the payload: the blob must be
+  // rejected — by payload validation or, for flips that land in spots
+  // the grammar cannot see (count slack, probability bytes), by the
+  // checksum. No flipped blob may load.
+  Tree data = testutil::FigureOneTree();
+  auto pst = PathSuffixTree::Build(data);
+  CstOptions options;
+  options.prune_threshold = 1;
+  options.signature_length = 8;
+  Cst original = Cst::Build(data, pst, options);
+  const std::string blob = original.Serialize();
+  for (size_t pos = 8; pos < blob.size() - 12; pos += 13) {
+    std::string flipped = blob;
+    flipped[pos] ^= 0x10;
+    EXPECT_FALSE(Cst::Deserialize(flipped).ok()) << "bit flip at " << pos;
+  }
+}
+
+TEST(CstSerializeTest, DeserializeFailpointMapsToCorruption) {
+  util::FailpointRegistry::Get().Reset();
+  Tree data = testutil::FigureOneTree();
+  Cst original = BuildFullCst(data);
+  const std::string blob = original.Serialize();
+  ASSERT_TRUE(
+      util::FailpointRegistry::Get().Configure("cst/deserialize", "error")
+          .ok());
+  auto result = Cst::Deserialize(blob);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+  EXPECT_NE(result.status().message().find("injected fault"),
+            std::string::npos);
+  util::FailpointRegistry::Get().Reset();
+  EXPECT_TRUE(Cst::Deserialize(blob).ok());
 }
 
 TEST(CstSerializeTest, ByteFuzzSweepNeverCrashes) {

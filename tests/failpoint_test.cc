@@ -1,0 +1,227 @@
+// Tests for the failpoint registry: spec parsing, arming/disarming,
+// hit/trigger accounting, probabilistic determinism, crash-once
+// semantics, and the zero-overhead-when-disabled fast path.
+
+#include "util/failpoint.h"
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace twig::util {
+namespace {
+
+// Every test runs against the process-wide registry, so each one
+// starts and ends from a clean slate.
+class FailpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FailpointRegistry::Get().Reset(); }
+  void TearDown() override {
+    FailpointRegistry::Get().SetCrashHandlerForTest(nullptr);
+    FailpointRegistry::Get().Reset();
+  }
+};
+
+TEST_F(FailpointTest, DisabledIsOkAndUnarmed) {
+  EXPECT_FALSE(FailpointsArmed());
+  EXPECT_TRUE(FailpointCheck("serve/admission").ok());
+  // An unconfigured name leaves no entry behind.
+  EXPECT_TRUE(FailpointRegistry::Get().Snapshot().empty());
+}
+
+TEST_F(FailpointTest, ErrorActionFiresEveryTime) {
+  auto& reg = FailpointRegistry::Get();
+  ASSERT_TRUE(reg.Configure("serve/estimate", "error").ok());
+  EXPECT_TRUE(FailpointsArmed());
+  for (int i = 0; i < 3; ++i) {
+    Status s = FailpointCheck("serve/estimate");
+    EXPECT_EQ(s.code(), StatusCode::kUnavailable);
+    EXPECT_NE(s.message().find("injected fault at serve/estimate"),
+              std::string::npos);
+  }
+  FailpointInfo info = reg.Info("serve/estimate");
+  EXPECT_EQ(info.hits, 3u);
+  EXPECT_EQ(info.triggers, 3u);
+}
+
+TEST_F(FailpointTest, OffDisarmsButKeepsStats) {
+  auto& reg = FailpointRegistry::Get();
+  ASSERT_TRUE(reg.Configure("fp", "error").ok());
+  EXPECT_FALSE(FailpointCheck("fp").ok());
+  ASSERT_TRUE(reg.Configure("fp", "off").ok());
+  EXPECT_FALSE(FailpointsArmed());
+  EXPECT_TRUE(FailpointCheck("fp").ok());
+  FailpointInfo info = reg.Info("fp");
+  EXPECT_EQ(info.action, FailpointAction::kOff);
+  EXPECT_EQ(info.hits, 1u);
+  EXPECT_EQ(info.triggers, 1u);
+}
+
+TEST_F(FailpointTest, ProbabilityIsSeededAndDeterministic) {
+  auto& reg = FailpointRegistry::Get();
+  ASSERT_TRUE(reg.Configure("fp", "error:0.5").ok());
+
+  auto run = [&reg]() {
+    reg.Seed(42);
+    std::vector<bool> fired;
+    for (int i = 0; i < 64; ++i) {
+      fired.push_back(!FailpointRegistry::Get().Evaluate("fp").ok());
+    }
+    return fired;
+  };
+  std::vector<bool> first = run();
+  std::vector<bool> second = run();
+  EXPECT_EQ(first, second);
+
+  // p=0.5 over 64 draws should neither always fire nor never fire.
+  int fires = 0;
+  for (bool f : first) fires += f ? 1 : 0;
+  EXPECT_GT(fires, 0);
+  EXPECT_LT(fires, 64);
+
+  FailpointInfo info = reg.Info("fp");
+  EXPECT_EQ(info.hits, 128u);
+  EXPECT_EQ(info.triggers, static_cast<uint64_t>(2 * fires));
+}
+
+TEST_F(FailpointTest, ProbabilityZeroNeverFires) {
+  ASSERT_TRUE(FailpointRegistry::Get().Configure("fp", "error:0").ok());
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_TRUE(FailpointCheck("fp").ok());
+  }
+  FailpointInfo info = FailpointRegistry::Get().Info("fp");
+  EXPECT_EQ(info.hits, 32u);
+  EXPECT_EQ(info.triggers, 0u);
+}
+
+TEST_F(FailpointTest, DelayActionSleeps) {
+  ASSERT_TRUE(FailpointRegistry::Get().Configure("fp", "delay:30").ok());
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_TRUE(FailpointCheck("fp").ok());
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_GE(elapsed, std::chrono::milliseconds(25));
+  EXPECT_EQ(FailpointRegistry::Get().Info("fp").triggers, 1u);
+}
+
+TEST_F(FailpointTest, CrashOnceFiresHandlerThenDisarms) {
+  auto& reg = FailpointRegistry::Get();
+  std::atomic<int> crashes{0};
+  reg.SetCrashHandlerForTest([&crashes] { ++crashes; });
+  ASSERT_TRUE(reg.Configure("fp", "crash-once").ok());
+  EXPECT_TRUE(FailpointCheck("fp").ok());
+  EXPECT_EQ(crashes.load(), 1);
+  // The second evaluation is a no-op: the point disarmed itself.
+  EXPECT_FALSE(FailpointsArmed());
+  EXPECT_TRUE(FailpointCheck("fp").ok());
+  EXPECT_EQ(crashes.load(), 1);
+  FailpointInfo info = reg.Info("fp");
+  EXPECT_EQ(info.action, FailpointAction::kOff);
+  EXPECT_EQ(info.hits, 1u);
+  EXPECT_EQ(info.triggers, 1u);
+}
+
+TEST_F(FailpointTest, ConfigureListAppliesAllEntries) {
+  auto& reg = FailpointRegistry::Get();
+  ASSERT_TRUE(
+      reg.ConfigureList("a=error,b=delay:5:0.5,c=crash-once,d=error:0.25")
+          .ok());
+  std::vector<FailpointInfo> snap = reg.Snapshot();
+  ASSERT_EQ(snap.size(), 4u);
+  EXPECT_EQ(snap[0].name, "a");
+  EXPECT_EQ(snap[0].action, FailpointAction::kError);
+  EXPECT_EQ(snap[1].name, "b");
+  EXPECT_EQ(snap[1].action, FailpointAction::kDelay);
+  EXPECT_EQ(snap[1].delay_ms, 5u);
+  EXPECT_DOUBLE_EQ(snap[1].probability, 0.5);
+  EXPECT_EQ(snap[2].name, "c");
+  EXPECT_EQ(snap[2].action, FailpointAction::kCrashOnce);
+  EXPECT_EQ(snap[3].name, "d");
+  EXPECT_DOUBLE_EQ(snap[3].probability, 0.25);
+}
+
+TEST_F(FailpointTest, ConfigureListToleratesEmptyItems) {
+  EXPECT_TRUE(FailpointRegistry::Get().ConfigureList("").ok());
+  EXPECT_TRUE(FailpointRegistry::Get().ConfigureList("a=error,,b=error,").ok());
+  EXPECT_EQ(FailpointRegistry::Get().Snapshot().size(), 2u);
+}
+
+TEST_F(FailpointTest, RejectsMalformedSpecs) {
+  auto& reg = FailpointRegistry::Get();
+  // Bad names.
+  EXPECT_FALSE(reg.Configure("", "error").ok());
+  EXPECT_FALSE(reg.Configure("has space", "error").ok());
+  EXPECT_FALSE(reg.Configure("quote\"", "error").ok());
+  // Bad actions and arguments.
+  EXPECT_FALSE(reg.Configure("fp", "explode").ok());
+  EXPECT_FALSE(reg.Configure("fp", "error:2").ok());
+  EXPECT_FALSE(reg.Configure("fp", "error:nan").ok());
+  EXPECT_FALSE(reg.Configure("fp", "error:1e-1").ok());
+  EXPECT_FALSE(reg.Configure("fp", "delay").ok());
+  EXPECT_FALSE(reg.Configure("fp", "delay:abc").ok());
+  EXPECT_FALSE(reg.Configure("fp", "delay:99999999").ok());
+  EXPECT_FALSE(reg.Configure("fp", "off:1").ok());
+  EXPECT_FALSE(reg.Configure("fp", "crash-once:1").ok());
+  // List grammar.
+  EXPECT_FALSE(reg.ConfigureList("noequals").ok());
+  EXPECT_FALSE(reg.ConfigureList("a=error,b=bogus").ok());
+  // The valid prefix of a failed list stays applied.
+  EXPECT_EQ(reg.Info("a").action, FailpointAction::kError);
+  // Nothing armed under the bad specs beyond that prefix.
+  EXPECT_EQ(reg.Info("fp").action, FailpointAction::kOff);
+}
+
+TEST_F(FailpointTest, ResetDisarmsEverything) {
+  auto& reg = FailpointRegistry::Get();
+  ASSERT_TRUE(reg.ConfigureList("a=error,b=delay:1").ok());
+  EXPECT_TRUE(FailpointsArmed());
+  reg.Reset();
+  EXPECT_FALSE(FailpointsArmed());
+  EXPECT_TRUE(reg.Snapshot().empty());
+  EXPECT_TRUE(FailpointCheck("a").ok());
+}
+
+TEST_F(FailpointTest, ReconfigureKeepsArmedCountBalanced) {
+  auto& reg = FailpointRegistry::Get();
+  ASSERT_TRUE(reg.Configure("fp", "error").ok());
+  ASSERT_TRUE(reg.Configure("fp", "delay:1").ok());  // armed -> armed
+  EXPECT_TRUE(FailpointsArmed());
+  ASSERT_TRUE(reg.Configure("fp", "off").ok());
+  EXPECT_FALSE(FailpointsArmed());
+  ASSERT_TRUE(reg.Configure("fp", "off").ok());  // off -> off, no underflow
+  EXPECT_FALSE(FailpointsArmed());
+  ASSERT_TRUE(reg.Configure("fp", "error").ok());
+  EXPECT_TRUE(FailpointsArmed());
+}
+
+TEST_F(FailpointTest, ConcurrentEvaluateAndConfigure) {
+  auto& reg = FailpointRegistry::Get();
+  ASSERT_TRUE(reg.Configure("fp", "error:0.5").ok());
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> checks{0};
+  std::vector<std::thread> threads;
+  threads.reserve(4);
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&stop, &checks] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        (void)FailpointCheck("fp");
+        checks.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(reg.Configure("fp", i % 2 == 0 ? "off" : "error:0.5").ok());
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  stop.store(true);
+  for (auto& t : threads) t.join();
+  EXPECT_GT(checks.load(), 0u);
+  // hits <= checks: evaluations during "off" windows don't count.
+  EXPECT_LE(reg.Info("fp").hits, checks.load());
+}
+
+}  // namespace
+}  // namespace twig::util

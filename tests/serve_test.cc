@@ -32,11 +32,14 @@
 #include "obs/span.h"
 #include "query/twig.h"
 #include "serve/bounded_queue.h"
+#include "serve/health.h"
 #include "serve/result_cache.h"
+#include "serve/retry.h"
 #include "serve/service.h"
 #include "serve/snapshot.h"
 #include "serve/tcp.h"
 #include "serve/wire.h"
+#include "util/failpoint.h"
 #include "suffix/path_suffix_tree.h"
 #include "test_trees.h"
 #include "tree/tree.h"
@@ -259,6 +262,63 @@ TEST(SnapshotCatalogTest, SecondRebuildRefusedWhileInFlight) {
   // With the first rebuild landed, a new one is accepted again.
   ASSERT_TRUE(catalog.BeginRebuild(
       [] { return Result<cst::Cst>(BuildFigureOneCst()); }, "second"));
+  EXPECT_TRUE(catalog.WaitForRebuild().ok());
+  EXPECT_EQ(catalog.version(), 2u);
+}
+
+TEST(SnapshotCatalogTest, RebuildListenerSeesEachOutcomeBeforeWaitReturns) {
+  SnapshotCatalog catalog;
+  std::mutex mutex;
+  std::vector<StatusCode> seen;
+  catalog.SetRebuildListener([&](const Status& status) {
+    std::lock_guard<std::mutex> lock(mutex);
+    seen.push_back(status.code());
+  });
+  ASSERT_TRUE(catalog.BeginRebuild(
+      [] { return Result<cst::Cst>(BuildFigureOneCst()); }, "good"));
+  EXPECT_TRUE(catalog.WaitForRebuild().ok());
+  ASSERT_TRUE(catalog.BeginRebuild(
+      [] { return Result<cst::Cst>(Status::Corruption("bad blob")); },
+      "doomed"));
+  EXPECT_FALSE(catalog.WaitForRebuild().ok());
+  {
+    // WaitForRebuild returning implies the listener already ran.
+    std::lock_guard<std::mutex> lock(mutex);
+    ASSERT_EQ(seen.size(), 2u);
+    EXPECT_EQ(seen[0], StatusCode::kOk);
+    EXPECT_EQ(seen[1], StatusCode::kCorruption);
+  }
+  // Clearing the listener drains: later rebuilds must not touch it.
+  catalog.SetRebuildListener(nullptr);
+  ASSERT_TRUE(catalog.BeginRebuild(
+      [] { return Result<cst::Cst>(BuildFigureOneCst()); }, "silent"));
+  EXPECT_TRUE(catalog.WaitForRebuild().ok());
+  std::lock_guard<std::mutex> lock(mutex);
+  EXPECT_EQ(seen.size(), 2u);
+}
+
+TEST(SnapshotCatalogTest, RebuildFailpointFailsTheRebuildKeepsLastGood) {
+  util::FailpointRegistry::Get().Reset();
+  SnapshotCatalog catalog;
+  catalog.Publish(BuildFigureOneCst(), "good");
+  ASSERT_TRUE(
+      util::FailpointRegistry::Get().Configure("snapshot/rebuild", "error")
+          .ok());
+  // The builder itself would succeed; the injected fault wins, and the
+  // last good snapshot keeps serving.
+  ASSERT_TRUE(catalog.BeginRebuild(
+      [] { return Result<cst::Cst>(BuildFigureOneCst()); }, "chaos"));
+  const Status status = catalog.WaitForRebuild();
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+  EXPECT_NE(status.message().find("injected fault"), std::string::npos);
+  EXPECT_EQ(catalog.version(), 1u);
+  EXPECT_EQ(catalog.Current()->source, "good");
+  EXPECT_GE(util::FailpointRegistry::Get().Info("snapshot/rebuild").triggers,
+            1u);
+  // Disarmed, the same rebuild lands.
+  util::FailpointRegistry::Get().Reset();
+  ASSERT_TRUE(catalog.BeginRebuild(
+      [] { return Result<cst::Cst>(BuildFigureOneCst()); }, "recovered"));
   EXPECT_TRUE(catalog.WaitForRebuild().ok());
   EXPECT_EQ(catalog.version(), 2u);
 }
@@ -499,6 +559,137 @@ TEST(ResultCacheTest, ConcurrentHammerStaysConsistent) {
 }
 
 // ---------------------------------------------------------------------------
+// HealthMonitor
+
+TEST(HealthMonitorTest, StartsOkAndSparseOutcomesDoNotTrip) {
+  HealthMonitor health;
+  EXPECT_EQ(health.Report().state, HealthState::kOk);
+  // Fewer than min_window outcomes: the rate is not judged yet, even
+  // if every one of them missed its deadline.
+  for (int i = 0; i < 8; ++i) health.ObserveOutcome(/*deadline_miss=*/true);
+  EXPECT_EQ(health.Assess(/*queue_depth=*/0, /*queue_capacity=*/100),
+            HealthState::kOk);
+}
+
+TEST(HealthMonitorTest, QueuePressureEntersBrownoutAndDrainRecovers) {
+  HealthOptions options;
+  options.quiet_period = milliseconds(1);
+  HealthMonitor health(options);
+  EXPECT_EQ(health.Assess(95, 100), HealthState::kBrownout);
+  const HealthReport report = health.Report();
+  EXPECT_EQ(report.state, HealthState::kBrownout);
+  EXPECT_NE(report.reason.find("queue"), std::string::npos);
+  EXPECT_GT(report.retry_after.count(), 0);
+  // Still deep: no exit, even though no deadline ever missed.
+  EXPECT_EQ(health.Assess(80, 100), HealthState::kBrownout);
+  // Shallow queue + a quiet period (no outcomes at all since entry).
+  std::this_thread::sleep_for(milliseconds(5));
+  EXPECT_EQ(health.Assess(10, 100), HealthState::kOk);
+  EXPECT_EQ(health.Report().state, HealthState::kOk);
+}
+
+TEST(HealthMonitorTest, DeadlineMissRateEntersBrownoutAndCleanTrafficExits) {
+  HealthMonitor health;  // min_window 16, enter at 50%, exit at 10%
+  for (int i = 0; i < 16; ++i) health.ObserveOutcome(/*deadline_miss=*/true);
+  EXPECT_EQ(health.Assess(0, 100), HealthState::kBrownout);
+  EXPECT_NE(health.Report().reason.find("deadline-miss"), std::string::npos);
+  // Entry reset the window: recovery judges post-entry traffic only.
+  for (int i = 0; i < 16; ++i) health.ObserveOutcome(/*deadline_miss=*/false);
+  EXPECT_EQ(health.Assess(0, 100), HealthState::kOk);
+}
+
+TEST(HealthMonitorTest, DegradedIsStickyAndOutrankedByBrownout) {
+  HealthOptions options;
+  options.quiet_period = milliseconds(1);
+  HealthMonitor health(options);
+  health.SetDegraded("rebuild failed: disk ate it");
+  EXPECT_EQ(health.Assess(0, 100), HealthState::kDegraded);
+  EXPECT_EQ(health.Report().reason, "rebuild failed: disk ate it");
+  // Brown-out outranks the sticky degraded state while it lasts...
+  EXPECT_EQ(health.Assess(100, 100), HealthState::kBrownout);
+  std::this_thread::sleep_for(milliseconds(5));
+  // ...and degraded resurfaces after the brown-out clears.
+  EXPECT_EQ(health.Assess(0, 100), HealthState::kDegraded);
+  health.ClearDegraded();
+  EXPECT_EQ(health.Assess(0, 100), HealthState::kOk);
+}
+
+// ---------------------------------------------------------------------------
+// RetryPolicy
+
+TEST(RetryPolicyTest, OnlyUnavailableIsRetryable) {
+  EXPECT_TRUE(RetryPolicy::IsRetryable(Status::Unavailable("overloaded")));
+  EXPECT_FALSE(RetryPolicy::IsRetryable(Status::InvalidArgument("bad")));
+  EXPECT_FALSE(RetryPolicy::IsRetryable(Status::Corruption("torn")));
+  EXPECT_FALSE(RetryPolicy::IsRetryable(Status::DeadlineExceeded("late")));
+  RetryPolicy policy;
+  EXPECT_FALSE(
+      policy.NextBackoff(Status::InvalidArgument("bad"), 1).has_value());
+}
+
+TEST(RetryPolicyTest, BackoffStaysWithinBaseAndCap) {
+  RetryOptions options;
+  options.max_attempts = 64;
+  options.base_backoff = milliseconds(2);
+  options.max_backoff = milliseconds(50);
+  options.budget_cap = 1000;
+  RetryPolicy policy(options);
+  for (int attempt = 1; attempt < 64; ++attempt) {
+    const std::optional<milliseconds> backoff =
+        policy.NextBackoff(Status::Unavailable("x"), attempt);
+    ASSERT_TRUE(backoff.has_value()) << attempt;
+    EXPECT_GE(backoff->count(), 2) << attempt;
+    EXPECT_LE(backoff->count(), 50) << attempt;
+  }
+  // Attempt == max_attempts: the budget for this request is spent.
+  EXPECT_FALSE(
+      policy.NextBackoff(Status::Unavailable("x"), 64).has_value());
+}
+
+TEST(RetryPolicyTest, DeadlineVetoesARetryThatWouldLandLate) {
+  RetryOptions options;
+  options.base_backoff = milliseconds(10);
+  RetryPolicy policy(options);
+  // A deadline already behind us: no retry, whatever the budget says.
+  EXPECT_FALSE(policy
+                   .NextBackoff(Status::Unavailable("x"), 1,
+                                Clock::now() - milliseconds(1))
+                   .has_value());
+  // A generous deadline grants as usual.
+  EXPECT_TRUE(policy
+                  .NextBackoff(Status::Unavailable("x"), 1,
+                               Clock::now() + std::chrono::seconds(10))
+                  .has_value());
+}
+
+TEST(RetryPolicyTest, ServerHintFloorsTheDrawnBackoff) {
+  RetryOptions options;
+  options.base_backoff = milliseconds(1);
+  options.max_backoff = milliseconds(250);
+  RetryPolicy policy(options);
+  const std::optional<milliseconds> backoff = policy.NextBackoff(
+      Status::Unavailable("browning out"), 1,
+      Clock::time_point::max(), /*server_hint=*/milliseconds(40));
+  ASSERT_TRUE(backoff.has_value());
+  EXPECT_GE(backoff->count(), 40);
+}
+
+TEST(RetryPolicyTest, TokenBudgetBoundsRetryAmplification) {
+  RetryOptions options;
+  options.max_attempts = 100;
+  options.budget_cap = 2.0;
+  options.budget_ratio = 1.0;
+  RetryPolicy policy(options);
+  // Two tokens: two retries, then sustained failure is cut off.
+  EXPECT_TRUE(policy.NextBackoff(Status::Unavailable("x"), 1).has_value());
+  EXPECT_TRUE(policy.NextBackoff(Status::Unavailable("x"), 2).has_value());
+  EXPECT_FALSE(policy.NextBackoff(Status::Unavailable("x"), 3).has_value());
+  // A success earns budget back; first attempts were never blocked.
+  policy.RecordSuccess();
+  EXPECT_TRUE(policy.NextBackoff(Status::Unavailable("x"), 1).has_value());
+}
+
+// ---------------------------------------------------------------------------
 // EstimateService
 
 EstimateRequest MakeRequest(const char* text,
@@ -600,7 +791,12 @@ TEST(EstimateServiceTest, FullQueueRejectsWithStructuredOverload) {
   SnapshotCatalog catalog;
   catalog.Publish(BuildFigureOneCst(), "v1");
   WorkerGate gate;
-  EstimateService service(&catalog, gate.Options(/*queue_capacity=*/1));
+  ServiceOptions options = gate.Options(/*queue_capacity=*/1);
+  // Disable queue-depth brown-out so this exercises the TryPush path
+  // itself (with brown-out on, a 1/1 queue is shed before the push —
+  // see BrownoutShedsUncachedWorkButServesCacheHits).
+  options.health.brownout_queue_fraction = 2.0;
+  EstimateService service(&catalog, options);
 
   // First request parks the only worker; second fills the queue; the
   // third must be rejected immediately with a structured overload.
@@ -1011,8 +1207,136 @@ TEST(EstimateServiceTest, AccuracySamplerSkipsSnapshotsWithoutATree) {
   }
 }
 
+TEST(EstimateServiceTest, FailedRebuildFlipsHealthDegradedUntilOneLands) {
+  SnapshotCatalog catalog;
+  catalog.Publish(BuildFigureOneCst(), "v1");
+  EstimateService service(&catalog);
+  EXPECT_EQ(service.health().Report().state, HealthState::kOk);
+
+  ASSERT_TRUE(catalog.BeginRebuild(
+      [] { return Result<cst::Cst>(Status::Corruption("bad blob")); },
+      "doomed"));
+  EXPECT_FALSE(catalog.WaitForRebuild().ok());
+  HealthReport report = service.health().Report();
+  EXPECT_EQ(report.state, HealthState::kDegraded);
+  EXPECT_NE(report.reason.find("rebuild failed"), std::string::npos);
+  // Degraded, not down: the last good snapshot still answers.
+  EstimateResponse response =
+      service.SubmitAndWait(MakeRequest("book.author"));
+  EXPECT_TRUE(response.status.ok());
+  EXPECT_EQ(response.snapshot_version, 1u);
+
+  ASSERT_TRUE(catalog.BeginRebuild(
+      [] { return Result<cst::Cst>(BuildFigureOneCst()); }, "fixed"));
+  EXPECT_TRUE(catalog.WaitForRebuild().ok());
+  EXPECT_EQ(service.health().Report().state, HealthState::kOk);
+}
+
+TEST(EstimateServiceTest, ShutdownDuringRebuildDetachesTheListenerSafely) {
+  SnapshotCatalog catalog;
+  catalog.Publish(BuildFigureOneCst(), "v1");
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  {
+    EstimateService service(&catalog);
+    ASSERT_TRUE(catalog.BeginRebuild(
+        [gate] {
+          gate.wait();
+          return Result<cst::Cst>(BuildFigureOneCst());
+        },
+        "slow"));
+    // Shutdown while the rebuild is parked: the listener must detach
+    // before the service goes away (run under TSan via verify-tsan).
+    std::thread unblock([&] {
+      std::this_thread::sleep_for(milliseconds(20));
+      release.set_value();
+    });
+    service.Shutdown(/*drain=*/true);
+    unblock.join();
+  }
+  // The rebuild still lands after the service is gone — into the
+  // catalog, with no listener left to call.
+  EXPECT_TRUE(catalog.WaitForRebuild().ok());
+  EXPECT_EQ(catalog.version(), 2u);
+}
+
+TEST(EstimateServiceTest, AdmissionAndEstimateFailpointsRejectStructurally) {
+  util::FailpointRegistry::Get().Reset();
+  SnapshotCatalog catalog;
+  catalog.Publish(BuildFigureOneCst(), "v1");
+  EstimateService service(&catalog);
+
+  ASSERT_TRUE(
+      util::FailpointRegistry::Get().Configure("serve/admission", "error")
+          .ok());
+  EstimateResponse rejected =
+      service.SubmitAndWait(MakeRequest("book.author"));
+  EXPECT_EQ(rejected.status.code(), StatusCode::kUnavailable);
+  EXPECT_NE(rejected.status.message().find("injected fault"),
+            std::string::npos);
+
+  ASSERT_TRUE(
+      util::FailpointRegistry::Get().Configure("serve/admission", "off")
+          .ok());
+  ASSERT_TRUE(
+      util::FailpointRegistry::Get().Configure("serve/estimate", "error")
+          .ok());
+  EstimateResponse failed = service.SubmitAndWait(MakeRequest("book.author"));
+  EXPECT_EQ(failed.status.code(), StatusCode::kUnavailable);
+  // The request was admitted and reached a worker: it reports the
+  // snapshot it would have used.
+  EXPECT_EQ(failed.snapshot_version, 1u);
+
+  util::FailpointRegistry::Get().Reset();
+  EXPECT_TRUE(service.SubmitAndWait(MakeRequest("book.author")).status.ok());
+}
+
+TEST(EstimateServiceTest, BrownoutShedsUncachedWorkButServesCacheHits) {
+  SnapshotCatalog catalog;
+  catalog.Publish(BuildFigureOneCst(), "v1");
+  WorkerGate gate(/*armed=*/false);
+  ServiceOptions options = gate.Options(/*queue_capacity=*/2);
+  options.cache_entries = 64;
+  EstimateService service(&catalog, options);
+
+  // Warm the cache while the gate is open.
+  ASSERT_TRUE(service.SubmitAndWait(MakeRequest("book.author")).status.ok());
+
+  // Park the worker and fill the queue to capacity: depth 2/2 crosses
+  // the 90% brown-out threshold at the next uncached admission.
+  gate.Arm();
+  std::future<EstimateResponse> in_flight =
+      service.Submit(MakeRequest("book(author, year)"));
+  gate.AwaitHeld();
+  std::future<EstimateResponse> q1 =
+      service.Submit(MakeRequest("book.publisher"));
+  std::future<EstimateResponse> q2 =
+      service.Submit(MakeRequest("book.title"));
+
+  EstimateResponse shed = service.SubmitAndWait(MakeRequest("book.year"));
+  EXPECT_EQ(shed.status.code(), StatusCode::kUnavailable);
+  EXPECT_NE(shed.status.message().find("browning out"), std::string::npos);
+  EXPECT_GT(shed.retry_after.count(), 0);  // the Retry-After hint
+
+  // A warmed cache entry costs no worker time: served mid-brown-out.
+  EstimateResponse hit = service.SubmitAndWait(MakeRequest("book.author"));
+  EXPECT_TRUE(hit.status.ok());
+  EXPECT_TRUE(hit.cached);
+
+  gate.Release();
+  EXPECT_TRUE(in_flight.get().status.ok());
+  EXPECT_TRUE(q1.get().status.ok());
+  EXPECT_TRUE(q2.get().status.ok());
+}
+
 // ---------------------------------------------------------------------------
 // Wire protocol
+
+obs::JsonValue MustParseJson(const std::string& text) {
+  Result<obs::JsonValue> parsed = obs::ParseJson(text);
+  EXPECT_TRUE(parsed.ok()) << text;
+  return parsed.ok() ? std::move(parsed).value() : obs::JsonValue{};
+}
 
 TEST(WireTest, ParseAlgorithmNameCoversAllAlgorithms) {
   for (core::Algorithm algorithm : core::kAllAlgorithms) {
@@ -1039,6 +1363,11 @@ TEST(WireTest, ParseRequestReadsAllFieldsAndAppliesDefaults) {
   EXPECT_EQ(r->semantics, core::CountSemantics::kPresence);
   EXPECT_DOUBLE_EQ(r->deadline_ms, 250.5);
   EXPECT_DOUBLE_EQ(r->space, 0.05);
+
+  r = ParseRequest(
+      "{\"op\":\"failpoint\",\"spec\":\"serve/estimate=error:0.1\"}");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->spec, "serve/estimate=error:0.1");
 
   r = ParseRequest("{\"op\":\"ping\"}");
   ASSERT_TRUE(r.ok());
@@ -1307,6 +1636,58 @@ TEST(WireTest, StatsAndRecentResponsesEncodeTheDocumentedSchema) {
   EXPECT_EQ(parsed->Find("error")->GetString("code"), "Unavailable");
 }
 
+TEST(WireTest, HealthFailpointAndRetryAfterEncodeTheDocumentedSchema) {
+  WireRequest request;
+  request.op = "health";
+  request.has_id = true;
+  request.id = 9;
+
+  HealthReport report;
+  report.state = HealthState::kBrownout;
+  report.reason = "queue at 9/10";
+  report.retry_after = milliseconds(50);
+  obs::JsonValue health = MustParseJson(HealthResponse(request, report, 3));
+  EXPECT_TRUE(health.GetBool("ok"));
+  EXPECT_EQ(health.GetString("state"), "browning-out");
+  EXPECT_EQ(health.GetString("reason"), "queue at 9/10");
+  EXPECT_DOUBLE_EQ(health.GetNumber("retry_after_ms"), 50);
+  EXPECT_DOUBLE_EQ(health.GetNumber("version"), 3);
+
+  // A healthy report carries neither reason nor hint.
+  obs::JsonValue ok = MustParseJson(HealthResponse(request, HealthReport{}, 3));
+  EXPECT_EQ(ok.GetString("state"), "ok");
+  EXPECT_EQ(ok.Find("reason"), nullptr);
+  EXPECT_EQ(ok.Find("retry_after_ms"), nullptr);
+
+  // A shed's Retry-After hint rides inside the error object.
+  obs::JsonValue error = MustParseJson(ErrorResponse(
+      &request, Status::Unavailable("browning out"), milliseconds(25)));
+  ASSERT_NE(error.Find("error"), nullptr);
+  EXPECT_DOUBLE_EQ(error.Find("error")->GetNumber("retry_after_ms"), 25);
+  // No hint, no key.
+  error = MustParseJson(ErrorResponse(&request, Status::Unavailable("x")));
+  EXPECT_EQ(error.Find("error")->Find("retry_after_ms"), nullptr);
+
+  util::FailpointInfo info;
+  info.name = "serve/estimate";
+  info.action = util::FailpointAction::kError;
+  info.probability = 0.1;
+  info.hits = 12;
+  info.triggers = 2;
+  request.op = "failpoint";
+  obs::JsonValue listed = MustParseJson(FailpointResponse(request, {info}));
+  EXPECT_TRUE(listed.GetBool("ok"));
+  const obs::JsonValue* failpoints = listed.Find("failpoints");
+  ASSERT_NE(failpoints, nullptr);
+  ASSERT_EQ(failpoints->elements.size(), 1u);
+  const obs::JsonValue& entry = failpoints->elements[0];
+  EXPECT_EQ(entry.GetString("name"), "serve/estimate");
+  EXPECT_EQ(entry.GetString("action"), "error");
+  EXPECT_DOUBLE_EQ(entry.GetNumber("probability"), 0.1);
+  EXPECT_DOUBLE_EQ(entry.GetNumber("hits"), 12);
+  EXPECT_DOUBLE_EQ(entry.GetNumber("triggers"), 2);
+}
+
 // ---------------------------------------------------------------------------
 // TCP front-end (loopback)
 
@@ -1337,6 +1718,12 @@ class TestClient {
     return ReadLine();
   }
 
+  /// Sends one line without waiting for the reply (hangup tests).
+  void Send(const std::string& request) {
+    std::string line = request + "\n";
+    (void)send(fd_, line.data(), line.size(), MSG_NOSIGNAL);
+  }
+
   std::string ReadLine() {
     for (;;) {
       const size_t nl = buffer_.find('\n');
@@ -1358,12 +1745,6 @@ class TestClient {
   std::string buffer_;
 };
 
-obs::JsonValue MustParseJson(const std::string& text) {
-  Result<obs::JsonValue> parsed = obs::ParseJson(text);
-  EXPECT_TRUE(parsed.ok()) << text;
-  return parsed.ok() ? std::move(parsed).value() : obs::JsonValue{};
-}
-
 class TcpFrontEndTest : public ::testing::Test {
  protected:
   void StartServer(TcpOptions options = {}) {
@@ -1378,6 +1759,8 @@ class TcpFrontEndTest : public ::testing::Test {
 
   void TearDown() override {
     if (front_end_.has_value()) front_end_->Stop();
+    // Failpoints are process-global; never leak one into other tests.
+    util::FailpointRegistry::Get().Reset();
   }
 
   SnapshotCatalog catalog_;
@@ -1533,6 +1916,134 @@ TEST_F(TcpFrontEndTest, ShutdownOpStopsWaitForShutdown) {
   }
   waiter.join();  // returns only because the op requested the stop
   front_end_->Stop();  // idempotent after WaitForShutdown's teardown
+}
+
+TEST_F(TcpFrontEndTest, HealthVerbTracksRebuildFailureAndRecovery) {
+  StartServer();
+  TestClient client(front_end_->port());
+  ASSERT_TRUE(client.connected());
+
+  obs::JsonValue health =
+      MustParseJson(client.RoundTrip("{\"op\":\"health\",\"id\":1}"));
+  EXPECT_TRUE(health.GetBool("ok"));
+  EXPECT_EQ(health.GetString("state"), "ok");
+
+  // A failed rebuild leaves the last good snapshot serving and flips
+  // health degraded with the failure as the reason.
+  ASSERT_TRUE(catalog_.BeginRebuild(
+      [] { return Result<cst::Cst>(Status::Corruption("disk ate it")); },
+      "doomed"));
+  EXPECT_FALSE(catalog_.WaitForRebuild().ok());
+  health = MustParseJson(client.RoundTrip("{\"op\":\"health\",\"id\":2}"));
+  EXPECT_EQ(health.GetString("state"), "degraded");
+  EXPECT_NE(health.GetString("reason").find("rebuild failed"),
+            std::string_view::npos);
+  obs::JsonValue estimate = MustParseJson(client.RoundTrip(
+      "{\"op\":\"estimate\",\"id\":3,\"query\":\"article.author\"}"));
+  EXPECT_TRUE(estimate.GetBool("ok"));
+  EXPECT_DOUBLE_EQ(estimate.GetNumber("version"), 1);
+
+  // The next successful rebuild clears the degradation.
+  ASSERT_TRUE(catalog_.BeginRebuild(
+      [] { return Result<cst::Cst>(SharedCorpus().BuildCst(0.02)); },
+      "fixed"));
+  EXPECT_TRUE(catalog_.WaitForRebuild().ok());
+  health = MustParseJson(client.RoundTrip("{\"op\":\"health\",\"id\":4}"));
+  EXPECT_EQ(health.GetString("state"), "ok");
+  EXPECT_DOUBLE_EQ(health.GetNumber("version"), 2);
+}
+
+TEST_F(TcpFrontEndTest, FailpointVerbArmsListsAndDisarmsOverTheWire) {
+  util::FailpointRegistry::Get().Reset();
+  StartServer();
+  TestClient client(front_end_->port());
+  ASSERT_TRUE(client.connected());
+
+  obs::JsonValue armed = MustParseJson(client.RoundTrip(
+      "{\"op\":\"failpoint\",\"id\":1,\"spec\":\"serve/estimate=error\"}"));
+  ASSERT_TRUE(armed.GetBool("ok"));
+  const obs::JsonValue* failpoints = armed.Find("failpoints");
+  ASSERT_NE(failpoints, nullptr);
+  ASSERT_EQ(failpoints->elements.size(), 1u);
+  EXPECT_EQ(failpoints->elements[0].GetString("name"), "serve/estimate");
+  EXPECT_EQ(failpoints->elements[0].GetString("action"), "error");
+
+  obs::JsonValue failed = MustParseJson(client.RoundTrip(
+      "{\"op\":\"estimate\",\"id\":2,\"query\":\"article.author\"}"));
+  EXPECT_FALSE(failed.GetBool("ok", true));
+  EXPECT_EQ(failed.Find("error")->GetString("code"), "Unavailable");
+
+  // A malformed spec is a structured error, not a disconnect.
+  obs::JsonValue bad = MustParseJson(client.RoundTrip(
+      "{\"op\":\"failpoint\",\"id\":3,\"spec\":\"nonsense\"}"));
+  EXPECT_FALSE(bad.GetBool("ok", true));
+  EXPECT_EQ(bad.Find("error")->GetString("code"), "InvalidArgument");
+
+  // Disarm over the wire; the empty spec lists stats that prove the
+  // fault actually landed.
+  ASSERT_TRUE(MustParseJson(
+                  client.RoundTrip("{\"op\":\"failpoint\",\"id\":4,"
+                                   "\"spec\":\"serve/estimate=off\"}"))
+                  .GetBool("ok"));
+  obs::JsonValue listed = MustParseJson(
+      client.RoundTrip("{\"op\":\"failpoint\",\"id\":5}"));
+  ASSERT_TRUE(listed.GetBool("ok"));
+  const obs::JsonValue& entry = listed.Find("failpoints")->elements[0];
+  EXPECT_EQ(entry.GetString("action"), "off");
+  EXPECT_GE(entry.GetNumber("hits"), 1.0);
+  EXPECT_GE(entry.GetNumber("triggers"), 1.0);
+
+  obs::JsonValue served = MustParseJson(client.RoundTrip(
+      "{\"op\":\"estimate\",\"id\":6,\"query\":\"article.author\"}"));
+  EXPECT_TRUE(served.GetBool("ok"));
+}
+
+// Satellite regression for the EINTR/partial-write hardening: a client
+// that hangs up before (or while) the reply is written must surface as
+// EPIPE on the handler thread, never as SIGPIPE killing the process.
+TEST_F(TcpFrontEndTest, HangupMidReplyLeavesTheServerServing) {
+  StartServer();
+  for (int i = 0; i < 8; ++i) {
+    TestClient hangup(front_end_->port());
+    ASSERT_TRUE(hangup.connected());
+    hangup.Send(
+        "{\"op\":\"estimate\",\"id\":1,\"query\":\"article.author\"}");
+    // Destructor closes the socket immediately, racing the reply.
+  }
+  TestClient client(front_end_->port());
+  ASSERT_TRUE(client.connected());
+  EXPECT_TRUE(
+      MustParseJson(client.RoundTrip("{\"op\":\"ping\",\"id\":9}"))
+          .GetBool("ok"));
+}
+
+TEST_F(TcpFrontEndTest, TornIoFailpointsDropConnectionsCleanly) {
+  StartServer();
+  // tcp/write tears the reply mid-line: the client sees a truncated
+  // line then EOF, and the server carries on.
+  ASSERT_TRUE(
+      util::FailpointRegistry::Get().Configure("tcp/write", "error").ok());
+  {
+    TestClient client(front_end_->port());
+    ASSERT_TRUE(client.connected());
+    EXPECT_EQ(client.RoundTrip("{\"op\":\"ping\",\"id\":1}"), "");
+  }
+  // tcp/read drops the connection before the request is handled.
+  ASSERT_TRUE(
+      util::FailpointRegistry::Get().Configure("tcp/write", "off").ok());
+  ASSERT_TRUE(
+      util::FailpointRegistry::Get().Configure("tcp/read", "error").ok());
+  {
+    TestClient client(front_end_->port());
+    ASSERT_TRUE(client.connected());
+    EXPECT_EQ(client.RoundTrip("{\"op\":\"ping\",\"id\":2}"), "");
+  }
+  util::FailpointRegistry::Get().Reset();
+  TestClient client(front_end_->port());
+  ASSERT_TRUE(client.connected());
+  EXPECT_TRUE(
+      MustParseJson(client.RoundTrip("{\"op\":\"ping\",\"id\":3}"))
+          .GetBool("ok"));
 }
 
 // ---------------------------------------------------------------------------
