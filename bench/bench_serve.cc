@@ -21,15 +21,21 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <future>
 #include <memory>
 #include <optional>
 #include <random>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "cst/paged_cst.h"
 #include "exp/harness.h"
+#include "util/strings.h"
+#include "xml/xml.h"
 #include "obs/metrics.h"
 #include "serve/retry.h"
 #include "serve/service.h"
@@ -64,15 +70,20 @@ void PrintLatencyLine(const char* label, const obs::HistogramSnapshot& h) {
 }
 
 constexpr char kUsage[] =
-    "usage: bench_serve [--zipf | --faults=P] [--count=N] [--workers=N]\n"
-    "                   [--retries=N]\n"
+    "usage: bench_serve [--zipf | --faults=P | --cold-start] [--count=N]\n"
+    "                   [--workers=N] [--retries=N] [--bytes=N]\n"
+    "                   [--buffer-mb=F]\n"
     "  --zipf       run the Zipf-workload result-cache comparison\n"
     "  --faults=P   run the goodput-under-faults comparison: inject\n"
     "               estimate faults with probability P (e.g. 0.1) and\n"
     "               measure goodput with and without client retry\n"
+    "  --cold-start compare time-to-first-answer from a serialized CST:\n"
+    "               TWCST02 full deserialize vs TWCST03 mmap + page-in\n"
     "  --count=N    zipf/faults: total requests per run (default 20000)\n"
     "  --workers=N  zipf/faults: estimation workers (default 2)\n"
-    "  --retries=N  faults: retry attempts per request (default 3)\n";
+    "  --retries=N  faults: retry attempts per request (default 3)\n"
+    "  --bytes=N    cold-start: generated data size (default 8388608)\n"
+    "  --buffer-mb=F cold-start: TWCST03 buffer pool MiB (default 16)\n";
 
 /// One closed-loop run of `sequence` (indices into `wl`) against a
 /// service configured with `cache_entries`. Returns elapsed seconds;
@@ -134,7 +145,7 @@ int RunZipf(size_t count, size_t workers) {
   const auto snapshot = catalog.Current();
 
   // Ground truth: the direct estimator on the same snapshot.
-  core::TwigEstimator direct(&snapshot->summary);
+  core::TwigEstimator direct(snapshot->summary.get());
   std::vector<double> expected(wl.size());
   for (size_t i = 0; i < wl.size(); ++i) {
     expected[i] = direct.Estimate(wl[i].twig, core::Algorithm::kMsh);
@@ -258,7 +269,7 @@ int RunFaults(size_t count, size_t workers, double fault_rate,
   serve::SnapshotCatalog catalog;
   catalog.Publish(exp::BuildCstAtFraction(ds, 0.01), "dblp @ 1%");
   const auto snapshot = catalog.Current();
-  core::TwigEstimator direct(&snapshot->summary);
+  core::TwigEstimator direct(snapshot->summary.get());
   std::vector<double> expected(wl.size());
   for (size_t i = 0; i < wl.size(); ++i) {
     expected[i] = direct.Estimate(wl[i].twig, core::Algorithm::kMsh);
@@ -313,25 +324,135 @@ int RunFaults(size_t count, size_t workers, double fault_rate,
   return 0;
 }
 
+// ----------------------------------------------------------- cold start
+
+std::string TempPath(const char* name) {
+  const char* dir = std::getenv("TMPDIR");
+  return std::string(dir != nullptr ? dir : "/tmp") + "/" + name;
+}
+
+bool WriteFile(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out.flush();
+  return static_cast<bool>(out);
+}
+
+/// Time-to-first-answer from a serialized CST on disk: the whole-blob
+/// TWCST02 path (read the file, deserialize everything, answer) versus
+/// the paged TWCST03 path (mmap, pin the handful of pages one walk
+/// touches, answer). The paged path's advantage grows with store size
+/// — it does O(query) work where deserialization does O(store).
+int RunColdStart(size_t bytes, double buffer_mb) {
+  exp::Dataset ds = exp::MakeDataset(exp::DatasetKind::kDblp, bytes,
+                                     20010402);
+  workload::WorkloadOptions wopt;
+  wopt.num_queries = 8;
+  wopt.seed = 1789;
+  const workload::Workload wl = workload::GeneratePositive(ds.tree, wopt);
+
+  // Full (unpruned) summary: the store scales with the data, which is
+  // the regime where paging pays — deserialization is O(store), the
+  // paged first answer is O(pages one walk touches).
+  const cst::Cst memory = exp::BuildCstAtFraction(ds, 1.0);
+  const std::string blob02 = memory.Serialize();
+  auto blob03 = memory.SerializePaged();
+  if (!blob03.ok()) {
+    std::printf("FAILED: %s\n", blob03.status().ToString().c_str());
+    return 1;
+  }
+  const std::string path02 = TempPath("bench_serve_cold.twcst02");
+  const std::string path03 = TempPath("bench_serve_cold.twcst03");
+  if (!WriteFile(path02, blob02) || !WriteFile(path03, blob03.value())) {
+    std::printf("FAILED: cannot write stores under $TMPDIR\n");
+    return 1;
+  }
+  std::printf("== cold start: time to first answer (data %s, TWCST02 "
+              "%s, TWCST03 %s) ==\n",
+              HumanBytes(xml::XmlByteSize(ds.tree)).c_str(),
+              HumanBytes(blob02.size()).c_str(),
+              HumanBytes(blob03.value().size()).c_str());
+
+  const size_t pool_bytes =
+      static_cast<size_t>(buffer_mb * 1024.0 * 1024.0);
+  constexpr int kTrials = 5;
+  double parse_seconds = 1e30;
+  double paged_seconds = 1e30;
+  double parse_answer = 0;
+  double paged_answer = 0;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    {
+      const Clock::time_point start = Clock::now();
+      std::ifstream in(path02, std::ios::binary);
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      auto cst = cst::Cst::Deserialize(buffer.str());
+      if (!cst.ok()) {
+        std::printf("FAILED: %s\n", cst.status().ToString().c_str());
+        return 1;
+      }
+      const core::TwigEstimator estimator(&cst.value());
+      parse_answer = estimator.Estimate(wl[0].twig, core::Algorithm::kMsh);
+      parse_seconds = std::min(parse_seconds, SecondsSince(start));
+    }
+    {
+      const Clock::time_point start = Clock::now();
+      cst::PagedCstOptions popt;
+      popt.pool_bytes = pool_bytes;
+      auto paged = cst::PagedCst::OpenFile(path03, popt);
+      if (!paged.ok()) {
+        std::printf("FAILED: %s\n", paged.status().ToString().c_str());
+        return 1;
+      }
+      const core::TwigEstimator estimator(paged.value().get());
+      paged_answer = estimator.Estimate(wl[0].twig, core::Algorithm::kMsh);
+      paged_seconds = std::min(paged_seconds, SecondsSince(start));
+    }
+  }
+  std::remove(path02.c_str());
+  std::remove(path03.c_str());
+
+  std::printf("  TWCST02 parse: %9.3f ms to first answer\n",
+              1e3 * parse_seconds);
+  std::printf("  TWCST03 mmap:  %9.3f ms to first answer "
+              "(buffer %.1f MiB)\n",
+              1e3 * paged_seconds, buffer_mb);
+  std::printf("  speedup: %.1fx\n", parse_seconds / paged_seconds);
+  if (parse_answer != paged_answer) {
+    std::printf("  FAILED: paged answer %.17g != parsed %.17g\n",
+                paged_answer, parse_answer);
+    return 1;
+  }
+  std::printf("  answers bit-identical: %.6g\n", parse_answer);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool zipf = false;
+  bool cold_start = false;
   double faults = 0;
   size_t zipf_count = 20000;
   size_t zipf_workers = 2;
   size_t retries = 3;
+  size_t cold_bytes = 8 * 1024 * 1024;
+  double buffer_mb = 16;
   util::FlagParser flags("bench_serve", kUsage);
   flags.Bool("zipf", &zipf);
+  flags.Bool("cold-start", &cold_start);
   flags.Double("faults", &faults);
   flags.Size("count", &zipf_count);
   flags.Size("workers", &zipf_workers);
   flags.Size("retries", &retries);
+  flags.Size("bytes", &cold_bytes);
+  flags.Double("buffer-mb", &buffer_mb);
   if (int code = flags.Parse(argc, argv); code >= 0) return code;
   if (faults < 0 || faults > 1) {
     std::fprintf(stderr, "bench_serve: --faults must be in [0, 1]\n");
     return 2;
   }
+  if (cold_start) return RunColdStart(cold_bytes, buffer_mb);
   if (zipf) return RunZipf(zipf_count, std::max<size_t>(1, zipf_workers));
   if (faults > 0) {
     return RunFaults(zipf_count, std::max<size_t>(1, zipf_workers), faults,
@@ -351,7 +472,7 @@ int main(int argc, char** argv) {
   constexpr size_t kRounds = 10;  // passes over the workload per run
 
   // -- 1. Baseline: the estimator with no serving machinery around it.
-  core::TwigEstimator direct(&snapshot->summary);
+  core::TwigEstimator direct(snapshot->summary.get());
   obs::HistogramSnapshot direct_latency;
   Clock::time_point start = Clock::now();
   for (size_t round = 0; round < kRounds; ++round) {

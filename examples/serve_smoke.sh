@@ -249,4 +249,112 @@ while kill -0 "$SERVE_PID" 2>/dev/null; do
     sleep 0.1
 done
 wait "$SERVE_PID" 2>/dev/null || fail "fault server exited nonzero"
+
+# ---------------------------------------------------------------------------
+# Fourth run: paged storage. First an in-memory reference server for
+# ground truth; then a server that writes the same summary to a
+# TWCST03 store and serves it through a deliberately tiny buffer pool
+# (4 frames of 1 KiB), so answers must be bit-identical while the pool
+# demonstrably evicts. Then corrupt reads are injected over the wire:
+# estimates must fail as structured errors (never wrong answers) and
+# health must degrade with a storage reason, recovering on swap.
+rm -f "$PORT_FILE"
+LOG="$WORK/serve_memory_ref.log"
+"$SERVE" --port=0 --port-file="$PORT_FILE" --bytes=131072 --workers=2 \
+    --conns=4 --space=0.01 >"$LOG" 2>&1 &
+SERVE_PID=$!
+
+tries=0
+while [ ! -s "$PORT_FILE" ]; do
+    tries=$((tries + 1))
+    [ "$tries" -le 100 ] || fail "reference server did not start"
+    kill -0 "$SERVE_PID" 2>/dev/null || fail "reference server died during startup"
+    sleep 0.1
+done
+PORT=$(cat "$PORT_FILE")
+echo "serve_smoke: in-memory reference server on port $PORT"
+
+MEM_LINE=$("$CLIENT" --port="$PORT" --op=estimate \
+    --query='article(author, year)') || fail "reference estimate failed"
+MEM=$(printf '%s' "$MEM_LINE" | sed 's/.*"estimate":\([^,}]*\).*/\1/')
+[ -n "$MEM" ] || fail "could not extract reference estimate: $MEM_LINE"
+"$CLIENT" --port="$PORT" --op=shutdown || fail "reference shutdown failed"
+tries=0
+while kill -0 "$SERVE_PID" 2>/dev/null; do
+    tries=$((tries + 1))
+    [ "$tries" -le 100 ] || fail "reference server did not stop"
+    sleep 0.1
+done
+wait "$SERVE_PID" 2>/dev/null || fail "reference server exited nonzero"
+
+rm -f "$PORT_FILE"
+LOG="$WORK/serve_paged.log"
+STORE="$WORK/cst.twcst03"
+"$SERVE" --port=0 --port-file="$PORT_FILE" --bytes=131072 --workers=2 \
+    --conns=4 --space=0.01 --store-out="$STORE" --page-bytes=1024 \
+    --buffer-mb=0.004 >"$LOG" 2>&1 &
+SERVE_PID=$!
+
+tries=0
+while [ ! -s "$PORT_FILE" ]; do
+    tries=$((tries + 1))
+    [ "$tries" -le 100 ] || fail "paged server did not start"
+    kill -0 "$SERVE_PID" 2>/dev/null || fail "paged server died during startup"
+    sleep 0.1
+done
+PORT=$(cat "$PORT_FILE")
+echo "serve_smoke: paged server on port $PORT (store $STORE)"
+[ -s "$STORE" ] || fail "paged server wrote no store file"
+
+# Same generated data, same space budget, served through 1 KiB pages:
+# the estimate must reproduce the in-memory answer bit for bit.
+PAGED_LINE=$("$CLIENT" --port="$PORT" --op=estimate \
+    --query='article(author, year)') || fail "paged estimate failed"
+PAGED=$(printf '%s' "$PAGED_LINE" | sed 's/.*"estimate":\([^,}]*\).*/\1/')
+[ "$PAGED" = "$MEM" ] || fail "paged estimate $PAGED != in-memory $MEM"
+
+# The 4-frame pool cannot hold a walk's working set: the metrics must
+# show the clock actually evicting.
+METRICS=$("$CLIENT" --port="$PORT" --op=metrics) || fail "paged metrics failed"
+case "$METRICS" in
+  *'"storage_page_evictions":0'*) fail "paged serving never evicted: $METRICS" ;;
+  *storage_page_evictions*) : ;;
+  *) fail "metrics response lacks storage counters: $METRICS" ;;
+esac
+
+# Injected checksum corruption: estimates turn into structured errors
+# (degraded reads never silently skew an answer)...
+"$CLIENT" --port="$PORT" --op=failpoint --spec='storage/checksum=error' \
+    || fail "failpoint arm (storage/checksum) failed"
+"$CLIENT" --port="$PORT" --op=estimate --query='article(author, year)' \
+    >/dev/null 2>&1 \
+    && fail "estimate unexpectedly succeeded with storage/checksum armed"
+# ...and health degrades with the storage reason instead of crashing.
+HEALTH=$("$CLIENT" --port="$PORT" --op=health) || fail "health verb failed"
+case "$HEALTH" in
+  *'"state":"degraded"'*storage*) : ;;
+  *) fail "health is not storage-degraded under checksum faults: $HEALTH" ;;
+esac
+
+# Disarm; reads work again (failed pages were never cached), and a
+# swap — rebuild, rewrite the store, reopen — clears the degradation.
+"$CLIENT" --port="$PORT" --op=failpoint --spec='storage/checksum=off' \
+    || fail "failpoint disarm (storage/checksum) failed"
+"$CLIENT" --port="$PORT" --op=estimate --query='article(author, year)' \
+    || fail "estimate did not recover after disarm"
+"$CLIENT" --port="$PORT" --op=swap || fail "paged recovery swap failed"
+HEALTH=$("$CLIENT" --port="$PORT" --op=health) || fail "health verb failed"
+case "$HEALTH" in
+  *'"state":"ok"'*) : ;;
+  *) fail "paged health did not recover after swap: $HEALTH" ;;
+esac
+
+"$CLIENT" --port="$PORT" --op=shutdown || fail "paged shutdown op failed"
+tries=0
+while kill -0 "$SERVE_PID" 2>/dev/null; do
+    tries=$((tries + 1))
+    [ "$tries" -le 100 ] || fail "paged server did not stop after shutdown"
+    sleep 0.1
+done
+wait "$SERVE_PID" 2>/dev/null || fail "paged server exited nonzero"
 echo "serve_smoke: OK"

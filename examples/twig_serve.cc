@@ -6,6 +6,8 @@
 //   ./twig_serve                         # generated DBLP data, port 7411
 //   ./twig_serve --xml=file.xml          # serve your own document
 //   ./twig_serve --port=0 --port-file=p  # ephemeral port, written to ./p
+//   ./twig_serve --store=cst.twcst03 --buffer-mb=16
+//                                        # serve a paged store, no parse
 //
 // Stop it with {"op":"shutdown"} (e.g. via twig_client --op=shutdown).
 
@@ -17,10 +19,12 @@
 #include <utility>
 
 #include "cst/cst.h"
+#include "cst/paged_cst.h"
 #include "data/generators.h"
 #include "serve/service.h"
 #include "serve/snapshot.h"
 #include "serve/tcp.h"
+#include "storage/page.h"
 #include "suffix/path_suffix_tree.h"
 #include "tree/tree.h"
 #include "util/failpoint.h"
@@ -49,6 +53,10 @@ struct Options {
   size_t accuracy_sample = 256;
   std::string failpoints;
   size_t failpoint_seed = 0;
+  std::string store_path;
+  std::string store_out;
+  double buffer_mb = 16;
+  size_t page_bytes = storage::kDefaultPageBytes;
 };
 
 constexpr char kUsage[] =
@@ -79,7 +87,16 @@ constexpr char kUsage[] =
     "  --failpoints=LIST arm failpoints at startup, e.g.\n"
     "                   serve/estimate=error:0.1,tcp/write=error:0.05\n"
     "                   (also settable at runtime via the failpoint verb)\n"
-    "  --failpoint-seed=N seed probabilistic failpoint draws; 0 = default\n";
+    "  --failpoint-seed=N seed probabilistic failpoint draws; 0 = default\n"
+    "  --store=FILE     serve a paged TWCST03 store (mmap, no document\n"
+    "                   parse; excludes --xml; swap re-opens the store)\n"
+    "  --store-out=FILE summarize the document, write the CST to FILE as\n"
+    "                   TWCST03, and serve the paged store; swap rebuilds\n"
+    "                   and rewrites it\n"
+    "  --buffer-mb=F    storage buffer pool size in MiB for paged serving\n"
+    "                   (default 16; fractional values allowed)\n"
+    "  --page-bytes=N   TWCST03 page size for --store-out (default "
+    "65536)\n";
 
 tree::Tree LoadOrGenerate(const Options& options) {
   if (!options.xml_path.empty()) {
@@ -114,6 +131,38 @@ cst::Cst BuildSummary(const tree::Tree& data,
   return cst::Cst::Build(data, pst, copt);
 }
 
+Status WriteStoreFile(const std::string& path, const std::string& blob) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::Internal("cannot open " + path + " for writing");
+  }
+  out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+  out.flush();
+  if (!out) return Status::Internal("short write to " + path);
+  return Status::OK();
+}
+
+/// Builds a CST at `space`, writes it to `path` as TWCST03, and opens
+/// a paged reader over the freshly written file. The swap op runs this
+/// end to end so the on-disk store always matches what is served.
+Result<std::shared_ptr<const cst::CstView>> RebuildStore(
+    const tree::Tree& data, const suffix::PathSuffixTree& pst,
+    size_t xml_bytes, double space, const std::string& path,
+    size_t page_bytes, size_t pool_bytes) {
+  const cst::Cst summary = BuildSummary(data, pst, xml_bytes, space);
+  Result<std::string> blob = summary.SerializePaged(page_bytes);
+  if (!blob.ok()) return blob.status();
+  if (Status written = WriteStoreFile(path, blob.value()); !written.ok()) {
+    return written;
+  }
+  cst::PagedCstOptions popt;
+  popt.pool_bytes = pool_bytes;
+  Result<std::shared_ptr<cst::PagedCst>> opened =
+      cst::PagedCst::OpenFile(path, popt);
+  if (!opened.ok()) return opened.status();
+  return std::shared_ptr<const cst::CstView>(std::move(opened).value());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -135,6 +184,10 @@ int main(int argc, char** argv) {
   flags.Size("accuracy-sample", &options.accuracy_sample);
   flags.String("failpoints", &options.failpoints);
   flags.Size("failpoint-seed", &options.failpoint_seed);
+  flags.String("store", &options.store_path);
+  flags.String("store-out", &options.store_out);
+  flags.Double("buffer-mb", &options.buffer_mb);
+  flags.Size("page-bytes", &options.page_bytes);
   // Underscore spellings, for callers used to other tools' convention.
   flags.Size("cache_entries", &options.cache_entries);
   flags.Size("cache_shards", &options.cache_shards);
@@ -146,6 +199,23 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "twig_serve: --port must fit a TCP port, --bytes and "
                  "--space must be > 0\n");
+    return 2;
+  }
+  if (!options.store_path.empty() &&
+      (!options.xml_path.empty() || !options.store_out.empty())) {
+    std::fprintf(stderr,
+                 "twig_serve: --store excludes --xml and --store-out "
+                 "(the store already is the summary)\n");
+    return 2;
+  }
+  if (options.buffer_mb <= 0 ||
+      !storage::ValidPageSize(
+          static_cast<uint32_t>(options.page_bytes))) {
+    std::fprintf(stderr,
+                 "twig_serve: --buffer-mb must be > 0 and --page-bytes a "
+                 "power of two in [%zu, %zu]\n",
+                 static_cast<size_t>(storage::kMinPageBytes),
+                 static_cast<size_t>(storage::kMaxPageBytes));
     return 2;
   }
   if (options.failpoint_seed != 0) {
@@ -161,21 +231,90 @@ int main(int argc, char** argv) {
     }
   }
 
-  // The data tree and its path suffix tree stay resident so the swap op
-  // can rebuild CSTs at other space fractions without re-parsing; the
-  // tree is shared into each snapshot for the accuracy sampler.
-  const auto data =
-      std::make_shared<const tree::Tree>(LoadOrGenerate(options));
-  const size_t xml_bytes = xml::XmlByteSize(*data);
-  const auto pst = suffix::PathSuffixTree::Build(*data);
+  const size_t pool_bytes =
+      static_cast<size_t>(options.buffer_mb * 1024.0 * 1024.0);
 
   serve::SnapshotCatalog catalog;
-  const std::string source = options.xml_path.empty()
-                                 ? "generated dblp"
-                                 : options.xml_path;
-  catalog.Publish(BuildSummary(*data, pst, xml_bytes, options.space),
-                  source + " @ " + std::to_string(options.space),
-                  /*build_seconds=*/0, data);
+  serve::TcpOptions topt;
+  topt.port = static_cast<uint16_t>(options.port);
+  topt.num_connection_threads = options.conns;
+
+  // Three serving modes: a paged TWCST03 store (--store, no document
+  // parse at all), a document summarized to a store and served paged
+  // (--store-out), or the classic fully in-memory path.
+  std::shared_ptr<const tree::Tree> data;
+  size_t xml_bytes = 0;
+  std::string source;
+  if (!options.store_path.empty()) {
+    source = options.store_path;
+    cst::PagedCstOptions popt;
+    popt.pool_bytes = pool_bytes;
+    auto opened = cst::PagedCst::OpenFile(options.store_path, popt);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "twig_serve: --store: %s\n",
+                   opened.status().ToString().c_str());
+      return 1;
+    }
+    catalog.Publish(
+        std::shared_ptr<const cst::CstView>(std::move(opened).value()),
+        source + " (paged)");
+    // Swap re-opens the store from disk. A store swapped out from
+    // under the server — or unreadable, or corrupt — fails the reopen,
+    // and the open error (errno text included) reaches the health verb
+    // through the catalog's rebuild listener.
+    topt.rebuild_view = [path = options.store_path,
+                         pool_bytes](double /*space*/)
+        -> Result<std::shared_ptr<const cst::CstView>> {
+      cst::PagedCstOptions reopen;
+      reopen.pool_bytes = pool_bytes;
+      auto paged = cst::PagedCst::OpenFile(path, reopen);
+      if (!paged.ok()) return paged.status();
+      return std::shared_ptr<const cst::CstView>(std::move(paged).value());
+    };
+  } else {
+    // The data tree and its path suffix tree stay resident so the swap
+    // op can rebuild CSTs at other space fractions without re-parsing;
+    // the tree is shared into each snapshot for the accuracy sampler.
+    data = std::make_shared<const tree::Tree>(LoadOrGenerate(options));
+    xml_bytes = xml::XmlByteSize(*data);
+    const auto pst = std::make_shared<const suffix::PathSuffixTree>(
+        suffix::PathSuffixTree::Build(*data));
+    source = options.xml_path.empty() ? "generated dblp"
+                                      : options.xml_path;
+    topt.rebuild_data = data;
+    if (!options.store_out.empty()) {
+      auto view = RebuildStore(*data, *pst, xml_bytes, options.space,
+                               options.store_out, options.page_bytes,
+                               pool_bytes);
+      if (!view.ok()) {
+        std::fprintf(stderr, "twig_serve: --store-out: %s\n",
+                     view.status().ToString().c_str());
+        return 1;
+      }
+      catalog.Publish(std::move(view).value(),
+                      source + " -> " + options.store_out + " @ " +
+                          std::to_string(options.space),
+                      /*build_seconds=*/0, data);
+      topt.rebuild_view = [data, pst, xml_bytes,
+                           default_space = options.space,
+                           path = options.store_out,
+                           page_bytes = options.page_bytes,
+                           pool_bytes](double space) {
+        return RebuildStore(*data, *pst, xml_bytes,
+                            space > 0 ? space : default_space, path,
+                            page_bytes, pool_bytes);
+      };
+    } else {
+      catalog.Publish(BuildSummary(*data, *pst, xml_bytes, options.space),
+                      source + " @ " + std::to_string(options.space),
+                      /*build_seconds=*/0, data);
+      topt.rebuild = [data, pst, xml_bytes,
+                      default_space = options.space](double space) {
+        return Result<cst::Cst>(BuildSummary(
+            *data, *pst, xml_bytes, space > 0 ? space : default_space));
+      };
+    }
+  }
 
   serve::ServiceOptions sopt;
   sopt.num_workers = options.workers;
@@ -189,15 +328,6 @@ int main(int argc, char** argv) {
       static_cast<uint32_t>(options.accuracy_sample);
   serve::EstimateService service(&catalog, sopt);
 
-  serve::TcpOptions topt;
-  topt.port = static_cast<uint16_t>(options.port);
-  topt.num_connection_threads = options.conns;
-  topt.rebuild = [data, &pst, xml_bytes,
-                  default_space = options.space](double space) {
-    return Result<cst::Cst>(BuildSummary(
-        *data, pst, xml_bytes, space > 0 ? space : default_space));
-  };
-  topt.rebuild_data = data;
   serve::TcpFrontEnd front_end(&catalog, &service, topt);
   if (Status status = front_end.Start(); !status.ok()) {
     std::fprintf(stderr, "twig_serve: %s\n", status.ToString().c_str());
@@ -214,11 +344,20 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
-  std::printf("twig_serve: %s | data %zu nodes, %s | snapshot v%llu | "
-              "listening on 127.0.0.1:%u\n",
-              source.c_str(), data->size(), HumanBytes(xml_bytes).c_str(),
-              static_cast<unsigned long long>(catalog.version()),
-              front_end.port());
+  if (data != nullptr) {
+    std::printf("twig_serve: %s | data %zu nodes, %s | snapshot v%llu | "
+                "listening on 127.0.0.1:%u\n",
+                source.c_str(), data->size(),
+                HumanBytes(xml_bytes).c_str(),
+                static_cast<unsigned long long>(catalog.version()),
+                front_end.port());
+  } else {
+    std::printf("twig_serve: %s | paged store, buffer %.3f MiB | "
+                "snapshot v%llu | listening on 127.0.0.1:%u\n",
+                source.c_str(), options.buffer_mb,
+                static_cast<unsigned long long>(catalog.version()),
+                front_end.port());
+  }
   std::fflush(stdout);
 
   front_end.WaitForShutdown();

@@ -8,12 +8,12 @@
 
 namespace twig::core {
 
-double ResolveMissingCount(const cst::Cst& cst, double requested) {
+double ResolveMissingCount(const cst::CstView& cst, double requested) {
   if (requested > 0) return requested;
   return std::max(0.5, 0.5 * static_cast<double>(cst.prune_threshold()));
 }
 
-Combiner::Combiner(const ExpandedQuery& eq, const cst::Cst& cst,
+Combiner::Combiner(const ExpandedQuery& eq, const cst::CstView& cst,
                    const CombineOptions& options)
     : eq_(eq), cst_(cst), options_(options) {
   n_ = std::max<double>(1.0, static_cast<double>(cst.data_node_count()));
@@ -40,7 +40,7 @@ cst::CstNodeId Combiner::LookupAtoms(const AtomSeq& seq) const {
   cst::CstNodeId node = cst_.root();
   for (AtomId a : seq) {
     const suffix::Symbol symbol = eq_.atoms[a].symbol;
-    if (symbol != cst::Cst::kUnknownSymbol) {
+    if (symbol != cst::CstView::kUnknownSymbol) {
       node = cst_.Step(node, symbol);
     } else {
       node = cst::kNoCstNode;
@@ -224,8 +224,13 @@ double Combiner::SubpathsCount(const SubpathList& subpaths) const {
     return cp * g.presence_factor;
   }
 
-  // Intersect the groups' rooting sets via set hashing.
+  // Intersect the groups' rooting sets via set hashing. A paged
+  // summary copies each signature into caller-provided scratch (the
+  // backing page may be evicted before EstimateIntersectionSize runs),
+  // so `sized` points into `sig_scratch`, one stable slot per group.
   util::SmallVector<sethash::SizedSignature, 4> sized;
+  std::vector<sethash::Signature> sig_scratch(groups.size());
+  size_t group_index = 0;
   double fallback_min = -1.0;
   SubpathList representatives;
   util::SmallVector<double, 4> multiplicities;
@@ -240,9 +245,12 @@ double Combiner::SubpathsCount(const SubpathList& subpaths) const {
     if (cp <= 0) return 0.0;
     // Aggregated prefixes have no single rooting-set signature; they
     // join the signature-less fallback path (min of presences).
-    const sethash::Signature* sig = group.lookup.agg_nodes == 1
-                                        ? cst_.GetSignature(group.lookup.node)
-                                        : nullptr;
+    const sethash::Signature* sig =
+        group.lookup.agg_nodes == 1
+            ? cst_.GetSignature(group.lookup.node,
+                                &sig_scratch[group_index])
+            : nullptr;
+    ++group_index;
     if (sig == nullptr) {
       fallback_min = fallback_min < 0 ? cp : std::min(fallback_min, cp);
     } else {

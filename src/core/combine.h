@@ -56,7 +56,7 @@ struct CombineOptions {
 
 /// The fallback count actually charged for `requested` missing_count
 /// (<= 0 selects the automatic half-threshold default).
-double ResolveMissingCount(const cst::Cst& cst, double requested);
+double ResolveMissingCount(const cst::CstView& cst, double requested);
 
 /// One subpath resolved against the CST — possibly by aggregating over
 /// a frontier of CST nodes (wildcard / descendant expansion).
@@ -82,7 +82,7 @@ inline constexpr size_t kMinSignatureSupport = 2;
 /// Estimates counts of pieces and combines them into query estimates.
 class Combiner {
  public:
-  Combiner(const ExpandedQuery& eq, const cst::Cst& cst,
+  Combiner(const ExpandedQuery& eq, const cst::CstView& cst,
            const CombineOptions& options);
 
   /// Flushes the query's CST-lookup / fallback tallies to the global
@@ -158,7 +158,7 @@ class Combiner {
                     double count_used) const;
 
   const ExpandedQuery& eq_;
-  const cst::Cst& cst_;
+  const cst::CstView& cst_;
   CombineOptions options_;
   double n_;  // data node count (the paper's normalizer)
   /// First frontier-budget failure, if any (see status()).

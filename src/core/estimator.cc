@@ -43,7 +43,7 @@ namespace {
 /// Builds the decomposition an algorithm feeds to the combiner.
 /// (Not meaningful for Leaf, which has its own per-leaf procedure.)
 std::vector<EstimandPiece> Decompose(const ExpandedQuery& eq,
-                                     const cst::Cst& cst,
+                                     const cst::CstView& cst,
                                      Algorithm algorithm) {
   switch (algorithm) {
     case Algorithm::kGreedy:

@@ -91,7 +91,7 @@ struct BatchOptions {
 class TwigEstimator {
  public:
   /// `summary` must outlive the estimator.
-  explicit TwigEstimator(const cst::Cst* summary) : cst_(summary) {}
+  explicit TwigEstimator(const cst::CstView* summary) : cst_(summary) {}
 
   /// Estimation with the full error contract: every twig either
   /// produces an estimate or a structured error — never a silent zero.
@@ -133,12 +133,12 @@ class TwigEstimator {
   uint64_t DecompositionFingerprint(const query::Twig& twig,
                                     Algorithm algorithm) const;
 
-  const cst::Cst& summary() const { return *cst_; }
+  const cst::CstView& summary() const { return *cst_; }
 
  private:
   double EstimateLeaf(const ExpandedQuery& eq, const Combiner& combiner) const;
 
-  const cst::Cst* cst_;
+  const cst::CstView* cst_;
 };
 
 }  // namespace twig::core

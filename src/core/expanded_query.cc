@@ -7,7 +7,7 @@ namespace twig::core {
 using query::Twig;
 using query::TwigNodeId;
 
-ExpandedQuery ExpandQuery(const Twig& twig, const cst::Cst& cst) {
+ExpandedQuery ExpandQuery(const Twig& twig, const cst::CstView& cst) {
   ExpandedQuery eq;
   if (twig.empty()) return eq;
 
@@ -41,7 +41,7 @@ ExpandedQuery ExpandQuery(const Twig& twig, const cst::Cst& cst) {
     // walker instead of reporting a spurious miss.
     const bool wildcard = twig.IsWildcard(n);
     AtomId atom = add_atom(
-        wildcard ? cst::Cst::kUnknownSymbol : cst.TagSymbolFor(twig.Tag(n)),
+        wildcard ? cst::CstView::kUnknownSymbol : cst.TagSymbolFor(twig.Tag(n)),
         parent, /*is_tag=*/true);
     eq.atoms[atom].wildcard = wildcard;
     eq.atoms[atom].edge = twig.EdgeFromParent(n);
@@ -78,7 +78,7 @@ void AppendAtomSymbol(const ExpandedQuery& eq, const tree::LabelTable& labels,
   const suffix::Symbol s = eq.atoms[a].symbol;
   if (eq.atoms[a].wildcard) {
     out.push_back('*');
-  } else if (s == cst::Cst::kUnknownSymbol) {
+  } else if (s == cst::CstView::kUnknownSymbol) {
     out.push_back('?');
   } else if (suffix::IsTagSymbol(s)) {
     out += labels.Name(suffix::SymbolLabel(s));
@@ -120,18 +120,22 @@ bool NeedsFrontier(const ExpandedQuery& eq, const AtomId* atoms,
   return false;
 }
 
-FrontierMatch ResolveAtomFrontier(const ExpandedQuery& eq, const cst::Cst& cst,
+FrontierMatch ResolveAtomFrontier(const ExpandedQuery& eq, const cst::CstView& cst,
                                   const AtomId* atoms, size_t count) {
   FrontierMatch out;
   out.nodes.push_back(cst.root());
   size_t visits = 0;
   std::vector<cst::CstNodeId> next;
   std::vector<cst::CstNodeId> dfs;
+  // Child edges are copied out per node (a paged CST's backing page may
+  // be evicted between steps); one buffer reused across the whole walk
+  // keeps the copy allocation-free in steady state.
+  std::vector<suffix::ChildIndex::Entry> children;
   for (size_t i = 0; i < count; ++i) {
     const ExpandedQuery::Atom& atom = eq.atoms[atoms[i]];
     const bool descend =
         i > 0 && atom.edge == query::EdgeKind::kDescendant;
-    if (!atom.wildcard && atom.symbol == cst::Cst::kUnknownSymbol) {
+    if (!atom.wildcard && atom.symbol == cst::CstView::kUnknownSymbol) {
       // Tag absent from the data: nothing can match past this point;
       // `nodes` stays the frontier of the matched prefix.
       return out;
@@ -144,7 +148,8 @@ FrontierMatch ResolveAtomFrontier(const ExpandedQuery& eq, const cst::Cst& cst,
           const cst::CstNodeId to = cst.Step(from, atom.symbol);
           if (to != cst::kNoCstNode) next.push_back(to);
         } else {
-          for (const auto& edge : cst.ChildrenOf(from)) {
+          cst.CopyChildren(from, &children);
+          for (const auto& edge : children) {
             ++visits;
             if (suffix::IsTagSymbol(edge.symbol)) next.push_back(edge.child);
           }
@@ -158,7 +163,8 @@ FrontierMatch ResolveAtomFrontier(const ExpandedQuery& eq, const cst::Cst& cst,
         while (!dfs.empty() && !out.truncated) {
           const cst::CstNodeId at = dfs.back();
           dfs.pop_back();
-          for (const auto& edge : cst.ChildrenOf(at)) {
+          cst.CopyChildren(at, &children);
+          for (const auto& edge : children) {
             if (!suffix::IsTagSymbol(edge.symbol)) continue;
             if (++visits > kMaxFrontierVisits) {
               out.truncated = true;

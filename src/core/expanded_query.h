@@ -74,7 +74,7 @@ struct ExpandedQuery {
 
 /// Expands `twig` against `cst` (which supplies the tag-symbol mapping
 /// and the value-character cap).
-ExpandedQuery ExpandQuery(const query::Twig& twig, const cst::Cst& cst);
+ExpandedQuery ExpandQuery(const query::Twig& twig, const cst::CstView& cst);
 
 /// True if resolving the contiguous atom sequence needs frontier
 /// aggregation: any wildcard atom, or a descendant edge at a
@@ -106,7 +106,7 @@ struct FrontierMatch {
 /// children. The first atom's edge is ignored (subpaths start
 /// anywhere); a leading atom with Cst::kUnknownSymbol and no wildcard
 /// flag yields an empty frontier.
-FrontierMatch ResolveAtomFrontier(const ExpandedQuery& eq, const cst::Cst& cst,
+FrontierMatch ResolveAtomFrontier(const ExpandedQuery& eq, const cst::CstView& cst,
                                   const AtomId* atoms, size_t count);
 
 /// Renders an atom sequence for diagnostics and explain traces, in the

@@ -8,7 +8,7 @@ namespace twig::core {
 
 namespace {
 
-using cst::Cst;
+using Cst = cst::CstView;
 
 /// Longest CST match for path atoms [s, hi) of path `path_index`.
 /// Intervals containing wildcards or interior descendant edges go

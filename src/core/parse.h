@@ -54,12 +54,12 @@ enum class ParseStrategy {
 /// Parses the interval [lo, hi) of path `path_index` with the MO
 /// (maximal-overlap) strategy.
 std::vector<ParsedPiece> MaximalParseInterval(const ExpandedQuery& eq,
-                                              const cst::Cst& cst,
+                                              const cst::CstView& cst,
                                               int path_index, int lo, int hi);
 
 /// Parses the interval [lo, hi) with the greedy strategy.
 std::vector<ParsedPiece> GreedyParseInterval(const ExpandedQuery& eq,
-                                             const cst::Cst& cst,
+                                             const cst::CstView& cst,
                                              int path_index, int lo, int hi);
 
 /// Parses every root-to-leaf path of the query with `strategy` and
@@ -67,7 +67,7 @@ std::vector<ParsedPiece> GreedyParseInterval(const ExpandedQuery& eq,
 /// produce identical pieces only once; distinct query regions with
 /// equal symbols remain distinct).
 std::vector<ParsedPiece> ParseQuery(const ExpandedQuery& eq,
-                                    const cst::Cst& cst,
+                                    const cst::CstView& cst,
                                     ParseStrategy strategy);
 
 }  // namespace twig::core

@@ -30,28 +30,6 @@ Cst::Match Cst::LongestMatch(std::span<const Symbol> symbols,
   return match;
 }
 
-std::string Cst::DescribeSubpath(CstNodeId node) const {
-  // Collect symbols root-to-node.
-  std::vector<Symbol> symbols(Depth(node));
-  for (CstNodeId n = node; n != root(); n = Parent(n)) {
-    symbols[Depth(n) - 1] = GetSymbol(n);
-  }
-  std::string out;
-  bool prev_was_char = false;
-  for (Symbol s : symbols) {
-    if (IsTagSymbol(s)) {
-      if (!out.empty()) out.push_back('.');
-      out += labels_.Name(suffix::SymbolLabel(s));
-      prev_was_char = false;
-    } else {
-      if (!prev_was_char && !out.empty()) out.push_back('.');
-      out.push_back(suffix::SymbolChar(s));
-      prev_was_char = true;
-    }
-  }
-  return out;
-}
-
 uint32_t Cst::ThresholdForBudget(const PathSuffixTree& pst,
                                  const CstOptions& options) {
   const size_t sig_bytes =
@@ -199,6 +177,57 @@ void Cst::AccumulateCounts(const Tree& data,
     element_hashes = family.HashAll(n);
     walk(walk, n, c0, n);
   }
+}
+
+Result<Cst> Cst::Materialize(const CstView& view) {
+  const uint64_t errors_before = view.storage_error_count();
+  Cst out;
+  const size_t node_count = view.node_count();
+  out.nodes_.resize(node_count);
+  out.signatures_.reserve(view.signature_count());
+  std::vector<uint32_t> offsets(node_count + 1, 0);
+  std::vector<suffix::ChildIndex::Entry> entries;
+  entries.reserve(node_count > 0 ? node_count - 1 : 0);
+  std::vector<suffix::ChildIndex::Entry> children;
+  sethash::Signature scratch;
+  for (CstNodeId node = 0; node < node_count; ++node) {
+    Node& n = out.nodes_[node];
+    n.symbol = view.GetSymbol(node);
+    n.parent = view.Parent(node);
+    n.depth = view.Depth(node);
+    n.starts_with_tag = view.StartsWithTag(node);
+    n.cp = view.PresenceCount(node);
+    n.co = view.OccurrenceCount(node);
+    const sethash::Signature* signature = view.GetSignature(node, &scratch);
+    if (signature != nullptr) {
+      n.signature_index = static_cast<uint32_t>(out.signatures_.size());
+      out.signatures_.push_back(*signature);
+    }
+    offsets[node] = static_cast<uint32_t>(entries.size());
+    view.CopyChildren(node, &children);
+    entries.insert(entries.end(), children.begin(), children.end());
+  }
+  offsets[node_count] = static_cast<uint32_t>(entries.size());
+  // A degraded source yields misses, not garbage — but a Cst built
+  // from misses would silently answer wrong. Refuse it.
+  if (view.storage_error_count() != errors_before) {
+    const Status health = view.storage_health();
+    return health.ok() ? Status::Corruption("summary storage degraded "
+                                            "during materialization")
+                       : health;
+  }
+  if (!suffix::ChildIndex::FromParts(node_count, std::move(offsets),
+                                     std::move(entries),
+                                     &out.child_index_)) {
+    return Status::Corruption("view's child index is not well-formed");
+  }
+  out.labels_ = view.labels();
+  out.data_node_count_ = view.data_node_count();
+  out.prune_threshold_ = view.prune_threshold();
+  out.size_bytes_ = view.size_bytes();
+  out.signature_length_ = view.signature_length();
+  out.max_value_chars_ = view.max_value_chars();
+  return out;
 }
 
 }  // namespace twig::cst

@@ -30,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "cst/view.h"
 #include "sethash/sethash.h"
 #include "suffix/child_index.h"
 #include "suffix/path_suffix_tree.h"
@@ -38,11 +39,6 @@
 #include "util/status.h"
 
 namespace twig::cst {
-
-/// Index of a node in the CST. Node 0 is the root (empty subpath).
-using CstNodeId = uint32_t;
-
-inline constexpr CstNodeId kNoCstNode = 0xffffffffu;
 
 /// Options for CST construction.
 struct CstOptions {
@@ -68,93 +64,88 @@ struct CstOptions {
   size_t max_value_chars = 8;
 };
 
-/// The CST summary structure. Self-contained: keeps its own copy of the
-/// label table so estimation never touches the data tree.
-class Cst {
+/// The CST summary structure, fully materialized in memory.
+/// Self-contained: keeps its own copy of the label table so estimation
+/// never touches the data tree. Implements the CstView lookup surface
+/// (cst/view.h); `final` so calls through a concrete Cst devirtualize.
+class Cst final : public CstView {
  public:
   /// Builds a CST over `data` from its (stage-one) path suffix tree.
   static Cst Build(const tree::Tree& data, const suffix::PathSuffixTree& pst,
                    const CstOptions& options = {});
 
-  // -- Navigation --------------------------------------------------------
-
-  CstNodeId root() const { return 0; }
+  // -- Navigation (CstView) ----------------------------------------------
 
   /// Child of `node` along `symbol`, or kNoCstNode. Out-of-range
   /// symbols (> suffix::kMaxSymbol, including kUnknownSymbol) never
   /// match: the flat index stores full-width symbols, so no sentinel
   /// can alias another (node, symbol) entry.
-  CstNodeId Step(CstNodeId node, suffix::Symbol symbol) const {
+  CstNodeId Step(CstNodeId node, suffix::Symbol symbol) const override {
     if (symbol > suffix::kMaxSymbol) return kNoCstNode;
     return child_index_.Find(node, symbol);
   }
 
-  /// Deepest CST node matching a prefix of symbols[start..), plus the
-  /// number of symbols matched (0 means symbols[start] has no CST node).
-  struct Match {
-    CstNodeId node = kNoCstNode;
-    size_t length = 0;
-  };
   Match LongestMatch(std::span<const suffix::Symbol> symbols,
-                     size_t start) const;
+                     size_t start) const override;
 
-  /// All child edges of `node`, sorted by symbol. Used by the
-  /// estimator's wildcard / descendant frontier expansion, which fans
-  /// out over every tag child instead of stepping along one symbol.
+  /// All child edges of `node`, sorted by symbol, as a zero-copy span
+  /// into the flat index (valid for the Cst's lifetime). Generic
+  /// callers go through CopyChildren instead.
   std::span<const suffix::ChildIndex::Entry> ChildrenOf(CstNodeId node) const {
     return child_index_.Children(node);
   }
 
-  // -- Per-node statistics ------------------------------------------------
+  size_t CopyChildren(CstNodeId node,
+                      std::vector<suffix::ChildIndex::Entry>* out)
+      const override {
+    const auto children = child_index_.Children(node);
+    out->assign(children.begin(), children.end());
+    return out->size();
+  }
 
-  /// Presence count C_p of the node's subpath.
-  double PresenceCount(CstNodeId node) const { return nodes_[node].cp; }
+  // -- Per-node statistics (CstView) --------------------------------------
 
-  /// Occurrence count C_o of the node's subpath.
-  double OccurrenceCount(CstNodeId node) const { return nodes_[node].co; }
+  double PresenceCount(CstNodeId node) const override {
+    return nodes_[node].cp;
+  }
 
-  /// True if the node's subpath begins with a tag (rooted at a non-leaf
-  /// data node); exactly these nodes carry signatures.
-  bool StartsWithTag(CstNodeId node) const {
+  double OccurrenceCount(CstNodeId node) const override {
+    return nodes_[node].co;
+  }
+
+  bool StartsWithTag(CstNodeId node) const override {
     return nodes_[node].starts_with_tag;
   }
 
   /// Set-hash signature of the node's rooting set, or nullptr for
-  /// character-only subpaths.
+  /// character-only subpaths. The in-memory pool is stable, so the
+  /// scratch overload ignores its scratch argument.
   const sethash::Signature* GetSignature(CstNodeId node) const {
     const uint32_t idx = nodes_[node].signature_index;
     return idx == 0xffffffffu ? nullptr : &signatures_[idx];
   }
-
-  uint32_t Depth(CstNodeId node) const { return nodes_[node].depth; }
-  suffix::Symbol GetSymbol(CstNodeId node) const { return nodes_[node].symbol; }
-  CstNodeId Parent(CstNodeId node) const { return nodes_[node].parent; }
-
-  /// Renders the node's full subpath for diagnostics and explain
-  /// traces: symbols root-to-node, tags dot-separated, consecutive
-  /// value characters run together ("book.author.Su"). The root
-  /// (empty subpath) renders as "".
-  std::string DescribeSubpath(CstNodeId node) const;
-
-  // -- Global statistics ---------------------------------------------------
-
-  /// Number of nodes in the data tree (the paper's normalizer for
-  /// Pr(subpath) = C(subpath) / N).
-  uint64_t data_node_count() const { return data_node_count_; }
-
-  /// The prune threshold actually applied (pt >= threshold retained).
-  uint32_t prune_threshold() const { return prune_threshold_; }
-
-  /// Retained size under the options' cost model.
-  size_t size_bytes() const { return size_bytes_; }
-
-  size_t node_count() const { return nodes_.size(); }
-  size_t signature_count() const { return signatures_.size(); }
-  size_t signature_length() const { return signature_length_; }
-  size_t max_value_chars() const { return max_value_chars_; }
-  size_t signature_bytes() const {
-    return signature_count() * signature_length_ * sizeof(uint32_t);
+  const sethash::Signature* GetSignature(
+      CstNodeId node, sethash::Signature* /*scratch*/) const override {
+    return GetSignature(node);
   }
+
+  uint32_t Depth(CstNodeId node) const override { return nodes_[node].depth; }
+  suffix::Symbol GetSymbol(CstNodeId node) const override {
+    return nodes_[node].symbol;
+  }
+  CstNodeId Parent(CstNodeId node) const override {
+    return nodes_[node].parent;
+  }
+
+  // -- Global statistics (CstView) -----------------------------------------
+
+  uint64_t data_node_count() const override { return data_node_count_; }
+  uint32_t prune_threshold() const override { return prune_threshold_; }
+  size_t size_bytes() const override { return size_bytes_; }
+  size_t node_count() const override { return nodes_.size(); }
+  size_t signature_count() const override { return signatures_.size(); }
+  size_t signature_length() const override { return signature_length_; }
+  size_t max_value_chars() const override { return max_value_chars_; }
 
   // -- Serialization --------------------------------------------------------
 
@@ -167,19 +158,25 @@ class Cst {
   /// malformed input.
   static Result<Cst> Deserialize(std::string_view blob);
 
+  /// Serializes the CST in the paged TWCST03 format (cst/paged_cst.h):
+  /// fixed-size self-checksummed pages that cst::PagedCst reads back
+  /// on demand through a storage::BufferManager. InvalidArgument when
+  /// `page_size` is not a power of two in storage's supported range or
+  /// is too small to hold one record (a signature of the default
+  /// length needs >= 512-byte pages).
+  Result<std::string> SerializePaged(size_t page_size) const;
+  Result<std::string> SerializePaged() const;  // storage::kDefaultPageBytes
+
+  /// Rebuilds a fully in-memory Cst from any CstView (e.g. a paged
+  /// TWCST03 reader), by walking every node. The result answers every
+  /// CstView query identically to `view`. Returns the view's storage
+  /// error if a degraded read is detected mid-walk — a half-copied
+  /// summary is never returned.
+  static Result<Cst> Materialize(const CstView& view);
+
   // -- Label mapping --------------------------------------------------------
 
-  /// Symbol for a query tag name, or suffix::kMaxSymbol+1 sentinel if the
-  /// tag never occurs in the data (no CST node can match it).
-  suffix::Symbol TagSymbolFor(std::string_view tag) const {
-    tree::LabelId id = labels_.Find(tag);
-    return id == tree::kInvalidLabel ? kUnknownSymbol : suffix::TagSymbol(id);
-  }
-
-  /// A symbol value that is guaranteed to match no CST child.
-  static constexpr suffix::Symbol kUnknownSymbol = 0xffffffffu;
-
-  const tree::LabelTable& labels() const { return labels_; }
+  const tree::LabelTable& labels() const override { return labels_; }
 
  private:
   struct Node {

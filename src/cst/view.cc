@@ -1,0 +1,41 @@
+#include "cst/view.h"
+
+namespace twig::cst {
+
+CstView::Match CstView::LongestMatch(std::span<const suffix::Symbol> symbols,
+                                     size_t start) const {
+  Match match;
+  CstNodeId node = root();
+  for (size_t i = start; i < symbols.size(); ++i) {
+    CstNodeId next = Step(node, symbols[i]);
+    if (next == kNoCstNode) break;
+    node = next;
+    match.node = node;
+    match.length = i - start + 1;
+  }
+  return match;
+}
+
+std::string CstView::DescribeSubpath(CstNodeId node) const {
+  // Collect symbols root-to-node.
+  std::vector<suffix::Symbol> symbols(Depth(node));
+  for (CstNodeId n = node; n != root(); n = Parent(n)) {
+    symbols[Depth(n) - 1] = GetSymbol(n);
+  }
+  std::string out;
+  bool prev_was_char = false;
+  for (suffix::Symbol s : symbols) {
+    if (suffix::IsTagSymbol(s)) {
+      if (!out.empty()) out.push_back('.');
+      out += labels().Name(suffix::SymbolLabel(s));
+      prev_was_char = false;
+    } else {
+      if (!prev_was_char && !out.empty()) out.push_back('.');
+      out.push_back(suffix::SymbolChar(s));
+      prev_was_char = true;
+    }
+  }
+  return out;
+}
+
+}  // namespace twig::cst

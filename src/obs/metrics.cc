@@ -54,6 +54,14 @@ const char* CounterName(Counter counter) {
       return "brownout_sheds";
     case Counter::kRebuildFailures:
       return "rebuild_failures";
+    case Counter::kStoragePageReads:
+      return "storage_page_reads";
+    case Counter::kStoragePagePins:
+      return "storage_page_pins";
+    case Counter::kStoragePageEvictions:
+      return "storage_page_evictions";
+    case Counter::kStorageChecksumFailures:
+      return "storage_checksum_failures";
     case Counter::kCount:
       break;
   }

@@ -65,6 +65,12 @@ enum class Counter : size_t {
   kRetries,               // retry attempts granted by a RetryPolicy
   kBrownoutSheds,         // uncached requests shed while browning out
   kRebuildFailures,       // snapshot rebuilds that returned an error
+  // Disk-backed CST storage (src/storage/): buffer-pool traffic over
+  // paged TWCST03 stores.
+  kStoragePageReads,      // page loads that went to the PageSource
+  kStoragePagePins,       // pins granted (hits and loads alike)
+  kStoragePageEvictions,  // clean frames recycled by the clock sweep
+  kStorageChecksumFailures,  // pages rejected by per-page validation
   kCount,
 };
 
@@ -100,7 +106,7 @@ inline constexpr size_t kLatencyBuckets = 32;
 /// Version of the metrics JSON export schema (the "schema_version"
 /// field of MetricsSnapshot::ToJson). Bump on any key change so
 /// downstream scrapers can detect format drift.
-inline constexpr uint64_t kMetricsSchemaVersion = 3;
+inline constexpr uint64_t kMetricsSchemaVersion = 4;
 
 /// Aggregated view of one latency series.
 struct HistogramSnapshot {

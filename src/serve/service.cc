@@ -229,14 +229,32 @@ void EstimateService::ServeLoop() {
       item.promise.set_value(std::move(response));
       continue;
     }
-    const core::TwigEstimator estimator(&snapshot->summary);
+    const core::TwigEstimator estimator(snapshot->summary.get());
     core::EstimateOptions eopt;
     eopt.semantics = item.request.semantics;
+    // A paged summary degrades failed page reads to misses rather than
+    // erroring mid-walk; bracketing the estimate with its error count
+    // turns any such degradation into a failed request instead of a
+    // silently skewed estimate.
+    const uint64_t storage_errors_before =
+        snapshot->summary->storage_error_count();
     const auto t0 = Clock::now();
-    const Result<double> estimate =
+    Result<double> estimate =
         estimator.TryEstimate(item.request.twig, item.request.algorithm,
                               eopt);
     const auto elapsed = Clock::now() - t0;
+    const uint64_t storage_errors =
+        snapshot->summary->storage_error_count() - storage_errors_before;
+    if (estimate.ok() && storage_errors > 0) {
+      const Status cause = snapshot->summary->storage_health();
+      estimate = Status::Unavailable(
+          "summary storage degraded (" + std::to_string(storage_errors) +
+          " failed page reads): " +
+          std::string(cause.ok() ? "unknown cause" : cause.message()));
+      health_.SetDegraded("storage: " +
+                          std::string(cause.ok() ? "failed page reads"
+                                                 : cause.message()));
+    }
     registry.RecordLatency(static_cast<size_t>(item.request.algorithm),
                            ToNanos(elapsed));
     item.span.Mark(obs::SpanStage::kEstimated);

@@ -23,6 +23,14 @@ uint64_t SnapshotCatalog::version() const {
 uint64_t SnapshotCatalog::Publish(cst::Cst summary, std::string source,
                                   double build_seconds,
                                   std::shared_ptr<const tree::Tree> data) {
+  return Publish(std::shared_ptr<const cst::CstView>(
+                     std::make_shared<cst::Cst>(std::move(summary))),
+                 std::move(source), build_seconds, std::move(data));
+}
+
+uint64_t SnapshotCatalog::Publish(std::shared_ptr<const cst::CstView> summary,
+                                  std::string source, double build_seconds,
+                                  std::shared_ptr<const tree::Tree> data) {
   // Assemble the snapshot outside the lock; the swap itself is two
   // pointer writes.
   // "snapshot/publish" is a delay-only chaos seam: Publish cannot fail
@@ -46,7 +54,7 @@ uint64_t SnapshotCatalog::Publish(cst::Cst summary, std::string source,
   return version;
 }
 
-void SnapshotCatalog::RebuildMain(Builder builder, std::string source,
+void SnapshotCatalog::RebuildMain(ViewBuilder builder, std::string source,
                                   std::shared_ptr<const tree::Tree> data) {
   const auto t0 = std::chrono::steady_clock::now();
   // "snapshot/rebuild": an injected error fails the whole rebuild
@@ -54,8 +62,12 @@ void SnapshotCatalog::RebuildMain(Builder builder, std::string source,
   // published snapshot stays untouched.
   Status injected = util::FailpointCheck("snapshot/rebuild");
   if (!injected.ok()) obs::CountEvent(obs::Counter::kFaultInjected);
-  Result<cst::Cst> built =
-      injected.ok() ? builder() : Result<cst::Cst>(std::move(injected));
+  using BuiltView = Result<std::shared_ptr<const cst::CstView>>;
+  BuiltView built =
+      injected.ok() ? builder() : BuiltView(std::move(injected));
+  if (built.ok() && built.value() == nullptr) {
+    built = Status::Internal("rebuild produced a null summary");
+  }
   const double seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
@@ -88,6 +100,21 @@ void SnapshotCatalog::SetRebuildListener(
 }
 
 bool SnapshotCatalog::BeginRebuild(Builder builder, std::string source,
+                                   std::shared_ptr<const tree::Tree> data) {
+  // Adapt the materializing builder to the view-returning one; the
+  // rebuild machinery only ever deals in views.
+  return BeginRebuild(
+      ViewBuilder([builder = std::move(builder)]()
+                      -> Result<std::shared_ptr<const cst::CstView>> {
+        Result<cst::Cst> built = builder();
+        if (!built.ok()) return built.status();
+        return std::shared_ptr<const cst::CstView>(
+            std::make_shared<cst::Cst>(std::move(built).value()));
+      }),
+      std::move(source), std::move(data));
+}
+
+bool SnapshotCatalog::BeginRebuild(ViewBuilder builder, std::string source,
                                    std::shared_ptr<const tree::Tree> data) {
   std::lock_guard<std::mutex> lock(mutex_);
   if (rebuild_in_flight_) return false;

@@ -47,7 +47,10 @@ struct CstSnapshot {
   /// Wall seconds the build took (0 when built synchronously outside
   /// the catalog).
   double build_seconds = 0;
-  cst::Cst summary;
+  /// The summary behind this snapshot: a materialized cst::Cst, or a
+  /// cst::PagedCst reading a TWCST03 store through a buffer pool.
+  /// Never null in a published snapshot.
+  std::shared_ptr<const cst::CstView> summary;
   /// The data tree the summary was built from, when the publisher
   /// still has it (nullptr for blob-deserialized snapshots). The
   /// accuracy sampler re-executes requests against it; absent, the
@@ -82,9 +85,21 @@ class SnapshotCatalog {
                    double build_seconds = 0,
                    std::shared_ptr<const tree::Tree> data = nullptr);
 
+  /// Publishes an already-shared summary view (e.g. a cst::PagedCst
+  /// over a TWCST03 store). `summary` must not be null.
+  uint64_t Publish(std::shared_ptr<const cst::CstView> summary,
+                   std::string source, double build_seconds = 0,
+                   std::shared_ptr<const tree::Tree> data = nullptr);
+
   /// Builds a CST; the Result carries why a rebuild failed (e.g. a
   /// corrupt blob).
   using Builder = std::function<Result<cst::Cst>()>;
+
+  /// Builds a summary view. A builder returning any other type (e.g.
+  /// Result<cst::Cst>) selects the Builder overload instead — the two
+  /// Result types do not convert, so lambdas resolve unambiguously.
+  using ViewBuilder =
+      std::function<Result<std::shared_ptr<const cst::CstView>>()>;
 
   /// Starts an off-thread rebuild that runs `builder` and publishes on
   /// success. Returns false (and does nothing) if a rebuild is already
@@ -92,6 +107,8 @@ class SnapshotCatalog {
   /// provided, is attached to it on publish (the tree the builder
   /// summarizes, for the accuracy sampler).
   bool BeginRebuild(Builder builder, std::string source,
+                    std::shared_ptr<const tree::Tree> data = nullptr);
+  bool BeginRebuild(ViewBuilder builder, std::string source,
                     std::shared_ptr<const tree::Tree> data = nullptr);
 
   /// Blocks until no rebuild is in flight and returns the status of
@@ -112,7 +129,7 @@ class SnapshotCatalog {
   void SetRebuildListener(std::function<void(const Status&)> listener);
 
  private:
-  void RebuildMain(Builder builder, std::string source,
+  void RebuildMain(ViewBuilder builder, std::string source,
                    std::shared_ptr<const tree::Tree> data);
 
   mutable std::mutex mutex_;

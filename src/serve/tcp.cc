@@ -243,7 +243,7 @@ std::string TcpFrontEnd::HandleExplain(const WireRequest& request) {
   core::EstimateOptions eopt;
   eopt.semantics = request.semantics;
   eopt.trace = &trace;
-  const core::TwigEstimator estimator(&snapshot->summary);
+  const core::TwigEstimator estimator(snapshot->summary.get());
   const Result<double> estimate =
       estimator.TryEstimate(twig.value(), request.algorithm, eopt);
   if (!estimate.ok()) return ErrorResponse(&request, estimate.status());
@@ -268,14 +268,25 @@ std::string TcpFrontEnd::HandleRecent(const WireRequest& request) {
 }
 
 std::string TcpFrontEnd::HandleSwap(const WireRequest& request) {
-  if (!options_.rebuild) {
+  if (!options_.rebuild && !options_.rebuild_view) {
     return ErrorResponse(
         &request, Status::Unimplemented("server has no rebuild source"));
   }
   const double space = request.space;
-  const bool begun = catalog_->BeginRebuild(
-      [rebuild = options_.rebuild, space] { return rebuild(space); },
-      "swap request", options_.rebuild_data);
+  const bool begun =
+      options_.rebuild_view
+          ? catalog_->BeginRebuild(
+                SnapshotCatalog::ViewBuilder(
+                    [rebuild = options_.rebuild_view, space] {
+                      return rebuild(space);
+                    }),
+                "swap request", options_.rebuild_data)
+          : catalog_->BeginRebuild(
+                SnapshotCatalog::Builder(
+                    [rebuild = options_.rebuild, space] {
+                      return rebuild(space);
+                    }),
+                "swap request", options_.rebuild_data);
   if (!begun) {
     return ErrorResponse(&request,
                          Status::Unavailable("rebuild already in flight"));

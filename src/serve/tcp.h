@@ -24,6 +24,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -49,8 +50,14 @@ struct TcpOptions {
   size_t max_line_bytes = 1 << 20;
   /// Builds a replacement CST for the "swap" op, `space` being the
   /// client-requested space fraction (0 = builder's default). Unset =
-  /// swap answers Unimplemented.
+  /// swap answers Unimplemented (unless rebuild_view is set).
   std::function<Result<cst::Cst>(double space)> rebuild;
+  /// View-returning flavor of `rebuild`, for servers whose summaries
+  /// are not materialized cst::Cst objects (e.g. a cst::PagedCst over
+  /// a TWCST03 store). Takes precedence over `rebuild` when both are
+  /// set.
+  std::function<Result<std::shared_ptr<const cst::CstView>>(double space)>
+      rebuild_view;
   /// The data tree the rebuild summarizes, attached to each swapped-in
   /// snapshot so the accuracy sampler keeps working after a swap.
   std::shared_ptr<const tree::Tree> rebuild_data;

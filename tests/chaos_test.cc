@@ -114,7 +114,7 @@ TEST_F(ChaosTest, EveryRequestResolvesExactlyOnceUnderInjectedFaults) {
   SnapshotCatalog catalog;
   catalog.Publish(Corpus().BuildCst(0.02), "v1");
   const std::shared_ptr<const CstSnapshot> snapshot = catalog.Current();
-  const core::TwigEstimator direct(&snapshot->summary);
+  const core::TwigEstimator direct(snapshot->summary.get());
   std::map<std::string, double> expected;
   for (const char* text : kQueries) {
     expected[text] =

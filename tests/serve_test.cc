@@ -207,14 +207,14 @@ TEST(SnapshotCatalogTest, ReadersStayPinnedAcrossPublish) {
   std::shared_ptr<const CstSnapshot> pinned = catalog.Current();
   const query::Twig twig = MustParse("book(author, year)");
   const double before =
-      core::TwigEstimator(&pinned->summary)
+      core::TwigEstimator(pinned->summary.get())
           .Estimate(twig, core::Algorithm::kMsh);
   catalog.Publish(BuildFigureOneCst(), "v2");
   EXPECT_EQ(catalog.version(), 2u);
   // The pinned snapshot still answers, identically, after the swap.
   EXPECT_EQ(pinned->version, 1u);
   const double after =
-      core::TwigEstimator(&pinned->summary)
+      core::TwigEstimator(pinned->summary.get())
           .Estimate(twig, core::Algorithm::kMsh);
   EXPECT_EQ(before, after);
 }
@@ -335,7 +335,7 @@ TEST(SnapshotCatalogTest, ConcurrentSwapKeepsPinnedReadersBitIdentical) {
   const query::Twig twig = MustParse("article(author, year)");
   std::shared_ptr<const CstSnapshot> reference = catalog.Current();
   const double expected =
-      core::TwigEstimator(&reference->summary)
+      core::TwigEstimator(reference->summary.get())
           .Estimate(twig, core::Algorithm::kMsh);
 
   constexpr size_t kReaders = 4;
@@ -357,7 +357,7 @@ TEST(SnapshotCatalogTest, ConcurrentSwapKeepsPinnedReadersBitIdentical) {
             round == 0 ? held : catalog.Current();
         if (pinned->version == 1) {
           pinned_old.fetch_add(1);
-          const double got = core::TwigEstimator(&pinned->summary)
+          const double got = core::TwigEstimator(pinned->summary.get())
                                  .Estimate(twig, core::Algorithm::kMsh);
           // Bit-identical: the snapshot is immutable, so a pinned
           // reader must reproduce the pre-swap estimate exactly.
@@ -709,7 +709,7 @@ TEST(EstimateServiceTest, ServedEstimatesMatchDirectEstimatorCalls) {
   EstimateService service(&catalog, options);
 
   const std::shared_ptr<const CstSnapshot> snapshot = catalog.Current();
-  const core::TwigEstimator direct(&snapshot->summary);
+  const core::TwigEstimator direct(snapshot->summary.get());
   for (const char* text : {"article(author, year)", "article.title",
                            "inproceedings(author, pages)", "book.publisher"}) {
     for (core::Algorithm algorithm :
@@ -942,7 +942,7 @@ TEST(EstimateServiceTest, CacheHitIsBitIdenticalAndBypassesAFullQueue) {
 
   // Warm the cache while the gate lets requests flow.
   const double expected =
-      core::TwigEstimator(&catalog.Current()->summary)
+      core::TwigEstimator(catalog.Current()->summary.get())
           .Estimate(MustParse("article(author, year)"), core::Algorithm::kMsh);
   EstimateResponse first =
       service.SubmitAndWait(MakeRequest("article(author, year)"));
@@ -1001,7 +1001,7 @@ TEST(EstimateServiceTest, CacheEntriesAreVersionIsolatedAcrossAHotSwap) {
   // Hot swap to a different CST. The v1 entry must not answer for v2.
   catalog.Publish(corpus.BuildCst(0.05), "v2");
   const double expected_v2 =
-      core::TwigEstimator(&catalog.Current()->summary)
+      core::TwigEstimator(catalog.Current()->summary.get())
           .Estimate(MustParse("article(author, year)"), core::Algorithm::kMsh);
   EstimateResponse computed_v2 = service.SubmitAndWait(request);
   ASSERT_TRUE(computed_v2.status.ok());
@@ -1782,7 +1782,7 @@ TEST_F(TcpFrontEndTest, AnswersTheCoreOpsOverLoopback) {
   // A served estimate equals the direct estimator call bit for bit.
   const std::shared_ptr<const CstSnapshot> snapshot = catalog_.Current();
   const double expected =
-      core::TwigEstimator(&snapshot->summary)
+      core::TwigEstimator(snapshot->summary.get())
           .Estimate(MustParse("article(author, year)"),
                     core::Algorithm::kMsh);
   obs::JsonValue estimate = MustParseJson(client.RoundTrip(
@@ -2067,7 +2067,7 @@ TEST(ServeEndToEndTest, ConcurrentLoadSurvivesAHotSwapWithExactAnswers) {
   const query::Twig twig = MustParse("article(author, year)");
   // Ground truth per version, pinned before and after the swap.
   const double expected_v1 =
-      core::TwigEstimator(&catalog.Current()->summary)
+      core::TwigEstimator(catalog.Current()->summary.get())
           .Estimate(twig, core::Algorithm::kMsh);
 
   constexpr size_t kClients = 4;
@@ -2117,7 +2117,7 @@ TEST(ServeEndToEndTest, ConcurrentLoadSurvivesAHotSwapWithExactAnswers) {
       MustParseJson(swapper.RoundTrip("{\"op\":\"swap\",\"id\":1}"));
   EXPECT_TRUE(swapped.GetBool("ok"));
   const double expected_v2 =
-      core::TwigEstimator(&catalog.Current()->summary)
+      core::TwigEstimator(catalog.Current()->summary.get())
           .Estimate(twig, core::Algorithm::kMsh);
 
   for (std::thread& t : clients) t.join();
