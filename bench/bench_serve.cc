@@ -70,10 +70,13 @@ void PrintLatencyLine(const char* label, const obs::HistogramSnapshot& h) {
 }
 
 constexpr char kUsage[] =
-    "usage: bench_serve [--zipf | --faults=P | --cold-start] [--count=N]\n"
-    "                   [--workers=N] [--retries=N] [--bytes=N]\n"
+    "usage: bench_serve [--zipf | --faults=P | --cold-start | --tenants]\n"
+    "                   [--count=N] [--workers=N] [--retries=N] [--bytes=N]\n"
     "                   [--buffer-mb=F]\n"
     "  --zipf       run the Zipf-workload result-cache comparison\n"
+    "  --tenants    run the multi-tenant fairness benchmark: weighted\n"
+    "               tenants under saturating closed-loop load; reports\n"
+    "               per-tenant p50/p95/p99 and the fairness ratio\n"
     "  --faults=P   run the goodput-under-faults comparison: inject\n"
     "               estimate faults with probability P (e.g. 0.1) and\n"
     "               measure goodput with and without client retry\n"
@@ -324,6 +327,132 @@ int RunFaults(size_t count, size_t workers, double fault_rate,
   return 0;
 }
 
+// ------------------------------------------------------ tenant fairness
+
+/// Weighted tenants under saturating closed-loop load: every tenant
+/// keeps the shared queue non-empty, so the deficit-round-robin drain
+/// should divide worker time in proportion to weight. Reports each
+/// tenant's throughput share against its weighted entitlement plus
+/// client-observed latency percentiles; the fairness ratio is
+/// min(observed share / entitled share) across tenants — 1.0 is a
+/// perfect weight-proportional split.
+int RunTenants(size_t count, size_t workers) {
+  exp::Dataset ds = exp::MakeDataset(exp::DatasetKind::kDblp,
+                                     exp::kDefaultDblpBytes, 20010402);
+  workload::WorkloadOptions wopt;
+  wopt.num_queries = 200;
+  wopt.seed = 1789;
+  const workload::Workload wl = workload::GeneratePositive(ds.tree, wopt);
+
+  serve::SnapshotCatalog catalog;
+  catalog.Publish(exp::BuildCstAtFraction(ds, 0.01), "dblp @ 1%");
+
+  struct TenantSpec {
+    const char* name;
+    double weight;
+  };
+  constexpr TenantSpec kTenants[] = {
+      {"gold", 4}, {"silver", 2}, {"bronze", 1}};
+  constexpr size_t kNumTenants = sizeof(kTenants) / sizeof(kTenants[0]);
+  double weight_sum = 0;
+  serve::ServiceOptions sopt;
+  sopt.num_workers = workers;
+  sopt.queue_capacity = 64;
+  sopt.cache_entries = 0;  // every request does real work
+  for (const TenantSpec& t : kTenants) {
+    serve::TenantQuota quota;
+    quota.rate = 0;  // unlimited: isolate the DRR weight split
+    quota.burst = 8;
+    quota.weight = t.weight;
+    sopt.tenants.overrides[t.name] = quota;
+    weight_sum += t.weight;
+  }
+  serve::EstimateService service(&catalog, sopt);
+
+  // Identical client pressure per tenant; only the weights differ, so
+  // any throughput skew is the queue's doing.
+  constexpr size_t kClientsPerTenant = 8;
+  std::atomic<size_t> total{0};
+  std::atomic<bool> stop{false};
+  std::atomic<size_t> served[kNumTenants] = {};
+  std::atomic<size_t> errors[kNumTenants] = {};
+  std::vector<obs::HistogramSnapshot> latency(kNumTenants *
+                                              kClientsPerTenant);
+  const Clock::time_point start = Clock::now();
+  std::vector<std::thread> clients;
+  for (size_t t = 0; t < kNumTenants; ++t) {
+    for (size_t c = 0; c < kClientsPerTenant; ++c) {
+      clients.emplace_back([&, t, c] {
+        size_t i = (t * kClientsPerTenant + c) * 31;
+        while (!stop.load(std::memory_order_relaxed)) {
+          serve::EstimateRequest request;
+          request.twig = wl[i++ % wl.size()].twig;
+          request.algorithm = core::Algorithm::kMsh;
+          request.tenant = kTenants[t].name;
+          const Clock::time_point sent = Clock::now();
+          serve::EstimateResponse response =
+              service.SubmitAndWait(std::move(request));
+          if (response.status.ok()) {
+            latency[t * kClientsPerTenant + c].Record(NanosSince(sent));
+            served[t].fetch_add(1, std::memory_order_relaxed);
+          } else {
+            errors[t].fetch_add(1, std::memory_order_relaxed);
+          }
+          if (total.fetch_add(1, std::memory_order_relaxed) + 1 >= count) {
+            stop.store(true, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+  }
+  for (std::thread& th : clients) th.join();
+  const double seconds = SecondsSince(start);
+  service.Shutdown(/*drain=*/true);
+
+  size_t total_served = 0;
+  for (size_t t = 0; t < kNumTenants; ++t) total_served += served[t].load();
+  std::printf("== Tenant fairness (weights 4:2:1, %zu workers, %zu "
+              "closed-loop clients per tenant, %zu requests) ==\n",
+              workers, kClientsPerTenant, count);
+  std::printf("  %-8s %7s %9s %8s %8s %10s %10s %10s\n", "tenant", "weight",
+              "served", "share", "ideal", "p50 us", "p95 us", "p99 us");
+  double fairness = 1e30;
+  for (size_t t = 0; t < kNumTenants; ++t) {
+    obs::HistogramSnapshot merged;
+    for (size_t c = 0; c < kClientsPerTenant; ++c) {
+      merged.Merge(latency[t * kClientsPerTenant + c]);
+    }
+    const obs::LatencyPercentiles p = obs::SummarizeLatency(merged);
+    const double share = total_served == 0
+                             ? 0
+                             : static_cast<double>(served[t].load()) /
+                                   static_cast<double>(total_served);
+    const double ideal = kTenants[t].weight / weight_sum;
+    fairness = std::min(fairness, share / ideal);
+    std::printf("  %-8s %7.0f %9zu %7.1f%% %7.1f%% %10.1f %10.1f %10.1f\n",
+                kTenants[t].name, kTenants[t].weight, served[t].load(),
+                100 * share, 100 * ideal, p.p50_us, p.p95_us, p.p99_us);
+  }
+  std::printf("  throughput: %.0f req/s aggregate\n",
+              static_cast<double>(total_served) / seconds);
+  std::printf("  fairness ratio (min observed/entitled share): %.2f\n",
+              fairness);
+  size_t total_errors = 0;
+  for (size_t t = 0; t < kNumTenants; ++t) total_errors += errors[t].load();
+  if (total_errors > 0) {
+    std::printf("  note: %zu requests rejected (queue full under burst)\n",
+                total_errors);
+  }
+  // Loose acceptance bar — this is a benchmark, not a unit test, but a
+  // tenant landing under half its entitlement means the weighted drain
+  // is not doing its job.
+  if (fairness < 0.5) {
+    std::printf("  FAILED: fairness ratio %.2f < 0.5\n", fairness);
+    return 1;
+  }
+  return 0;
+}
+
 // ----------------------------------------------------------- cold start
 
 std::string TempPath(const char* name) {
@@ -431,6 +560,7 @@ int RunColdStart(size_t bytes, double buffer_mb) {
 
 int main(int argc, char** argv) {
   bool zipf = false;
+  bool tenants = false;
   bool cold_start = false;
   double faults = 0;
   size_t zipf_count = 20000;
@@ -440,6 +570,7 @@ int main(int argc, char** argv) {
   double buffer_mb = 16;
   util::FlagParser flags("bench_serve", kUsage);
   flags.Bool("zipf", &zipf);
+  flags.Bool("tenants", &tenants);
   flags.Bool("cold-start", &cold_start);
   flags.Double("faults", &faults);
   flags.Size("count", &zipf_count);
@@ -453,6 +584,9 @@ int main(int argc, char** argv) {
     return 2;
   }
   if (cold_start) return RunColdStart(cold_bytes, buffer_mb);
+  if (tenants) {
+    return RunTenants(zipf_count, std::max<size_t>(1, zipf_workers));
+  }
   if (zipf) return RunZipf(zipf_count, std::max<size_t>(1, zipf_workers));
   if (faults > 0) {
     return RunFaults(zipf_count, std::max<size_t>(1, zipf_workers), faults,

@@ -357,4 +357,107 @@ while kill -0 "$SERVE_PID" 2>/dev/null; do
     sleep 0.1
 done
 wait "$SERVE_PID" 2>/dev/null || fail "paged server exited nonzero"
+
+# ---------------------------------------------------------------------------
+# Fifth run: multi-dataset, multi-tenant. One server hosts "default"
+# plus a second generated dataset "beta", each with its own snapshot
+# lineage; tenant "hot" gets a starved token bucket (rate 0.001/s,
+# burst 1) while "calm" is unlimited. Checks: estimates route per
+# dataset, a beta swap leaves default bit-identical, the throttled
+# tenant sees a structured Unavailable with a retry_after_ms hint
+# while calm keeps being served, and the epoll front end survives a
+# herd of 1000 idle connections without wedging the accept path.
+rm -f "$PORT_FILE"
+LOG="$WORK/serve_multi.log"
+"$SERVE" --port=0 --port-file="$PORT_FILE" --bytes=131072 --workers=2 \
+    --conns=4 --space=0.01 --datasets=beta:65536 \
+    --tenants='hot=0.001:1:1,calm=0:8:3' >"$LOG" 2>&1 &
+SERVE_PID=$!
+
+tries=0
+while [ ! -s "$PORT_FILE" ]; do
+    tries=$((tries + 1))
+    [ "$tries" -le 100 ] || fail "multi server did not start"
+    kill -0 "$SERVE_PID" 2>/dev/null || fail "multi server died during startup"
+    sleep 0.1
+done
+PORT=$(cat "$PORT_FILE")
+echo "serve_smoke: multi-dataset server on port $PORT"
+
+# The same twig against the two datasets hits two different corpora,
+# and a routed reply echoes which dataset answered.
+DEF_LINE=$("$CLIENT" --port="$PORT" --op=estimate \
+    --query='article(author, year)') || fail "default-dataset estimate failed"
+DEF=$(printf '%s' "$DEF_LINE" | sed 's/.*"estimate":\([^,}]*\).*/\1/')
+[ -n "$DEF" ] || fail "could not extract default estimate: $DEF_LINE"
+BETA_LINE=$("$CLIENT" --port="$PORT" --op=estimate --dataset=beta \
+    --query='article(author, year)') || fail "beta-dataset estimate failed"
+BETA=$(printf '%s' "$BETA_LINE" | sed 's/.*"estimate":\([^,}]*\).*/\1/')
+case "$BETA_LINE" in
+  *'"dataset":"beta"'*) : ;;
+  *) fail "beta reply does not echo its dataset: $BETA_LINE" ;;
+esac
+[ "$DEF" != "$BETA" ] || fail "datasets served identical estimates: $DEF"
+
+# Unknown datasets are rejected, not silently defaulted.
+"$CLIENT" --port="$PORT" --op=ping --dataset=nope >/dev/null 2>&1 \
+    && fail "unknown dataset was accepted"
+
+# Per-dataset swap: rebuilding beta at a new space budget bumps only
+# beta's lineage; default's estimate stays bit-identical.
+"$CLIENT" --port="$PORT" --op=swap --dataset=beta --space=0.02 \
+    || fail "beta swap failed"
+DEF2_LINE=$("$CLIENT" --port="$PORT" --op=estimate \
+    --query='article(author, year)') || fail "post-swap default estimate failed"
+DEF2=$(printf '%s' "$DEF2_LINE" | sed 's/.*"estimate":\([^,}]*\).*/\1/')
+[ "$DEF" = "$DEF2" ] || fail "beta swap disturbed default: $DEF2 != $DEF"
+STATS=$("$CLIENT" --port="$PORT" --op=stats) || fail "multi stats failed"
+case "$STATS" in
+  *'"beta":{"version":2'*) : ;;
+  *) fail "stats does not show beta at version 2: $STATS" ;;
+esac
+case "$STATS" in
+  *'"default":{"version":1'*) : ;;
+  *) fail "stats does not show default still at version 1: $STATS" ;;
+esac
+
+# Tenant quotas: hot's single-token bucket admits one estimate, then
+# sheds with a structured Unavailable carrying a retry hint; calm is
+# untouched by hot's throttling.
+"$CLIENT" --port="$PORT" --op=estimate --tenant=hot \
+    --query='article(author, year)' || fail "hot tenant's first request failed"
+THROTTLED=$("$CLIENT" --port="$PORT" --op=estimate --tenant=hot \
+    --query='article(author, year)' 2>/dev/null) \
+    && fail "hot tenant's second request was not throttled: $THROTTLED"
+case "$THROTTLED" in
+  *'"code":"Unavailable"'*) : ;;
+  *) fail "throttle is not a structured Unavailable: $THROTTLED" ;;
+esac
+case "$THROTTLED" in
+  *'"retry_after_ms":'*) : ;;
+  *) fail "throttle carries no retry_after_ms hint: $THROTTLED" ;;
+esac
+"$CLIENT" --port="$PORT" --op=estimate --tenant=calm \
+    --query='article(author, year)' \
+    || fail "calm tenant was collaterally throttled"
+STATS=$("$CLIENT" --port="$PORT" --op=stats) || fail "tenant stats failed"
+case "$STATS" in
+  *'"tenant":"hot"'*'"throttled":'*) : ;;
+  *) fail "stats lacks per-tenant admission counters: $STATS" ;;
+esac
+
+# 1000 idle connections held open must not wedge the accept path or
+# starve live traffic (twig_client verifies a fresh connection and an
+# idle-herd member both still round-trip a ping).
+"$CLIENT" --port="$PORT" --idle-conns=1000 --idle-hold-ms=500 \
+    || fail "server wilted under 1000 idle connections"
+
+"$CLIENT" --port="$PORT" --op=shutdown || fail "multi shutdown op failed"
+tries=0
+while kill -0 "$SERVE_PID" 2>/dev/null; do
+    tries=$((tries + 1))
+    [ "$tries" -le 100 ] || fail "multi server did not stop after shutdown"
+    sleep 0.1
+done
+wait "$SERVE_PID" 2>/dev/null || fail "multi server exited nonzero"
 echo "serve_smoke: OK"

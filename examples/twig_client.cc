@@ -61,6 +61,10 @@ struct Options {
   size_t retries = 0;
   double retry_base_ms = 2;
   double retry_max_ms = 250;
+  std::string dataset;
+  std::string tenant;
+  size_t idle_conns = 0;
+  size_t idle_hold_ms = 1000;
 };
 
 /// nullptr when --retries=0: requests are sent exactly once.
@@ -100,6 +104,13 @@ constexpr char kUsage[] =
     "                   up to N times with jittered backoff (default 0)\n"
     "  --retry-base-ms=F first backoff / jitter floor (default 2)\n"
     "  --retry-max-ms=F  backoff ceiling (default 250)\n"
+    "multi-dataset / multi-tenant (single-shot and bench):\n"
+    "  --dataset=ID     route against this dataset (default \"default\")\n"
+    "  --tenant=ID      bill requests to this tenant's quota\n"
+    "idle-connection soak:\n"
+    "  --idle-conns=N   open N idle connections, hold them, then verify\n"
+    "                   the server still answers; exits 0 on success\n"
+    "  --idle-hold-ms=N how long to hold the idle herd (default 1000)\n"
     "with neither --op nor --bench, stdin lines are sent as requests.\n";
 
 /// A blocking loopback connection speaking one-line-per-request.
@@ -198,6 +209,14 @@ std::string BuildRequest(const Options& options, uint64_t id) {
   if (options.op == "failpoint" && !options.spec.empty()) {
     w.Key("spec");
     w.String(options.spec);
+  }
+  if (!options.dataset.empty()) {
+    w.Key("dataset");
+    w.String(options.dataset);
+  }
+  if (!options.tenant.empty()) {
+    w.Key("tenant");
+    w.String(options.tenant);
   }
   w.EndObject();
   return std::move(w).str();
@@ -530,6 +549,64 @@ int RunRepl(const Options& options) {
   return 0;
 }
 
+/// Opens `idle_conns` connections, holds them idle for `idle_hold_ms`,
+/// then proves the server is still responsive by round-tripping a ping
+/// on a fresh connection *and* on one of the idle herd. Exercises the
+/// front end's fd budget and idle-connection handling (the smoke test
+/// uses this with ~1k connections).
+int RunIdle(const Options& options) {
+  const uint16_t port = static_cast<uint16_t>(options.port);
+  std::vector<std::unique_ptr<Connection>> herd;
+  herd.reserve(options.idle_conns);
+  size_t opened = 0;
+  for (size_t i = 0; i < options.idle_conns; ++i) {
+    auto conn = std::make_unique<Connection>();
+    if (Status status = conn->Open(port); !status.ok()) {
+      std::fprintf(stderr, "twig_client: idle connection %zu/%zu: %s\n",
+                   i + 1, options.idle_conns, status.ToString().c_str());
+      return 1;
+    }
+    herd.push_back(std::move(conn));
+    ++opened;
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(options.idle_hold_ms));
+
+  Options ping = options;
+  ping.op = "ping";
+  // A fresh connection proves the accept path still has headroom while
+  // the herd holds its fds; the herd member proves idle connections
+  // stay serviceable rather than being reaped or wedged.
+  Connection fresh;
+  if (Status status = fresh.Open(port); !status.ok()) {
+    std::fprintf(stderr, "twig_client: fresh connect with %zu idle: %s\n",
+                 opened, status.ToString().c_str());
+    return 1;
+  }
+  Result<std::string> response = fresh.RoundTrip(BuildRequest(ping, 1));
+  if (!response.ok()) {
+    std::fprintf(stderr, "twig_client: ping with %zu idle: %s\n", opened,
+                 response.status().ToString().c_str());
+    return 1;
+  }
+  if (!herd.empty()) {
+    response = herd.front()->RoundTrip(BuildRequest(ping, 2));
+    if (!response.ok()) {
+      std::fprintf(stderr, "twig_client: idle-herd ping: %s\n",
+                   response.status().ToString().c_str());
+      return 1;
+    }
+  }
+  Result<obs::JsonValue> parsed = obs::ParseJson(response.value());
+  if (!parsed.ok() || !parsed.value().GetBool("ok")) {
+    std::fprintf(stderr, "twig_client: ping rejected: %s\n",
+                 response.value().c_str());
+    return 1;
+  }
+  std::printf("idle soak ok: %zu connections held %zums, server responsive\n",
+              opened, options.idle_hold_ms);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -551,6 +628,10 @@ int main(int argc, char** argv) {
   flags.Size("retries", &options.retries);
   flags.Double("retry-base-ms", &options.retry_base_ms);
   flags.Double("retry-max-ms", &options.retry_max_ms);
+  flags.String("dataset", &options.dataset);
+  flags.String("tenant", &options.tenant);
+  flags.Size("idle-conns", &options.idle_conns);
+  flags.Size("idle-hold-ms", &options.idle_hold_ms);
   if (int code = flags.Parse(argc, argv); code >= 0) return code;
   if (options.port == 0 || options.port > 65535) {
     std::fprintf(stderr, "twig_client: --port must be a TCP port\n");
@@ -566,6 +647,7 @@ int main(int argc, char** argv) {
       (options.bench || options.op == "estimate" || options.op == "explain")) {
     options.query = "article(author, year)";
   }
+  if (options.idle_conns > 0) return RunIdle(options);
   if (options.bench) return RunBench(options);
   if (options.op.empty()) return RunRepl(options);
 

@@ -8,15 +8,23 @@
 //   ./twig_serve --port=0 --port-file=p  # ephemeral port, written to ./p
 //   ./twig_serve --store=cst.twcst03 --buffer-mb=16
 //                                        # serve a paged store, no parse
+//   ./twig_serve --datasets=eu:65536,us:131072 \
+//                --tenants=gold=0:8:4,probe=5:2:1
+//                                        # extra datasets + tenant quotas
 //
 // Stop it with {"op":"shutdown"} (e.g. via twig_client --op=shutdown).
 
+#include <sys/resource.h>
+
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
+#include <functional>
 #include <memory>
 #include <sstream>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "cst/cst.h"
 #include "cst/paged_cst.h"
@@ -57,6 +65,8 @@ struct Options {
   std::string store_out;
   double buffer_mb = 16;
   size_t page_bytes = storage::kDefaultPageBytes;
+  std::string datasets;
+  std::string tenants;
 };
 
 constexpr char kUsage[] =
@@ -96,7 +106,15 @@ constexpr char kUsage[] =
     "  --buffer-mb=F    storage buffer pool size in MiB for paged serving\n"
     "                   (default 16; fractional values allowed)\n"
     "  --page-bytes=N   TWCST03 page size for --store-out (default "
-    "65536)\n";
+    "65536)\n"
+    "  --datasets=LIST  extra generated datasets beside \"default\", as\n"
+    "                   id:bytes,... (each its own snapshot lineage, seed\n"
+    "                   derived from the id, swappable independently via\n"
+    "                   the \"dataset\" wire field)\n"
+    "  --tenants=LIST   per-tenant admission quotas, as\n"
+    "                   name=rate:burst:weight,... (rate in requests/s,\n"
+    "                   0 = unlimited; burst and weight optional,\n"
+    "                   defaults 8 and 1)\n";
 
 tree::Tree LoadOrGenerate(const Options& options) {
   if (!options.xml_path.empty()) {
@@ -163,6 +181,67 @@ Result<std::shared_ptr<const cst::CstView>> RebuildStore(
   return std::shared_ptr<const cst::CstView>(std::move(opened).value());
 }
 
+/// Parses --tenants=name=rate:burst:weight,... into policy overrides.
+bool ParseTenantSpec(const std::string& spec,
+                     serve::TenantPolicy* policy) {
+  for (const std::string& entry : StrSplit(spec, ',')) {
+    if (entry.empty()) continue;
+    const size_t eq = entry.find('=');
+    if (eq == std::string::npos || eq == 0) return false;
+    const std::string name = entry.substr(0, eq);
+    const std::vector<std::string> parts =
+        StrSplit(entry.substr(eq + 1), ':');
+    if (parts.empty() || parts.size() > 3) return false;
+    serve::TenantQuota quota;
+    char* end = nullptr;
+    quota.rate = std::strtod(parts[0].c_str(), &end);
+    if (end == parts[0].c_str() || *end != '\0' || quota.rate < 0) {
+      return false;
+    }
+    if (parts.size() > 1) {
+      quota.burst = std::strtod(parts[1].c_str(), &end);
+      if (end == parts[1].c_str() || *end != '\0' || quota.burst < 1) {
+        return false;
+      }
+    }
+    if (parts.size() > 2) {
+      quota.weight = std::strtod(parts[2].c_str(), &end);
+      if (end == parts[2].c_str() || *end != '\0' || quota.weight <= 0) {
+        return false;
+      }
+    }
+    policy->overrides[name] = quota;
+  }
+  return true;
+}
+
+/// Parses one --datasets entry "id:bytes". Returns false on bad input.
+bool ParseDatasetEntry(const std::string& entry, std::string* id,
+                       size_t* bytes) {
+  const size_t colon = entry.find(':');
+  if (colon == std::string::npos || colon == 0) return false;
+  *id = entry.substr(0, colon);
+  char* end = nullptr;
+  const unsigned long long value =
+      std::strtoull(entry.c_str() + colon + 1, &end, 10);
+  if (end == entry.c_str() + colon + 1 || *end != '\0' || value == 0) {
+    return false;
+  }
+  *bytes = static_cast<size_t>(value);
+  return true;
+}
+
+/// Many idle connections cost one fd each; run at the hard fd limit so
+/// "a few thousand idle clients" is a non-event, not an EMFILE storm.
+void RaiseFdLimit() {
+  rlimit nofile{};
+  if (getrlimit(RLIMIT_NOFILE, &nofile) == 0 &&
+      nofile.rlim_cur < nofile.rlim_max) {
+    nofile.rlim_cur = nofile.rlim_max;
+    (void)setrlimit(RLIMIT_NOFILE, &nofile);  // best effort
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -188,6 +267,8 @@ int main(int argc, char** argv) {
   flags.String("store-out", &options.store_out);
   flags.Double("buffer-mb", &options.buffer_mb);
   flags.Size("page-bytes", &options.page_bytes);
+  flags.String("datasets", &options.datasets);
+  flags.String("tenants", &options.tenants);
   // Underscore spellings, for callers used to other tools' convention.
   flags.Size("cache_entries", &options.cache_entries);
   flags.Size("cache_shards", &options.cache_shards);
@@ -231,10 +312,12 @@ int main(int argc, char** argv) {
     }
   }
 
+  RaiseFdLimit();
   const size_t pool_bytes =
       static_cast<size_t>(options.buffer_mb * 1024.0 * 1024.0);
 
-  serve::SnapshotCatalog catalog;
+  serve::DatasetCatalog datasets;
+  serve::SnapshotCatalog& catalog = *datasets.Create(serve::kDefaultDataset);
   serve::TcpOptions topt;
   topt.port = static_cast<uint16_t>(options.port);
   topt.num_connection_threads = options.conns;
@@ -316,6 +399,51 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Extra datasets: independent generated corpora, each with its own
+  // snapshot lineage and rebuild hook, addressable over the wire via
+  // the "dataset" field and swappable without touching the others.
+  if (!options.datasets.empty()) {
+    for (const std::string& entry : StrSplit(options.datasets, ',')) {
+      if (entry.empty()) continue;
+      std::string id;
+      size_t bytes = 0;
+      if (!ParseDatasetEntry(entry, &id, &bytes) ||
+          id == serve::kDefaultDataset) {
+        std::fprintf(stderr,
+                     "twig_serve: --datasets entries must be id:bytes "
+                     "with a non-default id (got '%s')\n",
+                     entry.c_str());
+        return 2;
+      }
+      data::DblpOptions gen;
+      gen.target_bytes = bytes;
+      gen.seed = std::hash<std::string>{}(id);
+      auto extra =
+          std::make_shared<const tree::Tree>(data::GenerateDblp(gen));
+      const size_t extra_bytes = xml::XmlByteSize(*extra);
+      const auto extra_pst = std::make_shared<const suffix::PathSuffixTree>(
+          suffix::PathSuffixTree::Build(*extra));
+      serve::SnapshotCatalog* lineage = datasets.Create(id);
+      lineage->Publish(
+          BuildSummary(*extra, *extra_pst, extra_bytes, options.space),
+          "generated dblp '" + id + "' @ " +
+              std::to_string(options.space),
+          /*build_seconds=*/0, extra);
+      serve::RebuildSource& rebuild = topt.dataset_rebuilds[id];
+      rebuild.rebuild_data = extra;
+      rebuild.rebuild = [extra, extra_pst, extra_bytes,
+                         default_space = options.space](double space) {
+        return Result<cst::Cst>(
+            BuildSummary(*extra, *extra_pst, extra_bytes,
+                         space > 0 ? space : default_space));
+      };
+      std::printf("twig_serve: dataset '%s' | data %zu nodes, %s | v%llu\n",
+                  id.c_str(), extra->size(),
+                  HumanBytes(extra_bytes).c_str(),
+                  static_cast<unsigned long long>(lineage->version()));
+    }
+  }
+
   serve::ServiceOptions sopt;
   sopt.num_workers = options.workers;
   sopt.queue_capacity = options.queue;
@@ -326,9 +454,17 @@ int main(int argc, char** argv) {
   sopt.slow_threshold = std::chrono::microseconds(options.slow_us);
   sopt.accuracy_sample_every =
       static_cast<uint32_t>(options.accuracy_sample);
-  serve::EstimateService service(&catalog, sopt);
+  if (!options.tenants.empty() &&
+      !ParseTenantSpec(options.tenants, &sopt.tenants)) {
+    std::fprintf(stderr,
+                 "twig_serve: --tenants entries must be "
+                 "name=rate[:burst[:weight]] (rate >= 0, burst >= 1, "
+                 "weight > 0)\n");
+    return 2;
+  }
+  serve::EstimateService service(&datasets, sopt);
 
-  serve::TcpFrontEnd front_end(&catalog, &service, topt);
+  serve::TcpFrontEnd front_end(&datasets, &service, topt);
   if (Status status = front_end.Start(); !status.ok()) {
     std::fprintf(stderr, "twig_serve: %s\n", status.ToString().c_str());
     return 1;

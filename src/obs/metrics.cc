@@ -62,6 +62,12 @@ const char* CounterName(Counter counter) {
       return "storage_page_evictions";
     case Counter::kStorageChecksumFailures:
       return "storage_checksum_failures";
+    case Counter::kServeTenantAdmitted:
+      return "serve_tenant_admitted";
+    case Counter::kServeTenantThrottled:
+      return "serve_tenant_throttled";
+    case Counter::kServeAcceptRetries:
+      return "serve_accept_retries";
     case Counter::kCount:
       break;
   }

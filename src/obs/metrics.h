@@ -71,6 +71,11 @@ enum class Counter : size_t {
   kStoragePagePins,       // pins granted (hits and loads alike)
   kStoragePageEvictions,  // clean frames recycled by the clock sweep
   kStorageChecksumFailures,  // pages rejected by per-page validation
+  // Multi-tenant admission (serve/fair_queue.h) and the epoll front
+  // end's accept loop (serve/tcp.cc).
+  kServeTenantAdmitted,   // requests admitted past the tenant gate
+  kServeTenantThrottled,  // refused: token bucket or occupancy cap
+  kServeAcceptRetries,    // transient accept() failures ridden out
   kCount,
 };
 
@@ -106,7 +111,7 @@ inline constexpr size_t kLatencyBuckets = 32;
 /// Version of the metrics JSON export schema (the "schema_version"
 /// field of MetricsSnapshot::ToJson). Bump on any key change so
 /// downstream scrapers can detect format drift.
-inline constexpr uint64_t kMetricsSchemaVersion = 4;
+inline constexpr uint64_t kMetricsSchemaVersion = 5;
 
 /// Aggregated view of one latency series.
 struct HistogramSnapshot {

@@ -12,28 +12,36 @@ namespace twig::serve {
 uint64_t ResultCache::Key::IndexHash() const {
   // The fingerprint already encodes (text, algorithm, semantics);
   // folding the version in makes every published snapshot a disjoint
-  // key space, which is the whole invalidation story.
-  return HashCombine(Mix64(snapshot_version), fingerprint);
+  // key space, which is the whole invalidation story. The dataset id
+  // joins the mix because each dataset runs its own version sequence:
+  // without it, "version 3 of dblp" and "version 3 of reuters" would
+  // collide for the same canonical twig.
+  uint64_t h = HashCombine(Mix64(snapshot_version), fingerprint);
+  if (!dataset.empty()) h = HashCombine(h, HashBytes(dataset));
+  return h;
 }
 
 ResultCache::Key ResultCache::MakeKey(uint64_t snapshot_version,
                                       core::Algorithm algorithm,
                                       core::CountSemantics semantics,
-                                      const query::Twig& twig) {
+                                      const query::Twig& twig,
+                                      std::string_view dataset) {
   return MakeKeyFromCanonical(
       snapshot_version, algorithm, semantics,
-      core::CanonicalizeQuery(twig, algorithm, semantics));
+      core::CanonicalizeQuery(twig, algorithm, semantics), dataset);
 }
 
 ResultCache::Key ResultCache::MakeKeyFromCanonical(
     uint64_t snapshot_version, core::Algorithm algorithm,
-    core::CountSemantics semantics, core::CanonicalQueryKey canonical) {
+    core::CountSemantics semantics, core::CanonicalQueryKey canonical,
+    std::string_view dataset) {
   Key key;
   key.snapshot_version = snapshot_version;
   key.algorithm = algorithm;
   key.semantics = semantics;
   key.fingerprint = canonical.fingerprint;
   key.canonical_text = std::move(canonical.text);
+  key.dataset = std::string(dataset);
   return key;
 }
 
@@ -43,7 +51,7 @@ bool SameKey(const ResultCache::Key& a, const ResultCache::Key& b) {
   return a.snapshot_version == b.snapshot_version &&
          a.algorithm == b.algorithm && a.semantics == b.semantics &&
          a.fingerprint == b.fingerprint &&
-         a.canonical_text == b.canonical_text;
+         a.canonical_text == b.canonical_text && a.dataset == b.dataset;
 }
 
 }  // namespace

@@ -38,6 +38,7 @@
 #include <list>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -80,17 +81,27 @@ class ResultCache {
     core::CountSemantics semantics = core::CountSemantics::kOccurrence;
     uint64_t fingerprint = 0;  // canonical fingerprint (text+algo+sem)
     std::string canonical_text;
+    /// The serving dataset the answer belongs to. Each dataset runs
+    /// its own snapshot version sequence, so two corpora both at
+    /// version N would conflate without this component — identical
+    /// canonical twigs on different trees must never share an entry.
+    /// Empty means the default dataset (single-dataset callers never
+    /// set it).
+    std::string dataset;
 
-    /// The shard/index hash: fingerprint mixed with the version.
+    /// The shard/index hash: fingerprint mixed with the version and
+    /// the dataset id.
     uint64_t IndexHash() const;
   };
 
   static Key MakeKey(uint64_t snapshot_version, core::Algorithm algorithm,
-                     core::CountSemantics semantics, const query::Twig& twig);
+                     core::CountSemantics semantics, const query::Twig& twig,
+                     std::string_view dataset = {});
   static Key MakeKeyFromCanonical(uint64_t snapshot_version,
                                   core::Algorithm algorithm,
                                   core::CountSemantics semantics,
-                                  core::CanonicalQueryKey canonical);
+                                  core::CanonicalQueryKey canonical,
+                                  std::string_view dataset = {});
 
   explicit ResultCache(const ResultCacheOptions& options = {});
 

@@ -21,9 +21,29 @@ uint64_t ToNanos(Clock::duration d) {
 
 }  // namespace
 
+namespace {
+
+std::unique_ptr<DatasetCatalog> WrapAsDefault(SnapshotCatalog* catalog) {
+  auto datasets = std::make_unique<DatasetCatalog>();
+  datasets->Register(kDefaultDataset, catalog);
+  return datasets;
+}
+
+}  // namespace
+
 EstimateService::EstimateService(SnapshotCatalog* catalog,
                                  const ServiceOptions& options)
-    : catalog_(catalog),
+    : EstimateService(nullptr, WrapAsDefault(catalog), options) {}
+
+EstimateService::EstimateService(DatasetCatalog* datasets,
+                                 const ServiceOptions& options)
+    : EstimateService(datasets, nullptr, options) {}
+
+EstimateService::EstimateService(DatasetCatalog* datasets,
+                                 std::unique_ptr<DatasetCatalog> owned,
+                                 const ServiceOptions& options)
+    : owned_datasets_(std::move(owned)),
+      datasets_(datasets != nullptr ? datasets : owned_datasets_.get()),
       options_(options),
       num_workers_(options.num_workers == 0
                        ? std::max(1u, std::thread::hardware_concurrency())
@@ -44,7 +64,7 @@ EstimateService::EstimateService(SnapshotCatalog* catalog,
                                       std::chrono::nanoseconds>(
                                       options.slow_threshold)
                                       .count())})),
-      queue_(options.queue_capacity),
+      queue_(options.queue_capacity, options.tenants),
       pool_(num_workers_) {
   // The pool's ParallelFor is synchronous, so a dispatcher thread
   // hosts it: each "item" is one worker's whole serve loop, which
@@ -54,15 +74,20 @@ EstimateService::EstimateService(SnapshotCatalog* catalog,
   });
   // A failed rebuild leaves the last good snapshot answering but the
   // operator should know: flip health to degraded with the builder's
-  // error as the reason; the next successful rebuild clears it.
+  // error as the reason; the next successful rebuild on that dataset
+  // clears it. One HealthMonitor covers all datasets (the service
+  // brown-out is process-wide), so the reason names the dataset.
   // Shutdown unregisters before this service dies.
-  catalog_->SetRebuildListener([this](const Status& status) {
-    if (status.ok()) {
-      health_.ClearDegraded();
-    } else {
-      health_.SetDegraded("rebuild failed: " + status.message());
-    }
-  });
+  for (const std::string& id : datasets_->DatasetIds()) {
+    datasets_->Find(id)->SetRebuildListener([this, id](const Status& status) {
+      if (status.ok()) {
+        health_.ClearDegraded();
+      } else {
+        health_.SetDegraded("rebuild failed (dataset '" + id +
+                            "'): " + status.message());
+      }
+    });
+  }
 }
 
 EstimateService::~EstimateService() { Shutdown(/*drain=*/true); }
@@ -106,11 +131,20 @@ std::future<EstimateResponse> EstimateService::Submit(
     Reject(std::move(item), Status::Unavailable("service is shut down"));
     return future;
   }
+  // Dataset routing happens first: an unknown dataset is a client
+  // error, rejected before it can cost a cache probe or a queue slot.
+  item.dataset = std::string(ResolveDatasetId(item.request.dataset));
+  item.catalog = datasets_->Find(item.dataset);
+  if (item.catalog == nullptr) {
+    Reject(std::move(item), Status::InvalidArgument(
+                                "unknown dataset '" + item.dataset + "'"));
+    return future;
+  }
   if (cache_ != nullptr) {
     // Admission-time lookup, before the queue: a hit bypasses
     // backpressure entirely. The key uses the version current *now*;
     // a hit therefore claims exactly the version it was computed on.
-    const uint64_t version = catalog_->version();
+    const uint64_t version = item.catalog->version();
     if (version != 0) {
       item.canonical = core::CanonicalizeQuery(
           item.request.twig, item.request.algorithm, item.request.semantics);
@@ -118,7 +152,7 @@ std::future<EstimateResponse> EstimateService::Submit(
       const bool hit = cache_->Lookup(
           ResultCache::MakeKeyFromCanonical(version, item.request.algorithm,
                                             item.request.semantics,
-                                            item.canonical),
+                                            item.canonical, item.dataset),
           &cached);
       item.span.Mark(obs::SpanStage::kCacheLookup);
       if (hit) {
@@ -163,17 +197,36 @@ std::future<EstimateResponse> EstimateService::Submit(
     return future;
   }
   item.span.Mark(obs::SpanStage::kEnqueued);
-  if (!queue_.TryPush(item)) {
-    // The queue refused: the span never actually entered it.
-    item.span.record.offset_ns[static_cast<size_t>(
-        obs::SpanStage::kEnqueued)] = obs::kSpanStageUnset;
-    Reject(std::move(item),
-           queue_.closed()
-               ? Status::Unavailable("service is shutting down")
-               : Status::Unavailable("overloaded: request queue is full"));
-    return future;
+  const std::string tenant(ResolveTenantId(item.request.tenant));
+  std::chrono::milliseconds throttle_hint{0};
+  switch (queue_.TryPush(tenant, item, &throttle_hint)) {
+    case FairQueue<Item>::PushVerdict::kAdmitted:
+      obs::CountEvent(obs::Counter::kServeEnqueued);
+      obs::CountEvent(obs::Counter::kServeTenantAdmitted);
+      return future;
+    case FairQueue<Item>::PushVerdict::kThrottled:
+      obs::CountEvent(obs::Counter::kServeTenantThrottled);
+      item.span.record.offset_ns[static_cast<size_t>(
+          obs::SpanStage::kEnqueued)] = obs::kSpanStageUnset;
+      Reject(std::move(item),
+             Status::Unavailable("tenant '" + tenant +
+                                 "' throttled: over rate or queue share"),
+             throttle_hint);
+      return future;
+    case FairQueue<Item>::PushVerdict::kClosed:
+      item.span.record.offset_ns[static_cast<size_t>(
+          obs::SpanStage::kEnqueued)] = obs::kSpanStageUnset;
+      Reject(std::move(item),
+             Status::Unavailable("service is shutting down"));
+      return future;
+    case FairQueue<Item>::PushVerdict::kFull:
+      break;
   }
-  obs::CountEvent(obs::Counter::kServeEnqueued);
+  // The queue refused at total capacity: the span never entered it.
+  item.span.record.offset_ns[static_cast<size_t>(
+      obs::SpanStage::kEnqueued)] = obs::kSpanStageUnset;
+  Reject(std::move(item),
+         Status::Unavailable("overloaded: request queue is full"));
   return future;
 }
 
@@ -203,7 +256,8 @@ void EstimateService::ServeLoop() {
       item.promise.set_value(std::move(response));
       continue;
     }
-    const std::shared_ptr<const CstSnapshot> snapshot = catalog_->Current();
+    const std::shared_ptr<const CstSnapshot> snapshot =
+        item.catalog->Current();
     if (snapshot == nullptr) {
       obs::CountEvent(obs::Counter::kServeRejected);
       response.status = Status::Unavailable("no snapshot published yet");
@@ -306,7 +360,7 @@ void EstimateService::ServeLoop() {
       cache_->Insert(
           ResultCache::MakeKeyFromCanonical(
               snapshot->version, item.request.algorithm,
-              item.request.semantics, item.canonical),
+              item.request.semantics, item.canonical, item.dataset),
           CachedEstimate{response.estimate, snapshot->version,
                          response.exec_time});
     }
@@ -320,10 +374,12 @@ void EstimateService::ServeLoop() {
 void EstimateService::Shutdown(bool drain) {
   std::lock_guard<std::mutex> lock(shutdown_mutex_);
   if (shut_down_.load(std::memory_order_acquire)) return;
-  // Unregister the rebuild listener first: it captures `this`, and
+  // Unregister the rebuild listeners first: they capture `this`, and
   // SetRebuildListener blocks until any in-progress invocation
   // returns, so no rebuild thread can touch health_ past this line.
-  catalog_->SetRebuildListener(nullptr);
+  for (const std::string& id : datasets_->DatasetIds()) {
+    datasets_->Find(id)->SetRebuildListener(nullptr);
+  }
   // Close first so workers see end-of-stream; only then mark the
   // service down for Submit (requests racing the close are rejected by
   // TryPush on the closed queue).

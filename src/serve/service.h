@@ -1,15 +1,22 @@
-// The estimation service: a bounded request queue in front of a pool
-// of estimation workers reading from a SnapshotCatalog.
+// The estimation service: a tenant-fair bounded request queue in
+// front of a pool of estimation workers reading from a DatasetCatalog
+// (or a single wrapped SnapshotCatalog).
 //
 // Admission discipline (in the order a request meets it):
-//   0. Result cache (when enabled): a request whose (current snapshot
-//     version, algorithm, semantics, canonical twig) was answered
-//     before resolves immediately with the cached, bit-identical
-//     estimate — it never touches the queue, so a hit cannot be
-//     rejected as overload and costs no worker time.
-//   1. Backpressure: a full queue rejects immediately with Unavailable
-//     ("structured overload"), never buffers without bound and never
-//     blocks the caller.
+//   0. Dataset routing: the request's dataset id (empty = "default")
+//     resolves to its SnapshotCatalog at admission; an unknown id
+//     rejects with InvalidArgument before costing anything else.
+//   0b. Result cache (when enabled): a request whose (dataset, current
+//     snapshot version, algorithm, semantics, canonical twig) was
+//     answered before resolves immediately with the cached,
+//     bit-identical estimate — it never touches the queue, so a hit
+//     cannot be rejected as overload and costs no worker time.
+//   1. Backpressure, tenant-fair (serve/fair_queue.h): a tenant over
+//     its token-bucket rate or its weighted queue share is *throttled*
+//     (Unavailable with a retry_after hint); a full queue rejects with
+//     overload. Either way the caller is never blocked and queued work
+//     drains by deficit round-robin, so one hot tenant cannot starve
+//     the rest.
 //   2. Deadlines: each request carries an absolute deadline (or
 //     inherits the service default). A request that expires while
 //     queued is answered DeadlineExceeded by the worker that dequeues
@@ -50,7 +57,7 @@
 #include "obs/flight_recorder.h"
 #include "obs/span.h"
 #include "query/twig.h"
-#include "serve/bounded_queue.h"
+#include "serve/fair_queue.h"
 #include "serve/health.h"
 #include "serve/result_cache.h"
 #include "serve/snapshot.h"
@@ -88,6 +95,10 @@ struct ServiceOptions {
   /// Health state machine thresholds (serve/health.h): when brown-out
   /// begins and ends, and the Retry-After hint shed responses carry.
   HealthOptions health;
+  /// Per-tenant admission quotas and weights (serve/fair_queue.h).
+  /// The defaults — unlimited rate, weight 1 — make single-tenant
+  /// traffic behave exactly like the plain bounded queue.
+  TenantPolicy tenants;
   /// Test seam: runs on the worker after dequeuing each request,
   /// before the deadline check. Lets tests hold a worker mid-request
   /// to force deterministic overload / expiry / drain scenarios.
@@ -102,6 +113,12 @@ struct EstimateRequest {
   /// applies at admission).
   std::chrono::steady_clock::time_point deadline =
       std::chrono::steady_clock::time_point::max();
+  /// Dataset to answer against; empty = "default". An unregistered
+  /// dataset rejects with InvalidArgument at admission.
+  std::string dataset;
+  /// Tenant the request bills to; empty = "default". Quotas and queue
+  /// shares come from ServiceOptions::tenants.
+  std::string tenant;
 };
 
 struct EstimateResponse {
@@ -130,10 +147,19 @@ struct EstimateResponse {
 
 class EstimateService {
  public:
-  /// `catalog` must outlive the service. Workers start immediately;
-  /// requests submitted before the first Publish are answered
-  /// Unavailable.
+  /// Single-dataset compatibility constructor: wraps `catalog` as the
+  /// "default" dataset of an internal DatasetCatalog. `catalog` must
+  /// outlive the service. Workers start immediately; requests
+  /// submitted before the first Publish are answered Unavailable.
   explicit EstimateService(SnapshotCatalog* catalog,
+                           const ServiceOptions& options = {});
+
+  /// Multi-dataset constructor: requests route by EstimateRequest::
+  /// dataset against `datasets`, which must outlive the service and
+  /// have every dataset registered before construction (rebuild
+  /// listeners are wired here; later registrations serve but do not
+  /// flip health on rebuild failures).
+  explicit EstimateService(DatasetCatalog* datasets,
                            const ServiceOptions& options = {});
 
   EstimateService(const EstimateService&) = delete;
@@ -161,6 +187,15 @@ class EstimateService {
   size_t queue_capacity() const { return queue_.capacity(); }
   size_t num_workers() const { return num_workers_; }
 
+  /// The dataset map requests route against (the internal wrapper for
+  /// the single-catalog constructor).
+  DatasetCatalog* datasets() const { return datasets_; }
+
+  /// Lifetime per-tenant admission accounting, for the stats verb.
+  std::vector<TenantStats> tenant_stats() const {
+    return queue_.tenant_stats();
+  }
+
   /// The result cache, nullptr when options.cache_entries was 0.
   const ResultCache* result_cache() const { return cache_.get(); }
 
@@ -184,6 +219,11 @@ class EstimateService {
     core::CanonicalQueryKey canonical;
     /// The request's timeline; inactive when the recorder is disabled.
     obs::RequestSpan span;
+    /// The dataset's catalog, resolved at admission so the worker
+    /// never re-routes (and an unknown dataset never reaches a
+    /// worker). Normalized dataset id alongside, for the cache key.
+    SnapshotCatalog* catalog = nullptr;
+    std::string dataset;
   };
 
   /// One worker's serve loop: pop, check deadline, pin snapshot,
@@ -200,7 +240,17 @@ class EstimateService {
   /// span to the recorder. No-op on an inactive span.
   void FinishSpan(Item& item, obs::SpanOutcome outcome);
 
-  SnapshotCatalog* const catalog_;
+  /// Shared tail of the public constructors; `owned` is the wrapper
+  /// catalog the single-dataset constructor builds (null otherwise).
+  EstimateService(DatasetCatalog* datasets,
+                  std::unique_ptr<DatasetCatalog> owned,
+                  const ServiceOptions& options);
+
+  /// The single-catalog constructor's wrapper; null when the caller
+  /// provided a DatasetCatalog. Declared before datasets_ so the
+  /// member initializer may read it.
+  std::unique_ptr<DatasetCatalog> owned_datasets_;
+  DatasetCatalog* const datasets_;
   const ServiceOptions options_;
   const size_t num_workers_;
   /// Health state machine; fed by admission (Assess) and the workers
@@ -213,7 +263,7 @@ class EstimateService {
   /// Created before the workers, destroyed after them (lock-free; any
   /// thread records). nullptr disables span tracing.
   std::unique_ptr<obs::FlightRecorder> recorder_;
-  BoundedQueue<Item> queue_;
+  FairQueue<Item> queue_;
   util::ThreadPool pool_;
   /// Runs the blocking ParallelFor that hosts the serve loops.
   std::thread dispatcher_;

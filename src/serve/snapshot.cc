@@ -143,4 +143,44 @@ bool SnapshotCatalog::rebuild_in_flight() const {
   return rebuild_in_flight_;
 }
 
+SnapshotCatalog* DatasetCatalog::Create(std::string_view id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = datasets_.find(id);
+  if (it != datasets_.end()) return it->second.catalog;
+  Entry entry;
+  entry.owned = std::make_unique<SnapshotCatalog>();
+  entry.catalog = entry.owned.get();
+  SnapshotCatalog* catalog = entry.catalog;
+  datasets_.emplace(std::string(id), std::move(entry));
+  return catalog;
+}
+
+bool DatasetCatalog::Register(std::string_view id, SnapshotCatalog* catalog) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (datasets_.find(id) != datasets_.end()) return false;
+  Entry entry;
+  entry.catalog = catalog;
+  datasets_.emplace(std::string(id), std::move(entry));
+  return true;
+}
+
+SnapshotCatalog* DatasetCatalog::Find(std::string_view id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = datasets_.find(ResolveDatasetId(id));
+  return it == datasets_.end() ? nullptr : it->second.catalog;
+}
+
+std::vector<std::string> DatasetCatalog::DatasetIds() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> ids;
+  ids.reserve(datasets_.size());
+  for (const auto& [id, entry] : datasets_) ids.push_back(id);
+  return ids;  // std::map iterates sorted
+}
+
+size_t DatasetCatalog::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return datasets_.size();
+}
+
 }  // namespace twig::serve

@@ -24,11 +24,13 @@
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <utility>
+#include <vector>
 
 #include "cst/cst.h"
 #include "tree/tree.h"
@@ -145,6 +147,66 @@ class SnapshotCatalog {
   /// guarantee.
   std::mutex listener_mutex_;
   std::function<void(const Status&)> rebuild_listener_;
+};
+
+/// The dataset id requests resolve to when they carry none. Also the
+/// id under which the single-catalog compatibility constructors
+/// register their catalog.
+inline constexpr const char kDefaultDataset[] = "default";
+
+/// Normalizes a wire-supplied dataset id: empty means "default".
+inline std::string_view ResolveDatasetId(std::string_view id) {
+  return id.empty() ? std::string_view(kDefaultDataset) : id;
+}
+
+/// A keyed map `dataset id -> snapshot lineage`. Each dataset keeps
+/// its own SnapshotCatalog — its own RCU lineage, version sequence,
+/// rebuild machinery, and rebuild listener — so corpora swap and
+/// degrade independently. The map itself is insert-only: datasets are
+/// registered before serving starts and never removed, so Find returns
+/// a pointer that stays valid for the catalog's lifetime and the
+/// per-request cost is one mutex-guarded map lookup.
+///
+/// Catalogs may be owned (Create) or borrowed (Register) — borrowing
+/// is how the single-catalog compatibility constructors wrap a
+/// caller-owned SnapshotCatalog as the "default" dataset without
+/// changing its lifetime.
+class DatasetCatalog {
+ public:
+  DatasetCatalog() = default;
+  DatasetCatalog(const DatasetCatalog&) = delete;
+  DatasetCatalog& operator=(const DatasetCatalog&) = delete;
+
+  /// Creates (and owns) an empty lineage for `id`. Returns the
+  /// existing catalog when `id` is already registered.
+  SnapshotCatalog* Create(std::string_view id);
+
+  /// Registers a caller-owned catalog under `id` (the caller keeps it
+  /// alive for this object's lifetime). Returns false when `id` is
+  /// already registered (the existing entry wins).
+  bool Register(std::string_view id, SnapshotCatalog* catalog);
+
+  /// The catalog for `id` (empty = default), or nullptr when no such
+  /// dataset is registered. The pointer stays valid forever (datasets
+  /// are never removed).
+  SnapshotCatalog* Find(std::string_view id) const;
+
+  /// Find(kDefaultDataset).
+  SnapshotCatalog* Default() const { return Find(kDefaultDataset); }
+
+  /// Registered dataset ids, sorted.
+  std::vector<std::string> DatasetIds() const;
+
+  size_t size() const;
+
+ private:
+  struct Entry {
+    std::unique_ptr<SnapshotCatalog> owned;  // null for Register()ed
+    SnapshotCatalog* catalog = nullptr;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry, std::less<>> datasets_;
 };
 
 }  // namespace twig::serve

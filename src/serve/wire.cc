@@ -28,6 +28,12 @@ void BeginResponse(obs::JsonWriter& writer, const WireRequest* request,
     writer.Key("op");
     writer.String(request->op);
   }
+  // Multi-dataset clients get their routing echoed back; requests
+  // that carried no dataset see the exact pre-dataset envelope.
+  if (request != nullptr && !request->dataset.empty()) {
+    writer.Key("dataset");
+    writer.String(request->dataset);
+  }
 }
 
 }  // namespace
@@ -127,6 +133,28 @@ Result<WireRequest> ParseRequest(std::string_view line) {
       return Status::ParseError("\"spec\" must be a string");
     }
     request.spec = spec->string_value;
+  }
+
+  // Dataset and tenant ids are bounded: both become map keys on the
+  // server (tenant state persists for the process), so an adversarial
+  // client must not be able to key unbounded state with huge names.
+  if (const obs::JsonValue* dataset = root.Find("dataset");
+      dataset != nullptr) {
+    if (dataset->kind != obs::JsonValue::Kind::kString ||
+        dataset->string_value.size() > kMaxIdBytes) {
+      return Status::ParseError(
+          "\"dataset\" must be a string of at most 256 bytes");
+    }
+    request.dataset = dataset->string_value;
+  }
+
+  if (const obs::JsonValue* tenant = root.Find("tenant"); tenant != nullptr) {
+    if (tenant->kind != obs::JsonValue::Kind::kString ||
+        tenant->string_value.size() > kMaxIdBytes) {
+      return Status::ParseError(
+          "\"tenant\" must be a string of at most 256 bytes");
+    }
+    request.tenant = tenant->string_value;
   }
 
   return request;
@@ -234,7 +262,9 @@ std::string StatsResponse(const WireRequest& request,
                           const obs::MetricsSnapshot& snapshot,
                           const obs::FlightRecorder* recorder,
                           uint64_t version, size_t queue_depth,
-                          size_t queue_capacity) {
+                          size_t queue_capacity,
+                          const std::vector<DatasetWireInfo>& datasets,
+                          const std::vector<TenantStats>& tenants) {
   obs::JsonWriter writer;
   BeginResponse(writer, &request, /*ok=*/true);
   writer.Key("version");
@@ -302,6 +332,37 @@ std::string StatsResponse(const WireRequest& request,
     writer.Double(static_cast<double>(stats.slow_threshold_ns) / 1e3);
   }
   writer.EndObject();
+  if (!datasets.empty()) {
+    writer.Key("datasets");
+    writer.BeginObject();
+    for (const DatasetWireInfo& info : datasets) {
+      writer.Key(info.dataset);
+      writer.BeginObject();
+      writer.Key("version");
+      writer.Uint(info.version);
+      writer.EndObject();
+    }
+    writer.EndObject();
+  }
+  if (!tenants.empty()) {
+    writer.Key("tenants");
+    writer.BeginArray();
+    for (const TenantStats& tenant : tenants) {
+      writer.BeginObject();
+      writer.Key("tenant");
+      writer.String(tenant.tenant);
+      writer.Key("admitted");
+      writer.Uint(tenant.admitted);
+      writer.Key("throttled");
+      writer.Uint(tenant.throttled);
+      writer.Key("queued");
+      writer.Uint(tenant.queued);
+      writer.Key("weight");
+      writer.Double(tenant.weight);
+      writer.EndObject();
+    }
+    writer.EndArray();
+  }
   writer.EndObject();
   return std::move(writer).str();
 }

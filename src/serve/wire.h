@@ -64,6 +64,13 @@ struct WireRequest {
   /// failpoint: the "name=action[:arg],..." list to apply; empty =
   /// list the configured failpoints with their stats.
   std::string spec;
+  /// Dataset to route against; empty = "default". Honored by
+  /// estimate/explain/swap/ping/health (and echoed in responses when
+  /// nonempty); an unknown dataset is a structured error.
+  std::string dataset;
+  /// Tenant the request bills to; empty = "default". Feeds the
+  /// admission quotas and fair queue.
+  std::string tenant;
 };
 
 /// Parses "MSH" / "MO" / ... (core::AlgorithmName spelling).
@@ -78,6 +85,10 @@ inline constexpr double kMaxDeadlineMs = 1e9;
 /// Upper bound on "space" (a CST space fraction; generous, but keeps
 /// space * data_bytes inside size_t for any real document).
 inline constexpr double kMaxSpaceFraction = 1e6;
+
+/// Upper bound on the "dataset" and "tenant" id fields. Both key
+/// server-side maps, so the wire must bound them.
+inline constexpr size_t kMaxIdBytes = 256;
 
 /// True iff `value` is a finite number in [0, max]. NaN fails every
 /// comparison with false, so `value < 0` alone would let NaN (and
@@ -139,11 +150,19 @@ std::string ExplainResponse(const WireRequest& request,
 ///        "p50_abs":..,"p99_abs":..},
 ///    "recorder":{"enabled":..,"capacity":..,"recorded":..,"dropped":..,
 ///        "slow_capacity":..,"slow_recorded":..,"slow_threshold_us":..}}
+/// Per-dataset line for the stats verb: id and current version.
+struct DatasetWireInfo {
+  std::string dataset;
+  uint64_t version = 0;
+};
+
 std::string StatsResponse(const WireRequest& request,
                           const obs::MetricsSnapshot& snapshot,
                           const obs::FlightRecorder* recorder,
                           uint64_t version, size_t queue_depth,
-                          size_t queue_capacity);
+                          size_t queue_capacity,
+                          const std::vector<DatasetWireInfo>& datasets = {},
+                          const std::vector<TenantStats>& tenants = {});
 
 /// The `recent` verb: the flight recorder's retained spans and slow
 /// log as JSON arrays (SpanRecordToJson elements, oldest first):

@@ -614,7 +614,7 @@ TEST_F(TraceTest, TextAndJsonRenderings) {
 
 TEST(MetricsTest, SchemaVersionIsPinnedAndRoundTrips) {
   // Downstream scrapers key on this; bumping it is a deliberate act.
-  EXPECT_EQ(kMetricsSchemaVersion, 4u);
+  EXPECT_EQ(kMetricsSchemaVersion, 5u);
   const Result<JsonValue> parsed =
       ParseJson(MetricsRegistry::Get().Snapshot().ToJson());
   ASSERT_TRUE(parsed.ok());

@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
+#include <sys/resource.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -32,6 +34,7 @@
 #include "obs/span.h"
 #include "query/twig.h"
 #include "serve/bounded_queue.h"
+#include "serve/fair_queue.h"
 #include "serve/health.h"
 #include "serve/result_cache.h"
 #include "serve/retry.h"
@@ -133,6 +136,155 @@ TEST(BoundedQueueTest, ZeroCapacityIsBumpedToOne) {
   BoundedQueue<int> q(0);
   EXPECT_EQ(q.capacity(), 1u);
   q.Close(/*drain=*/true);
+}
+
+// ---------------------------------------------------------------------------
+// FairQueue
+
+TEST(FairQueueTest, SingleTenantDegeneratesToFifo) {
+  FairQueue<int> q(8);
+  for (int i = 0; i < 5; ++i) {
+    int item = i;
+    ASSERT_EQ(q.TryPush("", item), FairQueue<int>::PushVerdict::kAdmitted);
+  }
+  for (int i = 0; i < 5; ++i) {
+    std::optional<int> item = q.Pop();
+    ASSERT_TRUE(item.has_value());
+    EXPECT_EQ(*item, i);
+  }
+  const std::vector<TenantStats> stats = q.tenant_stats();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].tenant, kDefaultTenant);  // empty id resolves
+  EXPECT_EQ(stats[0].admitted, 5u);
+  EXPECT_EQ(stats[0].throttled, 0u);
+  q.Close(/*drain=*/true);
+}
+
+TEST(FairQueueTest, DeficitRoundRobinDrainsByWeight) {
+  TenantPolicy policy;
+  policy.overrides["heavy"].weight = 3;
+  policy.overrides["light"].weight = 1;
+  FairQueue<std::string> q(64, policy);
+  // Backlog both tenants, heavy first (ring order is activation order).
+  for (int i = 0; i < 12; ++i) {
+    std::string heavy = "heavy";
+    std::string light = "light";
+    ASSERT_EQ(q.TryPush("heavy", heavy),
+              FairQueue<std::string>::PushVerdict::kAdmitted);
+    ASSERT_EQ(q.TryPush("light", light),
+              FairQueue<std::string>::PushVerdict::kAdmitted);
+  }
+  // DRR grants each tenant `weight` credits per ring pass, so every
+  // window of 4 pops serves heavy 3 times and light once.
+  std::map<std::string, int> served;
+  for (int i = 0; i < 16; ++i) {
+    std::optional<std::string> item = q.Pop();
+    ASSERT_TRUE(item.has_value());
+    ++served[*item];
+  }
+  EXPECT_EQ(served["heavy"], 12);
+  EXPECT_EQ(served["light"], 4);
+  q.Close(/*drain=*/false);
+}
+
+TEST(FairQueueTest, TokenBucketThrottlesWithARetryHint) {
+  TenantPolicy policy;
+  policy.overrides["metered"].rate = 5;  // tokens per second
+  policy.overrides["metered"].burst = 2;
+  FairQueue<int> q(16, policy);
+  const auto t0 = FairQueue<int>::Clock::now();
+  int item = 0;
+  // A fresh tenant may spend its full burst...
+  ASSERT_EQ(q.TryPush("metered", item, nullptr, t0),
+            FairQueue<int>::PushVerdict::kAdmitted);
+  ASSERT_EQ(q.TryPush("metered", item, nullptr, t0),
+            FairQueue<int>::PushVerdict::kAdmitted);
+  // ...then the bucket is empty and the hint points at the next token
+  // (1/rate = 200 ms away).
+  std::chrono::milliseconds retry{0};
+  ASSERT_EQ(q.TryPush("metered", item, &retry, t0),
+            FairQueue<int>::PushVerdict::kThrottled);
+  EXPECT_GE(retry.count(), 1);
+  EXPECT_LE(retry.count(), 200);
+  // A second later the bucket has refilled.
+  ASSERT_EQ(q.TryPush("metered", item, nullptr,
+                      t0 + std::chrono::seconds(1)),
+            FairQueue<int>::PushVerdict::kAdmitted);
+  // The unmetered default tenant was never gated.
+  ASSERT_EQ(q.TryPush("", item), FairQueue<int>::PushVerdict::kAdmitted);
+  const std::vector<TenantStats> stats = q.tenant_stats();
+  for (const TenantStats& tenant : stats) {
+    if (tenant.tenant == "metered") {
+      EXPECT_EQ(tenant.admitted, 3u);
+      EXPECT_EQ(tenant.throttled, 1u);
+    }
+  }
+  q.Close(/*drain=*/false);
+}
+
+TEST(FairQueueTest, OccupancyCapBoundsAHotTenantsQueueShare) {
+  FairQueue<int> q(8);  // two active equal-weight tenants: 4 slots each
+  int item = 0;
+  ASSERT_EQ(q.TryPush("victim", item),
+            FairQueue<int>::PushVerdict::kAdmitted);
+  std::chrono::milliseconds retry{0};
+  int hot_admitted = 0;
+  FairQueue<int>::PushVerdict verdict;
+  while ((verdict = q.TryPush("hot", item, &retry)) ==
+         FairQueue<int>::PushVerdict::kAdmitted) {
+    ++hot_admitted;
+    ASSERT_LE(hot_admitted, 8);
+  }
+  // The flood saturates its weighted share, not the whole queue...
+  EXPECT_EQ(hot_admitted, 4);
+  EXPECT_EQ(verdict, FairQueue<int>::PushVerdict::kThrottled);
+  EXPECT_EQ(retry, std::chrono::milliseconds(10));  // occupancy_retry
+  // ...so the victim's pushes keep admitting.
+  ASSERT_EQ(q.TryPush("victim", item),
+            FairQueue<int>::PushVerdict::kAdmitted);
+  q.Close(/*drain=*/false);
+}
+
+TEST(FairQueueTest, TotalCapacityStillRejectsAsFull) {
+  FairQueue<int> q(4);
+  int item = 0;
+  // A lone tenant's occupancy share is the whole queue, so the fifth
+  // push hits the tenant-independent capacity wall, not a throttle.
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_EQ(q.TryPush("solo", item),
+              FairQueue<int>::PushVerdict::kAdmitted);
+  }
+  EXPECT_EQ(q.TryPush("solo", item), FairQueue<int>::PushVerdict::kFull);
+  q.Close(/*drain=*/false);
+}
+
+TEST(FairQueueTest, CloseDrainsOrReturnsLeftovers) {
+  FairQueue<int> drained(8);
+  for (int i = 0; i < 3; ++i) {
+    int item = i;
+    ASSERT_EQ(drained.TryPush("a", item),
+              FairQueue<int>::PushVerdict::kAdmitted);
+  }
+  EXPECT_TRUE(drained.Close(/*drain=*/true).empty());
+  int item = 9;
+  EXPECT_EQ(drained.TryPush("a", item),
+            FairQueue<int>::PushVerdict::kClosed);
+  for (int i = 0; i < 3; ++i) EXPECT_TRUE(drained.Pop().has_value());
+  EXPECT_FALSE(drained.Pop().has_value());
+
+  FairQueue<int> dropped(8);
+  for (int i = 0; i < 3; ++i) {
+    int one = i;
+    int other = i + 10;
+    ASSERT_EQ(dropped.TryPush("a", one),
+              FairQueue<int>::PushVerdict::kAdmitted);
+    ASSERT_EQ(dropped.TryPush("b", other),
+              FairQueue<int>::PushVerdict::kAdmitted);
+  }
+  const std::vector<int> leftovers = dropped.Close(/*drain=*/false);
+  EXPECT_EQ(leftovers.size(), 6u);  // nothing silently lost
+  EXPECT_FALSE(dropped.Pop().has_value());
+  EXPECT_TRUE(dropped.Close(/*drain=*/false).empty());  // idempotent
 }
 
 // ---------------------------------------------------------------------------
@@ -380,6 +532,42 @@ TEST(SnapshotCatalogTest, ConcurrentSwapKeepsPinnedReadersBitIdentical) {
 }
 
 // ---------------------------------------------------------------------------
+// DatasetCatalog
+
+TEST(DatasetCatalogTest, KeyedLineagesWithDefaultResolution) {
+  DatasetCatalog datasets;
+  SnapshotCatalog* created = datasets.Create("dblp");
+  ASSERT_NE(created, nullptr);
+  EXPECT_EQ(datasets.Create("dblp"), created);  // idempotent
+
+  SnapshotCatalog external;
+  EXPECT_TRUE(datasets.Register("external", &external));
+  EXPECT_FALSE(datasets.Register("external", &external));  // duplicate
+
+  EXPECT_EQ(datasets.Find("dblp"), created);
+  EXPECT_EQ(datasets.Find("external"), &external);
+  EXPECT_EQ(datasets.Find("missing"), nullptr);
+  EXPECT_EQ(datasets.size(), 2u);
+
+  // The empty id resolves to "default".
+  EXPECT_EQ(datasets.Find(""), nullptr);
+  EXPECT_EQ(datasets.Default(), nullptr);
+  SnapshotCatalog* fallback = datasets.Create(kDefaultDataset);
+  ASSERT_NE(fallback, nullptr);
+  EXPECT_EQ(datasets.Find(""), fallback);
+  EXPECT_EQ(datasets.Default(), fallback);
+
+  const std::vector<std::string> ids = datasets.DatasetIds();
+  EXPECT_EQ(ids, (std::vector<std::string>{"dblp", "default", "external"}));
+
+  // Lineages are independent: publishing one never moves another.
+  created->Publish(BuildFigureOneCst(), "v1");
+  EXPECT_EQ(created->version(), 1u);
+  EXPECT_EQ(external.version(), 0u);
+  EXPECT_EQ(fallback->version(), 0u);
+}
+
+// ---------------------------------------------------------------------------
 // ResultCache
 
 ResultCache::Key CacheKey(uint64_t version, const char* text,
@@ -451,6 +639,31 @@ TEST(ResultCacheTest, VersionsAreIsolated) {
   EXPECT_EQ(out.estimate, 20);
   // A version nobody cached under never hits, same query or not.
   EXPECT_FALSE(cache.Lookup(CacheKey(3, "a.b"), &out));
+}
+
+TEST(ResultCacheTest, DatasetsPartitionTheKeySpace) {
+  // Two datasets run independent version sequences, so "version 1 of
+  // query a.b" is ambiguous without the dataset in the key — the same
+  // canonical twig must be able to hold a different answer per dataset.
+  ResultCache cache(ResultCacheOptions{8, 1});
+  const query::Twig twig = MustParse("a.b");
+  const ResultCache::Key on_x =
+      ResultCache::MakeKey(1, core::Algorithm::kMsh,
+                           core::CountSemantics::kOccurrence, twig, "x");
+  const ResultCache::Key on_y =
+      ResultCache::MakeKey(1, core::Algorithm::kMsh,
+                           core::CountSemantics::kOccurrence, twig, "y");
+  cache.Insert(on_x, CacheValue(10, 1));
+  cache.Insert(on_y, CacheValue(20, 1));
+  CachedEstimate out;
+  ASSERT_TRUE(cache.Lookup(on_x, &out));
+  EXPECT_EQ(out.estimate, 10);
+  ASSERT_TRUE(cache.Lookup(on_y, &out));
+  EXPECT_EQ(out.estimate, 20);
+  // The dataset-less spelling of the same (version, twig) is a third,
+  // distinct entry — legacy single-dataset keys never collide with
+  // keyed ones.
+  EXPECT_FALSE(cache.Lookup(CacheKey(1, "a.b"), &out));
 }
 
 TEST(ResultCacheTest, AlgorithmAndSpellingFoldIntoTheKey) {
@@ -1023,6 +1236,130 @@ TEST(EstimateServiceTest, CacheEntriesAreVersionIsolatedAcrossAHotSwap) {
   EXPECT_GE(count(obs::Counter::kServeCacheHits), 2u);
   EXPECT_GE(count(obs::Counter::kServeCacheMisses), 2u);
   EXPECT_GE(delta.latency[obs::kServeCacheHitSeries].count, 2u);
+}
+
+/// A second, smaller generated corpus so multi-dataset tests have two
+/// datasets whose answers genuinely differ for the same query.
+const Corpus& AltCorpus() {
+  static const Corpus* corpus = [] {
+    auto* alt = new Corpus();
+    data::DblpOptions gen;
+    gen.target_bytes = 24 * 1024;
+    gen.seed = 7;
+    alt->data = data::GenerateDblp(gen);
+    alt->xml_bytes = xml::XmlByteSize(alt->data);
+    alt->pst = suffix::PathSuffixTree::Build(alt->data);
+    return alt;
+  }();
+  return *corpus;
+}
+
+TEST(EstimateServiceTest, CacheNeverConflatesDatasets) {
+  // The conflation bug this pins down: two datasets serve the same
+  // canonical twig at the same snapshot version; without the dataset
+  // in the cache key, whichever dataset answers first poisons the
+  // other with its result.
+  DatasetCatalog datasets;
+  SnapshotCatalog* big = datasets.Create("big");
+  SnapshotCatalog* alt = datasets.Create("alt");
+  big->Publish(SharedCorpus().BuildCst(0.02), "big-v1");
+  alt->Publish(AltCorpus().BuildCst(0.02), "alt-v1");
+  ASSERT_EQ(big->version(), alt->version());  // identical but for dataset
+
+  ServiceOptions options;
+  options.num_workers = 1;
+  options.cache_entries = 64;
+  EstimateService service(&datasets, options);
+
+  const char* kQuery = "article(author, year)";
+  const double expected_big =
+      core::TwigEstimator(big->Current()->summary.get())
+          .Estimate(MustParse(kQuery), core::Algorithm::kMsh);
+  const double expected_alt =
+      core::TwigEstimator(alt->Current()->summary.get())
+          .Estimate(MustParse(kQuery), core::Algorithm::kMsh);
+  ASSERT_NE(expected_big, expected_alt);  // the corpora really differ
+
+  EstimateRequest on_big = MakeRequest(kQuery);
+  on_big.dataset = "big";
+  EstimateRequest on_alt = MakeRequest(kQuery);
+  on_alt.dataset = "alt";
+
+  // Warm big's entry, then ask alt: it must compute its own answer,
+  // not hit big's.
+  EXPECT_FALSE(service.SubmitAndWait(on_big).cached);
+  EstimateResponse alt_first = service.SubmitAndWait(on_alt);
+  ASSERT_TRUE(alt_first.status.ok());
+  EXPECT_FALSE(alt_first.cached);
+  EXPECT_EQ(alt_first.estimate, expected_alt);
+
+  // Both now hit, each with its own dataset's answer.
+  EstimateResponse big_hit = service.SubmitAndWait(on_big);
+  EXPECT_TRUE(big_hit.cached);
+  EXPECT_EQ(big_hit.estimate, expected_big);
+  EstimateResponse alt_hit = service.SubmitAndWait(on_alt);
+  EXPECT_TRUE(alt_hit.cached);
+  EXPECT_EQ(alt_hit.estimate, expected_alt);
+
+  // Swapping one dataset invalidates only its own entries: big moves
+  // to v2 and recomputes, alt keeps hitting its v1 entry.
+  big->Publish(SharedCorpus().BuildCst(0.05), "big-v2");
+  EstimateResponse big_v2 = service.SubmitAndWait(on_big);
+  ASSERT_TRUE(big_v2.status.ok());
+  EXPECT_FALSE(big_v2.cached);
+  EXPECT_EQ(big_v2.snapshot_version, 2u);
+  EstimateResponse alt_after = service.SubmitAndWait(on_alt);
+  EXPECT_TRUE(alt_after.cached);
+  EXPECT_EQ(alt_after.estimate, expected_alt);
+  EXPECT_EQ(alt_after.snapshot_version, 1u);
+
+  // An unregistered dataset is a structured admission error.
+  EstimateRequest unknown = MakeRequest(kQuery);
+  unknown.dataset = "nope";
+  EXPECT_EQ(service.SubmitAndWait(unknown).status.code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(EstimateServiceTest, TenantQuotaThrottlesWithStructuredError) {
+  SnapshotCatalog catalog;
+  catalog.Publish(BuildFigureOneCst(), "v1");
+  ServiceOptions options;
+  options.num_workers = 1;
+  options.tenants.overrides["metered"].rate = 0.001;  // ~one per 17 min
+  options.tenants.overrides["metered"].burst = 2;
+  const obs::MetricsSnapshot before = obs::MetricsRegistry::Get().Snapshot();
+  EstimateService service(&catalog, options);
+
+  EstimateRequest request = MakeRequest("article.author");
+  request.tenant = "metered";
+  EXPECT_TRUE(service.SubmitAndWait(request).status.ok());
+  EXPECT_TRUE(service.SubmitAndWait(request).status.ok());
+  EstimateResponse throttled = service.SubmitAndWait(request);
+  EXPECT_EQ(throttled.status.code(), StatusCode::kUnavailable);
+  EXPECT_NE(throttled.status.message().find("throttled"), std::string::npos);
+  EXPECT_GE(throttled.retry_after.count(), 1);  // when the token lands
+
+  // Another tenant is untouched by the metered tenant's bucket.
+  EstimateRequest other = MakeRequest("article.author");
+  other.tenant = "free";
+  EXPECT_TRUE(service.SubmitAndWait(other).status.ok());
+
+  const std::vector<TenantStats> stats = service.tenant_stats();
+  uint64_t metered_throttled = 0;
+  for (const TenantStats& tenant : stats) {
+    if (tenant.tenant == "metered") metered_throttled = tenant.throttled;
+  }
+  EXPECT_GE(metered_throttled, 1u);
+
+  service.Shutdown(/*drain=*/true);
+  const obs::MetricsSnapshot delta =
+      obs::MetricsRegistry::Get().Snapshot().Delta(before);
+  EXPECT_GE(delta.counters[static_cast<size_t>(
+                obs::Counter::kServeTenantAdmitted)],
+            3u);
+  EXPECT_GE(delta.counters[static_cast<size_t>(
+                obs::Counter::kServeTenantThrottled)],
+            1u);
 }
 
 // ---------------------------------------------------------------------------
@@ -2044,6 +2381,264 @@ TEST_F(TcpFrontEndTest, TornIoFailpointsDropConnectionsCleanly) {
   EXPECT_TRUE(
       MustParseJson(client.RoundTrip("{\"op\":\"ping\",\"id\":3}"))
           .GetBool("ok"));
+}
+
+TEST_F(TcpFrontEndTest, PipelinedBurstRepliesByteIdenticalToSequential) {
+  // The framing regression this pins down: the old per-recv
+  // buffer.erase(0, ...) compaction was quadratic over a pipelined
+  // burst, and any consume-offset bug reorders or tears replies. A
+  // burst sent as one write must produce the exact reply bytes of the
+  // same requests sent one at a time.
+  StartServer();
+  std::vector<std::string> requests;
+  requests.reserve(200);
+  for (int i = 0; i < 200; ++i) {
+    requests.push_back("{\"op\":\"ping\",\"id\":" + std::to_string(i) + "}");
+  }
+
+  std::vector<std::string> sequential;
+  {
+    TestClient client(front_end_->port());
+    ASSERT_TRUE(client.connected());
+    for (const std::string& request : requests) {
+      sequential.push_back(client.RoundTrip(request));
+      ASSERT_FALSE(sequential.back().empty());
+    }
+  }
+
+  TestClient client(front_end_->port());
+  ASSERT_TRUE(client.connected());
+  std::string burst;
+  for (const std::string& request : requests) burst += request + "\n";
+  client.Send(burst.substr(0, burst.size() - 1));  // Send re-adds one \n
+  for (size_t i = 0; i < requests.size(); ++i) {
+    EXPECT_EQ(client.ReadLine(), sequential[i]) << "reply " << i;
+  }
+}
+
+TEST_F(TcpFrontEndTest, PipelinedEstimatesReplyInRequestOrder) {
+  // Estimates resolve through futures off the event loop; the reply
+  // slots must still release them in request order, interleaved
+  // correctly with inline ops.
+  StartServer();
+  const char* kQueries[] = {"article(author, year)", "article.title",
+                            "inproceedings(author, pages)",
+                            "book.publisher"};
+  std::string burst;
+  for (int i = 0; i < 40; ++i) {
+    if (i % 5 == 4) {
+      burst += "{\"op\":\"ping\",\"id\":" + std::to_string(i) + "}\n";
+    } else {
+      burst += "{\"op\":\"estimate\",\"id\":" + std::to_string(i) +
+               ",\"query\":\"" + std::string(kQueries[i % 4]) + "\"}\n";
+    }
+  }
+  TestClient client(front_end_->port());
+  ASSERT_TRUE(client.connected());
+  client.Send(burst.substr(0, burst.size() - 1));
+  for (int i = 0; i < 40; ++i) {
+    obs::JsonValue reply = MustParseJson(client.ReadLine());
+    EXPECT_TRUE(reply.GetBool("ok")) << i;
+    EXPECT_DOUBLE_EQ(reply.GetNumber("id"), i);
+    EXPECT_EQ(reply.GetString("op"), i % 5 == 4 ? "ping" : "estimate");
+  }
+}
+
+TEST_F(TcpFrontEndTest, AcceptRidesOutFdExhaustion) {
+  // The accept-death regression: a transient EMFILE from accept() used
+  // to kill the handler thread for good — the server stayed up but
+  // went deaf. Now it counts a retry, backs off, and accepts again
+  // once descriptors free up.
+  StartServer();
+  {
+    TestClient warm(front_end_->port());
+    ASSERT_TRUE(warm.connected());
+    EXPECT_TRUE(MustParseJson(warm.RoundTrip("{\"op\":\"ping\",\"id\":1}"))
+                    .GetBool("ok"));
+  }
+  const auto retries = [] {
+    return obs::MetricsRegistry::Get().Snapshot().counters[static_cast<size_t>(
+        obs::Counter::kServeAcceptRetries)];
+  };
+  const uint64_t before = retries();
+
+  rlimit old_limit{};
+  ASSERT_EQ(getrlimit(RLIMIT_NOFILE, &old_limit), 0);
+  rlimit low = old_limit;
+  low.rlim_cur = 256;
+  ASSERT_EQ(setrlimit(RLIMIT_NOFILE, &low), 0);
+
+  // Exhaust the process's descriptors, keeping one in reserve for the
+  // victim client's socket.
+  std::vector<int> hogs;
+  for (;;) {
+    const int fd = open("/dev/null", O_RDONLY);
+    if (fd < 0) break;
+    hogs.push_back(fd);
+  }
+  ASSERT_FALSE(hogs.empty());
+  close(hogs.back());
+  hogs.pop_back();
+
+  // The victim's connect completes from the listen backlog without the
+  // server spending a descriptor; the server's accept4 hits EMFILE.
+  TestClient victim(front_end_->port());
+  ASSERT_TRUE(victim.connected());
+  const auto deadline = Clock::now() + std::chrono::seconds(5);
+  while (retries() == before && Clock::now() < deadline) {
+    std::this_thread::sleep_for(milliseconds(1));
+  }
+  EXPECT_GT(retries(), before);
+
+  // Release the descriptors: the backlogged connection must now be
+  // accepted and served — the listener never died.
+  for (const int fd : hogs) close(fd);
+  hogs.clear();
+  ASSERT_EQ(setrlimit(RLIMIT_NOFILE, &old_limit), 0);
+  const std::string reply = victim.RoundTrip("{\"op\":\"ping\",\"id\":2}");
+  ASSERT_FALSE(reply.empty());
+  EXPECT_TRUE(MustParseJson(reply).GetBool("ok"));
+}
+
+// ---------------------------------------------------------------------------
+// Multi-dataset, multi-tenant serving over TCP
+
+TEST(MultiDatasetTcpTest, RoutesEstimatesSwapsAndStatsPerDataset) {
+  DatasetCatalog datasets;
+  SnapshotCatalog* big = datasets.Create("big");
+  SnapshotCatalog* alt = datasets.Create("alt");
+  big->Publish(SharedCorpus().BuildCst(0.02), "big-v1");
+  alt->Publish(AltCorpus().BuildCst(0.02), "alt-v1");
+
+  ServiceOptions sopt;
+  sopt.num_workers = 2;
+  sopt.cache_entries = 64;
+  EstimateService service(&datasets, sopt);
+
+  TcpOptions topt;
+  topt.dataset_rebuilds["big"].rebuild = [](double space) {
+    return Result<cst::Cst>(
+        SharedCorpus().BuildCst(space > 0 ? space : 0.02));
+  };
+  TcpFrontEnd front_end(&datasets, &service, topt);
+  ASSERT_TRUE(front_end.Start().ok());
+
+  const char* kQuery = "article(author, year)";
+  const double expected_big =
+      core::TwigEstimator(big->Current()->summary.get())
+          .Estimate(MustParse(kQuery), core::Algorithm::kMsh);
+  const double expected_alt =
+      core::TwigEstimator(alt->Current()->summary.get())
+          .Estimate(MustParse(kQuery), core::Algorithm::kMsh);
+  ASSERT_NE(expected_big, expected_alt);
+
+  TestClient client(front_end.port());
+  ASSERT_TRUE(client.connected());
+  const auto estimate_on = [&](const char* dataset) {
+    return MustParseJson(client.RoundTrip(
+        std::string("{\"op\":\"estimate\",\"id\":1,\"query\":\"") + kQuery +
+        "\",\"dataset\":\"" + dataset + "\"}"));
+  };
+
+  // Identical query, different dataset, different correct answer —
+  // and the response echoes which dataset served it.
+  obs::JsonValue on_big = estimate_on("big");
+  ASSERT_TRUE(on_big.GetBool("ok"));
+  EXPECT_DOUBLE_EQ(on_big.GetNumber("estimate"), expected_big);
+  EXPECT_EQ(on_big.GetString("dataset"), "big");
+  obs::JsonValue on_alt = estimate_on("alt");
+  ASSERT_TRUE(on_alt.GetBool("ok"));
+  EXPECT_DOUBLE_EQ(on_alt.GetNumber("estimate"), expected_alt);
+  EXPECT_EQ(on_alt.GetString("dataset"), "alt");
+
+  // Unknown datasets are structured errors on every routed verb.
+  obs::JsonValue unknown = MustParseJson(client.RoundTrip(
+      "{\"op\":\"ping\",\"id\":2,\"dataset\":\"nope\"}"));
+  EXPECT_FALSE(unknown.GetBool("ok", true));
+  EXPECT_EQ(unknown.Find("error")->GetString("code"), "InvalidArgument");
+
+  // Swap routes per dataset: big moves to v2, alt stays at v1 and its
+  // answers are bit-identical across the other dataset's swap.
+  obs::JsonValue swapped = MustParseJson(client.RoundTrip(
+      "{\"op\":\"swap\",\"id\":3,\"dataset\":\"big\",\"space\":0.05}"));
+  ASSERT_TRUE(swapped.GetBool("ok"));
+  EXPECT_DOUBLE_EQ(swapped.GetNumber("version"), 2);
+  EXPECT_EQ(big->version(), 2u);
+  EXPECT_EQ(alt->version(), 1u);
+  obs::JsonValue alt_after = estimate_on("alt");
+  ASSERT_TRUE(alt_after.GetBool("ok"));
+  EXPECT_DOUBLE_EQ(alt_after.GetNumber("estimate"), expected_alt);
+  EXPECT_DOUBLE_EQ(alt_after.GetNumber("version"), 1);
+
+  // A dataset without a rebuild source refuses to swap, structurally.
+  obs::JsonValue no_source = MustParseJson(client.RoundTrip(
+      "{\"op\":\"swap\",\"id\":4,\"dataset\":\"alt\"}"));
+  EXPECT_FALSE(no_source.GetBool("ok", true));
+  EXPECT_EQ(no_source.Find("error")->GetString("code"), "Unimplemented");
+
+  // The stats verb reports every dataset's version.
+  obs::JsonValue stats = MustParseJson(
+      client.RoundTrip("{\"op\":\"stats\",\"id\":5,\"dataset\":\"big\"}"));
+  ASSERT_TRUE(stats.GetBool("ok"));
+  const obs::JsonValue* per_dataset = stats.Find("datasets");
+  ASSERT_NE(per_dataset, nullptr);
+  EXPECT_DOUBLE_EQ(per_dataset->Find("big")->GetNumber("version"), 2);
+  EXPECT_DOUBLE_EQ(per_dataset->Find("alt")->GetNumber("version"), 1);
+
+  front_end.Stop();
+}
+
+TEST(MultiTenantTcpTest, HotTenantThrottledWithRetryHintOthersServed) {
+  SnapshotCatalog catalog;
+  catalog.Publish(SharedCorpus().BuildCst(0.02), "v1");
+  ServiceOptions sopt;
+  sopt.num_workers = 2;
+  sopt.tenants.overrides["hot"].rate = 0.001;
+  sopt.tenants.overrides["hot"].burst = 1;
+  EstimateService service(&catalog, sopt);
+  TcpFrontEnd front_end(&catalog, &service);
+  ASSERT_TRUE(front_end.Start().ok());
+
+  TestClient client(front_end.port());
+  ASSERT_TRUE(client.connected());
+  const auto estimate_as = [&](const char* tenant, int id) {
+    return MustParseJson(client.RoundTrip(
+        "{\"op\":\"estimate\",\"id\":" + std::to_string(id) +
+        ",\"query\":\"article.author\",\"tenant\":\"" + tenant + "\"}"));
+  };
+
+  // The hot tenant spends its burst of one, then gets a structured
+  // throttle carrying the token-bucket backoff hint.
+  EXPECT_TRUE(estimate_as("hot", 1).GetBool("ok"));
+  obs::JsonValue throttled = estimate_as("hot", 2);
+  EXPECT_FALSE(throttled.GetBool("ok", true));
+  const obs::JsonValue* error = throttled.Find("error");
+  ASSERT_NE(error, nullptr);
+  EXPECT_EQ(error->GetString("code"), "Unavailable");
+  EXPECT_NE(error->GetString("message").find("throttled"),
+            std::string::npos);
+  EXPECT_GE(error->GetNumber("retry_after_ms"), 1);
+
+  // A different tenant on the same connection keeps being served.
+  EXPECT_TRUE(estimate_as("calm", 3).GetBool("ok"));
+
+  // The stats verb reports per-tenant admission accounting.
+  obs::JsonValue stats =
+      MustParseJson(client.RoundTrip("{\"op\":\"stats\",\"id\":4}"));
+  ASSERT_TRUE(stats.GetBool("ok"));
+  const obs::JsonValue* tenants = stats.Find("tenants");
+  ASSERT_NE(tenants, nullptr);
+  bool saw_hot = false;
+  for (const obs::JsonValue& tenant : tenants->elements) {
+    if (tenant.GetString("tenant") == "hot") {
+      saw_hot = true;
+      EXPECT_GE(tenant.GetNumber("admitted"), 1);
+      EXPECT_GE(tenant.GetNumber("throttled"), 1);
+    }
+  }
+  EXPECT_TRUE(saw_hot);
+
+  front_end.Stop();
 }
 
 // ---------------------------------------------------------------------------
